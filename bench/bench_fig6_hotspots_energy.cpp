@@ -1,0 +1,69 @@
+// bench_fig6_hotspots_energy — reproduces Fig. 6: average and maximum
+// hot-spot time (>85 C) across the eight Table II workloads, and chip/pump
+// energy normalized to LB on the air-cooled system, for all seven policies
+// on the 2-layer stack.  Also prints the per-workload cooling/total energy
+// savings behind the paper's "up to 30 % cooling / 12 % overall" headline.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace liquid3d;
+
+  SuiteConfig sc;
+  sc.duration = SimTime::from_s(40);
+  ExperimentSuite suite(sc);
+  const std::vector<PolicySummary> results = suite.run_paper_grid();
+  const PolicySummary& baseline = find_baseline(results);
+  const double e0 = baseline.total_chip_energy();
+
+  std::cout << "== Fig. 6: hot spots and energy, 2-layer system ==\n";
+  TablePrinter t({"policy", "hot spots avg [%>85C]", "hot spots max [%>85C]",
+                  "chip energy (norm)", "pump energy (norm)", ">80C avg [%]"});
+  for (const PolicySummary& s : results) {
+    t.add_row({s.label + (s.label == "TALB (Var)" ? " *" : ""),
+               TablePrinter::num(s.mean_hotspot_percent(), 2),
+               TablePrinter::num(s.max_hotspot_percent(), 2),
+               TablePrinter::num(s.total_chip_energy() / e0, 3),
+               TablePrinter::num(s.total_pump_energy() / e0, 3),
+               TablePrinter::num(s.mean_above_target_percent(), 2)});
+  }
+  t.print(std::cout);
+  std::cout << "(*) the paper's technique.  Energies normalized to LB (Air) "
+               "chip energy, as in the paper.\n";
+
+  // Headline savings: TALB (Var) vs the worst-case flow configurations.
+  const PolicySummary& var = results.back();
+  const PolicySummary& lb_max = results[3];
+
+  std::cout << "\n== Energy savings of TALB (Var) vs LB (Max) per workload ==\n";
+  TablePrinter s({"workload", "cooling energy saved", "total energy saved",
+                  "hot spots [%]", "peak T [C]", "avg setting"});
+  double best_cooling = 0.0;
+  double best_total = 0.0;
+  for (std::size_t i = 0; i < var.per_workload.size(); ++i) {
+    const SimulationResult& v = var.per_workload[i];
+    const SimulationResult& m = lb_max.per_workload[i];
+    const double cool_save = 1.0 - v.pump_energy_j / m.pump_energy_j;
+    const double total_save = 1.0 - v.total_energy_j / m.total_energy_j;
+    best_cooling = std::max(best_cooling, cool_save);
+    best_total = std::max(best_total, total_save);
+    s.add_row({v.benchmark, TablePrinter::pct(100.0 * cool_save, 1),
+               TablePrinter::pct(100.0 * total_save, 1),
+               TablePrinter::num(v.hotspot_percent, 2),
+               TablePrinter::num(v.hotspot_max_sample, 1),
+               TablePrinter::num(v.avg_pump_setting + 1.0, 2)});
+  }
+  s.print(std::cout);
+  std::cout << "max cooling-energy saving: " << TablePrinter::pct(100.0 * best_cooling, 1)
+            << " (paper: up to 30%)\n"
+            << "max total-energy saving:   " << TablePrinter::pct(100.0 * best_total, 1)
+            << " (paper: up to 12%)\n"
+            << "Shape checks: liquid eliminates the air system's hot spots; "
+               "savings grow as utilization falls (gzip/MPlayer best, the "
+               "high-utilization web workloads least).  Magnitudes exceed "
+               "the paper's because the pressure-limited flow regime widens "
+               "the controllable range — see EXPERIMENTS.md.\n";
+  return 0;
+}

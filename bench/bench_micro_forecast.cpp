@@ -1,0 +1,70 @@
+// bench_micro_forecast — micro-benchmarks for the runtime control path: the
+// per-sample cost of the ARMA observe/forecast pipeline and of a full
+// ARMA refit, plus the LUT lookup (which the paper argues is negligible).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "control/flow_lut.hpp"
+#include "forecast/adaptive_predictor.hpp"
+
+namespace {
+
+using namespace liquid3d;
+
+std::vector<double> make_signal(std::size_t n) {
+  Rng rng(1);
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 72.0 +
+           4.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 90.0) +
+           0.3 * rng.normal();
+  }
+  return x;
+}
+
+void BM_PredictorObserveForecast(benchmark::State& state) {
+  const std::vector<double> signal = make_signal(4096);
+  AdaptivePredictor p;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    p.observe(signal[i % signal.size()]);
+    benchmark::DoNotOptimize(p.forecast());
+    ++i;
+  }
+  state.SetLabel("one 100ms control sample");
+}
+BENCHMARK(BM_PredictorObserveForecast);
+
+void BM_ArmaRefit(benchmark::State& state) {
+  const std::vector<double> signal = make_signal(128);
+  ArmaConfig cfg;
+  cfg.ar_order = static_cast<std::size_t>(state.range(0));
+  cfg.ma_order = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    ArmaModel m = ArmaModel::fit(signal, cfg);
+    benchmark::DoNotOptimize(m.residual_std());
+  }
+}
+BENCHMARK(BM_ArmaRefit)->Args({5, 0})->Args({5, 2})->Args({8, 4});
+
+void BM_LutLookup(benchmark::State& state) {
+  const FlowLut lut = FlowLut::characterize(
+      [](double u, std::size_t s) {
+        return 70.0 - 6.0 * static_cast<double>(s) + 30.0 * u;
+      },
+      5, 80.0, 101);
+  double t = 60.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lut.required_setting(2, t));
+    t = t < 95.0 ? t + 0.01 : 60.0;
+  }
+  state.SetLabel("negligible, as the paper argues");
+}
+BENCHMARK(BM_LutLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

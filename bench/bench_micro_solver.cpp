@@ -1,0 +1,95 @@
+// bench_micro_solver — engineering micro-benchmarks (google-benchmark) for
+// the thermal substrate: banded Cholesky factorization/solve and full
+// transient/steady model operations at several grid resolutions.
+#include <benchmark/benchmark.h>
+
+#include "coolant/flow.hpp"
+#include "geom/stack.hpp"
+#include "thermal/banded_cholesky.hpp"
+#include "thermal/model3d.hpp"
+
+namespace {
+
+using namespace liquid3d;
+
+BandedSpdMatrix make_grid_matrix(std::size_t n, std::size_t bw) {
+  BandedSpdMatrix m(n, bw);
+  for (std::size_t i = 0; i < n; ++i) m.add_diagonal(i, 4.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) m.add_coupling(i, i + 1, 1.0);
+  for (std::size_t i = 0; i + bw < n; ++i) m.add_coupling(i, i + bw, 1.0);
+  return m;
+}
+
+void BM_BandedFactorize(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto bw = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    BandedSpdMatrix m = make_grid_matrix(n, bw);
+    m.factorize();
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_BandedFactorize)->Args({1196, 52})->Args({2392, 104})->Args({4784, 208});
+
+void BM_BandedSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto bw = static_cast<std::size_t>(state.range(1));
+  BandedSpdMatrix m = make_grid_matrix(n, bw);
+  m.factorize();
+  std::vector<double> rhs(n, 1.0);
+  for (auto _ : state) {
+    std::vector<double> x = rhs;
+    m.solve(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_BandedSolve)->Args({1196, 52})->Args({2392, 104})->Args({4784, 208});
+
+ThermalModel3D make_model(std::size_t rows, std::size_t cols, std::size_t pairs) {
+  ThermalModelParams p;
+  p.grid_rows = rows;
+  p.grid_cols = cols;
+  ThermalModel3D m(make_niagara_stack(pairs, CoolingType::kLiquid), p);
+  const MicrochannelModel ch(CavitySpec{}, CoolantProperties::water());
+  const FlowDelivery d(PumpModel::laing_ddc(), FlowDeliveryMode::kPressureLimited, ch,
+                       11.5e-3, 2 * pairs + 1);
+  m.set_cavity_flow(d.per_cavity(2));
+  const Floorplan& fp = m.stack().layer(0).floorplan;
+  std::vector<double> w(fp.block_count(), 0.0);
+  for (std::size_t b = 0; b < fp.block_count(); ++b) {
+    if (fp.block(b).type == BlockType::kCore) w[b] = 3.0;
+  }
+  m.set_block_power(0, w);
+  return m;
+}
+
+void BM_TransientStep(benchmark::State& state) {
+  ThermalModel3D m = make_model(static_cast<std::size_t>(state.range(0)),
+                                static_cast<std::size_t>(state.range(1)),
+                                static_cast<std::size_t>(state.range(2)));
+  m.step(0.05);  // prime the factorization
+  for (auto _ : state) {
+    m.step(0.05);
+    benchmark::DoNotOptimize(m.max_temperature());
+  }
+  state.SetLabel("50ms backward-Euler step incl. fluid march");
+}
+BENCHMARK(BM_TransientStep)
+    ->Args({23, 26, 1})
+    ->Args({23, 26, 2})
+    ->Args({46, 52, 1});
+
+void BM_SteadyState(benchmark::State& state) {
+  ThermalModel3D m = make_model(static_cast<std::size_t>(state.range(0)),
+                                static_cast<std::size_t>(state.range(1)), 1);
+  for (auto _ : state) {
+    m.initialize(45.0);
+    m.solve_steady_state();
+    benchmark::DoNotOptimize(m.max_temperature());
+  }
+}
+BENCHMARK(BM_SteadyState)->Args({12, 13})->Args({23, 26});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// flow_characterization.cpp — the design-time analysis a deployment would
+// run once per system: steady T_max across the (utilization x setting)
+// plane, the resulting flow-rate look-up table, and the TALB thermal
+// weights.  This is the offline half of the paper's technique (Sec. IV).
+//
+//   $ ./flow_characterization          # 2-layer system
+//   $ ./flow_characterization 4        # 4-layer system
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "control/characterize.hpp"
+#include "control/flow_lut.hpp"
+#include "control/talb_weights.hpp"
+
+int main(int argc, char** argv) {
+  using namespace liquid3d;
+
+  const std::size_t pairs = (argc > 1 && std::strcmp(argv[1], "4") == 0) ? 2 : 1;
+  const Stack3D stack = make_niagara_stack(pairs, CoolingType::kLiquid);
+  CharacterizationHarness h(stack, ThermalModelParams{}, PowerModelParams{},
+                            PumpModel::laing_ddc(), FlowDeliveryMode::kPressureLimited);
+
+  std::printf("characterizing %s (%zu cores, %zu cavities)\n\n", stack.name().c_str(),
+              stack.total_count(BlockType::kCore), stack.cavity_count());
+
+  // 1. The T_max(u, setting) plane.
+  {
+    TablePrinter t({"util", "s1 [C]", "s2 [C]", "s3 [C]", "s4 [C]", "s5 [C]"});
+    for (double u = 0.0; u <= 1.001; u += 0.2) {
+      std::vector<std::string> row = {TablePrinter::num(u, 1)};
+      for (std::size_t s = 0; s < h.setting_count(); ++s) {
+        row.push_back(TablePrinter::num(h.steady_tmax(u, s), 1));
+      }
+      t.add_row(row);
+    }
+    std::ostringstream os;
+    t.print(os);
+    std::printf("steady T_max per pump setting:\n%s\n", os.str().c_str());
+  }
+
+  // 2. The flow LUT the controller runs on (boundaries observed at each
+  //    current setting; 78 C = 80 C target minus the 2 C guard band).
+  {
+    const FlowLut lut = FlowLut::characterize(
+        [&](double u, std::size_t s) { return h.steady_tmax(u, s); },
+        h.setting_count(), 78.0, 25);
+    TablePrinter t({"observed at", ">= s2 above [C]", ">= s3 above [C]",
+                    ">= s4 above [C]", ">= s5 above [C]"});
+    for (std::size_t s = 0; s < lut.setting_count(); ++s) {
+      std::vector<std::string> row = {"setting " + std::to_string(s + 1)};
+      for (std::size_t k = 1; k < lut.setting_count(); ++k) {
+        const double b = lut.boundary(s, k);
+        std::ostringstream cell;
+        if (b == -std::numeric_limits<double>::infinity()) {
+          cell << "always";
+        } else if (b == std::numeric_limits<double>::infinity()) {
+          cell << "never";
+        } else {
+          cell << TablePrinter::num(b, 1);
+        }
+        row.push_back(cell.str());
+      }
+      t.add_row(row);
+    }
+    std::ostringstream os;
+    t.print(os);
+    std::printf("flow-rate look-up table:\n%s\n", os.str().c_str());
+  }
+
+  // 3. TALB thermal weights at a balanced mid-load operating point.
+  {
+    const std::vector<double> temps = h.steady_core_temps(0.6, 2);
+    const std::vector<double> w = TalbWeightTable::weights_from_temps(
+        temps, ThermalModelParams{}.inlet_temperature);
+    TablePrinter t({"core", "steady T [C]", "thermal weight"});
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      t.add_row({std::to_string(i), TablePrinter::num(temps[i], 2),
+                 TablePrinter::num(w[i], 3)});
+    }
+    std::ostringstream os;
+    t.print(os);
+    std::printf("TALB weights (u = 0.6, setting 3):\n%s", os.str().c_str());
+    std::printf("\nweights > 1 mark thermally disadvantaged positions (the "
+                "scheduler steers work away from them, Eq. 8).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// server_day_night.cpp — the paper's SPRT motivation scenario: a server
+// whose load pattern changes abruptly (day-time vs night-time traffic).
+//
+// We run the 2-layer liquid-cooled system under Web-med, drop the offered
+// load to 25 % at t = 60 s ("night") and restore it at t = 120 s ("day").
+// Watch the ARMA forecaster mis-predict at each break, the SPRT alarm, the
+// predictor rebuild, and the flow controller ride the pump settings down
+// and back up.
+//
+//   $ ./server_day_night
+#include <cstdio>
+
+#include "sim/simulator.hpp"
+#include "workload/benchmarks.hpp"
+
+int main() {
+  using namespace liquid3d;
+
+  SimulationConfig cfg;
+  cfg.cooling = CoolingMode::kLiquidVar;
+  cfg.policy = Policy::kTalb;
+  cfg.benchmark = *find_benchmark("Web-med");
+  cfg.duration = SimTime::from_s(180);
+  cfg.seed = 2024;
+  cfg.phases = {
+      {SimTime::from_s(60), 0.25},  // night: load collapses
+      {SimTime::from_s(120), 1.0},  // day: back to normal
+  };
+
+  Simulator sim(cfg);
+  std::printf("day/night trace on %s (load x0.25 at 60 s, x1.0 at 120 s)\n",
+              sim.stack().name().c_str());
+  std::printf("%7s %9s %9s %9s %11s %9s\n", "t[s]", "Tmax[C]", "pred[C]", "setting",
+              "flow[ml/m]", "pump[W]");
+
+  sim.set_trace_callback([](const SampleTrace& t) {
+    if (t.now.as_ms() % 10000 != 0) return;
+    std::printf("%7.0f %9.2f %9.2f %9zu %11.2f %9.2f\n", t.now.as_s(), t.tmax,
+                t.forecast, t.pump_setting, t.flow_ml_per_min, t.pump_watts);
+  });
+
+  const SimulationResult r = sim.run();
+
+  std::printf("\npredictor rebuilds (SPRT-triggered): %zu\n", r.predictor_rebuilds);
+  std::printf("pump transitions                    : %zu\n", r.pump_transitions);
+  std::printf("time above 80 C target              : %.2f %%\n",
+              r.above_target_percent);
+  std::printf("forecast RMSE (500 ms horizon)      : %.3f C\n", r.forecast_rmse);
+  std::printf("pump energy                         : %.1f J (max flow would be %.1f J)\n",
+              r.pump_energy_j, 21.0 * r.elapsed_s);
+  std::printf("\nThe rebuild count shows the SPRT catching the two trend breaks; "
+              "the settings ride down during the night phase and recover for "
+              "the day phase without violating the target.\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// csv.hpp — minimal CSV writer so benchmark harnesses can dump the series
+// behind each figure for external plotting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace liquid3d {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& row);
+  void add_row(const std::vector<double>& row);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+}  // namespace liquid3d

@@ -1,0 +1,58 @@
+// error.hpp — error handling for liquid3d.
+//
+// Configuration errors (bad floorplans, inconsistent grids, invalid model
+// parameters) throw ConfigError; violated internal invariants throw
+// LogicError.  Hot inner loops use plain assert() instead — see the solvers.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace liquid3d {
+
+/// Raised when user-supplied configuration is invalid.
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Raised when an internal invariant is violated (a bug in liquid3d itself).
+class LogicError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_config_error(const char* expr, const std::string& msg,
+                                            std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": requirement failed (" << expr << ")";
+  if (!msg.empty()) os << ": " << msg;
+  throw ConfigError(os.str());
+}
+[[noreturn]] inline void throw_logic_error(const char* expr, const std::string& msg,
+                                           std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": invariant violated (" << expr << ")";
+  if (!msg.empty()) os << ": " << msg;
+  throw LogicError(os.str());
+}
+}  // namespace detail
+
+/// Validate user-facing preconditions; throws ConfigError with location info.
+#define LIQUID3D_REQUIRE(expr, msg)                                                       \
+  do {                                                                                    \
+    if (!(expr))                                                                          \
+      ::liquid3d::detail::throw_config_error(#expr, (msg), std::source_location::current()); \
+  } while (0)
+
+/// Validate internal invariants; throws LogicError with location info.
+#define LIQUID3D_ASSERT(expr, msg)                                                       \
+  do {                                                                                   \
+    if (!(expr))                                                                         \
+      ::liquid3d::detail::throw_logic_error(#expr, (msg), std::source_location::current()); \
+  } while (0)
+
+}  // namespace liquid3d

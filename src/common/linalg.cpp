@@ -1,0 +1,103 @@
+#include "common/linalg.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  LIQUID3D_REQUIRE(cols_ == rhs.rows_, "matrix multiply dimension mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) out(r, c) += a * rhs(k, c);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(const std::vector<double>& v) const {
+  LIQUID3D_REQUIRE(cols_ == v.size(), "matrix-vector dimension mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> solve_linear(Matrix a, std::vector<double> b) {
+  LIQUID3D_REQUIRE(a.rows() == a.cols(), "solve_linear requires square matrix");
+  LIQUID3D_REQUIRE(a.rows() == b.size(), "solve_linear rhs size mismatch");
+  const std::size_t n = a.rows();
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > best) {
+        best = std::abs(a(r, col));
+        pivot = r;
+      }
+    }
+    LIQUID3D_REQUIRE(best > 1e-300, "solve_linear: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    const double inv = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) * inv;
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= a(ri, c) * x[c];
+    x[ri] = acc / a(ri, ri);
+  }
+  return x;
+}
+
+std::vector<double> solve_least_squares(const Matrix& a, const std::vector<double>& b,
+                                        double ridge) {
+  LIQUID3D_REQUIRE(a.rows() == b.size(), "least squares rhs size mismatch");
+  LIQUID3D_REQUIRE(a.rows() >= a.cols(), "least squares is under-determined");
+  const Matrix at = a.transposed();
+  Matrix ata = at * a;
+  // Ridge scaled by the diagonal magnitude keeps conditioning stable without
+  // visibly biasing well-posed fits.
+  double diag_max = 0.0;
+  for (std::size_t i = 0; i < ata.rows(); ++i) diag_max = std::max(diag_max, ata(i, i));
+  const double lambda = ridge * std::max(diag_max, 1.0);
+  for (std::size_t i = 0; i < ata.rows(); ++i) ata(i, i) += lambda;
+  return solve_linear(std::move(ata), at * b);
+}
+
+}  // namespace liquid3d

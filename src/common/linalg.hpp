@@ -1,0 +1,52 @@
+// linalg.hpp — small dense linear algebra for model fitting and steady-state
+// verification.  Row-major dense matrix, Gaussian elimination with partial
+// pivoting, and linear least squares via normal equations with Tikhonov
+// fallback.  Sized for ARMA fitting (tens of unknowns), not for the thermal
+// grid itself (which uses a specialized iterative solver in thermal/).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace liquid3d {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] std::vector<double> operator*(const std::vector<double>& v) const;
+
+  /// Identity matrix of size n.
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b by Gaussian elimination with partial pivoting.
+/// Throws ConfigError on dimension mismatch or a numerically singular system.
+[[nodiscard]] std::vector<double> solve_linear(Matrix a, std::vector<double> b);
+
+/// Solve min ||A x - b||_2 via normal equations; if A^T A is near-singular a
+/// small ridge term (lambda * I) is added, which is the standard regularized
+/// fallback for short/collinear ARMA design matrices.
+[[nodiscard]] std::vector<double> solve_least_squares(const Matrix& a,
+                                                      const std::vector<double>& b,
+                                                      double ridge = 1e-9);
+
+}  // namespace liquid3d

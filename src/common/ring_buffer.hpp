@@ -1,0 +1,74 @@
+// ring_buffer.hpp — fixed-capacity circular buffer.
+//
+// Used for temperature histories (ARMA input windows, SPRT residual windows,
+// thermal-cycle sliding windows).  Overwrites the oldest element when full.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : data_(capacity) {
+    LIQUID3D_REQUIRE(capacity > 0, "ring buffer capacity must be positive");
+  }
+
+  /// Append a value, evicting the oldest if at capacity.
+  void push(const T& v) {
+    if (size_ < data_.size()) {
+      data_[(head_ + size_) % data_.size()] = v;
+      ++size_;
+    } else {
+      data_[head_] = v;
+      head_ = (head_ + 1) % data_.size();
+    }
+  }
+
+  /// Element i, where 0 is the OLDEST retained element.
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    LIQUID3D_ASSERT(i < size_, "ring buffer index out of range");
+    return data_[(head_ + i) % data_.size()];
+  }
+
+  /// The most recently pushed element.
+  [[nodiscard]] const T& back() const {
+    LIQUID3D_ASSERT(size_ > 0, "ring buffer is empty");
+    return (*this)[size_ - 1];
+  }
+
+  /// The oldest retained element.
+  [[nodiscard]] const T& front() const {
+    LIQUID3D_ASSERT(size_ > 0, "ring buffer is empty");
+    return (*this)[0];
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == data_.size(); }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Copy contents oldest-to-newest into a vector (for fitting routines).
+  [[nodiscard]] std::vector<T> to_vector() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+ private:
+  std::vector<T> data_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace liquid3d

@@ -1,0 +1,91 @@
+#include "common/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  if (n_ == 1) {
+    mean_ = x;
+    min_ = x;
+    max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::vector<double> values, double p) {
+  LIQUID3D_REQUIRE(!values.empty(), "percentile of empty set");
+  LIQUID3D_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double pearson_correlation(const std::vector<double>& a, const std::vector<double>& b) {
+  LIQUID3D_REQUIRE(a.size() == b.size(), "correlation requires equal lengths");
+  if (a.size() < 2) return 0.0;
+  RunningStats sa;
+  RunningStats sb;
+  for (double x : a) sa.add(x);
+  for (double x : b) sb.add(x);
+  if (sa.stddev() == 0.0 || sb.stddev() == 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - sa.mean()) * (b[i] - sb.mean());
+  }
+  cov /= static_cast<double>(a.size() - 1);
+  return cov / (sa.stddev() * sb.stddev());
+}
+
+double rmse(const std::vector<double>& a, const std::vector<double>& b) {
+  LIQUID3D_REQUIRE(a.size() == b.size(), "rmse requires equal lengths");
+  LIQUID3D_REQUIRE(!a.empty(), "rmse of empty series");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+}  // namespace liquid3d

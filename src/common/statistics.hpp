@@ -1,0 +1,69 @@
+// statistics.hpp — streaming and batch statistics used by the metrics layer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace liquid3d {
+
+/// Numerically stable streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  void reset() { *this = RunningStats{}; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fraction of samples for which a predicate held; used for "time above
+/// threshold" style metrics throughout the evaluation.
+class FractionCounter {
+ public:
+  void add(bool hit) {
+    ++total_;
+    if (hit) ++hits_;
+  }
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double fraction() const {
+    return total_ > 0 ? static_cast<double>(hits_) / static_cast<double>(total_) : 0.0;
+  }
+  [[nodiscard]] double percent() const { return 100.0 * fraction(); }
+  void reset() { *this = FractionCounter{}; }
+
+ private:
+  std::size_t hits_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Batch percentile (copies and sorts; use for reporting, not hot loops).
+/// p is in [0, 100]; linear interpolation between order statistics.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+/// Pearson correlation of two equal-length series; 0 if degenerate.
+[[nodiscard]] double pearson_correlation(const std::vector<double>& a,
+                                         const std::vector<double>& b);
+
+/// Root-mean-square error between two equal-length series.
+[[nodiscard]] double rmse(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace liquid3d

@@ -1,0 +1,31 @@
+// table.hpp — fixed-width console table printer used by the benchmark
+// harnesses to print the paper's tables/figures as aligned text.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace liquid3d {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 2);
+  /// Format as a percentage string, e.g. "12.3%".
+  static std::string pct(double v, int precision = 1);
+
+  /// Render with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace liquid3d

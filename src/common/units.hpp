@@ -1,0 +1,114 @@
+// units.hpp — lightweight unit helpers for the liquid3d library.
+//
+// The thermal, hydraulic, and power models mix SI and "datasheet" units
+// (l/min, ml/min, l/h, mm, µm, mbar).  To keep call sites honest we provide
+// explicit conversion helpers and a small set of strong wrapper types for the
+// quantities that are easiest to confuse (flow rates in particular, which the
+// paper quotes in three different units across Table I, Fig. 3, and Fig. 5).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace liquid3d {
+
+// ---------------------------------------------------------------------------
+// Scalar conversion helpers (all return SI unless suffixed otherwise).
+// ---------------------------------------------------------------------------
+
+/// Microns to meters.
+constexpr double um(double v) { return v * 1e-6; }
+/// Millimeters to meters.
+constexpr double mm(double v) { return v * 1e-3; }
+/// Square millimeters to square meters.
+constexpr double mm2(double v) { return v * 1e-6; }
+/// Square centimeters to square meters.
+constexpr double cm2(double v) { return v * 1e-4; }
+/// Celsius to Kelvin.
+constexpr double celsius_to_kelvin(double c) { return c + 273.15; }
+/// Kelvin to Celsius.
+constexpr double kelvin_to_celsius(double k) { return k - 273.15; }
+/// Milliseconds to seconds.
+constexpr double ms(double v) { return v * 1e-3; }
+
+// ---------------------------------------------------------------------------
+// VolumetricFlow — strong type for coolant flow.
+//
+// Internally stored in m^3/s; constructed from and read back in any of the
+// paper's units.  Comparison operators make look-up-table code read naturally.
+// ---------------------------------------------------------------------------
+class VolumetricFlow {
+ public:
+  constexpr VolumetricFlow() = default;
+
+  [[nodiscard]] static constexpr VolumetricFlow from_m3_per_s(double v) {
+    return VolumetricFlow{v};
+  }
+  [[nodiscard]] static constexpr VolumetricFlow from_l_per_min(double v) {
+    return VolumetricFlow{v * 1e-3 / 60.0};
+  }
+  [[nodiscard]] static constexpr VolumetricFlow from_ml_per_min(double v) {
+    return VolumetricFlow{v * 1e-6 / 60.0};
+  }
+  [[nodiscard]] static constexpr VolumetricFlow from_l_per_hour(double v) {
+    return VolumetricFlow{v * 1e-3 / 3600.0};
+  }
+
+  [[nodiscard]] constexpr double m3_per_s() const { return m3s_; }
+  [[nodiscard]] constexpr double l_per_min() const { return m3s_ * 60.0 * 1e3; }
+  [[nodiscard]] constexpr double ml_per_min() const { return m3s_ * 60.0 * 1e6; }
+  [[nodiscard]] constexpr double l_per_hour() const { return m3s_ * 3600.0 * 1e3; }
+
+  [[nodiscard]] constexpr bool is_zero() const { return m3s_ == 0.0; }
+
+  constexpr auto operator<=>(const VolumetricFlow&) const = default;
+
+  [[nodiscard]] constexpr VolumetricFlow operator*(double s) const {
+    return VolumetricFlow{m3s_ * s};
+  }
+  [[nodiscard]] constexpr VolumetricFlow operator/(double s) const {
+    return VolumetricFlow{m3s_ / s};
+  }
+  [[nodiscard]] constexpr VolumetricFlow operator+(VolumetricFlow o) const {
+    return VolumetricFlow{m3s_ + o.m3s_};
+  }
+  [[nodiscard]] constexpr VolumetricFlow operator-(VolumetricFlow o) const {
+    return VolumetricFlow{m3s_ - o.m3s_};
+  }
+
+ private:
+  constexpr explicit VolumetricFlow(double m3s) : m3s_(m3s) {}
+  double m3s_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Simulated time — integer milliseconds to avoid floating-point drift over
+// half-hour traces sampled at 100 ms.
+// ---------------------------------------------------------------------------
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime from_ms(std::int64_t v) { return SimTime{v}; }
+  [[nodiscard]] static constexpr SimTime from_s(double v) {
+    return SimTime{static_cast<std::int64_t>(v * 1e3 + 0.5)};
+  }
+
+  [[nodiscard]] constexpr std::int64_t as_ms() const { return ms_; }
+  [[nodiscard]] constexpr double as_s() const { return static_cast<double>(ms_) * 1e-3; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime& operator+=(SimTime o) {
+    ms_ += o.ms_;
+    return *this;
+  }
+  [[nodiscard]] constexpr SimTime operator+(SimTime o) const { return SimTime{ms_ + o.ms_}; }
+  [[nodiscard]] constexpr SimTime operator-(SimTime o) const { return SimTime{ms_ - o.ms_}; }
+
+ private:
+  constexpr explicit SimTime(std::int64_t v) : ms_(v) {}
+  std::int64_t ms_ = 0;
+};
+
+}  // namespace liquid3d

@@ -1,0 +1,142 @@
+#include "control/characterize.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "coolant/microchannel.hpp"
+
+namespace liquid3d {
+
+CharacterizationHarness::CharacterizationHarness(const Stack3D& stack,
+                                                 ThermalModelParams thermal_params,
+                                                 PowerModelParams power_params,
+                                                 const PumpModel& pump,
+                                                 FlowDeliveryMode delivery_mode)
+    : model_(stack, thermal_params),
+      power_(power_params),
+      cores_(enumerate_sites(stack, BlockType::kCore)) {
+  LIQUID3D_REQUIRE(stack.has_cavities(),
+                   "pump-based characterization requires a liquid stack");
+  const MicrochannelModel channels(stack.cavity(), thermal_params.coolant,
+                                   thermal_params.channel_params);
+  delivery_.emplace(pump, delivery_mode, channels, stack.width(), stack.cavity_count());
+}
+
+CharacterizationHarness::CharacterizationHarness(const Stack3D& stack,
+                                                 ThermalModelParams thermal_params,
+                                                 PowerModelParams power_params)
+    : model_(stack, thermal_params),
+      power_(power_params),
+      cores_(enumerate_sites(stack, BlockType::kCore)) {
+  LIQUID3D_REQUIRE(!stack.has_cavities(), "this constructor is for air stacks");
+}
+
+std::size_t CharacterizationHarness::setting_count() const {
+  return delivery_ ? delivery_->setting_count() : 1;
+}
+
+void CharacterizationHarness::apply_uniform_power(double utilization) {
+  LIQUID3D_REQUIRE(utilization >= 0.0 && utilization <= 1.0,
+                   "utilization must be a fraction");
+  // Characterize against the worst-case workload composition (maximum
+  // switching activity and memory intensity of the Table II set): the LUT
+  // must guarantee the target for every workload, at the cost of slight
+  // over-cooling for gentler ones.
+  constexpr double kWorstCaseActivity = 1.08;
+  constexpr double kWorstCaseMemIntensity = 1.0;
+  const Stack3D& stack = model_.stack();
+  const double active_frac = utilization;  // balanced load: all cores share it
+  for (std::size_t l = 0; l < stack.layer_count(); ++l) {
+    const Floorplan& fp = stack.layer(l).floorplan;
+    std::vector<double> watts(fp.block_count(), 0.0);
+    for (std::size_t b = 0; b < fp.block_count(); ++b) {
+      const Block& blk = fp.block(b);
+      const double t_blk = model_.block_mean_temperature(l, b);
+      switch (blk.type) {
+        case BlockType::kCore:
+          watts[b] = power_.core_power(utilization > 0.0 ? CoreState::kActive
+                                                         : CoreState::kIdle,
+                                       utilization, kWorstCaseActivity, t_blk);
+          break;
+        case BlockType::kL2Cache:
+          watts[b] = power_.l2_power(t_blk);
+          break;
+        case BlockType::kCrossbar:
+          watts[b] = power_.crossbar_power(active_frac, kWorstCaseMemIntensity, t_blk);
+          break;
+        case BlockType::kMisc:
+          watts[b] = power_.misc_power(blk.rect.area(), t_blk);
+          break;
+      }
+    }
+    model_.set_block_power(l, watts);
+  }
+}
+
+double CharacterizationHarness::solve_with_leakage_fixed_point(double utilization) {
+  // The leakage term depends on temperature, which depends on power: iterate
+  // power assignment and steady solve until T_max settles.  At the lowest
+  // flow settings the leakage-temperature loop gain approaches (and can
+  // exceed) 1, so the iteration budget must be generous; a genuinely
+  // diverging iterate is physical thermal runaway and is reported as the
+  // (large) last value, which the LUT correctly treats as "needs more flow".
+  double tmax_prev = model_.max_temperature();
+  for (int iter = 0; iter < 80; ++iter) {
+    apply_uniform_power(utilization);
+    model_.solve_steady_state();
+    const double tmax = model_.max_temperature();
+    if (std::abs(tmax - tmax_prev) < 0.05) return tmax;
+    if (tmax > 400.0) return tmax;  // runaway: no point iterating further
+    tmax_prev = tmax;
+  }
+  return tmax_prev;
+}
+
+double CharacterizationHarness::steady_tmax(double utilization, std::size_t setting) {
+  if (delivery_) {
+    model_.set_cavity_flow(delivery_->per_cavity(setting));
+  } else {
+    LIQUID3D_REQUIRE(setting == 0, "air stacks have a single (no-pump) setting");
+  }
+  return solve_with_leakage_fixed_point(utilization);
+}
+
+double CharacterizationHarness::steady_tmax_at_flow(double utilization,
+                                                    VolumetricFlow per_cavity) {
+  model_.set_cavity_flow(per_cavity);
+  return solve_with_leakage_fixed_point(utilization);
+}
+
+std::vector<double> CharacterizationHarness::steady_core_temps(double utilization,
+                                                               std::size_t setting) {
+  (void)steady_tmax(utilization, setting);
+  std::vector<double> temps;
+  temps.reserve(cores_.size());
+  for (const BlockSite& site : cores_) {
+    temps.push_back(model_.block_temperature(site.layer, site.block));
+  }
+  return temps;
+}
+
+VolumetricFlow CharacterizationHarness::min_flow_for_target(double utilization,
+                                                            double target_c,
+                                                            VolumetricFlow lo,
+                                                            VolumetricFlow hi) {
+  LIQUID3D_REQUIRE(lo < hi, "bisection bounds must be ordered");
+  if (steady_tmax_at_flow(utilization, hi) > target_c) return hi;
+  if (steady_tmax_at_flow(utilization, lo) <= target_c) return lo;
+  VolumetricFlow a = lo;
+  VolumetricFlow b = hi;
+  for (int iter = 0; iter < 24; ++iter) {
+    const VolumetricFlow mid = (a + b) / 2.0;
+    if (steady_tmax_at_flow(utilization, mid) <= target_c) {
+      b = mid;
+    } else {
+      a = mid;
+    }
+    if ((b - a).ml_per_min() < 0.05) break;
+  }
+  return b;
+}
+
+}  // namespace liquid3d

@@ -1,0 +1,76 @@
+// characterize.hpp — offline steady-state characterization of a stack.
+//
+// Both halves of the paper's technique rest on a pre-computed analysis of
+// the target system (Sec. IV):
+//   * the flow-rate look-up table needs "which flow setting cools a given
+//     maximum temperature below the 80 °C target" (Fig. 5);
+//   * the TALB weights need the position-dependent thermal efficiency of
+//     each core ("the average power values for the cores to achieve a
+//     balanced temperature").
+// This harness computes steady states of a ThermalModel3D under uniform
+// per-core utilization — the balanced-load operating point TALB itself
+// drives the system toward — including the leakage-temperature fixed point.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "coolant/flow.hpp"
+#include "coolant/pump.hpp"
+#include "geom/sites.hpp"
+#include "geom/stack.hpp"
+#include "power/power_model.hpp"
+#include "thermal/model3d.hpp"
+
+namespace liquid3d {
+
+class CharacterizationHarness {
+ public:
+  /// For liquid stacks; `delivery` maps pump settings to per-cavity flow.
+  CharacterizationHarness(const Stack3D& stack, ThermalModelParams thermal_params,
+                          PowerModelParams power_params, const PumpModel& pump,
+                          FlowDeliveryMode delivery_mode);
+
+  /// For air stacks (no pump; setting arguments must be 0).
+  CharacterizationHarness(const Stack3D& stack, ThermalModelParams thermal_params,
+                          PowerModelParams power_params);
+
+  /// Steady maximum junction temperature under uniform core utilization
+  /// `u` in [0,1] at the given pump setting.
+  [[nodiscard]] double steady_tmax(double utilization, std::size_t setting);
+
+  /// Steady maximum temperature at an explicit per-cavity flow.
+  [[nodiscard]] double steady_tmax_at_flow(double utilization, VolumetricFlow per_cavity);
+
+  /// Steady per-core temperatures (global core order) at the given setting.
+  [[nodiscard]] std::vector<double> steady_core_temps(double utilization,
+                                                      std::size_t setting);
+
+  /// Smallest continuous per-cavity flow keeping T_max <= target (bisection
+  /// over [lo, hi]); returns hi if even hi cannot cool the load.
+  [[nodiscard]] VolumetricFlow min_flow_for_target(double utilization, double target_c,
+                                                   VolumetricFlow lo, VolumetricFlow hi);
+
+  [[nodiscard]] ThermalModel3D& model() { return model_; }
+  [[nodiscard]] const FlowDelivery* delivery() const { return delivery_ ? &*delivery_ : nullptr; }
+  [[nodiscard]] const std::vector<BlockSite>& core_sites() const { return cores_; }
+  [[nodiscard]] std::size_t setting_count() const;
+  [[nodiscard]] const PowerModel& power_model() const { return power_; }
+
+  /// Apply the uniform-utilization power assignment to the model, with
+  /// leakage evaluated at the given block-temperature guess source (current
+  /// model temperatures).
+  void apply_uniform_power(double utilization);
+
+ private:
+  [[nodiscard]] double solve_with_leakage_fixed_point(double utilization);
+
+  ThermalModel3D model_;
+  PowerModel power_;
+  std::optional<FlowDelivery> delivery_;
+  std::vector<BlockSite> cores_;
+};
+
+}  // namespace liquid3d

@@ -1,0 +1,39 @@
+#include "control/flow_controller.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+FlowRateController::FlowRateController(FlowLut lut, FlowControllerParams params)
+    : lut_(std::move(lut)), params_(params) {
+  LIQUID3D_REQUIRE(params_.hysteresis >= 0.0, "hysteresis must be non-negative");
+}
+
+std::size_t FlowRateController::decide(double forecast_tmax, double measured_tmax,
+                                       std::size_t current) const {
+  std::size_t required = lut_.required_setting(current, forecast_tmax);
+  if (params_.guard_on_measured) {
+    required = std::max(required, lut_.required_setting(current, measured_tmax));
+  }
+
+  if (required >= current) {
+    // Scale up (or hold) immediately: under-cooling is the failure mode the
+    // controller must never allow.
+    return required;
+  }
+
+  // Scale down only with hysteresis margin below the current setting's
+  // boundary temperature ("once we switch to a higher flow rate setting, we
+  // do not decrease the flow rate until the predicted T_max is at least 2°C
+  // lower than the boundary temperature between two flow rate settings").
+  const double boundary = lut_.boundary(current, current);
+  if (forecast_tmax <= boundary - params_.hysteresis &&
+      measured_tmax <= boundary - params_.hysteresis) {
+    return required;
+  }
+  return current;
+}
+
+}  // namespace liquid3d

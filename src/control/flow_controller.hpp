@@ -1,0 +1,44 @@
+// flow_controller.hpp — the proactive, hysteretic flow-rate controller.
+//
+// Input: the forecast maximum temperature (ARMA, 500 ms ahead).  Output: the
+// pump setting for the next interval, looked up in the FlowLut.  Upward
+// moves are immediate; downward moves are held until the forecast is at
+// least `hysteresis` (2 °C in the paper) below the boundary temperature of
+// the current setting, which suppresses rapid oscillation between adjacent
+// settings.
+#pragma once
+
+#include <cstddef>
+
+#include "control/flow_lut.hpp"
+
+namespace liquid3d {
+
+struct FlowControllerParams {
+  double hysteresis = 2.0;  ///< °C (paper)
+  /// When true, scale-up decisions are also immediate on the *measured*
+  /// temperature exceeding the target (belt and braces on top of the
+  /// forecast; the paper's guarantee of staying below the target).
+  bool guard_on_measured = true;
+};
+
+class FlowRateController {
+ public:
+  FlowRateController(FlowLut lut, FlowControllerParams params = {});
+
+  /// Decide the setting to command.
+  ///   forecast_tmax — predicted maximum temperature (°C);
+  ///   measured_tmax — latest sensor reading (°C);
+  ///   current       — the pump's current (effective) setting.
+  [[nodiscard]] std::size_t decide(double forecast_tmax, double measured_tmax,
+                                   std::size_t current) const;
+
+  [[nodiscard]] const FlowLut& lut() const { return lut_; }
+  [[nodiscard]] const FlowControllerParams& params() const { return params_; }
+
+ private:
+  FlowLut lut_;
+  FlowControllerParams params_;
+};
+
+}  // namespace liquid3d

@@ -1,0 +1,106 @@
+#include "control/flow_lut.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+FlowLut::FlowLut(std::vector<std::vector<double>> thresholds, double target_temperature)
+    : thresholds_(std::move(thresholds)), target_(target_temperature) {
+  LIQUID3D_REQUIRE(!thresholds_.empty(), "LUT needs at least one setting row");
+  for (const auto& row : thresholds_) {
+    LIQUID3D_REQUIRE(row.size() == thresholds_.size() - 1,
+                     "LUT row arity must be setting_count - 1");
+    for (std::size_t k = 1; k < row.size(); ++k) {
+      LIQUID3D_REQUIRE(row[k] >= row[k - 1], "LUT thresholds must be non-decreasing");
+    }
+  }
+}
+
+std::size_t FlowLut::required_setting(std::size_t current_setting,
+                                      double observed_tmax) const {
+  LIQUID3D_REQUIRE(current_setting < thresholds_.size(), "invalid current setting");
+  const auto& row = thresholds_[current_setting];
+  std::size_t required = 0;
+  for (std::size_t k = 0; k < row.size(); ++k) {
+    if (observed_tmax >= row[k]) required = k + 1;
+  }
+  return required;
+}
+
+double FlowLut::boundary(std::size_t current_setting, std::size_t setting) const {
+  LIQUID3D_REQUIRE(current_setting < thresholds_.size(), "invalid current setting");
+  if (setting == 0) return -std::numeric_limits<double>::infinity();
+  LIQUID3D_REQUIRE(setting < thresholds_.size(), "invalid setting");
+  return thresholds_[current_setting][setting - 1];
+}
+
+FlowLut FlowLut::characterize(const std::function<double(double, std::size_t)>& tmax,
+                              std::size_t setting_count, double target_temperature,
+                              std::size_t utilization_points) {
+  LIQUID3D_REQUIRE(setting_count >= 1, "need at least one pump setting");
+  LIQUID3D_REQUIRE(utilization_points >= 3, "utilization sweep too coarse");
+
+  // Sample T_max(u, s) on the utilization grid.
+  std::vector<std::vector<double>> t(setting_count,
+                                     std::vector<double>(utilization_points));
+  std::vector<double> us(utilization_points);
+  for (std::size_t i = 0; i < utilization_points; ++i) {
+    us[i] = static_cast<double>(i) / static_cast<double>(utilization_points - 1);
+  }
+  // Setting-major order: each solve continues from a nearby operating point,
+  // which keeps the leakage-temperature fixed point well-conditioned.
+  for (std::size_t s = 0; s < setting_count; ++s) {
+    for (std::size_t i = 0; i < utilization_points; ++i) {
+      t[s][i] = tmax(us[i], s);
+    }
+  }
+
+  // Required setting per utilization point: the smallest s whose steady
+  // T_max meets the target (the highest setting if none does).
+  std::vector<std::size_t> required(utilization_points);
+  for (std::size_t i = 0; i < utilization_points; ++i) {
+    std::size_t req = setting_count - 1;
+    for (std::size_t s = 0; s < setting_count; ++s) {
+      if (t[s][i] <= target_temperature) {
+        req = s;
+        break;
+      }
+    }
+    required[i] = req;
+  }
+
+  // Thresholds: for each observation setting s_cur and each candidate k,
+  // the observed T at the first utilization needing >= k.
+  std::vector<std::vector<double>> thresholds(
+      setting_count, std::vector<double>(setting_count - 1,
+                                         std::numeric_limits<double>::infinity()));
+  for (std::size_t s_cur = 0; s_cur < setting_count; ++s_cur) {
+    for (std::size_t k = 1; k < setting_count; ++k) {
+      // Settings below what the zero-load point already requires are never
+      // usable: any temperature observed at s_cur while "below" the
+      // zero-load steady state is a transient on its way up, so the
+      // threshold must be unconditional.
+      if (required.front() >= k) {
+        thresholds[s_cur][k - 1] = -std::numeric_limits<double>::infinity();
+        continue;
+      }
+      for (std::size_t i = 0; i < utilization_points; ++i) {
+        if (required[i] >= k) {
+          thresholds[s_cur][k - 1] = t[s_cur][i];
+          break;
+        }
+      }
+    }
+    // Enforce monotonicity against sweep noise.
+    for (std::size_t k = 1; k < setting_count - 1; ++k) {
+      if (thresholds[s_cur][k] < thresholds[s_cur][k - 1]) {
+        thresholds[s_cur][k] = thresholds[s_cur][k - 1];
+      }
+    }
+  }
+  return FlowLut(std::move(thresholds), target_temperature);
+}
+
+}  // namespace liquid3d

@@ -1,0 +1,56 @@
+#include "control/talb_weights.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+TalbWeightTable::TalbWeightTable(std::vector<Band> bands) : bands_(std::move(bands)) {
+  LIQUID3D_REQUIRE(!bands_.empty(), "weight table needs at least one band");
+  const std::size_t n = bands_.front().weights.size();
+  LIQUID3D_REQUIRE(n > 0, "weight vectors must be non-empty");
+  for (std::size_t i = 0; i < bands_.size(); ++i) {
+    LIQUID3D_REQUIRE(bands_[i].weights.size() == n, "weight arity mismatch");
+    if (i > 0) {
+      LIQUID3D_REQUIRE(bands_[i].tmax_upper > bands_[i - 1].tmax_upper,
+                       "bands must be sorted by upper bound");
+    }
+    for (double w : bands_[i].weights) {
+      LIQUID3D_REQUIRE(w > 0.0, "weights must be positive");
+    }
+  }
+}
+
+TalbWeightTable TalbWeightTable::uniform(std::size_t core_count) {
+  Band band{std::numeric_limits<double>::infinity(),
+            std::vector<double>(core_count, 1.0)};
+  return TalbWeightTable({band});
+}
+
+const std::vector<double>& TalbWeightTable::lookup(double tmax) const {
+  for (const Band& band : bands_) {
+    if (tmax < band.tmax_upper) return band.weights;
+  }
+  return bands_.back().weights;
+}
+
+std::vector<double> TalbWeightTable::weights_from_temps(
+    const std::vector<double>& core_temps, double reference_temperature) {
+  LIQUID3D_REQUIRE(!core_temps.empty(), "need at least one core");
+  std::vector<double> rise(core_temps.size());
+  double mean = 0.0;
+  for (std::size_t i = 0; i < core_temps.size(); ++i) {
+    rise[i] = std::max(core_temps[i] - reference_temperature, 1e-3);
+    mean += rise[i];
+  }
+  mean /= static_cast<double>(core_temps.size());
+  std::vector<double> weights(core_temps.size());
+  for (std::size_t i = 0; i < core_temps.size(); ++i) {
+    weights[i] = rise[i] / mean;
+  }
+  return weights;
+}
+
+}  // namespace liquid3d

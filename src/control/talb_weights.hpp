@@ -1,0 +1,52 @@
+// talb_weights.hpp — thermal weight factors for TALB (Sec. IV, Eq. 8).
+//
+// A core's thermal behaviour depends on where it sits: which layer, how far
+// from the coolant inlet, what its neighbours dissipate.  The paper derives
+// per-core weights from "the average power values for the cores to achieve
+// a balanced temperature": cores that would need *less* power to stay
+// balanced (thermally disadvantaged positions) get weights above 1, making
+// their queues look longer so the balancer diverts work elsewhere.
+//
+// We characterize the equivalent quantity directly: under uniform load, a
+// core's steady temperature rise over the coolant inlet is proportional to
+// its effective thermal resistance R_i; the balancing power is p_i ∝ 1/R_i,
+// so the weight is the normalized R_i.  Because gradients grow with load,
+// the table holds one weight vector per maximum-temperature range, selected
+// at runtime by the current T_max — exactly the paper's
+// "w_thermal(T(k))" formulation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace liquid3d {
+
+class TalbWeightTable {
+ public:
+  struct Band {
+    double tmax_upper;            ///< band applies while T_max < tmax_upper
+    std::vector<double> weights;  ///< per core, mean 1
+  };
+
+  explicit TalbWeightTable(std::vector<Band> bands);
+
+  /// Uniform weights (reduces TALB to plain LB); used for baselines and the
+  /// weight-source ablation.
+  [[nodiscard]] static TalbWeightTable uniform(std::size_t core_count);
+
+  /// Weight vector for the current maximum temperature.
+  [[nodiscard]] const std::vector<double>& lookup(double tmax) const;
+
+  [[nodiscard]] std::size_t core_count() const { return bands_.front().weights.size(); }
+  [[nodiscard]] const std::vector<Band>& bands() const { return bands_; }
+
+  /// Build a weight vector from per-core steady temperatures under uniform
+  /// load: w_i = normalized (T_i - T_ref).
+  [[nodiscard]] static std::vector<double> weights_from_temps(
+      const std::vector<double>& core_temps, double reference_temperature);
+
+ private:
+  std::vector<Band> bands_;
+};
+
+}  // namespace liquid3d

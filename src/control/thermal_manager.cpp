@@ -1,0 +1,40 @@
+#include "control/thermal_manager.hpp"
+
+namespace liquid3d {
+
+ThermalManager::ThermalManager(FlowLut lut, TalbWeightTable weights,
+                               const PumpModel& pump, ThermalManagerConfig cfg)
+    : cfg_(cfg),
+      controller_(std::move(lut), cfg.controller),
+      weights_(std::move(weights)),
+      predictor_(cfg.predictor),
+      // Start at the maximum setting: the safe state until the predictor
+      // has seen enough history.
+      actuator_(pump, pump.max_setting()),
+      max_setting_(pump.max_setting()) {}
+
+std::size_t ThermalManager::update(SimTime now, double measured_tmax) {
+  actuator_.tick(now);
+
+  if (!cfg_.variable_flow) {
+    last_forecast_ = measured_tmax;
+    actuator_.command(max_setting_, now);
+    return max_setting_;
+  }
+
+  predictor_.observe(measured_tmax);
+  last_forecast_ = cfg_.reactive ? measured_tmax : predictor_.forecast();
+
+  // Until the ARMA model is ready, stay at maximum flow (safe default).
+  if (!cfg_.reactive && !predictor_.ready()) {
+    actuator_.command(max_setting_, now);
+    return max_setting_;
+  }
+
+  const std::size_t decision =
+      controller_.decide(last_forecast_, measured_tmax, actuator_.effective_setting());
+  actuator_.command(decision, now);
+  return decision;
+}
+
+}  // namespace liquid3d

@@ -1,0 +1,70 @@
+// thermal_manager.hpp — the complete runtime technique of Fig. 4.
+//
+//   3D system -> monitor temperature -> forecast maximum temperature ->
+//   (controller: flow-rate adjustment)  +  (scheduler: weighted load
+//   balancing via the thermal weight table).
+//
+// This class owns the forecasting pipeline, the LUT controller, and the
+// pump actuator; the Simulator calls update() once per sampling interval
+// with the measured maximum temperature and reads back the thermal weights
+// to hand to the TALB scheduler.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+#include "control/flow_controller.hpp"
+#include "control/talb_weights.hpp"
+#include "coolant/pump.hpp"
+#include "forecast/adaptive_predictor.hpp"
+
+namespace liquid3d {
+
+struct ThermalManagerConfig {
+  /// Use the LUT controller (false = pin the pump at the maximum setting,
+  /// the paper's "(Max)" configurations).
+  bool variable_flow = true;
+  /// Ablation: react to the measured temperature instead of the forecast
+  /// (what the paper argues against, given the ~275 ms pump latency).
+  bool reactive = false;
+  FlowControllerParams controller{};
+  AdaptivePredictorConfig predictor{};
+  /// The LUT is characterized against (target - margin): a steady-state
+  /// guard band absorbing forecast error and the pump transition latency,
+  /// so the *measured* temperature honours the target.
+  double lut_margin_c = 2.0;
+};
+
+class ThermalManager {
+ public:
+  ThermalManager(FlowLut lut, TalbWeightTable weights, const PumpModel& pump,
+                 ThermalManagerConfig cfg);
+
+  /// One sampling interval: completes pending pump transitions, feeds the
+  /// predictor, and commands the controller's decision.  Returns the pump
+  /// setting commanded for the next interval.
+  std::size_t update(SimTime now, double measured_tmax);
+
+  /// TALB weight vector for the current maximum temperature.
+  [[nodiscard]] const std::vector<double>& thermal_weights(double tmax) const {
+    return weights_.lookup(tmax);
+  }
+
+  [[nodiscard]] const PumpActuator& actuator() const { return actuator_; }
+  [[nodiscard]] PumpActuator& actuator() { return actuator_; }
+  [[nodiscard]] double last_forecast() const { return last_forecast_; }
+  [[nodiscard]] const AdaptivePredictor& predictor() const { return predictor_; }
+  [[nodiscard]] const FlowRateController& controller() const { return controller_; }
+  [[nodiscard]] const ThermalManagerConfig& config() const { return cfg_; }
+
+ private:
+  ThermalManagerConfig cfg_;
+  FlowRateController controller_;
+  TalbWeightTable weights_;
+  AdaptivePredictor predictor_;
+  PumpActuator actuator_;
+  std::size_t max_setting_;
+  double last_forecast_ = 0.0;
+};
+
+}  // namespace liquid3d

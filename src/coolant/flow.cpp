@@ -1,0 +1,58 @@
+#include "coolant/flow.hpp"
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+const char* to_string(FlowDeliveryMode m) {
+  switch (m) {
+    case FlowDeliveryMode::kPaperNominal: return "paper-nominal";
+    case FlowDeliveryMode::kPressureLimited: return "pressure-limited";
+  }
+  return "?";
+}
+
+double FlowDelivery::head_pa(std::size_t setting, std::size_t setting_count) {
+  LIQUID3D_REQUIRE(setting < setting_count, "invalid pump setting");
+  if (setting_count == 1) return kMaxHeadPa;
+  const double frac =
+      static_cast<double>(setting) / static_cast<double>(setting_count - 1);
+  return kMinHeadPa + frac * (kMaxHeadPa - kMinHeadPa);
+}
+
+FlowDelivery::FlowDelivery(const PumpModel& pump, FlowDeliveryMode mode,
+                           const MicrochannelModel& channels, double channel_length,
+                           std::size_t cavity_count)
+    : mode_(mode),
+      cavity_count_(cavity_count),
+      channel_count_(channels.cavity().channel_count) {
+  LIQUID3D_REQUIRE(cavity_count > 0, "flow delivery requires cavities");
+  LIQUID3D_REQUIRE(channel_length > 0.0, "channel length must be positive");
+
+  per_cavity_.reserve(pump.setting_count());
+  for (std::size_t s = 0; s < pump.setting_count(); ++s) {
+    if (mode == FlowDeliveryMode::kPaperNominal) {
+      per_cavity_.push_back(pump.per_cavity_flow(s, cavity_count));
+      continue;
+    }
+    // Pressure-limited: fully developed laminar rectangular-duct flow,
+    //   u = 2 D_h^2 dP / (f Re mu L),   V̇_channel = u A_cs.
+    const double dp = head_pa(s, pump.setting_count());
+    // Invert MicrochannelModel::pressure_drop, which is linear in velocity.
+    const double dp_per_velocity =
+        channels.pressure_drop(VolumetricFlow::from_m3_per_s(
+                                   channels.cavity().channel_cross_section() *
+                                   static_cast<double>(channel_count_)),
+                               channel_length);  // dP at u = 1 m/s
+    const double u = dp / dp_per_velocity;
+    const double v_channel = u * channels.cavity().channel_cross_section();
+    per_cavity_.push_back(
+        VolumetricFlow::from_m3_per_s(v_channel * static_cast<double>(channel_count_)));
+  }
+}
+
+VolumetricFlow FlowDelivery::per_channel(std::size_t setting) const {
+  return per_cavity(setting) / static_cast<double>(channel_count_);
+}
+
+}  // namespace liquid3d

@@ -1,0 +1,76 @@
+#include "coolant/microchannel.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+MicrochannelModel::MicrochannelModel(CavitySpec cavity, CoolantProperties coolant,
+                                     MicrochannelModelParams params)
+    : cavity_(cavity), coolant_(coolant), params_(params) {
+  LIQUID3D_REQUIRE(cavity_.channel_count > 0, "cavity must have channels");
+  LIQUID3D_REQUIRE(params_.heat_transfer_coeff > 0.0, "h must be positive");
+}
+
+double MicrochannelModel::h_eff() const {
+  return params_.heat_transfer_coeff * 2.0 *
+         (cavity_.channel_width + cavity_.channel_height) / cavity_.pitch;
+}
+
+double MicrochannelModel::delta_t_conv(double heat_flux_sum) const {
+  return heat_flux_sum / h_eff();
+}
+
+double MicrochannelModel::delta_t_cond(double heat_flux) const {
+  return params_.r_beol_area() * heat_flux;
+}
+
+double MicrochannelModel::r_th_heat(double heater_area, VolumetricFlow cavity_flow) const {
+  LIQUID3D_REQUIRE(cavity_flow.m3_per_s() > 0.0, "R_th-heat requires nonzero flow");
+  return heater_area /
+         (coolant_.heat_capacity * coolant_.density * cavity_flow.m3_per_s());
+}
+
+double MicrochannelModel::hydraulic_diameter() const {
+  const double a = cavity_.channel_width;
+  const double b = cavity_.channel_height;
+  return 2.0 * a * b / (a + b);
+}
+
+double MicrochannelModel::channel_velocity(VolumetricFlow cavity_flow) const {
+  return per_channel_flow(cavity_flow).m3_per_s() / cavity_.channel_cross_section();
+}
+
+double MicrochannelModel::reynolds(VolumetricFlow cavity_flow) const {
+  return coolant_.density * channel_velocity(cavity_flow) * hydraulic_diameter() /
+         coolant_.dynamic_viscosity;
+}
+
+double MicrochannelModel::pressure_drop(VolumetricFlow cavity_flow,
+                                        double channel_length) const {
+  // Fully developed laminar flow in a rectangular duct:
+  //   dP = (f Re) * mu * L * u / (2 D_h^2),
+  // with f*Re from the Shah-London polynomial in the aspect ratio.
+  const double a = std::min(cavity_.channel_width, cavity_.channel_height) /
+                   std::max(cavity_.channel_width, cavity_.channel_height);
+  const double f_re =
+      96.0 * (1.0 - 1.3553 * a + 1.9467 * a * a - 1.7012 * a * a * a +
+              0.9564 * a * a * a * a - 0.2537 * a * a * a * a * a);
+  const double dh = hydraulic_diameter();
+  const double u = channel_velocity(cavity_flow);
+  return f_re * coolant_.dynamic_viscosity * channel_length * u / (2.0 * dh * dh);
+}
+
+double MicrochannelModel::transit_time(VolumetricFlow cavity_flow,
+                                       double channel_length) const {
+  const double u = channel_velocity(cavity_flow);
+  LIQUID3D_REQUIRE(u > 0.0, "transit time requires nonzero flow");
+  return channel_length / u;
+}
+
+VolumetricFlow MicrochannelModel::per_channel_flow(VolumetricFlow cavity_flow) const {
+  return cavity_flow / static_cast<double>(cavity_.channel_count);
+}
+
+}  // namespace liquid3d

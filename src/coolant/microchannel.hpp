@@ -1,0 +1,87 @@
+// microchannel.hpp — per-channel hydraulics and the paper's convective model.
+//
+// Implements the three components of the junction temperature rise of Sec.
+// III-A (Eq. 1-7):
+//   ΔT_cond : conduction through the BEOL wiring stack (flow-independent),
+//   ΔT_heat : sensible heating of the coolant along the channel,
+//   ΔT_conv : convective film drop (flow-independent once boundary layers
+//             are developed; the paper uses the constant h of Table I).
+// Also provides engineering quantities (hydraulic diameter, Reynolds number,
+// laminar pressure drop) used for sanity checks against the datasheet's
+// 300-600 mbar operating range.
+#pragma once
+
+#include "common/units.hpp"
+#include "coolant/properties.hpp"
+#include "geom/stack.hpp"
+
+namespace liquid3d {
+
+/// Constants of Table I that are not geometry.
+struct MicrochannelModelParams {
+  double beol_thickness = 12e-6;       ///< t_B [m]
+  double beol_conductivity = 2.25;     ///< k_BEOL [W/(m K)]
+  double heat_transfer_coeff = 37132;  ///< h [W/(m^2 K)], FE-verified (Table I)
+
+  /// R_th-BEOL per unit area = t_B / k_BEOL  (Eq. 3).
+  /// Table I quotes 5.333 (K mm^2)/W; this returns SI (K m^2)/W.
+  [[nodiscard]] double r_beol_area() const { return beol_thickness / beol_conductivity; }
+};
+
+/// Hydraulic and convective model for one cavity's channels.
+class MicrochannelModel {
+ public:
+  MicrochannelModel(CavitySpec cavity, CoolantProperties coolant,
+                    MicrochannelModelParams params = {});
+
+  [[nodiscard]] const CavitySpec& cavity() const { return cavity_; }
+  [[nodiscard]] const CoolantProperties& coolant() const { return coolant_; }
+  [[nodiscard]] const MicrochannelModelParams& params() const { return params_; }
+
+  // -- Convective model (Eq. 6-7) --------------------------------------------
+
+  /// Effective heat transfer coefficient over the channel-pitch footprint:
+  /// h_eff = h * 2 (w_c + t_c) / p  (Eq. 7); the fin-area enhancement folded
+  /// into a flat-plate coefficient.  [W/(m^2 K)]
+  [[nodiscard]] double h_eff() const;
+
+  /// ΔT_conv for a given heat flux sum (q1 + q2) [W/m^2]  (Eq. 6).
+  [[nodiscard]] double delta_t_conv(double heat_flux_sum) const;
+
+  /// ΔT_cond for heat flux q1 [W/m^2] through the BEOL  (Eq. 2).
+  [[nodiscard]] double delta_t_cond(double heat_flux) const;
+
+  /// Effective sensible-heat resistance R_th-heat = A_heater / (c_p rho V̇)
+  /// (Eq. 5) for heater area [m^2] and per-cavity flow.  [K/W per W/m^2 — the
+  /// paper's form; multiply by heat flux sum to get ΔT_heat (Eq. 4)].
+  [[nodiscard]] double r_th_heat(double heater_area, VolumetricFlow cavity_flow) const;
+
+  // -- Hydraulics -------------------------------------------------------------
+
+  /// Hydraulic diameter D_h = 4 A / P of one rectangular channel [m].
+  [[nodiscard]] double hydraulic_diameter() const;
+
+  /// Mean velocity in one channel for a per-cavity flow [m/s].
+  [[nodiscard]] double channel_velocity(VolumetricFlow cavity_flow) const;
+
+  /// Reynolds number for a per-cavity flow (laminar regime expected).
+  [[nodiscard]] double reynolds(VolumetricFlow cavity_flow) const;
+
+  /// Laminar pressure drop across a channel of given length [Pa], using the
+  /// f*Re correlation for rectangular ducts (aspect-ratio dependent).
+  [[nodiscard]] double pressure_drop(VolumetricFlow cavity_flow, double channel_length) const;
+
+  /// Coolant transit time through a channel of given length [s]; used to
+  /// justify the quasi-static fluid treatment (transit << thermal sampling).
+  [[nodiscard]] double transit_time(VolumetricFlow cavity_flow, double channel_length) const;
+
+  /// Flow through a single channel, assuming uniform division (Sec. III-B).
+  [[nodiscard]] VolumetricFlow per_channel_flow(VolumetricFlow cavity_flow) const;
+
+ private:
+  CavitySpec cavity_;
+  CoolantProperties coolant_;
+  MicrochannelModelParams params_;
+};
+
+}  // namespace liquid3d

@@ -1,0 +1,24 @@
+// properties.hpp — thermophysical properties of the coolant.
+//
+// The paper assumes forced convective interlayer cooling with water
+// (Table I: c_p = 4183 J/(kg K), rho = 998 kg/m^3).  Other coolants can be
+// described by instantiating CoolantProperties with their constants.
+#pragma once
+
+namespace liquid3d {
+
+struct CoolantProperties {
+  double heat_capacity = 4183.0;    ///< c_p [J/(kg K)]
+  double density = 998.0;           ///< rho [kg/m^3]
+  double conductivity = 0.6;        ///< k [W/(m K)], water at ~300 K
+  double dynamic_viscosity = 1e-3;  ///< mu [Pa s], water at ~300 K
+
+  /// Volumetric heat capacity rho * c_p [J/(m^3 K)].
+  [[nodiscard]] double volumetric_heat_capacity() const {
+    return heat_capacity * density;
+  }
+
+  [[nodiscard]] static CoolantProperties water() { return CoolantProperties{}; }
+};
+
+}  // namespace liquid3d

@@ -1,0 +1,79 @@
+#include "coolant/pump.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+PumpModel::PumpModel(std::vector<PumpSetting> settings, double delivery_efficiency,
+                     SimTime transition_latency)
+    : settings_(std::move(settings)),
+      delivery_efficiency_(delivery_efficiency),
+      transition_latency_(transition_latency) {
+  LIQUID3D_REQUIRE(!settings_.empty(), "pump needs at least one setting");
+  LIQUID3D_REQUIRE(delivery_efficiency_ > 0.0 && delivery_efficiency_ <= 1.0,
+                   "delivery efficiency must be in (0, 1]");
+  for (std::size_t i = 1; i < settings_.size(); ++i) {
+    LIQUID3D_REQUIRE(settings_[i].nominal_flow_l_per_hour >
+                         settings_[i - 1].nominal_flow_l_per_hour,
+                     "pump settings must be sorted by increasing flow");
+    LIQUID3D_REQUIRE(settings_[i].power_w >= settings_[i - 1].power_w,
+                     "pump power must be non-decreasing in flow");
+  }
+}
+
+PumpModel PumpModel::laing_ddc() {
+  // Quadratic power curve P = P0 + a * FR^2 fitted through the endpoints of
+  // Fig. 3's right axis: P(75 l/h) = 3 W, P(375 l/h) = 21 W.
+  //   a  = (21 - 3) / (375^2 - 75^2) = 1.3333e-4 W/(l/h)^2
+  //   P0 = 3 - a * 75^2            = 2.25 W
+  constexpr double kA = 18.0 / (375.0 * 375.0 - 75.0 * 75.0);
+  constexpr double kP0 = 3.0 - kA * 75.0 * 75.0;
+  std::vector<PumpSetting> settings;
+  for (double fr = 75.0; fr <= 375.0; fr += 75.0) {
+    settings.push_back({fr, kP0 + kA * fr * fr});
+  }
+  return PumpModel(std::move(settings), 0.5, SimTime::from_ms(275));
+}
+
+VolumetricFlow PumpModel::delivered_flow(std::size_t setting_index) const {
+  return VolumetricFlow::from_l_per_hour(setting(setting_index).nominal_flow_l_per_hour) *
+         delivery_efficiency_;
+}
+
+VolumetricFlow PumpModel::per_cavity_flow(std::size_t setting_index,
+                                          std::size_t cavity_count) const {
+  LIQUID3D_REQUIRE(cavity_count > 0, "per-cavity flow requires cavities");
+  return delivered_flow(setting_index) / static_cast<double>(cavity_count);
+}
+
+PumpActuator::PumpActuator(const PumpModel& model, std::size_t initial_setting)
+    : model_(&model), effective_(initial_setting), target_(initial_setting) {
+  LIQUID3D_REQUIRE(initial_setting < model.setting_count(), "invalid pump setting");
+}
+
+void PumpActuator::command(std::size_t setting_index, SimTime now) {
+  LIQUID3D_REQUIRE(setting_index < model_->setting_count(), "invalid pump setting");
+  if (setting_index == target_) return;
+  target_ = setting_index;
+  transition_due_ = now + model_->transition_latency();
+  ++transitions_;
+}
+
+void PumpActuator::tick(SimTime now) {
+  if (effective_ != target_ && now >= transition_due_) {
+    effective_ = target_;
+  }
+}
+
+double PumpActuator::power() const {
+  // During a transition charge the larger of the two powers (conservative).
+  return std::max(model_->power(effective_), model_->power(target_));
+}
+
+VolumetricFlow PumpActuator::per_cavity_flow(std::size_t cavity_count) const {
+  return model_->per_cavity_flow(effective_, cavity_count);
+}
+
+}  // namespace liquid3d

@@ -1,0 +1,74 @@
+#include "forecast/adaptive_predictor.hpp"
+
+namespace liquid3d {
+
+AdaptivePredictor::AdaptivePredictor(AdaptivePredictorConfig cfg)
+    : cfg_(cfg), predictor_(cfg.arma, cfg.window_capacity), sprt_(cfg.sprt) {}
+
+void AdaptivePredictor::observe(double value) {
+  if (!have_smoothed_) {
+    smoothed_ = value;
+    have_smoothed_ = true;
+  } else {
+    const double a = cfg_.input_smoothing;
+    smoothed_ = a * value + (1.0 - a) * smoothed_;
+  }
+  predictor_.observe(smoothed_);
+
+  // A finite-window ARMA fit underestimates the innovation scale (in-sample
+  // residuals of an overfit model); inflating the SPRT's noise estimate
+  // keeps spurious reconstructions rare while leaving trend-break detection
+  // (many sigmas) essentially instant.
+  constexpr double kNoiseSafetyFactor = 1.5;
+
+  if (!predictor_.ready()) {
+    // Initial fit once a comfortable window is available (fitting at the
+    // bare minimum overfits; see initial_fit_window_factor).
+    const auto want = static_cast<std::size_t>(
+        cfg_.initial_fit_window_factor *
+        static_cast<double>(predictor_.min_fit_window()));
+    if (predictor_.observation_count() >= want && predictor_.fit()) {
+      sprt_.set_noise_std(kNoiseSafetyFactor * predictor_.residual_std());
+      sprt_warmup_left_ = cfg_.sprt_warmup_samples;
+    }
+    return;
+  }
+
+  if (rebuild_pending_) {
+    if (rebuild_countdown_ > 0) {
+      --rebuild_countdown_;
+    }
+    if (rebuild_countdown_ == 0) {
+      // The replacement model is ready: fit it on the samples collected
+      // *since the alarm* so the detected trend break cannot contaminate
+      // the new model, then swap it in.
+      predictor_.fit(rebuild_window_);
+      sprt_.set_noise_std(kNoiseSafetyFactor * predictor_.residual_std());
+      sprt_.reset();
+      sprt_warmup_left_ = cfg_.sprt_warmup_samples;
+      rebuild_pending_ = false;
+      ++rebuilds_;
+    }
+    return;  // keep serving the old model while rebuilding
+  }
+
+  if (sprt_warmup_left_ > 0) {
+    --sprt_warmup_left_;
+    return;
+  }
+  if (sprt_.observe(predictor_.last_innovation())) {
+    rebuild_pending_ = true;
+    // Wait at least until a full minimum fitting window of post-break data
+    // exists; fitting earlier would mix the two regimes.
+    rebuild_window_ = std::max(cfg_.rebuild_delay_samples, predictor_.min_fit_window());
+    rebuild_countdown_ = rebuild_window_;
+  }
+}
+
+double AdaptivePredictor::forecast() const { return forecast(cfg_.horizon); }
+
+double AdaptivePredictor::forecast(std::size_t horizon) const {
+  return predictor_.forecast(horizon);
+}
+
+}  // namespace liquid3d

@@ -1,0 +1,74 @@
+// adaptive_predictor.hpp — the paper's monitoring + forecasting pipeline.
+//
+// Combines the ARMA predictor with the SPRT health monitor (Sec. IV,
+// "Temperature Monitoring and Forecasting"): the maximum system temperature
+// is observed every sampling interval; the SPRT watches the one-step
+// prediction residuals; when it alarms (the workload trend changed, e.g. the
+// day/night pattern of a server), the ARMA model is reconstructed from the
+// recent window.  Reconstruction takes a configurable number of samples,
+// during which the existing model keeps serving forecasts — exactly the
+// behaviour the paper describes.
+#pragma once
+
+#include <cstddef>
+
+#include "forecast/arma.hpp"
+#include "forecast/sprt.hpp"
+
+namespace liquid3d {
+
+struct AdaptivePredictorConfig {
+  ArmaConfig arma{};
+  SprtParams sprt{};
+  std::size_t window_capacity = 128;
+  /// Samples between an SPRT alarm and the refit becoming active — models
+  /// the cost of reconstructing the predictor online.
+  std::size_t rebuild_delay_samples = 5;
+  /// Multiple of the minimum ARMA window to collect before the *initial*
+  /// fit: fitting at the bare minimum overfits and hands the SPRT a badly
+  /// underestimated noise scale.
+  double initial_fit_window_factor = 2.0;
+  /// Samples after any (re)fit during which SPRT updates are skipped while
+  /// the innovation sequence settles onto the new model.
+  std::size_t sprt_warmup_samples = 5;
+  /// Forecast horizon in samples (paper: 5 x 100 ms = 500 ms).
+  std::size_t horizon = 5;
+  /// EWMA coefficient applied to the raw sensor signal before modeling
+  /// (1 = no filtering).  Thermal sensors are noisy and the max-over-cores
+  /// signal jumps when the hottest core changes; light filtering keeps the
+  /// ARMA fit on the thermal trend instead of the sampling noise.
+  double input_smoothing = 0.45;
+};
+
+class AdaptivePredictor {
+ public:
+  explicit AdaptivePredictor(AdaptivePredictorConfig cfg = {});
+
+  /// Push one observation of the monitored signal (max temperature).
+  void observe(double value);
+
+  /// Forecast `horizon` samples ahead; falls back to the latest observation
+  /// until the first fit completes.
+  [[nodiscard]] double forecast() const;
+  [[nodiscard]] double forecast(std::size_t horizon) const;
+
+  [[nodiscard]] bool ready() const { return predictor_.ready(); }
+  [[nodiscard]] std::size_t rebuild_count() const { return rebuilds_; }
+  [[nodiscard]] std::size_t sprt_alarm_count() const { return sprt_.alarm_count(); }
+  [[nodiscard]] double last_innovation() const { return predictor_.last_innovation(); }
+  [[nodiscard]] const AdaptivePredictorConfig& config() const { return cfg_; }
+
+ private:
+  AdaptivePredictorConfig cfg_;
+  ArmaPredictor predictor_;
+  SprtDetector sprt_;
+  double smoothed_ = 0.0;
+  bool have_smoothed_ = false;
+  bool rebuild_pending_ = false;
+  std::size_t rebuild_countdown_ = 0;
+  std::size_t rebuild_window_ = 0;
+  std::size_t rebuilds_ = 0;
+  std::size_t sprt_warmup_left_ = 0;
+};
+
+}  // namespace liquid3d

@@ -1,0 +1,214 @@
+#include "forecast/arma.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/linalg.hpp"
+
+namespace liquid3d {
+
+namespace {
+
+/// Robust innovation scale: 1.4826 * median(|residuals|).  A fitting window
+/// that straddles a level shift produces a block of large residuals; the
+/// RMS estimate would absorb them and blind the downstream SPRT, while the
+/// median-based scale stays anchored to the quiet majority.
+double robust_residual_std(std::vector<double> abs_residuals) {
+  if (abs_residuals.empty()) return 0.0;
+  const std::size_t mid = abs_residuals.size() / 2;
+  std::nth_element(abs_residuals.begin(),
+                   abs_residuals.begin() + static_cast<std::ptrdiff_t>(mid),
+                   abs_residuals.end());
+  return 1.4826 * abs_residuals[mid];
+}
+
+/// Least-squares AR(L) fit on demeaned data; returns coefficients and fills
+/// residuals (aligned with series indices >= L).
+std::vector<double> fit_long_ar(const std::vector<double>& x, std::size_t order,
+                                std::vector<double>& residuals) {
+  const std::size_t n = x.size();
+  const std::size_t rows = n - order;
+  Matrix a(rows, order);
+  std::vector<double> b(rows);
+  for (std::size_t t = 0; t < rows; ++t) {
+    b[t] = x[t + order];
+    for (std::size_t i = 0; i < order; ++i) {
+      a(t, i) = x[t + order - 1 - i];
+    }
+  }
+  std::vector<double> coeff = solve_least_squares(a, b);
+  residuals.assign(n, 0.0);
+  for (std::size_t t = order; t < n; ++t) {
+    double pred = 0.0;
+    for (std::size_t i = 0; i < order; ++i) pred += coeff[i] * x[t - 1 - i];
+    residuals[t] = x[t] - pred;
+  }
+  return coeff;
+}
+
+}  // namespace
+
+ArmaModel ArmaModel::fit(const std::vector<double>& series, ArmaConfig cfg) {
+  const std::size_t p = cfg.ar_order;
+  const std::size_t q = cfg.ma_order;
+  LIQUID3D_REQUIRE(p > 0, "ARMA requires at least one AR lag");
+  const std::size_t min_n = 4 * (p + q) + 8;
+  LIQUID3D_REQUIRE(series.size() >= min_n, "series too short for ARMA fit");
+
+  ArmaModel m;
+  double mu = 0.0;
+  for (double v : series) mu += v;
+  mu /= static_cast<double>(series.size());
+  m.mu_ = mu;
+
+  std::vector<double> x(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) x[i] = series[i] - mu;
+
+  // Constant series (e.g. thermally saturated): the best model is "predict
+  // the mean", which zero coefficients deliver.
+  double max_dev = 0.0;
+  for (double v : x) max_dev = std::max(max_dev, std::abs(v));
+  if (max_dev < 1e-9) {
+    m.phi_.assign(p, 0.0);
+    m.theta_.assign(q, 0.0);
+    m.residual_std_ = 0.0;
+    return m;
+  }
+
+  // Stage 1: long AR to estimate the innovation sequence.
+  std::size_t long_order = cfg.long_ar_order;
+  if (long_order == 0) {
+    long_order = std::min<std::size_t>(std::max<std::size_t>(2 * (p + q), 8),
+                                       series.size() / 4);
+  }
+  std::vector<double> innovations;
+  fit_long_ar(x, long_order, innovations);
+
+  if (q == 0) {
+    // Pure AR: one least-squares stage suffices.
+    std::vector<double> resid;
+    std::vector<double> coeff = fit_long_ar(x, p, resid);
+    m.phi_ = std::move(coeff);
+    m.theta_.clear();
+    std::vector<double> abs_resid;
+    abs_resid.reserve(x.size() - p);
+    for (std::size_t t = p; t < x.size(); ++t) abs_resid.push_back(std::abs(resid[t]));
+    m.residual_std_ = robust_residual_std(std::move(abs_resid));
+    return m;
+  }
+
+  // Stage 2: regress x_t on p own lags and q innovation lags.
+  const std::size_t start = std::max(p, std::max(q, long_order));
+  const std::size_t rows = x.size() - start;
+  Matrix a(rows, p + q);
+  std::vector<double> b(rows);
+  for (std::size_t t = 0; t < rows; ++t) {
+    const std::size_t idx = t + start;
+    b[t] = x[idx];
+    for (std::size_t i = 0; i < p; ++i) a(t, i) = x[idx - 1 - i];
+    for (std::size_t j = 0; j < q; ++j) a(t, p + j) = innovations[idx - 1 - j];
+  }
+  std::vector<double> coeff = solve_least_squares(a, b);
+  m.phi_.assign(coeff.begin(), coeff.begin() + static_cast<std::ptrdiff_t>(p));
+  m.theta_.assign(coeff.begin() + static_cast<std::ptrdiff_t>(p), coeff.end());
+
+  std::vector<double> abs_resid;
+  abs_resid.reserve(rows);
+  for (std::size_t t = 0; t < rows; ++t) {
+    double pred = 0.0;
+    const std::size_t idx = t + start;
+    for (std::size_t i = 0; i < p; ++i) pred += m.phi_[i] * x[idx - 1 - i];
+    for (std::size_t j = 0; j < q; ++j) pred += m.theta_[j] * innovations[idx - 1 - j];
+    abs_resid.push_back(std::abs(x[idx] - pred));
+  }
+  m.residual_std_ = robust_residual_std(std::move(abs_resid));
+  return m;
+}
+
+double ArmaModel::predict_one(const std::vector<double>& recent_values,
+                              const std::vector<double>& recent_innovations) const {
+  double pred = 0.0;
+  for (std::size_t i = 0; i < phi_.size(); ++i) {
+    const double v = i < recent_values.size()
+                         ? recent_values[recent_values.size() - 1 - i] - mu_
+                         : 0.0;
+    pred += phi_[i] * v;
+  }
+  for (std::size_t j = 0; j < theta_.size(); ++j) {
+    const double e = j < recent_innovations.size()
+                         ? recent_innovations[recent_innovations.size() - 1 - j]
+                         : 0.0;
+    pred += theta_[j] * e;
+  }
+  return mu_ + pred;
+}
+
+double ArmaModel::forecast(const std::vector<double>& recent_values,
+                           const std::vector<double>& recent_innovations,
+                           std::size_t horizon) const {
+  LIQUID3D_REQUIRE(horizon >= 1, "forecast horizon must be >= 1");
+  std::vector<double> values = recent_values;
+  std::vector<double> innov = recent_innovations;
+  double pred = 0.0;
+  for (std::size_t h = 0; h < horizon; ++h) {
+    pred = predict_one(values, innov);
+    values.push_back(pred);
+    innov.push_back(0.0);  // future innovations have zero expectation
+  }
+  return pred;
+}
+
+ArmaPredictor::ArmaPredictor(ArmaConfig cfg, std::size_t window_capacity)
+    : cfg_(cfg),
+      window_(window_capacity),
+      innovations_(std::max<std::size_t>(cfg.ma_order + 1, 4)) {
+  LIQUID3D_REQUIRE(window_capacity >= min_fit_window(),
+                   "predictor window smaller than the minimum fit size");
+}
+
+std::size_t ArmaPredictor::min_fit_window() const {
+  return 4 * (cfg_.ar_order + cfg_.ma_order) + 8;
+}
+
+void ArmaPredictor::observe(double value) {
+  if (have_prediction_) {
+    last_innovation_ = value - last_prediction_;
+  } else {
+    last_innovation_ = 0.0;
+  }
+  innovations_.push(last_innovation_);
+  window_.push(value);
+  ++observations_;
+  if (fitted_) {
+    last_prediction_ = model_.predict_one(window_.to_vector(), innovations_.to_vector());
+    have_prediction_ = true;
+  }
+}
+
+bool ArmaPredictor::fit(std::size_t recent_n) {
+  std::vector<double> series = window_.to_vector();
+  if (recent_n > 0 && recent_n < series.size()) {
+    series.erase(series.begin(),
+                 series.end() - static_cast<std::ptrdiff_t>(recent_n));
+  }
+  if (series.size() < min_fit_window()) return false;
+  model_ = ArmaModel::fit(series, cfg_);
+  fitted_ = true;
+  last_prediction_ = model_.predict_one(window_.to_vector(), innovations_.to_vector());
+  have_prediction_ = true;
+  return true;
+}
+
+double ArmaPredictor::forecast(std::size_t horizon) const {
+  if (!fitted_ || window_.empty()) {
+    return window_.empty() ? 0.0 : window_.back();
+  }
+  return model_.forecast(window_.to_vector(), innovations_.to_vector(), horizon);
+}
+
+double ArmaPredictor::residual_std() const {
+  return fitted_ ? model_.residual_std() : 0.0;
+}
+
+}  // namespace liquid3d

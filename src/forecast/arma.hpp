@@ -1,0 +1,111 @@
+// arma.hpp — autoregressive moving average modeling and forecasting.
+//
+// The controller (Sec. IV) forecasts the maximum system temperature 500 ms
+// ahead on a 100 ms sampling grid using an ARMA model fitted online to the
+// recent T_max history — no offline analysis is required.  We implement
+// ARMA(p, q) estimation with the Hannan–Rissanen two-stage procedure:
+//   1. fit a long autoregression by least squares and extract residuals,
+//   2. regress the series on its own lags and the lagged residuals.
+// Forecasts run the difference equation forward with future innovations set
+// to zero.  Fitting happens on the deviation from the window mean, which
+// handles the slowly drifting operating point.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+
+namespace liquid3d {
+
+struct ArmaConfig {
+  std::size_t ar_order = 5;  ///< p
+  std::size_t ma_order = 2;  ///< q
+  /// Long-AR order for the Hannan–Rissanen first stage (0 = auto).
+  std::size_t long_ar_order = 0;
+};
+
+/// A fitted ARMA(p, q) model:  (y_t - mu) = sum phi_i (y_{t-i} - mu)
+///                                        + sum theta_j e_{t-j} + e_t.
+class ArmaModel {
+ public:
+  /// Fit to a series (oldest first).  Requires
+  /// series.size() >= 4 * (p + q) + 8; throws ConfigError otherwise.
+  [[nodiscard]] static ArmaModel fit(const std::vector<double>& series, ArmaConfig cfg);
+
+  [[nodiscard]] const std::vector<double>& ar() const { return phi_; }
+  [[nodiscard]] const std::vector<double>& ma() const { return theta_; }
+  [[nodiscard]] double mean() const { return mu_; }
+  /// Standard deviation of the in-sample innovations.
+  [[nodiscard]] double residual_std() const { return residual_std_; }
+
+  /// One-step-ahead prediction given the most recent p observations
+  /// (history.back() is the newest) and the most recent q innovations.
+  [[nodiscard]] double predict_one(const std::vector<double>& recent_values,
+                                   const std::vector<double>& recent_innovations) const;
+
+  /// h-step-ahead forecast (h >= 1), future innovations zero.
+  [[nodiscard]] double forecast(const std::vector<double>& recent_values,
+                                const std::vector<double>& recent_innovations,
+                                std::size_t horizon) const;
+
+  [[nodiscard]] std::size_t ar_order() const { return phi_.size(); }
+  [[nodiscard]] std::size_t ma_order() const { return theta_.size(); }
+
+  /// Default-constructed model predicts the running value (all-zero
+  /// coefficients); replaced by fit() before use in the predictor.
+  ArmaModel() = default;
+
+ private:
+  std::vector<double> phi_;
+  std::vector<double> theta_;
+  double mu_ = 0.0;
+  double residual_std_ = 0.0;
+};
+
+/// Stateful online predictor: maintains the observation window and the
+/// innovation history, and refits on demand.
+class ArmaPredictor {
+ public:
+  ArmaPredictor(ArmaConfig cfg, std::size_t window_capacity = 128);
+
+  /// Push a new observation; updates the innovation history using the
+  /// previous one-step prediction when a model is fitted.
+  void observe(double value);
+
+  /// Fit (or refit) the model from the current window.  Returns false when
+  /// the window is still too short.  When recent_n > 0, only the newest
+  /// recent_n observations are used — the rebuild path fits on post-break
+  /// data only, so a detected trend change cannot contaminate the new model.
+  bool fit(std::size_t recent_n = 0);
+
+  [[nodiscard]] bool ready() const { return fitted_; }
+
+  /// Forecast `horizon` steps ahead (e.g. 5 for 500 ms at 100 ms sampling).
+  /// Falls back to the latest observation if no model is fitted yet.
+  [[nodiscard]] double forecast(std::size_t horizon) const;
+
+  /// One-step-ahead prediction error of the latest observation
+  /// (observation minus prediction); 0 until the model is ready.
+  [[nodiscard]] double last_innovation() const { return last_innovation_; }
+
+  [[nodiscard]] double residual_std() const;
+  [[nodiscard]] std::size_t observation_count() const { return observations_; }
+  [[nodiscard]] const ArmaConfig& config() const { return cfg_; }
+
+  /// Smallest window that allows fitting.
+  [[nodiscard]] std::size_t min_fit_window() const;
+
+ private:
+  ArmaConfig cfg_;
+  RingBuffer<double> window_;
+  RingBuffer<double> innovations_;
+  ArmaModel model_;
+  bool fitted_ = false;
+  double last_prediction_ = 0.0;
+  bool have_prediction_ = false;
+  double last_innovation_ = 0.0;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace liquid3d

@@ -1,0 +1,53 @@
+#include "forecast/sprt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+SprtDetector::SprtDetector(SprtParams params) : params_(params) {
+  LIQUID3D_REQUIRE(params_.false_alarm_prob > 0.0 && params_.false_alarm_prob < 1.0,
+                   "alpha must be in (0,1)");
+  LIQUID3D_REQUIRE(params_.missed_alarm_prob > 0.0 && params_.missed_alarm_prob < 1.0,
+                   "beta must be in (0,1)");
+  LIQUID3D_REQUIRE(params_.magnitude_sigmas > 0.0, "H1 magnitude must be positive");
+  // Wald's thresholds.
+  upper_ = std::log((1.0 - params_.missed_alarm_prob) / params_.false_alarm_prob);
+  lower_ = std::log(params_.missed_alarm_prob / (1.0 - params_.false_alarm_prob));
+  sigma_ = params_.min_noise_std;
+}
+
+void SprtDetector::set_noise_std(double sigma) {
+  sigma_ = std::max(sigma, params_.min_noise_std);
+}
+
+bool SprtDetector::observe(double residual) {
+  // Gaussian mean test increment: (m / sigma^2) * (x - m / 2) for shift +m.
+  const double m = params_.magnitude_sigmas * sigma_;
+  const double inc_pos = m / (sigma_ * sigma_) * (residual - m / 2.0);
+  const double inc_neg = m / (sigma_ * sigma_) * (-residual - m / 2.0);
+
+  llr_pos_ = std::max(lower_, llr_pos_ + inc_pos);
+  llr_neg_ = std::max(lower_, llr_neg_ + inc_neg);
+
+  // Accepting H0 restarts that side of the test.
+  if (llr_pos_ <= lower_) llr_pos_ = 0.0;
+  if (llr_neg_ <= lower_) llr_neg_ = 0.0;
+
+  if (llr_pos_ >= upper_ || llr_neg_ >= upper_) {
+    ++alarms_;
+    llr_pos_ = 0.0;
+    llr_neg_ = 0.0;
+    return true;
+  }
+  return false;
+}
+
+void SprtDetector::reset() {
+  llr_pos_ = 0.0;
+  llr_neg_ = 0.0;
+}
+
+}  // namespace liquid3d

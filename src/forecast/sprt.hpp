@@ -1,0 +1,60 @@
+// sprt.hpp — sequential probability ratio test on forecast residuals.
+//
+// The paper (Sec. IV) monitors predictor health with the SPRT of Gross &
+// Humenik: a logarithmic likelihood ratio test deciding whether the error
+// between the predicted and measured series is diverging from zero.  We run
+// the standard two-sided Gaussian mean test — H0: residual mean 0 versus H1:
+// mean shifted by ±m (m expressed in units of the innovation standard
+// deviation).  Crossing the upper threshold raises an alarm (the ARMA model
+// no longer fits and must be reconstructed); crossing the lower threshold
+// accepts H0 and restarts the test.
+#pragma once
+
+#include <cstddef>
+
+namespace liquid3d {
+
+struct SprtParams {
+  double false_alarm_prob = 0.005;   ///< alpha
+  double missed_alarm_prob = 0.005;  ///< beta
+  /// Disturbance magnitude under H1, in innovation standard deviations.
+  /// The rebuild path targets *trend breaks* (day/night-scale level shifts,
+  /// many sigmas), so the design magnitude is set high enough that ordinary
+  /// workload noise does not trigger spurious reconstructions.
+  double magnitude_sigmas = 4.0;
+  /// Floor on the noise std so a perfectly fitting model (sigma ~ 0) does
+  /// not turn numerical dust into alarms [same unit as the residuals, K].
+  double min_noise_std = 0.05;
+};
+
+class SprtDetector {
+ public:
+  explicit SprtDetector(SprtParams params = {});
+
+  /// Set the innovation standard deviation (from the ARMA fit).
+  void set_noise_std(double sigma);
+
+  /// Feed one residual; returns true when the test alarms (either side).
+  /// The test state resets after any decision.
+  bool observe(double residual);
+
+  void reset();
+
+  [[nodiscard]] double upper_threshold() const { return upper_; }
+  [[nodiscard]] double lower_threshold() const { return lower_; }
+  [[nodiscard]] double llr_positive() const { return llr_pos_; }
+  [[nodiscard]] double llr_negative() const { return llr_neg_; }
+  [[nodiscard]] std::size_t alarm_count() const { return alarms_; }
+  [[nodiscard]] const SprtParams& params() const { return params_; }
+
+ private:
+  SprtParams params_;
+  double sigma_;
+  double upper_;
+  double lower_;
+  double llr_pos_ = 0.0;
+  double llr_neg_ = 0.0;
+  std::size_t alarms_ = 0;
+};
+
+}  // namespace liquid3d

@@ -1,0 +1,71 @@
+#include "geom/floorplan.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+double Rect::overlap_area(const Rect& o) const {
+  const double ox = std::max(0.0, std::min(right(), o.right()) - std::max(x, o.x));
+  const double oy = std::max(0.0, std::min(top(), o.top()) - std::max(y, o.y));
+  return ox * oy;
+}
+
+const char* to_string(BlockType t) {
+  switch (t) {
+    case BlockType::kCore: return "core";
+    case BlockType::kL2Cache: return "l2";
+    case BlockType::kCrossbar: return "xbar";
+    case BlockType::kMisc: return "misc";
+  }
+  return "?";
+}
+
+Floorplan::Floorplan(std::string name, double width_m, double height_m)
+    : name_(std::move(name)), width_(width_m), height_(height_m) {
+  LIQUID3D_REQUIRE(width_ > 0.0 && height_ > 0.0, "die outline must be positive");
+}
+
+void Floorplan::add_block(Block block) {
+  const Rect& r = block.rect;
+  LIQUID3D_REQUIRE(r.w > 0.0 && r.h > 0.0, "block '" + block.name + "' has empty extent");
+  const double eps = 1e-9;
+  LIQUID3D_REQUIRE(r.x >= -eps && r.y >= -eps && r.right() <= width_ + eps &&
+                       r.top() <= height_ + eps,
+                   "block '" + block.name + "' exceeds die outline");
+  for (const Block& existing : blocks_) {
+    const double overlap = existing.rect.overlap_area(r);
+    LIQUID3D_REQUIRE(overlap <= 1e-3 * std::min(existing.rect.area(), r.area()),
+                     "block '" + block.name + "' overlaps '" + existing.name + "'");
+  }
+  blocks_.push_back(std::move(block));
+}
+
+std::size_t Floorplan::count(BlockType t) const {
+  return static_cast<std::size_t>(
+      std::count_if(blocks_.begin(), blocks_.end(),
+                    [t](const Block& b) { return b.type == t; }));
+}
+
+std::optional<std::size_t> Floorplan::find(const std::string& name) const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> Floorplan::block_at(double x, double y) const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].rect.contains(x, y)) return i;
+  }
+  return std::nullopt;
+}
+
+double Floorplan::coverage() const {
+  double covered = 0.0;
+  for (const Block& b : blocks_) covered += b.rect.area();
+  return covered / area();
+}
+
+}  // namespace liquid3d

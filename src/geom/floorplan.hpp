@@ -1,0 +1,95 @@
+// floorplan.hpp — 2D block geometry for one die layer.
+//
+// A Floorplan is a set of named, axis-aligned, non-overlapping rectangular
+// blocks that tile a die outline.  Block types drive the power model (cores
+// dissipate state-dependent power, caches fixed power, crossbar scaled power)
+// and the thermal interlayer model (the crossbar hosts the TSV bundle).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace liquid3d {
+
+/// Axis-aligned rectangle; coordinates in meters, origin at die lower-left.
+struct Rect {
+  double x = 0.0;  ///< left edge [m]
+  double y = 0.0;  ///< bottom edge [m]
+  double w = 0.0;  ///< width [m]
+  double h = 0.0;  ///< height [m]
+
+  [[nodiscard]] double area() const { return w * h; }
+  [[nodiscard]] double right() const { return x + w; }
+  [[nodiscard]] double top() const { return y + h; }
+  [[nodiscard]] double center_x() const { return x + 0.5 * w; }
+  [[nodiscard]] double center_y() const { return y + 0.5 * h; }
+
+  [[nodiscard]] bool contains(double px, double py) const {
+    return px >= x && px < right() && py >= y && py < top();
+  }
+
+  /// Area of intersection with another rectangle (0 if disjoint).
+  [[nodiscard]] double overlap_area(const Rect& o) const;
+};
+
+/// Functional classification of a block; drives power and TSV modeling.
+enum class BlockType {
+  kCore,      ///< multithreaded processor core
+  kL2Cache,   ///< shared L2 cache bank
+  kCrossbar,  ///< core-cache crossbar; hosts the inter-layer TSV bundle
+  kMisc,      ///< memory controllers, buffers, IO — background power
+};
+
+[[nodiscard]] const char* to_string(BlockType t);
+
+/// One placed block.
+struct Block {
+  std::string name;
+  BlockType type = BlockType::kMisc;
+  Rect rect;
+  /// Index of this block among same-typed blocks (core 0..N-1, cache 0..M-1);
+  /// used to bind cores to scheduler queues and caches to power entries.
+  std::size_t type_index = 0;
+};
+
+/// A single die layer's floorplan.
+class Floorplan {
+ public:
+  Floorplan(std::string name, double width_m, double height_m);
+
+  /// Add a block; throws ConfigError if it exceeds the outline or overlaps an
+  /// existing block by more than a 0.1 % area tolerance.
+  void add_block(Block block);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] double width() const { return width_; }
+  [[nodiscard]] double height() const { return height_; }
+  [[nodiscard]] double area() const { return width_ * height_; }
+
+  [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  [[nodiscard]] const Block& block(std::size_t i) const { return blocks_.at(i); }
+
+  /// Number of blocks of a given type.
+  [[nodiscard]] std::size_t count(BlockType t) const;
+
+  /// Find block by name.
+  [[nodiscard]] std::optional<std::size_t> find(const std::string& name) const;
+
+  /// Block covering a point, if any.
+  [[nodiscard]] std::optional<std::size_t> block_at(double x, double y) const;
+
+  /// Total area covered by blocks as a fraction of the outline (≈1 when the
+  /// floorplan tiles the die).
+  [[nodiscard]] double coverage() const;
+
+ private:
+  std::string name_;
+  double width_;
+  double height_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace liquid3d

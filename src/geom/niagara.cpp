@@ -1,0 +1,81 @@
+#include "geom/niagara.hpp"
+
+#include <string>
+
+namespace liquid3d {
+
+namespace {
+
+constexpr double kCoreArea = 10.0e-6;   // m^2 (Table III)
+constexpr double kCacheArea = 19.0e-6;  // m^2 (Table III)
+
+// Crossbar rect, centered horizontally; vertical placement differs slightly
+// between dies but the intersection is what matters for TSVs, so we keep it
+// identical: centered on the die.
+Rect crossbar_rect() {
+  return Rect{(kDieWidth - kCrossbarWidth) / 2.0, (kDieHeight - kCrossbarHeight) / 2.0,
+              kCrossbarWidth, kCrossbarHeight};
+}
+
+}  // namespace
+
+Floorplan make_niagara_core_die() {
+  Floorplan fp("niagara_core_die", kDieWidth, kDieHeight);
+
+  const double core_w = kDieWidth / 4.0;        // 2.875 mm
+  const double core_h = kCoreArea / core_w;     // 3.478 mm -> 10 mm^2
+  const double top_row_y = kDieHeight - core_h;
+
+  // Bottom row: cores 0..3, top row: cores 4..7 (left to right).
+  for (std::size_t i = 0; i < 4; ++i) {
+    fp.add_block({"core" + std::to_string(i), BlockType::kCore,
+                  Rect{static_cast<double>(i) * core_w, 0.0, core_w, core_h}, i});
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    fp.add_block({"core" + std::to_string(i + 4), BlockType::kCore,
+                  Rect{static_cast<double>(i) * core_w, top_row_y, core_w, core_h}, i + 4});
+  }
+
+  const Rect xbar = crossbar_rect();
+  fp.add_block({"xbar", BlockType::kCrossbar, xbar, 0});
+
+  // Middle band sides: memory controllers, DRAM interface, buffers.
+  const double band_y = core_h;
+  const double band_h = top_row_y - core_h;
+  fp.add_block({"misc_left", BlockType::kMisc, Rect{0.0, band_y, xbar.x, band_h}, 0});
+  fp.add_block({"misc_right", BlockType::kMisc,
+                Rect{xbar.right(), band_y, kDieWidth - xbar.right(), band_h}, 1});
+  return fp;
+}
+
+Floorplan make_niagara_cache_die() {
+  Floorplan fp("niagara_cache_die", kDieWidth, kDieHeight);
+
+  const double cache_w = kDieWidth / 2.0;        // 5.75 mm
+  const double cache_h = kCacheArea / cache_w;   // 3.304 mm -> 19 mm^2
+  const double top_row_y = kDieHeight - cache_h;
+
+  // L2 banks: 0,1 bottom (left,right); 2,3 top (left,right).
+  fp.add_block({"l2_0", BlockType::kL2Cache, Rect{0.0, 0.0, cache_w, cache_h}, 0});
+  fp.add_block({"l2_1", BlockType::kL2Cache, Rect{cache_w, 0.0, cache_w, cache_h}, 1});
+  fp.add_block({"l2_2", BlockType::kL2Cache, Rect{0.0, top_row_y, cache_w, cache_h}, 2});
+  fp.add_block({"l2_3", BlockType::kL2Cache, Rect{cache_w, top_row_y, cache_w, cache_h}, 3});
+
+  const Rect xbar = crossbar_rect();
+  fp.add_block({"xbar", BlockType::kCrossbar, xbar, 0});
+
+  // Fill the rest of the middle band with misc blocks: left, right, and the
+  // thin strips directly below/above the crossbar.
+  const double band_y = cache_h;
+  const double band_top = top_row_y;
+  fp.add_block({"misc_left", BlockType::kMisc, Rect{0.0, band_y, xbar.x, band_top - band_y}, 0});
+  fp.add_block({"misc_right", BlockType::kMisc,
+                Rect{xbar.right(), band_y, kDieWidth - xbar.right(), band_top - band_y}, 1});
+  fp.add_block({"misc_below_xbar", BlockType::kMisc,
+                Rect{xbar.x, band_y, xbar.w, xbar.y - band_y}, 2});
+  fp.add_block({"misc_above_xbar", BlockType::kMisc,
+                Rect{xbar.x, xbar.top(), xbar.w, band_top - xbar.top()}, 3});
+  return fp;
+}
+
+}  // namespace liquid3d

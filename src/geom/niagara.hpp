@@ -1,0 +1,31 @@
+// niagara.hpp — UltraSPARC T1 ("Niagara") derived die floorplans.
+//
+// The DATE'10 paper builds its 3D systems from the 90 nm UltraSPARC T1:
+// 8 multithreaded cores, one shared L2 bank per two cores, and a central
+// crossbar.  Cores and caches are placed on separate layers (Fig. 1), with
+// the crossbar footprint repeated on every layer so the TSV bundle it hosts
+// lines up vertically.  Dimensions follow Table III:
+//   area per core 10 mm², per L2 cache 19 mm², total layer area 115 mm².
+#pragma once
+
+#include "geom/floorplan.hpp"
+
+namespace liquid3d {
+
+/// Die outline shared by all layers: 11.5 mm x 10 mm = 115 mm² (Table III).
+inline constexpr double kDieWidth = 11.5e-3;
+inline constexpr double kDieHeight = 10.0e-3;
+
+/// Crossbar footprint (identical rect on every layer; hosts 128 TSVs).
+inline constexpr double kCrossbarWidth = 4.6e-3;
+inline constexpr double kCrossbarHeight = 3.0434782608695653e-3;
+
+/// Core die: 8 cores of 10 mm² in two rows of four, central crossbar band
+/// flanked by misc (memory control / buffering) blocks.
+[[nodiscard]] Floorplan make_niagara_core_die();
+
+/// Cache die: 4 L2 banks of 19 mm² in the corners, the same central crossbar
+/// rect, and misc fill.
+[[nodiscard]] Floorplan make_niagara_cache_die();
+
+}  // namespace liquid3d

@@ -1,0 +1,16 @@
+#include "geom/sites.hpp"
+
+namespace liquid3d {
+
+std::vector<BlockSite> enumerate_sites(const Stack3D& stack, BlockType type) {
+  std::vector<BlockSite> sites;
+  for (std::size_t l = 0; l < stack.layer_count(); ++l) {
+    const Floorplan& fp = stack.layer(l).floorplan;
+    for (std::size_t b = 0; b < fp.block_count(); ++b) {
+      if (fp.block(b).type == type) sites.push_back({l, b});
+    }
+  }
+  return sites;
+}
+
+}  // namespace liquid3d

@@ -1,0 +1,25 @@
+// sites.hpp — enumeration of functional units across the stack.
+//
+// Gives every core / cache / crossbar / misc block a stable global index
+// (layer-major, floorplan order within a layer), which is how the scheduler
+// queues, the power model, and the thermal readback refer to the same unit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/stack.hpp"
+
+namespace liquid3d {
+
+/// Location of one block instance in the stack.
+struct BlockSite {
+  std::size_t layer = 0;
+  std::size_t block = 0;  ///< index into that layer's floorplan
+};
+
+/// All sites of a given type, ordered bottom layer first, floorplan order
+/// within each layer.
+[[nodiscard]] std::vector<BlockSite> enumerate_sites(const Stack3D& stack, BlockType type);
+
+}  // namespace liquid3d

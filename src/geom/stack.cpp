@@ -1,0 +1,80 @@
+#include "geom/stack.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "geom/niagara.hpp"
+
+namespace liquid3d {
+
+const char* to_string(CoolingType t) {
+  switch (t) {
+    case CoolingType::kAir: return "air";
+    case CoolingType::kLiquid: return "liquid";
+  }
+  return "?";
+}
+
+Stack3D::Stack3D(std::string name, CoolingType cooling)
+    : name_(std::move(name)), cooling_(cooling) {}
+
+void Stack3D::add_layer(LayerSpec layer) {
+  LIQUID3D_REQUIRE(layer.die_thickness > 0.0, "die thickness must be positive");
+  if (!layers_.empty()) {
+    const double eps = 1e-12;
+    LIQUID3D_REQUIRE(std::abs(layer.floorplan.width() - width()) < eps &&
+                         std::abs(layer.floorplan.height() - height()) < eps,
+                     "all layers must share the die outline");
+  }
+  layers_.push_back(std::move(layer));
+}
+
+void Stack3D::set_cavities(CavitySpec cavity) {
+  LIQUID3D_REQUIRE(cooling_ == CoolingType::kLiquid,
+                   "cavities only exist on liquid-cooled stacks");
+  LIQUID3D_REQUIRE(cavity.channel_count > 0, "cavity needs at least one channel");
+  LIQUID3D_REQUIRE(cavity.channel_width > 0.0 && cavity.channel_height > 0.0 &&
+                       cavity.pitch >= cavity.channel_width,
+                   "invalid channel geometry");
+  cavity_ = cavity;
+}
+
+std::size_t Stack3D::cavity_count() const {
+  if (cooling_ != CoolingType::kLiquid || layers_.empty()) return 0;
+  return layers_.size() + 1;
+}
+
+double Stack3D::width() const {
+  LIQUID3D_REQUIRE(!layers_.empty(), "stack has no layers");
+  return layers_.front().floorplan.width();
+}
+
+double Stack3D::height() const {
+  LIQUID3D_REQUIRE(!layers_.empty(), "stack has no layers");
+  return layers_.front().floorplan.height();
+}
+
+std::size_t Stack3D::total_count(BlockType t) const {
+  std::size_t n = 0;
+  for (const LayerSpec& l : layers_) n += l.floorplan.count(t);
+  return n;
+}
+
+Stack3D make_niagara_stack(std::size_t layer_pairs, CoolingType cooling) {
+  LIQUID3D_REQUIRE(layer_pairs >= 1 && layer_pairs <= 4,
+                   "supported systems have 1..4 core/cache layer pairs");
+  const std::string name = std::to_string(2 * layer_pairs) + "layer_" +
+                           std::string(to_string(cooling));
+  Stack3D stack(name, cooling);
+  for (std::size_t p = 0; p < layer_pairs; ++p) {
+    stack.add_layer(LayerSpec{make_niagara_core_die()});
+    stack.add_layer(LayerSpec{make_niagara_cache_die()});
+  }
+  if (cooling == CoolingType::kLiquid) {
+    stack.set_cavities(CavitySpec{});
+    stack.set_tsvs(TsvSpec{});
+  }
+  return stack;
+}
+
+}  // namespace liquid3d

@@ -1,0 +1,121 @@
+// stack.hpp — 3D stack description: die layers, interlayer cavities, TSVs.
+//
+// Geometry only; the thermal network construction lives in thermal/ and the
+// hydraulics in coolant/.  Conventions:
+//   * layers are indexed bottom (0) to top (n-1);
+//   * a liquid-cooled stack has n+1 cavities — one between each pair of
+//     adjacent layers plus cooling layers at the very bottom and very top
+//     (the paper's 2-layer system has 3 cavities x 65 channels = 195, the
+//     4-layer system 5 x 65 = 325);
+//   * cavity i sits below layer i; cavity n sits above the top layer;
+//   * an air-cooled stack has thin interlayer material between dies and a
+//     conventional package (spreader + heat sink) on top.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geom/floorplan.hpp"
+
+namespace liquid3d {
+
+enum class CoolingType { kAir, kLiquid };
+
+[[nodiscard]] const char* to_string(CoolingType t);
+
+/// One die layer.
+struct LayerSpec {
+  Floorplan floorplan;
+  double die_thickness = 0.15e-3;  ///< silicon slab thickness [m] (Table III)
+  double beol_thickness = 12e-6;   ///< wiring (BEOL) thickness t_B [m] (Table I)
+};
+
+/// One interlayer cooling cavity (uniform parallel microchannels).
+/// Geometry per Table I: w_c = 50 µm, t_c = 100 µm, t_s = 50 µm, p = 100 µm.
+struct CavitySpec {
+  std::size_t channel_count = 65;     ///< channels per cavity (paper, Sec. III-A)
+  double channel_width = 50e-6;       ///< w_c [m]
+  double channel_height = 100e-6;     ///< t_c [m]
+  double wall_thickness = 50e-6;      ///< t_s [m]
+  double pitch = 100e-6;              ///< p [m]
+  double cavity_thickness = 0.4e-3;   ///< interlayer thickness with channels [m]
+
+  /// Cross-sectional flow area of a single channel [m^2].
+  [[nodiscard]] double channel_cross_section() const {
+    return channel_width * channel_height;
+  }
+};
+
+/// TSV bundle hosted by the crossbar block (Sec. III-A).
+struct TsvSpec {
+  std::size_t count = 128;      ///< TSVs connecting each pair of layers
+  double side = 50e-6;          ///< each TSV occupies 50 µm x 50 µm
+  double cu_conductivity = 400.0;  ///< W/(m K), bulk copper
+
+  [[nodiscard]] double total_area() const {
+    return static_cast<double>(count) * side * side;
+  }
+};
+
+/// Complete 3D stack.
+class Stack3D {
+ public:
+  Stack3D(std::string name, CoolingType cooling);
+
+  void add_layer(LayerSpec layer);
+  /// Must be called after all layers are added; sizes the cavity list.
+  void set_cavities(CavitySpec cavity);
+  void set_tsvs(TsvSpec tsvs) { tsvs_ = tsvs; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] CoolingType cooling() const { return cooling_; }
+  [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
+  [[nodiscard]] const LayerSpec& layer(std::size_t i) const { return layers_.at(i); }
+  [[nodiscard]] const std::vector<LayerSpec>& layers() const { return layers_; }
+
+  [[nodiscard]] bool has_cavities() const { return cooling_ == CoolingType::kLiquid; }
+  /// Number of cavities: layer_count()+1 for liquid stacks, 0 for air.
+  [[nodiscard]] std::size_t cavity_count() const;
+  [[nodiscard]] const CavitySpec& cavity() const { return cavity_; }
+  [[nodiscard]] const TsvSpec& tsvs() const { return tsvs_; }
+
+  /// Total microchannels across all cavities (195 / 325 in the paper).
+  [[nodiscard]] std::size_t total_channel_count() const {
+    return cavity_count() * cavity_.channel_count;
+  }
+
+  /// Die outline (all layers must share it; enforced by add_layer).
+  [[nodiscard]] double width() const;
+  [[nodiscard]] double height() const;
+
+  /// Total cores / caches across all layers.
+  [[nodiscard]] std::size_t total_count(BlockType t) const;
+
+  /// Thin interlayer bond material (air-cooled stacks, Table III: 0.02 mm,
+  /// resistivity 0.25 mK/W without TSVs).
+  [[nodiscard]] double bond_thickness() const { return 0.02e-3; }
+  [[nodiscard]] double interlayer_resistivity() const { return 0.25; }
+
+ private:
+  std::string name_;
+  CoolingType cooling_;
+  std::vector<LayerSpec> layers_;
+  CavitySpec cavity_;
+  TsvSpec tsvs_;
+};
+
+/// The paper's two target systems (Fig. 1), plus air-cooled twins.
+/// 2-layer: core die + cache die (8 cores).  4-layer: core, cache, core,
+/// cache (16 cores).  Layer order bottom to top.
+[[nodiscard]] Stack3D make_niagara_stack(std::size_t layer_pairs, CoolingType cooling);
+
+/// Convenience aliases used throughout tests and benches.
+[[nodiscard]] inline Stack3D make_2layer_system(CoolingType c = CoolingType::kLiquid) {
+  return make_niagara_stack(1, c);
+}
+[[nodiscard]] inline Stack3D make_4layer_system(CoolingType c = CoolingType::kLiquid) {
+  return make_niagara_stack(2, c);
+}
+
+}  // namespace liquid3d

@@ -1,0 +1,35 @@
+#include "power/dpm.hpp"
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+FixedTimeoutDpm::FixedTimeoutDpm(std::size_t core_count, DpmParams params)
+    : params_(params),
+      states_(core_count, CoreState::kIdle),
+      idle_for_(core_count, SimTime{}) {
+  LIQUID3D_REQUIRE(core_count > 0, "DPM requires at least one core");
+}
+
+void FixedTimeoutDpm::tick(const std::vector<double>& busy, SimTime interval) {
+  LIQUID3D_REQUIRE(busy.size() == states_.size(), "busy arity mismatch");
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (busy[i] > 0.0) {
+      if (states_[i] == CoreState::kSleep) ++wakes_;
+      states_[i] = CoreState::kActive;
+      idle_for_[i] = SimTime{};
+      continue;
+    }
+    idle_for_[i] += interval;
+    if (states_[i] == CoreState::kActive) {
+      states_[i] = CoreState::kIdle;
+    }
+    if (params_.enabled && states_[i] == CoreState::kIdle &&
+        idle_for_[i] >= params_.timeout) {
+      states_[i] = CoreState::kSleep;
+      ++sleeps_;
+    }
+  }
+}
+
+}  // namespace liquid3d

@@ -1,0 +1,47 @@
+// dpm.hpp — dynamic power management (Sec. V).
+//
+// The paper evaluates a fixed-timeout DPM policy: a core that has been idle
+// longer than the timeout (200 ms in the experiments) is put to sleep; it
+// wakes when work arrives.  DPM is what creates the large thermal cycles
+// Fig. 7 measures, so the policy also counts its transitions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+#include "power/power_model.hpp"
+
+namespace liquid3d {
+
+struct DpmParams {
+  bool enabled = true;
+  SimTime timeout = SimTime::from_ms(200);  ///< paper
+};
+
+class FixedTimeoutDpm {
+ public:
+  FixedTimeoutDpm(std::size_t core_count, DpmParams params = {});
+
+  /// Advance one sampling interval.  busy[i] is the fraction of the interval
+  /// core i executed threads.  Returns the per-core power state *during* the
+  /// interval just elapsed.
+  void tick(const std::vector<double>& busy, SimTime interval);
+
+  [[nodiscard]] CoreState state(std::size_t core) const { return states_.at(core); }
+  [[nodiscard]] const std::vector<CoreState>& states() const { return states_; }
+
+  [[nodiscard]] std::size_t sleep_transitions() const { return sleeps_; }
+  [[nodiscard]] std::size_t wake_transitions() const { return wakes_; }
+
+  [[nodiscard]] const DpmParams& params() const { return params_; }
+
+ private:
+  DpmParams params_;
+  std::vector<CoreState> states_;
+  std::vector<SimTime> idle_for_;
+  std::size_t sleeps_ = 0;
+  std::size_t wakes_ = 0;
+};
+
+}  // namespace liquid3d

@@ -1,0 +1,2 @@
+// energy.cpp — EnergyAccountant is header-only; this TU anchors the library.
+#include "power/energy.hpp"

@@ -1,0 +1,41 @@
+// energy.hpp — energy bookkeeping for the evaluation (Figs. 6 and 8).
+//
+// The paper reports chip energy and pump (cooling) energy separately, both
+// normalized to the LB-on-air baseline.  Fan energy of the air-cooled system
+// is intentionally not modeled (the paper excludes it as well).
+#pragma once
+
+#include <cstddef>
+
+namespace liquid3d {
+
+class EnergyAccountant {
+ public:
+  /// Accumulate one interval's consumption [W x s].
+  void add_interval(double chip_watts, double pump_watts, double interval_s) {
+    chip_j_ += chip_watts * interval_s;
+    pump_j_ += pump_watts * interval_s;
+    elapsed_s_ += interval_s;
+  }
+
+  [[nodiscard]] double chip_joules() const { return chip_j_; }
+  [[nodiscard]] double pump_joules() const { return pump_j_; }
+  [[nodiscard]] double total_joules() const { return chip_j_ + pump_j_; }
+  [[nodiscard]] double elapsed_seconds() const { return elapsed_s_; }
+
+  [[nodiscard]] double average_chip_watts() const {
+    return elapsed_s_ > 0.0 ? chip_j_ / elapsed_s_ : 0.0;
+  }
+  [[nodiscard]] double average_pump_watts() const {
+    return elapsed_s_ > 0.0 ? pump_j_ / elapsed_s_ : 0.0;
+  }
+
+  void reset() { *this = EnergyAccountant{}; }
+
+ private:
+  double chip_j_ = 0.0;
+  double pump_j_ = 0.0;
+  double elapsed_s_ = 0.0;
+};
+
+}  // namespace liquid3d

@@ -1,0 +1,20 @@
+#include "power/leakage.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+LeakageModel::LeakageModel(LeakageParams params) : params_(params) {
+  LIQUID3D_REQUIRE(params_.linear_coeff >= 0.0 && params_.quadratic_coeff >= 0.0,
+                   "leakage must be non-decreasing in temperature");
+}
+
+double LeakageModel::scale(double temperature_c) const {
+  const double dt = temperature_c - params_.reference_temperature;
+  const double s = 1.0 + params_.linear_coeff * dt + params_.quadratic_coeff * dt * dt;
+  return std::max(0.0, s);
+}
+
+}  // namespace liquid3d

@@ -1,0 +1,38 @@
+// leakage.hpp — temperature-dependent leakage power.
+//
+// The paper accounts for the leakage-temperature feedback loop using the
+// polynomial full-chip leakage model of Su et al. [ISLPED'03].  We implement
+// the same functional form: a quadratic polynomial in temperature, normalized
+// to 1.0 at a reference temperature, multiplying a per-block reference
+// leakage power.  This is the term that makes *over*-cooling pay off up to a
+// point and *under*-cooling self-reinforcing; the controller has to keep the
+// system in the regime where pump savings are not eaten by leakage.
+#pragma once
+
+namespace liquid3d {
+
+struct LeakageParams {
+  double reference_temperature = 80.0;  ///< °C at which the scale factor is 1
+  double linear_coeff = 0.016;          ///< 1/K
+  double quadratic_coeff = 8.0e-5;      ///< 1/K^2
+};
+
+class LeakageModel {
+ public:
+  explicit LeakageModel(LeakageParams params = {});
+
+  /// Scale factor relative to the reference temperature (>= 0, clamped).
+  [[nodiscard]] double scale(double temperature_c) const;
+
+  /// Leakage power for a block with the given reference leakage [W].
+  [[nodiscard]] double power(double reference_watts, double temperature_c) const {
+    return reference_watts * scale(temperature_c);
+  }
+
+  [[nodiscard]] const LeakageParams& params() const { return params_; }
+
+ private:
+  LeakageParams params_;
+};
+
+}  // namespace liquid3d

@@ -1,0 +1,65 @@
+#include "power/power_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+const char* to_string(CoreState s) {
+  switch (s) {
+    case CoreState::kActive: return "active";
+    case CoreState::kIdle: return "idle";
+    case CoreState::kSleep: return "sleep";
+  }
+  return "?";
+}
+
+PowerModel::PowerModel(PowerModelParams params)
+    : params_(params), leakage_(params.leakage) {
+  LIQUID3D_REQUIRE(params_.core_active_w >= params_.core_idle_w &&
+                       params_.core_idle_w >= params_.core_sleep_w,
+                   "core power states must be ordered active >= idle >= sleep");
+}
+
+double PowerModel::core_power(CoreState state, double busy, double activity,
+                              double temperature_c) const {
+  LIQUID3D_REQUIRE(busy >= 0.0 && busy <= 1.0, "busy fraction out of range");
+  double dynamic = 0.0;
+  switch (state) {
+    case CoreState::kSleep:
+      // Sleeping cores are power- and clock-gated; leakage is already folded
+      // into the (tiny) sleep power figure.
+      return params_.core_sleep_w;
+    case CoreState::kIdle:
+      dynamic = params_.core_idle_w;
+      break;
+    case CoreState::kActive:
+      dynamic = params_.core_idle_w +
+                (params_.core_active_w * activity - params_.core_idle_w) * busy;
+      break;
+  }
+  return dynamic + leakage_.power(params_.core_leak_ref_w, temperature_c);
+}
+
+double PowerModel::l2_power(double temperature_c) const {
+  return params_.l2_w + leakage_.power(params_.l2_leak_ref_w, temperature_c);
+}
+
+double PowerModel::crossbar_power(double active_core_fraction, double memory_intensity,
+                                  double temperature_c) const {
+  const double a = std::clamp(active_core_fraction, 0.0, 1.0);
+  const double m = std::clamp(memory_intensity, 0.0, 1.0);
+  const double scale =
+      params_.crossbar_floor_frac +
+      (1.0 - params_.crossbar_floor_frac) * a * (0.5 + 0.5 * m);
+  return params_.crossbar_max_w * scale +
+         leakage_.power(params_.crossbar_leak_ref_w, temperature_c);
+}
+
+double PowerModel::misc_power(double area_m2, double temperature_c) const {
+  return params_.misc_w_per_m2 * area_m2 +
+         leakage_.power(params_.misc_leak_ref_w_per_m2 * area_m2, temperature_c);
+}
+
+}  // namespace liquid3d

@@ -1,0 +1,72 @@
+// load_balancer.cpp — dynamic load balancing (the paper's LB baseline).
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "sched/scheduler.hpp"
+
+namespace liquid3d {
+
+namespace {
+
+/// Index of the shortest queue (ties: lowest index, deterministic).
+std::size_t shortest_queue(const CoreQueues& queues) {
+  std::size_t best = 0;
+  std::size_t best_len = std::numeric_limits<std::size_t>::max();
+  for (std::size_t c = 0; c < queues.core_count(); ++c) {
+    if (queues.length(c) < best_len) {
+      best_len = queues.length(c);
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::size_t longest_queue(const CoreQueues& queues) {
+  std::size_t best = 0;
+  std::size_t best_len = 0;
+  for (std::size_t c = 0; c < queues.core_count(); ++c) {
+    if (queues.length(c) > best_len) {
+      best_len = queues.length(c);
+      best = c;
+    }
+  }
+  return best;
+}
+
+class LoadBalancer final : public Scheduler {
+ public:
+  explicit LoadBalancer(LoadBalancerParams params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "LB"; }
+
+  void dispatch(std::vector<Thread> arrivals, CoreQueues& queues,
+                const SchedulerContext& /*ctx*/) override {
+    for (Thread& t : arrivals) {
+      queues.push_back(shortest_queue(queues), t);
+    }
+  }
+
+  void manage(CoreQueues& queues, const SchedulerContext& /*ctx*/) override {
+    // Move *waiting* threads (never the running head) from the longest to
+    // the shortest queue until the imbalance threshold is met.
+    for (;;) {
+      const std::size_t hi = longest_queue(queues);
+      const std::size_t lo = shortest_queue(queues);
+      if (queues.length(hi) <= queues.length(lo) + params_.imbalance_threshold) break;
+      if (queues.length(hi) <= 1) break;  // only the running thread left
+      queues.push_back(lo, queues.pop_back(hi));
+    }
+  }
+
+ private:
+  LoadBalancerParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_load_balancer(LoadBalancerParams p) {
+  return std::make_unique<LoadBalancer>(p);
+}
+
+}  // namespace liquid3d

@@ -1,0 +1,71 @@
+// migration.cpp — reactive thread migration (the paper's Mig baseline).
+//
+// Performs plain load balancing until a core crosses the 85 °C trigger, then
+// moves the currently running thread to the coolest core, paying a migration
+// penalty.  This is the classic activity-migration style DTM the paper
+// compares against: it reacts *after* the hot spot exists, and on high
+// utilization the repeated penalties cost throughput (Fig. 8).
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "sched/scheduler.hpp"
+
+namespace liquid3d {
+
+namespace {
+
+class ReactiveMigration final : public Scheduler {
+ public:
+  explicit ReactiveMigration(MigrationParams params)
+      : params_(params), lb_(make_load_balancer(params.lb)) {}
+
+  [[nodiscard]] std::string name() const override { return "Mig"; }
+
+  void dispatch(std::vector<Thread> arrivals, CoreQueues& queues,
+                const SchedulerContext& ctx) override {
+    lb_->dispatch(std::move(arrivals), queues, ctx);
+  }
+
+  void manage(CoreQueues& queues, const SchedulerContext& ctx) override {
+    lb_->manage(queues, ctx);
+    if (ctx.core_temperature.size() != queues.core_count()) return;
+
+    // Coolest core as migration target.
+    std::size_t coolest = 0;
+    double coolest_t = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < queues.core_count(); ++c) {
+      if (ctx.core_temperature[c] < coolest_t) {
+        coolest_t = ctx.core_temperature[c];
+        coolest = c;
+      }
+    }
+
+    for (std::size_t c = 0; c < queues.core_count(); ++c) {
+      if (ctx.core_temperature[c] < params_.trigger_temperature) continue;
+      if (c == coolest) continue;
+      if (ctx.core_temperature[c] - coolest_t < params_.min_improvement) continue;
+      if (queues.length(c) == 0) continue;
+      Thread t = queues.pop_front(c);  // the running thread
+      t.remaining += params_.penalty;
+      ++t.migrations;
+      queues.push_front(coolest, t);
+      ++migrations_;
+    }
+  }
+
+  [[nodiscard]] std::size_t migration_count() const override { return migrations_; }
+
+ private:
+  MigrationParams params_;
+  std::unique_ptr<Scheduler> lb_;
+  std::size_t migrations_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_reactive_migration(MigrationParams p) {
+  return std::make_unique<ReactiveMigration>(p);
+}
+
+}  // namespace liquid3d

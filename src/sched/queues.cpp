@@ -1,0 +1,63 @@
+#include "sched/queues.hpp"
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+CoreQueues::CoreQueues(std::size_t core_count) : queues_(core_count) {
+  LIQUID3D_REQUIRE(core_count > 0, "need at least one core");
+}
+
+std::size_t CoreQueues::total_queued() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+double CoreQueues::backlog_seconds(std::size_t core) const {
+  double acc = 0.0;
+  for (const Thread& t : queues_.at(core)) acc += t.remaining.as_s();
+  return acc;
+}
+
+Thread CoreQueues::pop_front(std::size_t core) {
+  auto& q = queues_.at(core);
+  LIQUID3D_ASSERT(!q.empty(), "pop from empty queue");
+  Thread t = q.front();
+  q.pop_front();
+  return t;
+}
+
+Thread CoreQueues::pop_back(std::size_t core) {
+  auto& q = queues_.at(core);
+  LIQUID3D_ASSERT(!q.empty(), "pop from empty queue");
+  Thread t = q.back();
+  q.pop_back();
+  return t;
+}
+
+CoreQueues::TickResult CoreQueues::execute(SimTime interval) {
+  TickResult result;
+  result.busy_fraction.assign(queues_.size(), 0.0);
+  for (std::size_t c = 0; c < queues_.size(); ++c) {
+    auto& q = queues_[c];
+    SimTime budget = interval;
+    while (budget > SimTime{} && !q.empty()) {
+      Thread& head = q.front();
+      if (head.remaining <= budget) {
+        budget = budget - head.remaining;
+        q.pop_front();
+        ++result.completed;
+      } else {
+        head.remaining = head.remaining - budget;
+        budget = SimTime{};
+      }
+    }
+    const double used = (interval - budget).as_s();
+    result.busy_fraction[c] = interval.as_s() > 0.0 ? used / interval.as_s() : 0.0;
+  }
+  completed_total_ += result.completed;
+  return result;
+}
+
+}  // namespace liquid3d

@@ -1,0 +1,63 @@
+// queues.hpp — the multi-queue dispatch substrate (Sec. V).
+//
+// Modern OSes associate a dispatch queue with each hardware context; the job
+// scheduler places incoming threads on queues and may move waiting threads
+// between them.  Each core drains its own queue.  This class models exactly
+// that: per-core FIFO queues, with the head thread being the one currently
+// executing on the core.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/units.hpp"
+#include "workload/thread.hpp"
+
+namespace liquid3d {
+
+class CoreQueues {
+ public:
+  explicit CoreQueues(std::size_t core_count);
+
+  [[nodiscard]] std::size_t core_count() const { return queues_.size(); }
+
+  void push_back(std::size_t core, Thread t) { queues_.at(core).push_back(t); }
+  void push_front(std::size_t core, Thread t) { queues_.at(core).push_front(t); }
+
+  /// Number of threads in a core's queue (including the running head).
+  [[nodiscard]] std::size_t length(std::size_t core) const {
+    return queues_.at(core).size();
+  }
+  [[nodiscard]] std::size_t total_queued() const;
+
+  /// Remaining work in a queue [s].
+  [[nodiscard]] double backlog_seconds(std::size_t core) const;
+
+  [[nodiscard]] const std::deque<Thread>& queue(std::size_t core) const {
+    return queues_.at(core);
+  }
+
+  /// Remove and return the thread currently at the head (the running one).
+  /// Callers must check the queue is non-empty.
+  Thread pop_front(std::size_t core);
+  /// Remove and return the thread at the tail (most recently queued).
+  Thread pop_back(std::size_t core);
+
+  struct TickResult {
+    std::vector<double> busy_fraction;  ///< per core, [0,1]
+    std::size_t completed = 0;          ///< threads finished this tick
+  };
+
+  /// Execute one sampling interval: each core consumes up to `interval` of
+  /// work from its queue, finishing threads FIFO.
+  TickResult execute(SimTime interval);
+
+  [[nodiscard]] std::size_t completed_total() const { return completed_total_; }
+
+ private:
+  std::vector<std::deque<Thread>> queues_;
+  std::size_t completed_total_ = 0;
+};
+
+}  // namespace liquid3d

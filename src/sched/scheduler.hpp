@@ -1,0 +1,76 @@
+// scheduler.hpp — the job scheduling policy interface (Sec. IV & V).
+//
+// Policies evaluated in the paper:
+//   * LB    — dynamic load balancing: dispatch to the shortest queue, move
+//             waiting threads when queue lengths diverge;
+//   * Mig   — reactive migration: LB plus moving the running thread away
+//             from any core above the 85 °C threshold;
+//   * TALB  — temperature-aware weighted load balancing (the paper's
+//             scheduler): identical to LB but queue lengths are multiplied
+//             by per-core thermal weights before comparison.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sched/queues.hpp"
+#include "workload/thread.hpp"
+
+namespace liquid3d {
+
+/// Snapshot of system state a policy may consult.
+struct SchedulerContext {
+  SimTime now{};
+  /// Latest per-core temperatures [°C] (thermal sensor readings).
+  std::vector<double> core_temperature;
+  /// Per-core thermal weight factors (TALB); 1.0 everywhere for others.
+  std::vector<double> thermal_weight;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Place newly arrived threads on queues.
+  virtual void dispatch(std::vector<Thread> arrivals, CoreQueues& queues,
+                        const SchedulerContext& ctx) = 0;
+
+  /// Periodic management (rebalancing, migration) before execution.
+  virtual void manage(CoreQueues& queues, const SchedulerContext& ctx) = 0;
+
+  /// Temperature-triggered migrations performed so far (0 for non-migrating
+  /// policies).
+  [[nodiscard]] virtual std::size_t migration_count() const { return 0; }
+};
+
+struct LoadBalancerParams {
+  /// Move waiting threads when queue lengths differ by more than this.
+  std::size_t imbalance_threshold = 2;
+};
+
+struct MigrationParams {
+  LoadBalancerParams lb{};
+  double trigger_temperature = 85.0;  ///< °C (paper)
+  /// Target must be at least this much cooler than the source to migrate.
+  double min_improvement = 2.0;
+  /// Performance cost of a migration added to the thread's remaining time
+  /// (context transfer + cold caches).
+  SimTime penalty = SimTime::from_ms(10);
+};
+
+struct TalbParams {
+  /// Rebalance when *weighted* queue lengths differ by more than this.
+  double imbalance_threshold = 2.0;
+};
+
+/// Factories.
+[[nodiscard]] std::unique_ptr<Scheduler> make_load_balancer(LoadBalancerParams p = {});
+[[nodiscard]] std::unique_ptr<Scheduler> make_reactive_migration(MigrationParams p = {});
+[[nodiscard]] std::unique_ptr<Scheduler> make_talb(TalbParams p = {});
+
+}  // namespace liquid3d

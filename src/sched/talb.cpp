@@ -1,0 +1,94 @@
+// talb.cpp — temperature-aware weighted load balancing (the paper's novel
+// scheduler, Sec. IV "Job Scheduling").
+//
+// TALB keeps the load balancing algorithm intact and only changes how queue
+// lengths are computed (Eq. 8):
+//     l_weighted^i = l_queue^i * w_thermal^i(T(k)).
+// Cores at thermally disadvantaged positions (higher effective thermal
+// resistance) receive weights > 1, so their queues look longer and the
+// balancer steers work toward cores the coolant serves better.  The weights
+// come from an offline characterization (control/talb_weights) indexed by
+// the current maximum temperature, and are passed in via SchedulerContext.
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "sched/scheduler.hpp"
+
+namespace liquid3d {
+
+namespace {
+
+class Talb final : public Scheduler {
+ public:
+  explicit Talb(TalbParams params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "TALB"; }
+
+  void dispatch(std::vector<Thread> arrivals, CoreQueues& queues,
+                const SchedulerContext& ctx) override {
+    for (Thread& t : arrivals) {
+      queues.push_back(best_queue(queues, ctx), t);
+    }
+  }
+
+  void manage(CoreQueues& queues, const SchedulerContext& ctx) override {
+    for (;;) {
+      const std::size_t hi = worst_queue(queues, ctx);
+      const std::size_t lo = best_queue(queues, ctx);
+      if (hi == lo) break;
+      if (queues.length(hi) <= 1) break;  // never move the running head
+      const double w_hi = weight(ctx, hi);
+      const double w_lo = weight(ctx, lo);
+      const double len_hi = static_cast<double>(queues.length(hi)) * w_hi;
+      const double len_lo = static_cast<double>(queues.length(lo)) * w_lo;
+      if (len_hi - len_lo <= params_.imbalance_threshold) break;
+      // Moving one thread must actually reduce the imbalance.
+      const double after_hi = static_cast<double>(queues.length(hi) - 1) * w_hi;
+      const double after_lo = static_cast<double>(queues.length(lo) + 1) * w_lo;
+      if (std::max(after_hi, after_lo) >= std::max(len_hi, len_lo)) break;
+      queues.push_back(lo, queues.pop_back(hi));
+    }
+  }
+
+ private:
+  static double weight(const SchedulerContext& ctx, std::size_t core) {
+    return core < ctx.thermal_weight.size() ? ctx.thermal_weight[core] : 1.0;
+  }
+
+  static std::size_t best_queue(const CoreQueues& queues, const SchedulerContext& ctx) {
+    std::size_t best = 0;
+    double best_len = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < queues.core_count(); ++c) {
+      const double len = static_cast<double>(queues.length(c)) * weight(ctx, c);
+      if (len < best_len) {
+        best_len = len;
+        best = c;
+      }
+    }
+    return best;
+  }
+
+  static std::size_t worst_queue(const CoreQueues& queues, const SchedulerContext& ctx) {
+    std::size_t worst = 0;
+    double worst_len = -1.0;
+    for (std::size_t c = 0; c < queues.core_count(); ++c) {
+      const double len = static_cast<double>(queues.length(c)) * weight(ctx, c);
+      if (len > worst_len) {
+        worst_len = len;
+        worst = c;
+      }
+    }
+    return worst;
+  }
+
+  TalbParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_talb(TalbParams p) {
+  return std::make_unique<Talb>(p);
+}
+
+}  // namespace liquid3d

@@ -1,0 +1,116 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+std::vector<PolicyConfig> paper_policy_grid() {
+  return {
+      {Policy::kLoadBalancing, CoolingMode::kAir},
+      {Policy::kReactiveMigration, CoolingMode::kAir},
+      {Policy::kTalb, CoolingMode::kAir},
+      {Policy::kLoadBalancing, CoolingMode::kLiquidMax},
+      {Policy::kReactiveMigration, CoolingMode::kLiquidMax},
+      {Policy::kTalb, CoolingMode::kLiquidMax},
+      {Policy::kTalb, CoolingMode::kLiquidVar},
+  };
+}
+
+namespace {
+double mean_over(const std::vector<SimulationResult>& rs,
+                 double (SimulationResult::*field)) {
+  double acc = 0.0;
+  for (const SimulationResult& r : rs) acc += r.*field;
+  return rs.empty() ? 0.0 : acc / static_cast<double>(rs.size());
+}
+}  // namespace
+
+double PolicySummary::mean_hotspot_percent() const {
+  return mean_over(per_workload, &SimulationResult::hotspot_percent);
+}
+double PolicySummary::max_hotspot_percent() const {
+  double best = 0.0;
+  for (const SimulationResult& r : per_workload)
+    best = std::max(best, r.hotspot_percent);
+  return best;
+}
+double PolicySummary::mean_above_target_percent() const {
+  return mean_over(per_workload, &SimulationResult::above_target_percent);
+}
+double PolicySummary::mean_gradient_percent() const {
+  return mean_over(per_workload, &SimulationResult::spatial_gradient_percent);
+}
+double PolicySummary::mean_cycles_per_1000() const {
+  return mean_over(per_workload, &SimulationResult::thermal_cycles_per_1000);
+}
+double PolicySummary::total_chip_energy() const {
+  double acc = 0.0;
+  for (const SimulationResult& r : per_workload) acc += r.chip_energy_j;
+  return acc;
+}
+double PolicySummary::total_pump_energy() const {
+  double acc = 0.0;
+  for (const SimulationResult& r : per_workload) acc += r.pump_energy_j;
+  return acc;
+}
+double PolicySummary::total_throughput() const {
+  double acc = 0.0;
+  for (const SimulationResult& r : per_workload) acc += r.throughput_per_s;
+  return acc;
+}
+
+ExperimentSuite::ExperimentSuite(SuiteConfig cfg) : cfg_(std::move(cfg)) {}
+
+SimulationConfig ExperimentSuite::make_config(PolicyConfig policy,
+                                              const BenchmarkSpec& workload) {
+  SimulationConfig cfg = cfg_.base;
+  cfg.layer_pairs = cfg_.layer_pairs;
+  cfg.policy = policy.policy;
+  cfg.cooling = policy.cooling;
+  cfg.benchmark = workload;
+  cfg.duration = cfg_.duration;
+  cfg.seed = cfg_.seed + static_cast<std::uint64_t>(workload.id);
+  cfg.dpm.enabled = cfg_.dpm_enabled;
+
+  if (policy.cooling != CoolingMode::kAir) {
+    if (!flow_lut_) flow_lut_ = Simulator::build_flow_lut(cfg);
+    cfg.flow_lut = flow_lut_;
+    if (policy.policy == Policy::kTalb) {
+      if (!talb_liquid_) talb_liquid_ = Simulator::build_talb_weights(cfg);
+      cfg.talb_weights = talb_liquid_;
+    }
+  } else if (policy.policy == Policy::kTalb) {
+    if (!talb_air_) talb_air_ = Simulator::build_talb_weights(cfg);
+    cfg.talb_weights = talb_air_;
+  }
+  return cfg;
+}
+
+std::vector<PolicySummary> ExperimentSuite::run(
+    const std::vector<PolicyConfig>& policies,
+    const std::vector<BenchmarkSpec>& workloads) {
+  std::vector<PolicySummary> summaries;
+  summaries.reserve(policies.size());
+  for (const PolicyConfig& pc : policies) {
+    PolicySummary summary;
+    summary.label = policy_label(pc.policy, pc.cooling);
+    for (const BenchmarkSpec& wl : workloads) {
+      Simulator sim(make_config(pc, wl));
+      summary.per_workload.push_back(sim.run());
+    }
+    summaries.push_back(std::move(summary));
+  }
+  return summaries;
+}
+
+const PolicySummary& find_baseline(const std::vector<PolicySummary>& summaries,
+                                   const std::string& label) {
+  for (const PolicySummary& s : summaries) {
+    if (s.label == label) return s;
+  }
+  throw ConfigError("baseline policy '" + label + "' not found in suite results");
+}
+
+}  // namespace liquid3d

@@ -1,0 +1,82 @@
+// experiment.hpp — the evaluation grid of Sec. V.
+//
+// Figures 6, 7, and 8 all run the same grid: every policy x cooling
+// configuration over the eight Table II workloads, on the 2- (and for some
+// plots 4-) layer system.  This helper runs the grid once, reusing one flow
+// LUT / TALB weight characterization per system, and exposes per-policy
+// aggregates (mean and max over workloads) plus the LB-on-air energy
+// normalization the paper's plots use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace liquid3d {
+
+/// One policy/cooling configuration in the evaluation.
+struct PolicyConfig {
+  Policy policy;
+  CoolingMode cooling;
+};
+
+/// The seven bars of Figs. 6-7, in plot order.
+[[nodiscard]] std::vector<PolicyConfig> paper_policy_grid();
+
+struct SuiteConfig {
+  std::size_t layer_pairs = 1;
+  SimTime duration = SimTime::from_s(60);
+  std::uint64_t seed = 7;
+  bool dpm_enabled = true;
+  /// Base template applied to every run (thermal/power/etc. parameters).
+  SimulationConfig base{};
+};
+
+/// Results of one policy over all workloads.
+struct PolicySummary {
+  std::string label;
+  std::vector<SimulationResult> per_workload;
+
+  [[nodiscard]] double mean_hotspot_percent() const;
+  [[nodiscard]] double max_hotspot_percent() const;
+  [[nodiscard]] double mean_above_target_percent() const;
+  [[nodiscard]] double mean_gradient_percent() const;
+  [[nodiscard]] double mean_cycles_per_1000() const;
+  [[nodiscard]] double total_chip_energy() const;
+  [[nodiscard]] double total_pump_energy() const;
+  [[nodiscard]] double total_throughput() const;
+};
+
+class ExperimentSuite {
+ public:
+  explicit ExperimentSuite(SuiteConfig cfg);
+
+  /// Run the given policies over the given workloads (defaults: the paper's
+  /// seven policies over all eight Table II benchmarks).
+  [[nodiscard]] std::vector<PolicySummary> run(
+      const std::vector<PolicyConfig>& policies,
+      const std::vector<BenchmarkSpec>& workloads);
+
+  [[nodiscard]] std::vector<PolicySummary> run_paper_grid() {
+    return run(paper_policy_grid(), table2_benchmarks());
+  }
+
+  /// Build one concrete SimulationConfig cell (shares characterizations).
+  [[nodiscard]] SimulationConfig make_config(PolicyConfig policy,
+                                             const BenchmarkSpec& workload);
+
+ private:
+  SuiteConfig cfg_;
+  std::shared_ptr<const FlowLut> flow_lut_;           // lazily built
+  std::shared_ptr<const TalbWeightTable> talb_liquid_;
+  std::shared_ptr<const TalbWeightTable> talb_air_;
+};
+
+/// Energy normalization baseline: the summary whose label matches
+/// "LB (Air)"; throws ConfigError when absent.
+[[nodiscard]] const PolicySummary& find_baseline(
+    const std::vector<PolicySummary>& summaries, const std::string& label = "LB (Air)");
+
+}  // namespace liquid3d

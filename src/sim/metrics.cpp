@@ -1,0 +1,91 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+ThermalCycleCounter::ThermalCycleCounter(MetricThresholds thresholds)
+    : thr_(thresholds) {}
+
+void ThermalCycleCounter::add_sample(double temperature_c) {
+  ++samples_;
+  if (samples_ == 1) {
+    last_extremum_ = temperature_c;
+    current_ = temperature_c;
+    return;
+  }
+  const double band = thr_.cycle_noise_band_c;
+  if (direction_ == 0) {
+    if (temperature_c > current_ + band) direction_ = +1;
+    if (temperature_c < current_ - band) direction_ = -1;
+    // Track the running extremum while direction is forming.
+    if (direction_ == +1) current_ = temperature_c;
+    if (direction_ == -1) current_ = temperature_c;
+    return;
+  }
+  if (direction_ == +1) {
+    if (temperature_c >= current_) {
+      current_ = temperature_c;  // still rising
+    } else if (current_ - temperature_c > band) {
+      // Peak confirmed at current_: the upswing from the last valley.
+      if (current_ - last_extremum_ >= thr_.thermal_cycle_c) ++cycles_;
+      last_extremum_ = current_;
+      current_ = temperature_c;
+      direction_ = -1;
+    }
+  } else {
+    if (temperature_c <= current_) {
+      current_ = temperature_c;  // still falling
+    } else if (temperature_c - current_ > band) {
+      // Valley confirmed: the downswing from the last peak.
+      if (last_extremum_ - current_ >= thr_.thermal_cycle_c) ++cycles_;
+      last_extremum_ = current_;
+      current_ = temperature_c;
+      direction_ = +1;
+    }
+  }
+}
+
+MetricsCollector::MetricsCollector(std::size_t core_count, MetricThresholds thresholds)
+    : thr_(thresholds) {
+  LIQUID3D_REQUIRE(core_count > 0, "metrics need at least one core");
+  cycle_counters_.assign(core_count, ThermalCycleCounter(thresholds));
+}
+
+void MetricsCollector::add_sample(const std::vector<double>& unit_temps,
+                                  const std::vector<double>& core_temps) {
+  LIQUID3D_REQUIRE(!unit_temps.empty(), "unit temperatures must be non-empty");
+  LIQUID3D_REQUIRE(core_temps.size() == cycle_counters_.size(),
+                   "core temperature arity mismatch");
+
+  const auto [min_it, max_it] = std::minmax_element(unit_temps.begin(), unit_temps.end());
+  const double tmax = *max_it;
+  const double spread = *max_it - *min_it;
+
+  hotspot_.add(tmax > thr_.hotspot_c);
+  above_target_.add(tmax > thr_.target_c);
+  gradient_.add(spread > thr_.spatial_gradient_c);
+  tmax_.add(tmax);
+  gradient_magnitude_.add(spread);
+
+  for (std::size_t i = 0; i < core_temps.size(); ++i) {
+    cycle_counters_[i].add_sample(core_temps[i]);
+  }
+}
+
+double MetricsCollector::thermal_cycles_per_1000() const {
+  std::size_t cycles = 0;
+  std::size_t samples = 0;
+  for (const ThermalCycleCounter& c : cycle_counters_) {
+    cycles += c.cycles_above_threshold();
+    samples += c.samples();
+  }
+  return samples > 0
+             ? 1000.0 * static_cast<double>(cycles) / static_cast<double>(samples)
+             : 0.0;
+}
+
+}  // namespace liquid3d

@@ -1,0 +1,80 @@
+// metrics.hpp — the evaluation metrics of Sec. V.
+//
+//   * hot spots: percentage of sampling intervals with any unit above the
+//     85 °C threshold (Fig. 6 also reports the per-workload maximum);
+//   * time above the 80 °C target (the controller's guarantee);
+//   * spatial gradients: percentage of intervals where the maximum
+//     temperature difference among units exceeds 15 °C (Fig. 7);
+//   * thermal cycles: per-core temperature swings with magnitude above
+//     20 °C, detected with peak/valley tracking over a sliding history
+//     (Fig. 7); reported per 1000 core-samples;
+//   * energy (chip / pump) and throughput (threads per second).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/statistics.hpp"
+
+namespace liquid3d {
+
+struct MetricThresholds {
+  double hotspot_c = 85.0;
+  double target_c = 80.0;
+  double spatial_gradient_c = 15.0;
+  double thermal_cycle_c = 20.0;
+  /// Reversals smaller than this are sensor noise, not cycles.
+  double cycle_noise_band_c = 1.0;
+};
+
+/// Detects temperature cycles (peak-to-valley swings) on one core.
+class ThermalCycleCounter {
+ public:
+  explicit ThermalCycleCounter(MetricThresholds thresholds = {});
+
+  void add_sample(double temperature_c);
+
+  [[nodiscard]] std::size_t cycles_above_threshold() const { return cycles_; }
+  [[nodiscard]] std::size_t samples() const { return samples_; }
+
+ private:
+  MetricThresholds thr_;
+  double last_extremum_ = 0.0;
+  double current_ = 0.0;
+  int direction_ = 0;  ///< +1 rising, -1 falling, 0 unknown
+  std::size_t cycles_ = 0;
+  std::size_t samples_ = 0;
+};
+
+/// Aggregates everything the figures report for one simulation run.
+class MetricsCollector {
+ public:
+  MetricsCollector(std::size_t core_count, MetricThresholds thresholds = {});
+
+  /// One sampling interval.
+  ///   unit_temps — temperatures of all monitored units (cores, caches, ...);
+  ///   core_temps — core sensor readings (subset used for cycles/control).
+  void add_sample(const std::vector<double>& unit_temps,
+                  const std::vector<double>& core_temps);
+
+  [[nodiscard]] double hotspot_percent() const { return hotspot_.percent(); }
+  [[nodiscard]] double above_target_percent() const { return above_target_.percent(); }
+  [[nodiscard]] double spatial_gradient_percent() const { return gradient_.percent(); }
+  /// Cycles with magnitude above the threshold per 1000 core-samples.
+  [[nodiscard]] double thermal_cycles_per_1000() const;
+  [[nodiscard]] const RunningStats& tmax_stats() const { return tmax_; }
+  [[nodiscard]] const RunningStats& gradient_stats() const { return gradient_magnitude_; }
+
+  [[nodiscard]] const MetricThresholds& thresholds() const { return thr_; }
+
+ private:
+  MetricThresholds thr_;
+  FractionCounter hotspot_;
+  FractionCounter above_target_;
+  FractionCounter gradient_;
+  RunningStats tmax_;
+  RunningStats gradient_magnitude_;
+  std::vector<ThermalCycleCounter> cycle_counters_;
+};
+
+}  // namespace liquid3d

@@ -1,0 +1,94 @@
+#include "thermal/banded_cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+BandedSpdMatrix::BandedSpdMatrix(std::size_t n, std::size_t half_bandwidth)
+    : n_(n), b_(half_bandwidth), band_(n * (half_bandwidth + 1), 0.0) {
+  LIQUID3D_REQUIRE(n > 0, "matrix must be non-empty");
+}
+
+double& BandedSpdMatrix::at(std::size_t i, std::size_t j) {
+  LIQUID3D_ASSERT(j <= i && i - j <= b_ && i < n_, "band index out of range");
+  return band_[i * (b_ + 1) + (j - i + b_)];
+}
+
+double BandedSpdMatrix::at(std::size_t i, std::size_t j) const {
+  LIQUID3D_ASSERT(j <= i && i - j <= b_ && i < n_, "band index out of range");
+  return band_[i * (b_ + 1) + (j - i + b_)];
+}
+
+void BandedSpdMatrix::add_coupling(std::size_t i, std::size_t j, double g) {
+  LIQUID3D_ASSERT(i != j, "coupling requires distinct nodes");
+  const std::size_t lo = std::min(i, j);
+  const std::size_t hi = std::max(i, j);
+  at(lo, lo) += g;
+  at(hi, hi) += g;
+  at(hi, lo) -= g;
+}
+
+void BandedSpdMatrix::add_diagonal(std::size_t i, double g) { at(i, i) += g; }
+
+void BandedSpdMatrix::set_zero() {
+  std::fill(band_.begin(), band_.end(), 0.0);
+  factorized_ = false;
+}
+
+void BandedSpdMatrix::factorize() {
+  LIQUID3D_ASSERT(!factorized_, "matrix already factorized");
+  const std::size_t w = b_ + 1;
+  for (std::size_t j = 0; j < n_; ++j) {
+    // Diagonal pivot.
+    double d = band_[j * w + b_];
+    const std::size_t k_lo = (j >= b_) ? j - b_ : 0;
+    for (std::size_t k = k_lo; k < j; ++k) {
+      const double ljk = band_[j * w + (k - j + b_)];
+      d -= ljk * ljk;
+    }
+    LIQUID3D_ASSERT(d > 0.0, "banded Cholesky: non-positive pivot");
+    const double ljj = std::sqrt(d);
+    band_[j * w + b_] = ljj;
+    const double inv = 1.0 / ljj;
+    // Column below the pivot.
+    const std::size_t i_hi = std::min(n_ - 1, j + b_);
+    for (std::size_t i = j + 1; i <= i_hi; ++i) {
+      double s = band_[i * w + (j - i + b_)];
+      const std::size_t kk_lo = std::max((i >= b_) ? i - b_ : 0, k_lo);
+      for (std::size_t k = kk_lo; k < j; ++k) {
+        s -= band_[i * w + (k - i + b_)] * band_[j * w + (k - j + b_)];
+      }
+      band_[i * w + (j - i + b_)] = s * inv;
+    }
+  }
+  factorized_ = true;
+}
+
+void BandedSpdMatrix::solve(std::vector<double>& rhs) const {
+  LIQUID3D_ASSERT(factorized_, "solve requires a factorized matrix");
+  LIQUID3D_REQUIRE(rhs.size() == n_, "rhs size mismatch");
+  const std::size_t w = b_ + 1;
+  // Forward: L y = rhs.
+  for (std::size_t i = 0; i < n_; ++i) {
+    double s = rhs[i];
+    const std::size_t k_lo = (i >= b_) ? i - b_ : 0;
+    for (std::size_t k = k_lo; k < i; ++k) {
+      s -= band_[i * w + (k - i + b_)] * rhs[k];
+    }
+    rhs[i] = s / band_[i * w + b_];
+  }
+  // Backward: L^T x = y.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double s = rhs[ii];
+    const std::size_t j_hi = std::min(n_ - 1, ii + b_);
+    for (std::size_t j = ii + 1; j <= j_hi; ++j) {
+      s -= band_[j * w + (ii - j + b_)] * rhs[j];
+    }
+    rhs[ii] = s / band_[ii * w + b_];
+  }
+}
+
+}  // namespace liquid3d

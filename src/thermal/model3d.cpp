@@ -1,0 +1,470 @@
+#include "thermal/model3d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+namespace {
+/// Fraction of the die footprint that lies over channel structures: the
+/// 65 channels at pitch p cover 65 * p of the die height (Sec. III-A).
+double channel_coverage(const CavitySpec& cavity, double die_height) {
+  return std::min(1.0, static_cast<double>(cavity.channel_count) * cavity.pitch /
+                           die_height);
+}
+}  // namespace
+
+ThermalModel3D::ThermalModel3D(Stack3D stack, ThermalModelParams params)
+    : stack_(std::move(stack)),
+      params_(params),
+      grid_(params.grid_rows, params.grid_cols, stack_.width(), stack_.height()),
+      layer_count_(stack_.layer_count()),
+      cell_count_(grid_.cell_count()),
+      node_count_(stack_.layer_count() * grid_.cell_count()),
+      inlet_temperature_(params.inlet_temperature) {
+  LIQUID3D_REQUIRE(layer_count_ >= 1, "stack must have at least one layer");
+  maps_.reserve(layer_count_);
+  for (std::size_t l = 0; l < layer_count_; ++l) {
+    maps_.emplace_back(grid_, stack_.layer(l).floorplan);
+  }
+  temps_.assign(node_count_, params_.ambient_temperature);
+  cell_power_.assign(node_count_, 0.0);
+  rhs_.assign(node_count_, 0.0);
+  if (stack_.has_cavities()) {
+    fluid_temp_.assign(stack_.cavity_count(),
+                       std::vector<double>(cell_count_, inlet_temperature_));
+    cavity_absorbed_.assign(stack_.cavity_count(), 0.0);
+    cavity_outlet_.assign(stack_.cavity_count(), inlet_temperature_);
+  }
+  spreader_temp_ = params_.ambient_temperature;
+  sink_temp_ = params_.ambient_temperature;
+  build_topology();
+}
+
+void ThermalModel3D::build_topology() {
+  capacitance_.assign(node_count_, 0.0);
+  ext_diag_.assign(node_count_, 0.0);
+  couplings_.clear();
+
+  const double a_cell = grid_.cell_area();
+  const double k_si = params_.silicon_conductivity;
+
+  // Per-node heat capacity: silicon cell volume, plus (for liquid stacks)
+  // the thermal mass of the adjacent interlayer cavities — the etched
+  // channel walls and the coolant held in the channels move with the die
+  // temperature and roughly triple the per-cell mass.  Each cavity's mass is
+  // split between the two dies it touches (edge cavities give their full
+  // share to their single die).
+  for (std::size_t l = 0; l < layer_count_; ++l) {
+    const double c_node =
+        params_.silicon_volumetric_heat_capacity * a_cell * stack_.layer(l).die_thickness;
+    for (std::size_t cell = 0; cell < cell_count_; ++cell) {
+      capacitance_[node(l, cell)] = c_node;
+    }
+  }
+  if (stack_.has_cavities()) {
+    const CavitySpec& cav = stack_.cavity();
+    const double coverage = channel_coverage(cav, stack_.height());
+    const double solid_frac = 1.0 - coverage * (cav.channel_width / cav.pitch);
+    const double c_solid = params_.silicon_volumetric_heat_capacity * a_cell *
+                           cav.cavity_thickness * solid_frac;
+    const double c_fluid = params_.coolant.volumetric_heat_capacity() * a_cell *
+                           cav.channel_height * coverage *
+                           (cav.channel_width / cav.pitch);
+    const double c_cavity = c_solid + c_fluid;
+    for (std::size_t l = 0; l < layer_count_; ++l) {
+      // Cavity below (index l) and above (index l+1); interior cavities are
+      // shared between two dies.
+      const double share_below = (l == 0) ? 1.0 : 0.5;
+      const double share_above = (l == layer_count_ - 1) ? 1.0 : 0.5;
+      for (std::size_t cell = 0; cell < cell_count_; ++cell) {
+        capacitance_[node(l, cell)] += c_cavity * (share_below + share_above);
+      }
+    }
+  }
+
+  // Lateral conduction.
+  for (std::size_t l = 0; l < layer_count_; ++l) {
+    const double t_die = stack_.layer(l).die_thickness;
+    const double g_col = k_si * grid_.cell_height() * t_die / grid_.cell_width();
+    const double g_row = k_si * grid_.cell_width() * t_die / grid_.cell_height();
+    for (std::size_t r = 0; r < grid_.rows(); ++r) {
+      for (std::size_t c = 0; c < grid_.cols(); ++c) {
+        const std::size_t cell = grid_.index(r, c);
+        if (c + 1 < grid_.cols()) {
+          couplings_.push_back({node(l, cell), node(l, grid_.index(r, c + 1)), g_col});
+        }
+        if (r + 1 < grid_.rows()) {
+          couplings_.push_back({node(l, cell), node(l, grid_.index(r + 1, c)), g_row});
+        }
+      }
+    }
+  }
+
+  // TSV footprint: per-cell share of the crossbar TSV bundle.  All layers
+  // share the crossbar rect by construction; use layer 0's.
+  std::vector<double> tsv_area_cell(cell_count_, 0.0);
+  {
+    const Floorplan& fp = stack_.layer(0).floorplan;
+    for (const Block& b : fp.blocks()) {
+      if (b.type != BlockType::kCrossbar) continue;
+      for (std::size_t cell = 0; cell < cell_count_; ++cell) {
+        const double overlap = b.rect.overlap_area(grid_.cell_rect(cell));
+        if (overlap > 0.0) {
+          tsv_area_cell[cell] +=
+              stack_.tsvs().total_area() * overlap / b.rect.area();
+        }
+      }
+    }
+  }
+
+  // Vertical conduction between adjacent layers and external couplings.
+  const bool liquid = stack_.has_cavities();
+  const double coverage =
+      liquid ? channel_coverage(stack_.cavity(), stack_.height()) : 0.0;
+
+  // Per-cell series resistances on the die faces.
+  auto r_beol_cell = [&](std::size_t l) {
+    return MicrochannelModelParams{stack_.layer(l).beol_thickness,
+                                   params_.channel_params.beol_conductivity,
+                                   params_.channel_params.heat_transfer_coeff}
+               .r_beol_area() /
+           a_cell;
+  };
+  auto r_slab_cell = [&](std::size_t l) {
+    return stack_.layer(l).die_thickness / (k_si * a_cell);
+  };
+
+  if (liquid) {
+    const CavitySpec& cav = stack_.cavity();
+    const MicrochannelModel channels(cav, params_.coolant, params_.channel_params);
+    // Convective resistance over the channeled share of a cell's footprint.
+    const double r_conv_cell = 1.0 / (channels.h_eff() * a_cell * coverage);
+    // Couplings identical for all layers (same thickness); use layer 0.
+    g_fluid_dn_ = 1.0 / (r_beol_cell(0) + r_conv_cell);
+    g_fluid_up_ = 1.0 / (r_slab_cell(0) + r_conv_cell);
+
+    // Solid channel-wall path area fraction: outside the channeled band the
+    // full cell is solid; inside it, walls occupy (1 - w_c/p).
+    const double solid_frac = 1.0 - coverage * (cav.channel_width / cav.pitch);
+    for (std::size_t l = 0; l + 1 < layer_count_; ++l) {
+      for (std::size_t cell = 0; cell < cell_count_; ++cell) {
+        const double g_wall = params_.cavity_wall_conductivity * a_cell * solid_frac /
+                              cav.cavity_thickness;
+        const double g_tsv =
+            stack_.tsvs().cu_conductivity * tsv_area_cell[cell] / cav.cavity_thickness;
+        const double r_mid = 1.0 / (g_wall + g_tsv);
+        const double g =
+            1.0 / (r_beol_cell(l) + r_mid + r_slab_cell(l + 1));
+        couplings_.push_back({node(l, cell), node(l + 1, cell), g});
+      }
+    }
+
+    // External (fluid) conductance totals per node: cavity k couples layer
+    // k-1 through its BEOL face (g_dn) and layer k through its slab (g_up).
+    for (std::size_t k = 0; k <= layer_count_; ++k) {
+      if (k >= 1) {
+        for (std::size_t cell = 0; cell < cell_count_; ++cell) {
+          ext_diag_[node(k - 1, cell)] += g_fluid_dn_;
+        }
+      }
+      if (k < layer_count_) {
+        for (std::size_t cell = 0; cell < cell_count_; ++cell) {
+          ext_diag_[node(k, cell)] += g_fluid_up_;
+        }
+      }
+    }
+  } else {
+    // Air-cooled: bond material between dies, package on top.
+    const double t_bond = stack_.bond_thickness();
+    const double k_bond = params_.bond_conductivity;
+    for (std::size_t l = 0; l + 1 < layer_count_; ++l) {
+      for (std::size_t cell = 0; cell < cell_count_; ++cell) {
+        const double g_bond = k_bond * a_cell / t_bond;
+        const double g_tsv =
+            stack_.tsvs().cu_conductivity * tsv_area_cell[cell] / t_bond;
+        const double r_mid = 1.0 / (g_bond + g_tsv);
+        const double g = 1.0 / (r_beol_cell(l) + r_mid + r_slab_cell(l + 1));
+        couplings_.push_back({node(l, cell), node(l + 1, cell), g});
+      }
+    }
+    // Top layer -> spreader through BEOL + TIM.
+    const double r_tim_cell = params_.tim_thickness / (params_.tim_conductivity * a_cell);
+    g_package_ = 1.0 / (r_beol_cell(layer_count_ - 1) + r_tim_cell);
+    for (std::size_t cell = 0; cell < cell_count_; ++cell) {
+      ext_diag_[node(layer_count_ - 1, cell)] += g_package_;
+    }
+  }
+}
+
+void ThermalModel3D::set_block_power(std::size_t layer, const std::vector<double>& watts) {
+  LIQUID3D_REQUIRE(layer < layer_count_, "layer index out of range");
+  const BlockCellMap& map = maps_[layer];
+  LIQUID3D_REQUIRE(watts.size() == map.block_count(), "block power arity mismatch");
+  for (std::size_t cell = 0; cell < cell_count_; ++cell) {
+    cell_power_[node(layer, cell)] = 0.0;
+  }
+  for (std::size_t b = 0; b < watts.size(); ++b) {
+    LIQUID3D_REQUIRE(watts[b] >= 0.0, "block power must be non-negative");
+    for (const BlockCellMap::CellShare& share : map.cells_of(b)) {
+      cell_power_[node(layer, share.cell)] += watts[b] * share.weight;
+    }
+  }
+}
+
+void ThermalModel3D::set_cavity_flow(VolumetricFlow per_cavity) {
+  LIQUID3D_REQUIRE(stack_.has_cavities(), "flow only applies to liquid stacks");
+  LIQUID3D_REQUIRE(per_cavity.m3_per_s() >= 0.0, "flow must be non-negative");
+  cavity_flow_ = per_cavity;
+}
+
+void ThermalModel3D::initialize(double temperature_c) {
+  std::fill(temps_.begin(), temps_.end(), temperature_c);
+  for (auto& cavity : fluid_temp_) {
+    std::fill(cavity.begin(), cavity.end(), inlet_temperature_);
+  }
+  std::fill(cavity_absorbed_.begin(), cavity_absorbed_.end(), 0.0);
+  std::fill(cavity_outlet_.begin(), cavity_outlet_.end(), inlet_temperature_);
+  spreader_temp_ = params_.ambient_temperature;
+  sink_temp_ = params_.ambient_temperature;
+}
+
+void ThermalModel3D::build_matrix(BandedSpdMatrix& m, double inv_dt) const {
+  m.set_zero();
+  for (std::size_t i = 0; i < node_count_; ++i) {
+    m.add_diagonal(i, capacitance_[i] * inv_dt + ext_diag_[i]);
+  }
+  for (const Coupling& c : couplings_) {
+    m.add_coupling(c.a, c.b, c.g);
+  }
+}
+
+void ThermalModel3D::ensure_transient_matrix(double dt_s) {
+  if (transient_matrix_ && transient_dt_ == dt_s) return;
+  const std::size_t bw = grid_.cols() * layer_count_;
+  transient_matrix_ = std::make_unique<BandedSpdMatrix>(node_count_, bw);
+  build_matrix(*transient_matrix_, 1.0 / dt_s);
+  transient_matrix_->factorize();
+  transient_dt_ = dt_s;
+}
+
+void ThermalModel3D::ensure_steady_matrix() {
+  if (steady_matrix_) return;
+  const std::size_t bw = grid_.cols() * layer_count_;
+  steady_matrix_ = std::make_unique<BandedSpdMatrix>(node_count_, bw);
+  build_matrix(*steady_matrix_, 1.0 / params_.steady_pseudo_dt);
+  steady_matrix_->factorize();
+}
+
+double ThermalModel3D::march_fluid(std::size_t cavity) {
+  auto& fluid = fluid_temp_[cavity];
+  const double w_cavity = params_.coolant.volumetric_heat_capacity() *
+                          cavity_flow_.m3_per_s();
+  const double w_row = w_cavity / static_cast<double>(grid_.rows());
+  const bool has_below = cavity >= 1;
+  const bool has_above = cavity < layer_count_;
+  const double g_dn = has_below ? g_fluid_dn_ : 0.0;
+  const double g_up = has_above ? g_fluid_up_ : 0.0;
+  const double g_sum = g_dn + g_up;
+
+  // Counterflow routing: odd cavities flow -x (inlet at the right edge).
+  const bool reverse = params_.alternate_flow_direction && (cavity % 2 == 1);
+
+  double max_delta = 0.0;
+  double absorbed = 0.0;
+  double outlet_acc = 0.0;
+  for (std::size_t r = 0; r < grid_.rows(); ++r) {
+    double t_in = inlet_temperature_;
+    for (std::size_t ci = 0; ci < grid_.cols(); ++ci) {
+      const std::size_t c = reverse ? grid_.cols() - 1 - ci : ci;
+      const std::size_t cell = grid_.index(r, c);
+      const double t_below = has_below ? temps_[node(cavity - 1, cell)] : 0.0;
+      const double t_above = has_above ? temps_[node(cavity, cell)] : 0.0;
+      double t_f;
+      if (w_row > 1e-12) {
+        // Heat balance with the cell-mean fluid temperature
+        // T_f = T_in + q/(2W):  q (1 + G/(2W)) = Σ g_i T_wall_i - G T_in.
+        const double num = g_dn * t_below + g_up * t_above - g_sum * t_in;
+        const double q = num / (1.0 + g_sum / (2.0 * w_row));
+        t_f = t_in + q / (2.0 * w_row);
+        t_in += q / w_row;
+        absorbed += q;
+      } else {
+        // Stagnant coolant: pure conduction equilibrium between the walls.
+        t_f = g_sum > 0.0 ? (g_dn * t_below + g_up * t_above) / g_sum
+                          : inlet_temperature_;
+      }
+      max_delta = std::max(max_delta, std::abs(t_f - fluid[cell]));
+      fluid[cell] = t_f;
+    }
+    outlet_acc += t_in;
+  }
+  cavity_absorbed_[cavity] = absorbed;
+  cavity_outlet_[cavity] = outlet_acc / static_cast<double>(grid_.rows());
+  return max_delta;
+}
+
+double ThermalModel3D::march_all_fluid() {
+  double max_delta = 0.0;
+  for (std::size_t k = 0; k < fluid_temp_.size(); ++k) {
+    max_delta = std::max(max_delta, march_fluid(k));
+  }
+  return max_delta;
+}
+
+double ThermalModel3D::advance(const BandedSpdMatrix& m, double inv_dt,
+                               std::size_t fluid_iters) {
+  const std::vector<double> temps_prev = temps_;
+  const bool liquid = stack_.has_cavities();
+  const std::size_t max_iters = liquid ? fluid_iters : 1;
+
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    // Assemble RHS: stored heat + injected power + external couplings.
+    for (std::size_t i = 0; i < node_count_; ++i) {
+      rhs_[i] = capacitance_[i] * inv_dt * temps_prev[i] + cell_power_[i];
+    }
+    if (liquid) {
+      for (std::size_t k = 0; k <= layer_count_; ++k) {
+        const auto& fluid = fluid_temp_[k];
+        if (k >= 1) {
+          for (std::size_t cell = 0; cell < cell_count_; ++cell) {
+            rhs_[node(k - 1, cell)] += g_fluid_dn_ * fluid[cell];
+          }
+        }
+        if (k < layer_count_) {
+          for (std::size_t cell = 0; cell < cell_count_; ++cell) {
+            rhs_[node(k, cell)] += g_fluid_up_ * fluid[cell];
+          }
+        }
+      }
+    } else {
+      for (std::size_t cell = 0; cell < cell_count_; ++cell) {
+        rhs_[node(layer_count_ - 1, cell)] += g_package_ * spreader_temp_;
+      }
+    }
+    m.solve(rhs_);
+    temps_.swap(rhs_);
+    if (!liquid) break;
+    const double delta = march_all_fluid();
+    if (delta < params_.fluid_tolerance) break;
+  }
+
+  double change = 0.0;
+  for (std::size_t i = 0; i < node_count_; ++i) {
+    change = std::max(change, std::abs(temps_[i] - temps_prev[i]));
+  }
+  return change;
+}
+
+void ThermalModel3D::step(double dt_s) {
+  LIQUID3D_REQUIRE(dt_s > 0.0, "time step must be positive");
+  ensure_transient_matrix(dt_s);
+  advance(*transient_matrix_, 1.0 / dt_s, params_.max_fluid_iterations);
+  if (!stack_.has_cavities()) update_package_transient(dt_s);
+}
+
+void ThermalModel3D::update_package_transient(double dt_s) {
+  // Explicit update is stable here: the package time constants (seconds) are
+  // far above the step size.
+  double q_in = 0.0;
+  for (std::size_t cell = 0; cell < cell_count_; ++cell) {
+    q_in += g_package_ * (temps_[node(layer_count_ - 1, cell)] - spreader_temp_);
+  }
+  const double q_ss = (spreader_temp_ - sink_temp_) / params_.spreader_to_sink_resistance;
+  const double q_sa = (sink_temp_ - params_.ambient_temperature) /
+                      params_.sink_to_ambient_resistance;
+  spreader_temp_ += dt_s * (q_in - q_ss) / params_.spreader_capacitance;
+  sink_temp_ += dt_s * (q_ss - q_sa) / params_.sink_capacitance;
+}
+
+void ThermalModel3D::update_package_steady() {
+  double g_total = 0.0;
+  double gt_total = 0.0;
+  for (std::size_t cell = 0; cell < cell_count_; ++cell) {
+    g_total += g_package_;
+    gt_total += g_package_ * temps_[node(layer_count_ - 1, cell)];
+  }
+  const double g_ss = 1.0 / params_.spreader_to_sink_resistance;
+  const double g_sa = 1.0 / params_.sink_to_ambient_resistance;
+  // Two-node linear balance, solved exactly.
+  //   (g_total + g_ss) T_spr - g_ss T_sink = gt_total
+  //   -g_ss T_spr + (g_ss + g_sa) T_sink  = g_sa T_amb
+  const double a11 = g_total + g_ss;
+  const double a22 = g_ss + g_sa;
+  const double det = a11 * a22 - g_ss * g_ss;
+  spreader_temp_ =
+      (gt_total * a22 + g_ss * g_sa * params_.ambient_temperature) / det;
+  sink_temp_ = (a11 * g_sa * params_.ambient_temperature + g_ss * gt_total) / det;
+}
+
+void ThermalModel3D::solve_steady_state() {
+  // Zero flow on a liquid stack has no bounded steady state (every heat
+  // path ends in the coolant); fail fast instead of iterating forever.
+  LIQUID3D_REQUIRE(!stack_.has_cavities() || cavity_flow_.m3_per_s() > 0.0,
+                   "steady state of a liquid stack requires nonzero flow");
+  ensure_steady_matrix();
+  const double inv_dt = 1.0 / params_.steady_pseudo_dt;
+  for (std::size_t iter = 0; iter < params_.max_steady_iterations; ++iter) {
+    double delta = advance(*steady_matrix_, inv_dt, params_.steady_fluid_iterations);
+    if (!stack_.has_cavities()) {
+      const double spr_before = spreader_temp_;
+      update_package_steady();
+      delta = std::max(delta, std::abs(spreader_temp_ - spr_before));
+    }
+    if (delta < params_.steady_tolerance) return;
+  }
+  // Not converged within the iteration cap — surface it; silent divergence
+  // would corrupt every characterization built on top.
+  LIQUID3D_ASSERT(false, "steady-state iteration did not converge");
+}
+
+double ThermalModel3D::cell_temperature(std::size_t layer, std::size_t cell) const {
+  LIQUID3D_REQUIRE(layer < layer_count_ && cell < cell_count_, "index out of range");
+  return temps_[node(layer, cell)];
+}
+
+double ThermalModel3D::block_temperature(std::size_t layer, std::size_t block) const {
+  LIQUID3D_REQUIRE(layer < layer_count_, "layer index out of range");
+  std::vector<double> layer_temps(cell_count_);
+  for (std::size_t cell = 0; cell < cell_count_; ++cell) {
+    layer_temps[cell] = temps_[node(layer, cell)];
+  }
+  return maps_[layer].block_max(layer_temps, block);
+}
+
+double ThermalModel3D::block_mean_temperature(std::size_t layer, std::size_t block) const {
+  LIQUID3D_REQUIRE(layer < layer_count_, "layer index out of range");
+  std::vector<double> layer_temps(cell_count_);
+  for (std::size_t cell = 0; cell < cell_count_; ++cell) {
+    layer_temps[cell] = temps_[node(layer, cell)];
+  }
+  return maps_[layer].block_mean(layer_temps, block);
+}
+
+double ThermalModel3D::max_temperature() const {
+  return *std::max_element(temps_.begin(), temps_.end());
+}
+
+double ThermalModel3D::min_temperature() const {
+  return *std::min_element(temps_.begin(), temps_.end());
+}
+
+double ThermalModel3D::fluid_outlet_temperature(std::size_t cavity) const {
+  LIQUID3D_REQUIRE(cavity < cavity_outlet_.size(), "cavity index out of range");
+  return cavity_outlet_[cavity];
+}
+
+double ThermalModel3D::cavity_absorbed_power(std::size_t cavity) const {
+  LIQUID3D_REQUIRE(cavity < cavity_absorbed_.size(), "cavity index out of range");
+  return cavity_absorbed_[cavity];
+}
+
+double ThermalModel3D::total_power() const {
+  double acc = 0.0;
+  for (double p : cell_power_) acc += p;
+  return acc;
+}
+
+}  // namespace liquid3d

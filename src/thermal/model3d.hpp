@@ -1,0 +1,232 @@
+// model3d.hpp — grid-level transient/steady thermal model of a 3D stack with
+// interlayer microchannel liquid cooling or a conventional air package.
+//
+// This is the reproduction of Sec. III of the paper (the HotSpot v4.2
+// extension).  Physics implemented:
+//
+//   * per-layer uniform grid of silicon "junction" cells with lateral
+//     conduction and per-cell heat capacity;
+//   * vertical conduction between adjacent dies through the interlayer:
+//     - liquid stacks: solid channel-wall path in parallel with the coolant
+//       path, with TSV (copper) enhancement under the crossbar footprint;
+//     - air stacks: bond material path with the same TSV enhancement;
+//   * per-cell convective coupling into the coolant with the constant
+//     h_eff = h 2(w_c+t_c)/p of Table I (Eq. 7) — flow-independent, exactly
+//     as the paper treats ΔT_conv;
+//   * quasi-static coolant advection: the fluid temperature profile is
+//     marched downstream from the inlet each evaluation (the iterative
+//     ΔT_heat accumulation of Sec. III-A, Eq. 4-5).  The coolant transit
+//     time (<1 ms) is far below both the thermal time constant (~100 ms)
+//     and the 100 ms sampling interval, so treating the fluid as algebraic
+//     is the faithful discretization of the paper's model;
+//   * BEOL conduction resistance (Eq. 2-3) in series with every coupling on
+//     a die's active face;
+//   * air-cooled stacks: TIM + spreader + sink lumped package (Table III
+//     capacitance), heat sink to ambient.
+//
+// Numerics: backward Euler with a banded Cholesky factorization that is
+// computed once per time step size (the network conductances do not depend
+// on the flow rate — only the fluid temperatures do), plus a fixed-point
+// outer loop coupling the silicon solve with the fluid march.  The runtime
+// flow-rate dependence enters through the advection term, which is the
+// paper's "cell resistivity varies at runtime" mechanism expressed in its
+// physically equivalent form.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "coolant/microchannel.hpp"
+#include "coolant/properties.hpp"
+#include "geom/grid.hpp"
+#include "geom/stack.hpp"
+#include "thermal/banded_cholesky.hpp"
+
+namespace liquid3d {
+
+struct ThermalModelParams {
+  // Grid resolution (per layer).  The paper uses 100 µm cells; the default
+  // here (~0.44 mm) keeps half-hour transient sweeps tractable, and the
+  // grid-convergence test demonstrates the refinement behaviour.
+  std::size_t grid_rows = 23;
+  std::size_t grid_cols = 26;
+
+  // Silicon properties (~350 K values).
+  double silicon_conductivity = 120.0;              ///< W/(m K)
+  double silicon_volumetric_heat_capacity = 1.63e6; ///< J/(m^3 K)
+
+  // Interlayer bond material: Table III resistivity 0.25 (m K)/W -> k = 4.
+  double bond_conductivity = 4.0;  ///< W/(m K)
+
+  // Effective conductivity of the cavity's solid (channel-wall) path,
+  // silicon walls plus bond interfaces in series.
+  double cavity_wall_conductivity = 100.0;  ///< W/(m K)
+
+  // Boundary temperatures [°C].  45 °C reflects warm-water cooling and a
+  // within-enclosure ambient; see DESIGN.md calibration notes.
+  double inlet_temperature = 45.0;
+  double ambient_temperature = 45.0;
+
+  // Microchannel constants (Table I).
+  MicrochannelModelParams channel_params{};
+  CoolantProperties coolant = CoolantProperties::water();
+
+  // Air package (liquid stacks ignore these).  The sink-to-ambient value is
+  // calibrated so the air-cooled 3D stack exhibits the hot-spot rates of
+  // Fig. 6; Table III's 0.1 K/W is the bare convection term of that package.
+  double tim_thickness = 140e-6;            ///< m (thermal paste bondline)
+  double tim_conductivity = 2.0;            ///< W/(m K)
+  double spreader_capacitance = 40.0;       ///< J/K
+  double sink_capacitance = 140.0;          ///< J/K (Table III)
+  double spreader_to_sink_resistance = 0.10; ///< K/W
+  double sink_to_ambient_resistance = 0.05;  ///< K/W (calibrated; see above)
+
+  /// Alternate the coolant flow direction of successive cavities
+  /// (counterflow routing).  In the *convection-limited* regime (high flow)
+  /// this evens the axial gradient; in the *advection-limited* regime this
+  /// system operates in (the coolant saturates to wall temperature within a
+  /// couple of cells), a reversed middle cavity exhausts at the cold end
+  /// and wastes its capacity, raising T_max.  Off by default — the paper
+  /// assumes a common inlet side.
+  bool alternate_flow_direction = false;
+
+  // Fluid fixed-point iteration (inner loop of each implicit step).
+  double fluid_tolerance = 0.005;       ///< K
+  std::size_t max_fluid_iterations = 10;
+  /// Inner fluid iterations during steady-state pseudo-transient steps; the
+  /// silicon<->fluid coupling approaches unit gain at very low flow, so the
+  /// steady path gets a larger budget.
+  std::size_t steady_fluid_iterations = 40;
+
+  // Steady-state solve: pseudo-transient continuation.  A bare
+  // silicon<->fluid alternation loses contraction when the coolant
+  // dominates the heat path (low flow, many cavities), so the steady state
+  // is reached by backward-Euler steps with a time step far above every
+  // system time constant.
+  double steady_pseudo_dt = 5.0;        ///< s
+  double steady_tolerance = 1e-4;       ///< K
+  std::size_t max_steady_iterations = 1500;
+};
+
+class ThermalModel3D {
+ public:
+  explicit ThermalModel3D(Stack3D stack, ThermalModelParams params = {});
+
+  // -- Topology ---------------------------------------------------------------
+  [[nodiscard]] const Stack3D& stack() const { return stack_; }
+  [[nodiscard]] const Grid& grid() const { return grid_; }
+  [[nodiscard]] const ThermalModelParams& params() const { return params_; }
+  [[nodiscard]] std::size_t layer_count() const { return layer_count_; }
+  [[nodiscard]] const BlockCellMap& block_map(std::size_t layer) const {
+    return maps_.at(layer);
+  }
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
+
+  // -- Inputs -----------------------------------------------------------------
+  /// Per-block dissipated power [W] for one layer (arity = block count).
+  void set_block_power(std::size_t layer, const std::vector<double>& watts);
+
+  /// Per-cavity volumetric flow (all cavities identical; Sec. III-B).
+  void set_cavity_flow(VolumetricFlow per_cavity);
+  [[nodiscard]] VolumetricFlow cavity_flow() const { return cavity_flow_; }
+
+  /// Override the coolant inlet temperature [°C].
+  void set_inlet_temperature(double celsius) { inlet_temperature_ = celsius; }
+
+  // -- Simulation -------------------------------------------------------------
+  /// Reset every node (and the package/fluid) to the given temperature [°C].
+  void initialize(double temperature_c);
+
+  /// Advance the transient solution by dt seconds (backward Euler).
+  void step(double dt_s);
+
+  /// Solve directly for the steady state under the current power and flow.
+  void solve_steady_state();
+
+  // -- Readback ---------------------------------------------------------------
+  [[nodiscard]] double cell_temperature(std::size_t layer, std::size_t cell) const;
+  /// Worst-case (max-cell) temperature over a block's footprint — what a
+  /// per-unit thermal sensor reports.
+  [[nodiscard]] double block_temperature(std::size_t layer, std::size_t block) const;
+  [[nodiscard]] double block_mean_temperature(std::size_t layer, std::size_t block) const;
+  /// Maximum junction temperature anywhere in the stack.
+  [[nodiscard]] double max_temperature() const;
+  [[nodiscard]] double min_temperature() const;
+
+  /// Mean coolant outlet temperature of a cavity [°C].
+  [[nodiscard]] double fluid_outlet_temperature(std::size_t cavity) const;
+  /// Heat absorbed by one cavity's coolant [W] (from the last evaluation).
+  [[nodiscard]] double cavity_absorbed_power(std::size_t cavity) const;
+  /// Heat-sink temperature (air-cooled stacks) [°C].
+  [[nodiscard]] double sink_temperature() const { return sink_temp_; }
+
+  /// Total power currently injected [W].
+  [[nodiscard]] double total_power() const;
+
+ private:
+  struct Coupling {
+    std::size_t a;
+    std::size_t b;
+    double g;
+  };
+
+  [[nodiscard]] std::size_t node(std::size_t layer, std::size_t cell) const {
+    return cell * layer_count_ + layer;
+  }
+
+  void build_topology();
+  void build_matrix(BandedSpdMatrix& m, double inv_dt) const;
+  void ensure_transient_matrix(double dt_s);
+  void ensure_steady_matrix();
+  /// One backward-Euler step (including the fluid fixed point); returns the
+  /// largest node temperature change.
+  double advance(const BandedSpdMatrix& m, double inv_dt, std::size_t fluid_iters);
+  /// March the coolant downstream through one cavity given silicon temps.
+  /// Returns the largest fluid temperature change.
+  double march_fluid(std::size_t cavity);
+  double march_all_fluid();
+  void update_package_transient(double dt_s);
+  void update_package_steady();
+
+  Stack3D stack_;
+  ThermalModelParams params_;
+  Grid grid_;
+  std::vector<BlockCellMap> maps_;
+  std::size_t layer_count_;
+  std::size_t cell_count_;
+  std::size_t node_count_;
+
+  // Static topology.
+  std::vector<Coupling> couplings_;
+  std::vector<double> capacitance_;  ///< per node [J/K]
+  std::vector<double> ext_diag_;     ///< per node: total conductance to
+                                     ///< external (fluid/package) temps [W/K]
+  // Per-cavity convective conductances per cell (uniform over cells).
+  double g_fluid_dn_ = 0.0;  ///< cavity fluid <-> layer below (BEOL face)
+  double g_fluid_up_ = 0.0;  ///< cavity fluid <-> layer above (slab face)
+  double g_package_ = 0.0;   ///< top-layer cell <-> spreader (air only)
+
+  // State.
+  std::vector<double> temps_;       ///< silicon node temperatures [°C]
+  std::vector<double> cell_power_;  ///< per node injected power [W]
+  std::vector<std::vector<double>> fluid_temp_;  ///< [cavity][cell]
+  std::vector<double> cavity_absorbed_;          ///< [cavity] W
+  std::vector<double> cavity_outlet_;            ///< [cavity] mean outlet °C
+  double spreader_temp_ = 45.0;
+  double sink_temp_ = 45.0;
+  double inlet_temperature_;
+  VolumetricFlow cavity_flow_{};
+
+  // Cached factorizations.
+  std::unique_ptr<BandedSpdMatrix> transient_matrix_;
+  double transient_dt_ = 0.0;
+  std::unique_ptr<BandedSpdMatrix> steady_matrix_;
+
+  // Scratch.
+  std::vector<double> rhs_;
+  std::vector<double> block_power_scratch_;
+};
+
+}  // namespace liquid3d

@@ -1,0 +1,46 @@
+#include "workload/benchmarks.hpp"
+
+#include <algorithm>
+
+namespace liquid3d {
+
+namespace {
+// Largest combined miss rate in Table II (Web-high: 67.6 + 288.7).
+constexpr double kMaxCombinedMiss = 356.3;
+// Largest FP rate in Table II (Web-med / Web-high: 31.2).
+constexpr double kMaxFp = 31.2;
+}  // namespace
+
+double BenchmarkSpec::activity_factor() const {
+  // Map fp_per_100k in [0, kMaxFp] to [0.92, 1.08].
+  const double x = std::clamp(fp_per_100k / kMaxFp, 0.0, 1.0);
+  return 0.92 + 0.16 * x;
+}
+
+double BenchmarkSpec::memory_intensity() const {
+  return std::clamp((l2_i_miss + l2_d_miss) / kMaxCombinedMiss, 0.0, 1.0);
+}
+
+const std::vector<BenchmarkSpec>& table2_benchmarks() {
+  // id, name, util%, I-miss, D-miss, FP, burstiness.
+  static const std::vector<BenchmarkSpec> kTable = {
+      {1, "Web-med", 0.5312, 12.9, 167.7, 31.2, 0.40},
+      {2, "Web-high", 0.9287, 67.6, 288.7, 31.2, 0.15},
+      {3, "Database", 0.1775, 6.5, 102.3, 5.9, 0.45},
+      {4, "Web&DB", 0.7512, 21.5, 115.3, 24.1, 0.30},
+      {5, "gcc", 0.1525, 31.7, 96.2, 18.1, 0.25},
+      {6, "gzip", 0.0900, 2.0, 57.0, 0.2, 0.20},
+      {7, "MPlayer", 0.0650, 9.6, 136.0, 1.0, 0.15},
+      {8, "MPlayer&Web", 0.2662, 9.1, 66.8, 29.9, 0.35},
+  };
+  return kTable;
+}
+
+std::optional<BenchmarkSpec> find_benchmark(const std::string& name) {
+  for (const BenchmarkSpec& b : table2_benchmarks()) {
+    if (b.name == name) return b;
+  }
+  return std::nullopt;
+}
+
+}  // namespace liquid3d

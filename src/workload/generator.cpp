@@ -1,0 +1,93 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+WorkloadGenerator::WorkloadGenerator(BenchmarkSpec benchmark, std::size_t core_count,
+                                     std::uint64_t seed, GeneratorConfig cfg)
+    : benchmark_(std::move(benchmark)), core_count_(core_count), cfg_(cfg), rng_(seed) {
+  LIQUID3D_REQUIRE(core_count > 0, "workload needs at least one core");
+  LIQUID3D_REQUIRE(benchmark_.avg_utilization >= 0.0 && benchmark_.avg_utilization <= 1.0,
+                   "benchmark utilization must be a fraction");
+  // Log-normal modulation with unit mean and CV = burstiness:
+  //   sigma^2 = ln(1 + CV^2).
+  sigma_stationary_ =
+      std::sqrt(std::log(1.0 + benchmark_.burstiness * benchmark_.burstiness));
+}
+
+void WorkloadGenerator::set_phase_schedule(std::vector<PhaseChange> schedule) {
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    LIQUID3D_REQUIRE(schedule[i].at > schedule[i - 1].at,
+                     "phase schedule must be sorted by time");
+  }
+  schedule_ = std::move(schedule);
+}
+
+double WorkloadGenerator::offered_load() const {
+  return benchmark_.avg_utilization * static_cast<double>(core_count_);
+}
+
+double WorkloadGenerator::phase_scale(SimTime now) const {
+  double scale = 1.0;
+  for (const PhaseChange& p : schedule_) {
+    if (now >= p.at) scale = p.utilization_scale;
+  }
+  return scale;
+}
+
+void WorkloadGenerator::advance_modulation(double dt_s) {
+  const double a = std::exp(-dt_s / cfg_.modulation_time_constant_s);
+  const double innovation_std = sigma_stationary_ * std::sqrt(1.0 - a * a);
+  log_modulation_ = a * log_modulation_ + innovation_std * rng_.normal();
+}
+
+double WorkloadGenerator::sample_length_ms() {
+  const double sigma = cfg_.sigma_log_length;
+  const double mu = std::log(cfg_.mean_thread_ms) - 0.5 * sigma * sigma;
+  const double len = std::exp(mu + sigma * rng_.normal());
+  return std::clamp(len, cfg_.min_thread_ms, cfg_.max_thread_ms);
+}
+
+std::vector<Thread> WorkloadGenerator::tick(SimTime now, SimTime interval) {
+  const double dt_s = interval.as_s();
+  advance_modulation(dt_s);
+
+  const double modulator =
+      std::exp(-0.5 * sigma_stationary_ * sigma_stationary_ + log_modulation_);
+  const double mean_len_s = cfg_.mean_thread_ms * 1e-3;
+  double rate = benchmark_.avg_utilization * static_cast<double>(core_count_) /
+                mean_len_s * modulator * phase_scale(now);
+  const double rate_cap =
+      cfg_.max_load_factor * static_cast<double>(core_count_) / mean_len_s;
+  rate = std::min(rate, rate_cap);
+
+  // Poisson(rate * dt) arrivals (Knuth; the per-tick mean is modest).
+  const double lambda = rate * dt_s;
+  std::size_t count = 0;
+  if (lambda > 0.0) {
+    const double limit = std::exp(-lambda);
+    double product = rng_.uniform();
+    while (product > limit) {
+      ++count;
+      product *= rng_.uniform();
+    }
+  }
+
+  std::vector<Thread> arrivals;
+  arrivals.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Thread t;
+    t.id = next_id_++;
+    t.arrival = now;
+    t.total_length = SimTime::from_s(sample_length_ms() * 1e-3);
+    t.remaining = t.total_length;
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+}  // namespace liquid3d

@@ -1,0 +1,23 @@
+// thread.hpp — the unit of work the schedulers move around.
+//
+// The paper assumes short threads (a few to several hundred milliseconds of
+// continuous execution, as reported for real UltraSPARC T1 server loads) of
+// similar lengths, which is why queue *length in threads* is the balancing
+// metric (Sec. IV, Job Scheduling).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace liquid3d {
+
+struct Thread {
+  std::uint64_t id = 0;
+  SimTime arrival{};
+  SimTime total_length{};
+  SimTime remaining{};
+  std::uint32_t migrations = 0;
+};
+
+}  // namespace liquid3d

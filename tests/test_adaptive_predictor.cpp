@@ -1,0 +1,113 @@
+// The combined ARMA + SPRT pipeline (forecast/adaptive_predictor.hpp):
+// rebuild-on-trend-break behaviour of Sec. IV.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "forecast/adaptive_predictor.hpp"
+
+namespace liquid3d {
+namespace {
+
+AdaptivePredictorConfig fast_config() {
+  AdaptivePredictorConfig cfg;
+  cfg.arma.ar_order = 4;
+  cfg.arma.ma_order = 0;
+  cfg.window_capacity = 64;
+  cfg.input_smoothing = 1.0;  // raw signal for deterministic tests
+  return cfg;
+}
+
+TEST(AdaptivePredictor, TracksStationarySignal) {
+  AdaptivePredictor p(fast_config());
+  Rng rng(3);
+  for (int i = 0; i < 80; ++i) p.observe(70.0 + 0.1 * rng.normal());
+  ASSERT_TRUE(p.ready());
+  EXPECT_NEAR(p.forecast(), 70.0, 0.5);
+  EXPECT_EQ(p.rebuild_count(), 0u);
+}
+
+TEST(AdaptivePredictor, TrendBreakTriggersSprtAndRebuild) {
+  // The paper's day/night scenario: a sudden sustained level change must
+  // alarm the SPRT and reconstruct the ARMA model.
+  AdaptivePredictor p(fast_config());
+  Rng rng(4);
+  for (int i = 0; i < 80; ++i) p.observe(65.0 + 0.1 * rng.normal());
+  ASSERT_TRUE(p.ready());
+  ASSERT_EQ(p.sprt_alarm_count(), 0u);
+  // Enough post-break samples to flush the fitting window (capacity 64).
+  for (int i = 0; i < 70; ++i) p.observe(78.0 + 0.1 * rng.normal());
+  EXPECT_GE(p.sprt_alarm_count(), 1u);
+  EXPECT_GE(p.rebuild_count(), 1u);
+  // After the rebuild the forecast follows the new level.
+  EXPECT_NEAR(p.forecast(), 78.0, 1.5);
+}
+
+TEST(AdaptivePredictor, ServesOldModelWhileRebuilding) {
+  AdaptivePredictorConfig cfg = fast_config();
+  cfg.rebuild_delay_samples = 10;
+  AdaptivePredictor p(cfg);
+  Rng rng(5);
+  for (int i = 0; i < 80; ++i) p.observe(65.0 + 0.05 * rng.normal());
+  ASSERT_TRUE(p.ready());
+  // Jump; within the rebuild delay the forecast is still usable (finite,
+  // between the two levels).
+  for (int i = 0; i < 5; ++i) p.observe(80.0 + 0.05 * rng.normal());
+  const double f = p.forecast();
+  EXPECT_TRUE(std::isfinite(f));
+  EXPECT_GT(f, 60.0);
+  EXPECT_LT(f, 90.0);
+}
+
+TEST(AdaptivePredictor, FallsBackToLastValueBeforeReady) {
+  AdaptivePredictor p(fast_config());
+  p.observe(55.0);
+  EXPECT_FALSE(p.ready());
+  EXPECT_DOUBLE_EQ(p.forecast(), 55.0);
+}
+
+TEST(AdaptivePredictor, SmoothingReducesForecastJitter) {
+  // Same noisy signal through a smoothing and a non-smoothing pipeline: the
+  // smoothed forecasts have lower variance.
+  AdaptivePredictorConfig raw = fast_config();
+  AdaptivePredictorConfig smooth = fast_config();
+  smooth.input_smoothing = 0.3;
+  AdaptivePredictor p_raw(raw);
+  AdaptivePredictor p_smooth(smooth);
+  Rng rng(6);
+  double var_raw = 0.0;
+  double var_smooth = 0.0;
+  int count = 0;
+  for (int i = 0; i < 300; ++i) {
+    const double v = 70.0 + 2.0 * rng.normal();
+    p_raw.observe(v);
+    p_smooth.observe(v);
+    if (i > 100) {
+      var_raw += (p_raw.forecast() - 70.0) * (p_raw.forecast() - 70.0);
+      var_smooth += (p_smooth.forecast() - 70.0) * (p_smooth.forecast() - 70.0);
+      ++count;
+    }
+  }
+  EXPECT_LT(var_smooth, var_raw);
+}
+
+class RebuildDelaySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RebuildDelaySweep, RebuildAlwaysCompletesAfterDelay) {
+  AdaptivePredictorConfig cfg = fast_config();
+  cfg.rebuild_delay_samples = GetParam();
+  AdaptivePredictor p(cfg);
+  Rng rng(7);
+  for (int i = 0; i < 80; ++i) p.observe(60.0 + 0.05 * rng.normal());
+  const std::size_t before = p.rebuild_count();
+  for (int i = 0; i < 60 + static_cast<int>(GetParam()); ++i) {
+    p.observe(75.0 + 0.05 * rng.normal());
+  }
+  EXPECT_GT(p.rebuild_count(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Delays, RebuildDelaySweep, ::testing::Values(0, 2, 5, 15));
+
+}  // namespace
+}  // namespace liquid3d

@@ -1,0 +1,158 @@
+// ARMA fitting and forecasting (forecast/arma.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "forecast/arma.hpp"
+
+namespace liquid3d {
+namespace {
+
+std::vector<double> synth_ar2(std::size_t n, double phi1, double phi2, double noise,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n, 0.0);
+  for (std::size_t t = 2; t < n; ++t) {
+    x[t] = phi1 * x[t - 1] + phi2 * x[t - 2] + noise * rng.normal();
+  }
+  return x;
+}
+
+TEST(ArmaModel, RecoversAr2Coefficients) {
+  const std::vector<double> x = synth_ar2(2000, 0.6, 0.25, 0.1, 17);
+  ArmaConfig cfg;
+  cfg.ar_order = 2;
+  cfg.ma_order = 0;
+  const ArmaModel m = ArmaModel::fit(x, cfg);
+  ASSERT_EQ(m.ar().size(), 2u);
+  EXPECT_NEAR(m.ar()[0], 0.6, 0.06);
+  EXPECT_NEAR(m.ar()[1], 0.25, 0.06);
+  EXPECT_NEAR(m.residual_std(), 0.1, 0.02);
+}
+
+TEST(ArmaModel, ConstantSeriesPredictsConstant) {
+  const std::vector<double> x(100, 73.5);
+  const ArmaModel m = ArmaModel::fit(x, ArmaConfig{});
+  EXPECT_DOUBLE_EQ(m.mean(), 73.5);
+  EXPECT_NEAR(m.forecast(x, {}, 5), 73.5, 1e-9);
+  EXPECT_EQ(m.residual_std(), 0.0);
+}
+
+TEST(ArmaModel, TooShortSeriesRejected) {
+  const std::vector<double> x(10, 1.0);
+  EXPECT_THROW(ArmaModel::fit(x, ArmaConfig{}), ConfigError);
+}
+
+TEST(ArmaModel, MultiStepForecastTracksLinearRamp) {
+  // A ramp is perfectly predictable by an AR model fit on its differences'
+  // structure; 5-step-ahead error must be far below the naive last-value
+  // error (which is 5 * slope).
+  std::vector<double> x(200);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 50.0 + 0.1 * static_cast<double>(i);
+  ArmaConfig cfg;
+  cfg.ar_order = 4;
+  cfg.ma_order = 0;
+  const ArmaModel m = ArmaModel::fit(x, cfg);
+  const double pred = m.forecast(x, {}, 5);
+  const double truth = 50.0 + 0.1 * static_cast<double>(x.size() - 1 + 5);
+  EXPECT_NEAR(pred, truth, 0.25);  // naive last-value would be off by 0.5
+}
+
+class HorizonSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HorizonSweep, SinusoidForecastBeatsLastValue) {
+  // Serially correlated signal (the paper's argument for ARMA): forecast a
+  // slow sinusoid h steps ahead and compare against carrying the last value
+  // forward, accumulated over a test window.
+  const std::size_t horizon = GetParam();
+  std::vector<double> x(600);
+  Rng rng(23);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 75.0 + 5.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 60.0) +
+           0.05 * rng.normal();
+  }
+  ArmaConfig cfg;
+  cfg.ar_order = 6;
+  cfg.ma_order = 0;
+
+  double err_arma = 0.0;
+  double err_naive = 0.0;
+  std::size_t count = 0;
+  for (std::size_t t = 400; t + horizon < x.size(); ++t) {
+    const std::vector<double> history(x.begin(), x.begin() + static_cast<long>(t) + 1);
+    const ArmaModel m = ArmaModel::fit(history, cfg);
+    const double pred = m.forecast(history, {}, horizon);
+    const double truth = x[t + horizon];
+    err_arma += (pred - truth) * (pred - truth);
+    err_naive += (x[t] - truth) * (x[t] - truth);
+    ++count;
+  }
+  EXPECT_LT(err_arma, 0.5 * err_naive) << "horizon " << horizon;
+}
+
+INSTANTIATE_TEST_SUITE_P(Horizons, HorizonSweep, ::testing::Values(1, 3, 5, 8));
+
+TEST(ArmaPredictor, BecomesReadyAtMinWindow) {
+  ArmaConfig cfg;
+  cfg.ar_order = 3;
+  cfg.ma_order = 1;
+  ArmaPredictor p(cfg, 64);
+  const std::size_t need = p.min_fit_window();
+  for (std::size_t i = 0; i < need - 1; ++i) {
+    p.observe(70.0 + 0.01 * static_cast<double>(i));
+    EXPECT_FALSE(p.fit()) << "observation " << i;
+  }
+  p.observe(71.0);
+  EXPECT_TRUE(p.fit());
+  EXPECT_TRUE(p.ready());
+}
+
+TEST(ArmaPredictor, FallsBackToLastValueBeforeFit) {
+  ArmaPredictor p(ArmaConfig{}, 64);
+  p.observe(42.0);
+  EXPECT_DOUBLE_EQ(p.forecast(5), 42.0);
+}
+
+TEST(ArmaPredictor, InnovationsTrackPredictionErrors) {
+  ArmaPredictor p(ArmaConfig{}, 128);
+  // Feed a constant: once fitted, innovations must be ~0.
+  for (int i = 0; i < 100; ++i) p.observe(60.0);
+  p.fit();
+  p.observe(60.0);
+  EXPECT_NEAR(p.last_innovation(), 0.0, 1e-6);
+  // A sudden jump shows up as a large innovation.
+  p.observe(70.0);
+  EXPECT_GT(std::abs(p.last_innovation()), 5.0);
+}
+
+TEST(ArmaPredictor, WindowTooSmallRejected) {
+  ArmaConfig cfg;
+  cfg.ar_order = 8;
+  cfg.ma_order = 4;
+  EXPECT_THROW(ArmaPredictor(cfg, 16), ConfigError);
+}
+
+TEST(ArmaModel, HannanRissanenHandlesMaTerms) {
+  // ARMA(1,1) synthetic: x_t = 0.7 x_{t-1} + e_t + 0.4 e_{t-1}.
+  Rng rng(31);
+  std::vector<double> x(3000, 0.0);
+  double e_prev = 0.0;
+  for (std::size_t t = 1; t < x.size(); ++t) {
+    const double e = 0.1 * rng.normal();
+    x[t] = 0.7 * x[t - 1] + e + 0.4 * e_prev;
+    e_prev = e;
+  }
+  ArmaConfig cfg;
+  cfg.ar_order = 1;
+  cfg.ma_order = 1;
+  const ArmaModel m = ArmaModel::fit(x, cfg);
+  EXPECT_NEAR(m.ar()[0], 0.7, 0.1);
+  EXPECT_NEAR(m.ma()[0], 0.4, 0.15);
+}
+
+}  // namespace
+}  // namespace liquid3d

@@ -1,0 +1,93 @@
+// Table II benchmark descriptors (workload/benchmarks.hpp).
+#include <gtest/gtest.h>
+
+#include "workload/benchmarks.hpp"
+
+namespace liquid3d {
+namespace {
+
+TEST(Benchmarks, TableIIValuesExact) {
+  const auto& t = table2_benchmarks();
+  ASSERT_EQ(t.size(), 8u);
+  // Spot-check every row against the printed table.
+  EXPECT_EQ(t[0].name, "Web-med");
+  EXPECT_NEAR(t[0].avg_utilization, 0.5312, 1e-9);
+  EXPECT_NEAR(t[0].l2_i_miss, 12.9, 1e-9);
+  EXPECT_NEAR(t[0].l2_d_miss, 167.7, 1e-9);
+  EXPECT_NEAR(t[0].fp_per_100k, 31.2, 1e-9);
+
+  EXPECT_EQ(t[1].name, "Web-high");
+  EXPECT_NEAR(t[1].avg_utilization, 0.9287, 1e-9);
+  EXPECT_NEAR(t[1].l2_i_miss, 67.6, 1e-9);
+  EXPECT_NEAR(t[1].l2_d_miss, 288.7, 1e-9);
+
+  EXPECT_EQ(t[2].name, "Database");
+  EXPECT_NEAR(t[2].avg_utilization, 0.1775, 1e-9);
+  EXPECT_NEAR(t[2].fp_per_100k, 5.9, 1e-9);
+
+  EXPECT_EQ(t[3].name, "Web&DB");
+  EXPECT_NEAR(t[3].avg_utilization, 0.7512, 1e-9);
+
+  EXPECT_EQ(t[4].name, "gcc");
+  EXPECT_NEAR(t[4].avg_utilization, 0.1525, 1e-9);
+  EXPECT_NEAR(t[4].l2_i_miss, 31.7, 1e-9);
+
+  EXPECT_EQ(t[5].name, "gzip");
+  EXPECT_NEAR(t[5].avg_utilization, 0.09, 1e-9);
+  EXPECT_NEAR(t[5].fp_per_100k, 0.2, 1e-9);
+
+  EXPECT_EQ(t[6].name, "MPlayer");
+  EXPECT_NEAR(t[6].avg_utilization, 0.065, 1e-9);
+  EXPECT_NEAR(t[6].l2_d_miss, 136.0, 1e-9);
+
+  EXPECT_EQ(t[7].name, "MPlayer&Web");
+  EXPECT_NEAR(t[7].avg_utilization, 0.2662, 1e-9);
+  EXPECT_NEAR(t[7].fp_per_100k, 29.9, 1e-9);
+}
+
+TEST(Benchmarks, IdsAreTableRowNumbers) {
+  const auto& t = table2_benchmarks();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t[i].id, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(Benchmarks, FindByName) {
+  EXPECT_TRUE(find_benchmark("gzip").has_value());
+  EXPECT_EQ(find_benchmark("gzip")->id, 6);
+  EXPECT_FALSE(find_benchmark("nonexistent").has_value());
+}
+
+TEST(Benchmarks, ActivityFactorOrderingFollowsFpIntensity) {
+  // Web workloads (31.2 FP/100K) must have the highest activity factor,
+  // gzip (0.2) the lowest.
+  const auto web = *find_benchmark("Web-high");
+  const auto gz = *find_benchmark("gzip");
+  const auto gcc = *find_benchmark("gcc");
+  EXPECT_GT(web.activity_factor(), gcc.activity_factor());
+  EXPECT_GT(gcc.activity_factor(), gz.activity_factor());
+  EXPECT_NEAR(web.activity_factor(), 1.08, 1e-9);
+  EXPECT_GE(gz.activity_factor(), 0.92);
+}
+
+TEST(Benchmarks, MemoryIntensityNormalizedToWebHigh) {
+  const auto web = *find_benchmark("Web-high");
+  EXPECT_NEAR(web.memory_intensity(), 1.0, 1e-9);
+  for (const BenchmarkSpec& b : table2_benchmarks()) {
+    EXPECT_GE(b.memory_intensity(), 0.0);
+    EXPECT_LE(b.memory_intensity(), 1.0);
+  }
+  EXPECT_LT(find_benchmark("gzip")->memory_intensity(), 0.2);
+}
+
+TEST(Benchmarks, BurstinessReflectsWorkloadClass) {
+  // Interactive/database traffic is bursty; saturated web serving and
+  // media decoding are steady.
+  EXPECT_GT(find_benchmark("Database")->burstiness,
+            find_benchmark("Web-high")->burstiness);
+  EXPECT_GT(find_benchmark("Web-med")->burstiness,
+            find_benchmark("MPlayer")->burstiness);
+}
+
+}  // namespace
+}  // namespace liquid3d

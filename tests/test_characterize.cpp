@@ -1,0 +1,119 @@
+// Steady-state characterization harness (control/characterize.hpp) on a
+// small grid: the physical monotonicities every LUT build depends on.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "control/characterize.hpp"
+#include "control/flow_lut.hpp"
+
+namespace liquid3d {
+namespace {
+
+ThermalModelParams small_grid() {
+  ThermalModelParams p;
+  p.grid_rows = 10;
+  p.grid_cols = 11;
+  return p;
+}
+
+CharacterizationHarness make_liquid_harness() {
+  return CharacterizationHarness(make_2layer_system(), small_grid(), PowerModelParams{},
+                                 PumpModel::laing_ddc(),
+                                 FlowDeliveryMode::kPressureLimited);
+}
+
+TEST(Characterize, TmaxMonotoneInUtilization) {
+  CharacterizationHarness h = make_liquid_harness();
+  double prev = 0.0;
+  for (double u : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double t = h.steady_tmax(u, 3);
+    EXPECT_GT(t, prev) << "u=" << u;
+    prev = t;
+  }
+}
+
+TEST(Characterize, TmaxMonotoneDecreasingInSetting) {
+  CharacterizationHarness h = make_liquid_harness();
+  double prev = 1e9;
+  for (std::size_t s = 0; s < h.setting_count(); ++s) {
+    const double t = h.steady_tmax(0.6, s);
+    EXPECT_LT(t, prev) << "setting " << s;
+    prev = t;
+  }
+}
+
+TEST(Characterize, CoreTempsHaveExpectedArity) {
+  CharacterizationHarness h = make_liquid_harness();
+  const std::vector<double> temps = h.steady_core_temps(0.5, 2);
+  EXPECT_EQ(temps.size(), 8u);  // 2-layer system: 8 cores
+  for (double t : temps) {
+    EXPECT_GT(t, 45.0);
+    EXPECT_LT(t, 200.0);
+  }
+}
+
+TEST(Characterize, MinFlowBisectionBracketsTarget) {
+  CharacterizationHarness h = make_liquid_harness();
+  const VolumetricFlow lo = VolumetricFlow::from_ml_per_min(1.0);
+  const VolumetricFlow hi = VolumetricFlow::from_ml_per_min(40.0);
+  const VolumetricFlow f = h.min_flow_for_target(0.5, 80.0, lo, hi);
+  // The found flow meets the target...
+  EXPECT_LE(h.steady_tmax_at_flow(0.5, f), 80.5);
+  // ...and is minimal: 10 % less flow violates it (unless already at lo).
+  if (f > lo * 1.05) {
+    EXPECT_GT(h.steady_tmax_at_flow(0.5, f * 0.9), 79.5);
+  }
+}
+
+TEST(Characterize, MinFlowSaturatesWhenTargetUnreachable) {
+  CharacterizationHarness h = make_liquid_harness();
+  const VolumetricFlow lo = VolumetricFlow::from_ml_per_min(0.5);
+  const VolumetricFlow hi = VolumetricFlow::from_ml_per_min(1.0);
+  // Full load cannot be cooled to 50 C by ~1 ml/min: returns hi.
+  const VolumetricFlow f = h.min_flow_for_target(1.0, 50.0, lo, hi);
+  EXPECT_EQ(f.ml_per_min(), hi.ml_per_min());
+}
+
+TEST(Characterize, HigherUtilizationNeedsMoreFlow) {
+  CharacterizationHarness h = make_liquid_harness();
+  const VolumetricFlow lo = VolumetricFlow::from_ml_per_min(1.0);
+  const VolumetricFlow hi = VolumetricFlow::from_ml_per_min(40.0);
+  const double f_low = h.min_flow_for_target(0.2, 80.0, lo, hi).ml_per_min();
+  const double f_high = h.min_flow_for_target(0.9, 80.0, lo, hi).ml_per_min();
+  EXPECT_GT(f_high, f_low);
+}
+
+TEST(Characterize, AirHarnessWorksWithoutPump) {
+  CharacterizationHarness h(make_2layer_system(CoolingType::kAir), small_grid(),
+                            PowerModelParams{});
+  EXPECT_EQ(h.setting_count(), 1u);
+  const double t_low = h.steady_tmax(0.2, 0);
+  const double t_high = h.steady_tmax(0.9, 0);
+  EXPECT_GT(t_high, t_low);
+  EXPECT_THROW((void)h.steady_tmax(0.5, 1), ConfigError);
+}
+
+TEST(Characterize, LiquidConstructorRejectsAirStack) {
+  EXPECT_THROW(CharacterizationHarness(make_2layer_system(CoolingType::kAir),
+                                       small_grid(), PowerModelParams{},
+                                       PumpModel::laing_ddc(),
+                                       FlowDeliveryMode::kPressureLimited),
+               ConfigError);
+}
+
+TEST(Characterize, BuiltLutIsUsableEndToEnd) {
+  CharacterizationHarness h = make_liquid_harness();
+  const FlowLut lut = FlowLut::characterize(
+      [&](double u, std::size_t s) { return h.steady_tmax(u, s); },
+      h.setting_count(), 78.0, 9);
+  // Hot observations require at least as much flow as cool ones.
+  for (std::size_t s = 0; s < 5; ++s) {
+    EXPECT_LE(lut.required_setting(s, 50.0), lut.required_setting(s, 95.0));
+    EXPECT_LE(lut.required_setting(s, 95.0), lut.required_setting(s, 250.0));
+  }
+  // A scorching reading always needs a real flow bump over the minimum.
+  EXPECT_GE(lut.required_setting(0, 250.0), 2u);
+}
+
+}  // namespace
+}  // namespace liquid3d

@@ -1,0 +1,85 @@
+// Fixed-timeout dynamic power management (power/dpm.hpp).
+#include <gtest/gtest.h>
+
+#include "power/dpm.hpp"
+
+namespace liquid3d {
+namespace {
+
+constexpr SimTime kTick = SimTime::from_ms(100);
+
+TEST(Dpm, SleepsAfterTimeout) {
+  FixedTimeoutDpm dpm(1);  // 200 ms timeout (paper)
+  const std::vector<double> idle = {0.0};
+  dpm.tick(idle, kTick);  // 100 ms idle
+  EXPECT_EQ(dpm.state(0), CoreState::kIdle);
+  dpm.tick(idle, kTick);  // 200 ms idle -> timeout reached
+  EXPECT_EQ(dpm.state(0), CoreState::kSleep);
+  EXPECT_EQ(dpm.sleep_transitions(), 1u);
+}
+
+TEST(Dpm, WakesOnWork) {
+  FixedTimeoutDpm dpm(1);
+  const std::vector<double> idle = {0.0};
+  const std::vector<double> busy = {0.5};
+  dpm.tick(idle, kTick);
+  dpm.tick(idle, kTick);
+  ASSERT_EQ(dpm.state(0), CoreState::kSleep);
+  dpm.tick(busy, kTick);
+  EXPECT_EQ(dpm.state(0), CoreState::kActive);
+  EXPECT_EQ(dpm.wake_transitions(), 1u);
+}
+
+TEST(Dpm, ActivityResetsIdleTimer) {
+  FixedTimeoutDpm dpm(1);
+  const std::vector<double> idle = {0.0};
+  const std::vector<double> busy = {1.0};
+  dpm.tick(idle, kTick);
+  dpm.tick(busy, kTick);  // resets the timer
+  dpm.tick(idle, kTick);
+  EXPECT_EQ(dpm.state(0), CoreState::kIdle);  // only 100 ms idle again
+  dpm.tick(idle, kTick);
+  EXPECT_EQ(dpm.state(0), CoreState::kSleep);
+}
+
+TEST(Dpm, DisabledNeverSleeps) {
+  DpmParams params;
+  params.enabled = false;
+  FixedTimeoutDpm dpm(2, params);
+  const std::vector<double> idle = {0.0, 0.0};
+  for (int i = 0; i < 20; ++i) dpm.tick(idle, kTick);
+  EXPECT_EQ(dpm.state(0), CoreState::kIdle);
+  EXPECT_EQ(dpm.state(1), CoreState::kIdle);
+  EXPECT_EQ(dpm.sleep_transitions(), 0u);
+}
+
+TEST(Dpm, PerCoreIndependence) {
+  FixedTimeoutDpm dpm(3);
+  // Core 0 busy, cores 1-2 idle.
+  for (int i = 0; i < 3; ++i) dpm.tick({1.0, 0.0, 0.0}, kTick);
+  EXPECT_EQ(dpm.state(0), CoreState::kActive);
+  EXPECT_EQ(dpm.state(1), CoreState::kSleep);
+  EXPECT_EQ(dpm.state(2), CoreState::kSleep);
+  EXPECT_EQ(dpm.sleep_transitions(), 2u);
+}
+
+class TimeoutSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimeoutSweep, SleepHappensExactlyAtTimeout) {
+  DpmParams params;
+  params.timeout = SimTime::from_ms(GetParam());
+  FixedTimeoutDpm dpm(1, params);
+  const std::vector<double> idle = {0.0};
+  const int ticks_to_sleep = GetParam() / 100;
+  for (int i = 0; i < ticks_to_sleep - 1; ++i) {
+    dpm.tick(idle, kTick);
+    ASSERT_EQ(dpm.state(0), CoreState::kIdle) << "tick " << i;
+  }
+  dpm.tick(idle, kTick);
+  EXPECT_EQ(dpm.state(0), CoreState::kSleep);
+}
+
+INSTANTIATE_TEST_SUITE_P(Timeouts, TimeoutSweep, ::testing::Values(100, 200, 500, 1000));
+
+}  // namespace
+}  // namespace liquid3d

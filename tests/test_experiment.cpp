@@ -1,0 +1,81 @@
+// Evaluation-grid helper (sim/experiment.hpp).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/experiment.hpp"
+
+namespace liquid3d {
+namespace {
+
+TEST(Experiment, PaperPolicyGridMatchesFig6Order) {
+  const std::vector<PolicyConfig> grid = paper_policy_grid();
+  ASSERT_EQ(grid.size(), 7u);
+  EXPECT_EQ(policy_label(grid[0].policy, grid[0].cooling), "LB (Air)");
+  EXPECT_EQ(policy_label(grid[1].policy, grid[1].cooling), "Mig (Air)");
+  EXPECT_EQ(policy_label(grid[2].policy, grid[2].cooling), "TALB (Air)");
+  EXPECT_EQ(policy_label(grid[3].policy, grid[3].cooling), "LB (Max)");
+  EXPECT_EQ(policy_label(grid[4].policy, grid[4].cooling), "Mig (Max)");
+  EXPECT_EQ(policy_label(grid[5].policy, grid[5].cooling), "TALB (Max)");
+  EXPECT_EQ(policy_label(grid[6].policy, grid[6].cooling), "TALB (Var)");
+}
+
+SuiteConfig tiny_suite() {
+  SuiteConfig sc;
+  sc.duration = SimTime::from_s(6);
+  sc.base.thermal.grid_rows = 10;
+  sc.base.thermal.grid_cols = 11;
+  return sc;
+}
+
+TEST(Experiment, SuiteRunsAndAggregates) {
+  ExperimentSuite suite(tiny_suite());
+  const std::vector<PolicyConfig> policies = {
+      {Policy::kLoadBalancing, CoolingMode::kAir},
+      {Policy::kTalb, CoolingMode::kLiquidVar},
+  };
+  const std::vector<BenchmarkSpec> workloads = {*find_benchmark("gzip"),
+                                                *find_benchmark("Web-med")};
+  const auto results = suite.run(policies, workloads);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].label, "LB (Air)");
+  EXPECT_EQ(results[1].label, "TALB (Var)");
+  ASSERT_EQ(results[0].per_workload.size(), 2u);
+  EXPECT_GT(results[0].total_chip_energy(), 0.0);
+  EXPECT_EQ(results[0].total_pump_energy(), 0.0);  // air has no pump
+  EXPECT_GT(results[1].total_pump_energy(), 0.0);
+  EXPECT_GE(results[0].max_hotspot_percent(), results[0].mean_hotspot_percent());
+}
+
+TEST(Experiment, CharacterizationsAreSharedAcrossCells) {
+  ExperimentSuite suite(tiny_suite());
+  const BenchmarkSpec wl = *find_benchmark("gzip");
+  const SimulationConfig a =
+      suite.make_config({Policy::kTalb, CoolingMode::kLiquidVar}, wl);
+  const SimulationConfig b =
+      suite.make_config({Policy::kTalb, CoolingMode::kLiquidMax}, wl);
+  EXPECT_EQ(a.flow_lut.get(), b.flow_lut.get());  // same shared object
+  EXPECT_NE(a.flow_lut, nullptr);
+  EXPECT_EQ(a.talb_weights.get(), b.talb_weights.get());
+}
+
+TEST(Experiment, SeedVariesPerWorkload) {
+  ExperimentSuite suite(tiny_suite());
+  const SimulationConfig a = suite.make_config(
+      {Policy::kLoadBalancing, CoolingMode::kAir}, *find_benchmark("gzip"));
+  const SimulationConfig b = suite.make_config(
+      {Policy::kLoadBalancing, CoolingMode::kAir}, *find_benchmark("Web-med"));
+  EXPECT_NE(a.seed, b.seed);
+}
+
+TEST(Experiment, BaselineLookup) {
+  PolicySummary lb_air;
+  lb_air.label = "LB (Air)";
+  PolicySummary var;
+  var.label = "TALB (Var)";
+  const std::vector<PolicySummary> rs = {lb_air, var};
+  EXPECT_EQ(&find_baseline(rs), &rs[0]);
+  EXPECT_THROW(find_baseline(rs, "nonexistent"), ConfigError);
+}
+
+}  // namespace
+}  // namespace liquid3d

@@ -1,0 +1,102 @@
+// Floorplan geometry and the Niagara dies (geom/floorplan.hpp, niagara.hpp).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "geom/floorplan.hpp"
+#include "geom/niagara.hpp"
+
+namespace liquid3d {
+namespace {
+
+TEST(Rect, OverlapArea) {
+  const Rect a{0, 0, 2, 2};
+  EXPECT_DOUBLE_EQ(a.overlap_area({1, 1, 2, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(a.overlap_area({2, 2, 1, 1}), 0.0);  // touching, not overlapping
+  EXPECT_DOUBLE_EQ(a.overlap_area({0.5, 0.5, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(a.overlap_area({-1, -1, 4, 4}), 4.0);
+  EXPECT_TRUE(a.contains(0.0, 0.0));
+  EXPECT_FALSE(a.contains(2.0, 2.0));  // half-open
+}
+
+TEST(Floorplan, RejectsOverlapsAndOutOfBounds) {
+  Floorplan fp("t", 10e-3, 10e-3);
+  fp.add_block({"a", BlockType::kCore, Rect{0, 0, 5e-3, 5e-3}, 0});
+  EXPECT_THROW(
+      fp.add_block({"b", BlockType::kCore, Rect{4e-3, 4e-3, 3e-3, 3e-3}, 1}),
+      ConfigError);
+  EXPECT_THROW(
+      fp.add_block({"c", BlockType::kCore, Rect{8e-3, 8e-3, 5e-3, 5e-3}, 1}),
+      ConfigError);
+  EXPECT_THROW(fp.add_block({"d", BlockType::kCore, Rect{6e-3, 6e-3, 0, 1e-3}, 1}),
+               ConfigError);
+}
+
+TEST(Floorplan, LookupsWork) {
+  Floorplan fp("t", 10e-3, 10e-3);
+  fp.add_block({"left", BlockType::kCore, Rect{0, 0, 5e-3, 10e-3}, 0});
+  fp.add_block({"right", BlockType::kL2Cache, Rect{5e-3, 0, 5e-3, 10e-3}, 0});
+  EXPECT_EQ(fp.count(BlockType::kCore), 1u);
+  EXPECT_EQ(fp.find("right"), std::optional<std::size_t>{1});
+  EXPECT_FALSE(fp.find("missing").has_value());
+  EXPECT_EQ(fp.block_at(1e-3, 1e-3), std::optional<std::size_t>{0});
+  EXPECT_EQ(fp.block_at(7e-3, 1e-3), std::optional<std::size_t>{1});
+  EXPECT_NEAR(fp.coverage(), 1.0, 1e-12);
+}
+
+TEST(NiagaraCoreDie, MatchesTableIII) {
+  const Floorplan fp = make_niagara_core_die();
+  // Total layer area 115 mm^2.
+  EXPECT_NEAR(fp.area(), 115e-6, 1e-12);
+  EXPECT_EQ(fp.count(BlockType::kCore), 8u);
+  EXPECT_EQ(fp.count(BlockType::kCrossbar), 1u);
+  // Each core 10 mm^2 (Table III).
+  for (const Block& b : fp.blocks()) {
+    if (b.type == BlockType::kCore) {
+      EXPECT_NEAR(b.rect.area(), 10e-6, 1e-10) << b.name;
+    }
+  }
+  // The die is fully tiled.
+  EXPECT_NEAR(fp.coverage(), 1.0, 1e-9);
+}
+
+TEST(NiagaraCacheDie, MatchesTableIII) {
+  const Floorplan fp = make_niagara_cache_die();
+  EXPECT_NEAR(fp.area(), 115e-6, 1e-12);
+  EXPECT_EQ(fp.count(BlockType::kL2Cache), 4u);
+  for (const Block& b : fp.blocks()) {
+    if (b.type == BlockType::kL2Cache) {
+      EXPECT_NEAR(b.rect.area(), 19e-6, 1e-10) << b.name;
+    }
+  }
+  EXPECT_NEAR(fp.coverage(), 1.0, 1e-9);
+}
+
+TEST(NiagaraDies, CrossbarAlignsAcrossDies) {
+  // TSVs live in the crossbar; the rect must be identical on both dies so
+  // the bundle lines up vertically (Sec. III-A).
+  const Floorplan core = make_niagara_core_die();
+  const Floorplan cache = make_niagara_cache_die();
+  const Block& xc = core.block(*core.find("xbar"));
+  const Block& xs = cache.block(*cache.find("xbar"));
+  EXPECT_DOUBLE_EQ(xc.rect.x, xs.rect.x);
+  EXPECT_DOUBLE_EQ(xc.rect.y, xs.rect.y);
+  EXPECT_DOUBLE_EQ(xc.rect.w, xs.rect.w);
+  EXPECT_DOUBLE_EQ(xc.rect.h, xs.rect.h);
+  // ~14 mm^2 central crossbar.
+  EXPECT_NEAR(xc.rect.area(), 14e-6, 0.5e-6);
+}
+
+TEST(NiagaraCoreDie, CoreIndicesAreStable) {
+  const Floorplan fp = make_niagara_core_die();
+  std::size_t idx = 0;
+  for (const Block& b : fp.blocks()) {
+    if (b.type != BlockType::kCore) continue;
+    EXPECT_EQ(b.type_index, idx);
+    EXPECT_EQ(b.name, "core" + std::to_string(idx));
+    ++idx;
+  }
+  EXPECT_EQ(idx, 8u);
+}
+
+}  // namespace
+}  // namespace liquid3d

@@ -1,0 +1,114 @@
+// Hysteretic proactive flow controller (control/flow_controller.hpp).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "control/flow_controller.hpp"
+
+namespace liquid3d {
+namespace {
+
+/// Same analytic LUT as test_flow_lut (required-setting crossings at
+/// u = 0.25, 0.6, 0.8, 0.906 against the 80 C target).
+double analytic_tmax(double u, std::size_t s) {
+  const double base[] = {70.0, 62.0, 56.0, 51.0, 47.0};
+  const double slope[] = {40.0, 30.0, 30.0, 32.0, 17.0};
+  return base[s] + slope[s] * u;
+}
+
+FlowRateController make_controller(double hysteresis = 2.0) {
+  FlowControllerParams p;
+  p.hysteresis = hysteresis;
+  return FlowRateController(FlowLut::characterize(analytic_tmax, 5, 80.0, 101), p);
+}
+
+TEST(FlowController, ScalesUpImmediately) {
+  const FlowRateController c = make_controller();
+  // Forecast far above any boundary at the current setting: go to max.
+  EXPECT_EQ(c.decide(/*forecast=*/120.0, /*measured=*/70.0, /*current=*/0), 4u);
+  // Moderate forecast: an intermediate setting.
+  const std::size_t mid = c.decide(85.0, 70.0, 0);
+  EXPECT_GT(mid, 0u);
+  EXPECT_LT(mid, 5u);
+}
+
+TEST(FlowController, HoldsWhenForecastWithinCurrentBand) {
+  const FlowRateController c = make_controller();
+  // At setting 2 the band to stay at 2 (observed at setting 2) spans
+  // [boundary(2,2), boundary(2,3)); a forecast inside holds.
+  const double in_band = (c.lut().boundary(2, 2) + c.lut().boundary(2, 3)) / 2.0;
+  EXPECT_EQ(c.decide(in_band, in_band, 2), 2u);
+}
+
+TEST(FlowController, DownswitchRequiresHysteresisMargin) {
+  const FlowRateController c = make_controller(2.0);
+  const double boundary = c.lut().boundary(3, 3);  // where setting 3 starts
+  // Just below the boundary: required would be 2, but hysteresis holds 3.
+  EXPECT_EQ(c.decide(boundary - 1.0, boundary - 1.0, 3), 3u);
+  // More than the 2 C margin below: allowed to drop.
+  EXPECT_LT(c.decide(boundary - 2.5, boundary - 2.5, 3), 3u);
+}
+
+TEST(FlowController, ZeroHysteresisDropsAtBoundary) {
+  const FlowRateController c = make_controller(0.0);
+  const double boundary = c.lut().boundary(3, 3);
+  EXPECT_LT(c.decide(boundary - 0.1, boundary - 0.1, 3), 3u);
+}
+
+TEST(FlowController, MeasuredGuardOverridesOptimisticForecast) {
+  const FlowRateController c = make_controller();
+  // Forecast says cool, measurement says hot: the guard must win and scale
+  // up (the paper's "guarantee" depends on never trusting a stale forecast
+  // downward).
+  const std::size_t decision = c.decide(/*forecast=*/50.0, /*measured=*/115.0, 1);
+  EXPECT_EQ(decision, 4u);
+}
+
+TEST(FlowController, MeasuredGuardBlocksPrematureDownswitch) {
+  const FlowRateController c = make_controller();
+  const double boundary = c.lut().boundary(4, 4);
+  // Forecast comfortably low but the measurement still near the boundary:
+  // hold the higher setting.
+  EXPECT_EQ(c.decide(boundary - 10.0, boundary - 0.5, 4), 4u);
+}
+
+TEST(FlowController, GuardCanBeDisabled) {
+  FlowControllerParams p;
+  p.guard_on_measured = false;
+  const FlowRateController c(FlowLut::characterize(analytic_tmax, 5, 80.0, 101), p);
+  // Without the guard, a hot measurement with a cool forecast does not
+  // force max (the reactive-vs-proactive ablation uses this).
+  EXPECT_LT(c.decide(50.0, 115.0, 1), 4u);
+}
+
+TEST(FlowController, StableFixedPointUnderConstantLoad) {
+  // Simulate the closed loop coarsely: constant utilization, temperature
+  // settles at the steady value of the commanded setting.  The controller
+  // must reach a fixed point (no oscillation), as the paper's hysteresis
+  // is designed to guarantee.
+  const FlowRateController c = make_controller();
+  const double u = 0.55;
+  std::size_t setting = 4;  // safe start
+  std::size_t changes = 0;
+  std::size_t last = setting;
+  for (int iter = 0; iter < 50; ++iter) {
+    const double t = analytic_tmax(u, setting);
+    setting = c.decide(t, t, setting);
+    if (setting != last) {
+      ++changes;
+      last = setting;
+    }
+  }
+  EXPECT_LE(changes, 3u);  // settles after at most a few moves
+  // And the fixed point honours the target.
+  EXPECT_LE(analytic_tmax(u, setting), 80.0);
+}
+
+TEST(FlowController, NegativeHysteresisRejected) {
+  FlowControllerParams p;
+  p.hysteresis = -1.0;
+  EXPECT_THROW(FlowRateController(FlowLut::characterize(analytic_tmax, 5, 80.0, 21), p),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace liquid3d

@@ -1,0 +1,83 @@
+// Flow delivery models (coolant/flow.hpp): the paper-nominal accounting of
+// Fig. 3 and the pressure-limited model used by the thermal simulation.
+#include <gtest/gtest.h>
+
+#include "coolant/flow.hpp"
+#include "geom/stack.hpp"
+
+namespace liquid3d {
+namespace {
+
+FlowDelivery make_delivery(FlowDeliveryMode mode, std::size_t cavities) {
+  const MicrochannelModel channels(CavitySpec{}, CoolantProperties::water());
+  return FlowDelivery(PumpModel::laing_ddc(), mode, channels, 11.5e-3, cavities);
+}
+
+TEST(FlowDelivery, PaperNominalMatchesFig3TwoLayer) {
+  const FlowDelivery d = make_delivery(FlowDeliveryMode::kPaperNominal, 3);
+  // Fig. 3 per-cavity series for the 2-layer system after the 50 % factor:
+  // 208.3, 416.7, 625, 833.3, 1041.7 ml/min.
+  const double expected[] = {208.33, 416.67, 625.0, 833.33, 1041.67};
+  for (std::size_t s = 0; s < 5; ++s) {
+    EXPECT_NEAR(d.per_cavity(s).ml_per_min(), expected[s], 0.01) << "setting " << s;
+  }
+}
+
+TEST(FlowDelivery, PaperNominalMatchesFig3FourLayer) {
+  const FlowDelivery d = make_delivery(FlowDeliveryMode::kPaperNominal, 5);
+  const double expected[] = {125.0, 250.0, 375.0, 500.0, 625.0};
+  for (std::size_t s = 0; s < 5; ++s) {
+    EXPECT_NEAR(d.per_cavity(s).ml_per_min(), expected[s], 0.01) << "setting " << s;
+  }
+}
+
+TEST(FlowDelivery, PressureLimitedIsMonotoneAndPhysical) {
+  const FlowDelivery d = make_delivery(FlowDeliveryMode::kPressureLimited, 3);
+  for (std::size_t s = 1; s < d.setting_count(); ++s) {
+    EXPECT_GT(d.per_cavity(s), d.per_cavity(s - 1));
+  }
+  // The 50 µm channels pass a few ml/min per cavity at these heads, not the
+  // hundreds the nominal accounting suggests (see flow.hpp).
+  EXPECT_GT(d.per_cavity(0).ml_per_min(), 1.0);
+  EXPECT_LT(d.per_cavity(4).ml_per_min(), 50.0);
+  // Flow is proportional to head in the laminar regime: ratio = 600/150.
+  EXPECT_NEAR(d.per_cavity(4).ml_per_min() / d.per_cavity(0).ml_per_min(), 4.0, 1e-6);
+}
+
+TEST(FlowDelivery, PressureLimitedIndependentOfCavityCount) {
+  // Cavities are hydraulically parallel: each cavity passes what its own
+  // channels allow at the pump head, so per-cavity flow does not change
+  // with the number of cavities (unlike the nominal equal-split model).
+  const FlowDelivery d3 = make_delivery(FlowDeliveryMode::kPressureLimited, 3);
+  const FlowDelivery d5 = make_delivery(FlowDeliveryMode::kPressureLimited, 5);
+  for (std::size_t s = 0; s < 5; ++s) {
+    EXPECT_NEAR(d3.per_cavity(s).ml_per_min(), d5.per_cavity(s).ml_per_min(), 1e-9);
+  }
+}
+
+TEST(FlowDelivery, PerChannelDividesByChannelCount) {
+  const FlowDelivery d = make_delivery(FlowDeliveryMode::kPressureLimited, 3);
+  for (std::size_t s = 0; s < 5; ++s) {
+    EXPECT_NEAR(d.per_channel(s).ml_per_min() * 65.0, d.per_cavity(s).ml_per_min(),
+                1e-9);
+  }
+}
+
+TEST(FlowDelivery, HeadInterpolatesAcrossSettings) {
+  EXPECT_DOUBLE_EQ(FlowDelivery::head_pa(0, 5), FlowDelivery::kMinHeadPa);
+  EXPECT_DOUBLE_EQ(FlowDelivery::head_pa(4, 5), FlowDelivery::kMaxHeadPa);
+  const double mid = FlowDelivery::head_pa(2, 5);
+  EXPECT_GT(mid, FlowDelivery::kMinHeadPa);
+  EXPECT_LT(mid, FlowDelivery::kMaxHeadPa);
+  // Paper: "the pressure drop for these flow rates changes between
+  // 300-600 mbar"; our range covers it.
+  EXPECT_LE(FlowDelivery::kMaxHeadPa, 60000.0 + 1e-9);
+}
+
+TEST(FlowDelivery, ModeNamesForReports) {
+  EXPECT_STREQ(to_string(FlowDeliveryMode::kPaperNominal), "paper-nominal");
+  EXPECT_STREQ(to_string(FlowDeliveryMode::kPressureLimited), "pressure-limited");
+}
+
+}  // namespace
+}  // namespace liquid3d

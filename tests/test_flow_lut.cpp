@@ -1,0 +1,118 @@
+// The flow-rate look-up table (control/flow_lut.hpp), characterized from an
+// analytic stand-in system so every boundary is known in closed form.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "control/flow_lut.hpp"
+
+namespace liquid3d {
+namespace {
+
+/// Analytic system: T(u, s) = base(s) + slope(s) * u, hotter at lower
+/// settings — the qualitative shape of Fig. 5.  Slopes are chosen so that
+/// against an 80 C target the required setting sweeps 0..4 as u rises
+/// (crossings at u = 0.25, 0.6, 0.8, 0.906).
+double analytic_tmax(double u, std::size_t s) {
+  const double base[] = {70.0, 62.0, 56.0, 51.0, 47.0};
+  const double slope[] = {40.0, 30.0, 30.0, 32.0, 17.0};
+  return base[s] + slope[s] * u;
+}
+
+FlowLut make_lut(double target = 80.0) {
+  return FlowLut::characterize(analytic_tmax, 5, target, 101);
+}
+
+TEST(FlowLut, RequiredSettingIsMonotoneInTemperature) {
+  const FlowLut lut = make_lut();
+  for (std::size_t s_cur = 0; s_cur < 5; ++s_cur) {
+    std::size_t prev = 0;
+    for (double t = 40.0; t <= 120.0; t += 0.5) {
+      const std::size_t req = lut.required_setting(s_cur, t);
+      EXPECT_GE(req, prev);
+      prev = req;
+    }
+  }
+}
+
+TEST(FlowLut, ColdSystemNeedsMinimumSetting) {
+  const FlowLut lut = make_lut();
+  // At u=0 the analytic system reaches 70 C at setting 0 — under the 80 C
+  // target, so setting 0 is usable and a cold reading requires setting 0.
+  EXPECT_EQ(lut.required_setting(0, 50.0), 0u);
+  EXPECT_EQ(lut.required_setting(4, 40.0), 0u);
+}
+
+TEST(FlowLut, BoundariesMatchAnalyticCrossings) {
+  const FlowLut lut = make_lut();
+  // Setting 0 holds the target while 70 + 40u <= 80, i.e. u <= 0.25.
+  // Observed at setting 0, the boundary to setting 1 is T(0.25, 0) = 80.
+  EXPECT_NEAR(lut.boundary(0, 1), 80.0, 0.5);
+  // Observed while running at setting 4, the same u=0.25 boundary reads
+  // T(0.25, 4) = 47 + 17*0.25 = 51.25.
+  EXPECT_NEAR(lut.boundary(4, 1), 51.25, 0.5);
+}
+
+TEST(FlowLut, HotterObservationsRequireMoreFlowAtAnyCurrentSetting) {
+  const FlowLut lut = make_lut();
+  for (std::size_t s_cur = 0; s_cur < 5; ++s_cur) {
+    // At the analytic extremes: cold -> setting 0, very hot -> max.
+    EXPECT_EQ(lut.required_setting(s_cur, 20.0), 0u);
+    EXPECT_EQ(lut.required_setting(s_cur, 300.0), 4u);
+  }
+}
+
+TEST(FlowLut, UnreachableTargetForbidsLowSettings) {
+  // Target 55 C: settings 0-2 (bases 70, 62, 56) can never meet it even at
+  // zero load; the floor rule must make them unconditionally forbidden.
+  const FlowLut lut = make_lut(55.0);
+  EXPECT_GE(lut.required_setting(0, 0.0), 3u);
+  EXPECT_GE(lut.required_setting(4, -100.0), 3u);
+  EXPECT_EQ(lut.boundary(1, 3), -std::numeric_limits<double>::infinity());
+}
+
+TEST(FlowLut, ImpossibleTargetSaturatesAtMax) {
+  const FlowLut lut = make_lut(30.0);  // nothing can cool below 30
+  EXPECT_EQ(lut.required_setting(0, 10.0), 4u);
+  EXPECT_EQ(lut.required_setting(4, 90.0), 4u);
+}
+
+TEST(FlowLut, ValidatesRowShape) {
+  // Wrong arity.
+  EXPECT_THROW(FlowLut({{1.0, 2.0}}, 80.0), ConfigError);
+  // Non-monotone row.
+  EXPECT_THROW(FlowLut({{70.0, 60.0, 75.0, 80.0},
+                        {70.0, 71.0, 75.0, 80.0},
+                        {70.0, 71.0, 75.0, 80.0},
+                        {70.0, 71.0, 75.0, 80.0},
+                        {70.0, 71.0, 75.0, 80.0}},
+                       80.0),
+               ConfigError);
+}
+
+TEST(FlowLut, SettingZeroBoundaryIsMinusInfinity) {
+  const FlowLut lut = make_lut();
+  EXPECT_EQ(lut.boundary(2, 0), -std::numeric_limits<double>::infinity());
+}
+
+class TargetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TargetSweep, LooserTargetsNeverRequireMoreFlow) {
+  // Property: for any observation, raising the target temperature can only
+  // lower (or keep) the required setting.
+  const FlowLut tight = make_lut(GetParam());
+  const FlowLut loose = make_lut(GetParam() + 10.0);
+  for (double t = 40.0; t <= 110.0; t += 1.0) {
+    for (std::size_t s = 0; s < 5; ++s) {
+      EXPECT_LE(loose.required_setting(s, t), tight.required_setting(s, t))
+          << "target " << GetParam() << " T " << t << " s " << s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, TargetSweep, ::testing::Values(60.0, 70.0, 80.0, 90.0));
+
+}  // namespace
+}  // namespace liquid3d

@@ -1,0 +1,138 @@
+// Workload synthesis (workload/generator.hpp): the traces must reproduce the
+// Table II statistics they are matched to.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "workload/generator.hpp"
+
+namespace liquid3d {
+namespace {
+
+constexpr SimTime kTick = SimTime::from_ms(100);
+
+/// Total offered work (thread-seconds) over a run.
+double offered_work_seconds(WorkloadGenerator& gen, std::size_t ticks) {
+  double acc = 0.0;
+  for (std::size_t t = 0; t < ticks; ++t) {
+    const SimTime now = SimTime::from_ms(static_cast<std::int64_t>(t) * 100);
+    for (const Thread& th : gen.tick(now, kTick)) {
+      acc += th.total_length.as_s();
+    }
+  }
+  return acc;
+}
+
+class UtilizationSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(UtilizationSweep, LongRunOfferedLoadMatchesTableII) {
+  // Property: for every Table II benchmark, the synthesized offered load
+  // (thread-seconds per second per core) converges to the published average
+  // utilization.
+  const BenchmarkSpec bench = *find_benchmark(GetParam());
+  const std::size_t cores = 8;
+  const std::size_t ticks = 6000;  // 10 simulated minutes
+  WorkloadGenerator gen(bench, cores, 12345);
+  const double work = offered_work_seconds(gen, ticks);
+  const double capacity = static_cast<double>(cores) * 600.0;
+  EXPECT_NEAR(work / capacity, bench.avg_utilization,
+              0.12 * bench.avg_utilization + 0.01)
+      << bench.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, UtilizationSweep,
+                         ::testing::Values("Web-med", "Web-high", "Database", "Web&DB",
+                                           "gcc", "gzip", "MPlayer", "MPlayer&Web"));
+
+TEST(Generator, ThreadLengthsWithinPaperRange) {
+  // "a few to several hundred milliseconds".
+  WorkloadGenerator gen(*find_benchmark("Web-high"), 8, 7);
+  GeneratorConfig cfg;
+  std::size_t seen = 0;
+  for (std::size_t t = 0; t < 2000; ++t) {
+    for (const Thread& th : gen.tick(SimTime::from_ms(100 * static_cast<int>(t)), kTick)) {
+      ++seen;
+      EXPECT_GE(th.total_length.as_s() * 1000.0, cfg.min_thread_ms - 1e-9);
+      EXPECT_LE(th.total_length.as_s() * 1000.0, cfg.max_thread_ms + 1e-9);
+      EXPECT_EQ(th.remaining.as_ms(), th.total_length.as_ms());
+    }
+  }
+  EXPECT_GT(seen, 1000u);
+}
+
+TEST(Generator, DeterministicGivenSeed) {
+  WorkloadGenerator a(*find_benchmark("Web-med"), 8, 99);
+  WorkloadGenerator b(*find_benchmark("Web-med"), 8, 99);
+  for (std::size_t t = 0; t < 200; ++t) {
+    const SimTime now = SimTime::from_ms(100 * static_cast<int>(t));
+    const auto ta = a.tick(now, kTick);
+    const auto tb = b.tick(now, kTick);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+      EXPECT_EQ(ta[i].total_length.as_ms(), tb[i].total_length.as_ms());
+    }
+  }
+}
+
+TEST(Generator, SeedsProduceDifferentTraces) {
+  WorkloadGenerator a(*find_benchmark("Web-med"), 8, 1);
+  WorkloadGenerator b(*find_benchmark("Web-med"), 8, 2);
+  std::size_t na = 0;
+  std::size_t nb = 0;
+  for (std::size_t t = 0; t < 500; ++t) {
+    const SimTime now = SimTime::from_ms(100 * static_cast<int>(t));
+    na += a.tick(now, kTick).size();
+    nb += b.tick(now, kTick).size();
+  }
+  EXPECT_NE(na, nb);
+}
+
+TEST(Generator, PhaseScheduleScalesLoad) {
+  // Halving the utilization at t = 60 s must show up in the offered work.
+  const BenchmarkSpec bench = *find_benchmark("Web-med");
+  WorkloadGenerator gen(bench, 8, 55);
+  gen.set_phase_schedule({{SimTime::from_s(60), 0.3}});
+  double first_half = 0.0;
+  double second_half = 0.0;
+  for (std::size_t t = 0; t < 1200; ++t) {
+    const SimTime now = SimTime::from_ms(100 * static_cast<int>(t));
+    for (const Thread& th : gen.tick(now, kTick)) {
+      (t < 600 ? first_half : second_half) += th.total_length.as_s();
+    }
+  }
+  EXPECT_LT(second_half, 0.6 * first_half);
+}
+
+TEST(Generator, UnsortedPhaseScheduleRejected) {
+  WorkloadGenerator gen(*find_benchmark("gzip"), 8, 1);
+  EXPECT_THROW(
+      gen.set_phase_schedule({{SimTime::from_s(60), 0.5}, {SimTime::from_s(30), 1.0}}),
+      ConfigError);
+}
+
+TEST(Generator, OfferedLoadNeverExceedsCapacityCap) {
+  // Even the burstiest trace cannot offer more than max_load_factor x
+  // capacity in the long run (clamped arrival rate).
+  BenchmarkSpec bench = *find_benchmark("Web-high");
+  bench.burstiness = 1.5;  // exaggerate
+  WorkloadGenerator gen(bench, 4, 77);
+  const double work = offered_work_seconds(gen, 3000);
+  const double capacity = 4.0 * 300.0;
+  EXPECT_LT(work, capacity * 1.02);
+}
+
+TEST(Generator, ThreadIdsAreUniqueAndMonotone) {
+  WorkloadGenerator gen(*find_benchmark("Web-high"), 8, 3);
+  std::uint64_t last = 0;
+  bool first = true;
+  for (std::size_t t = 0; t < 100; ++t) {
+    for (const Thread& th :
+         gen.tick(SimTime::from_ms(100 * static_cast<int>(t)), kTick)) {
+      if (!first) EXPECT_GT(th.id, last);
+      last = th.id;
+      first = false;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace liquid3d

@@ -1,0 +1,135 @@
+// Dense linear algebra used by the ARMA fitter (common/linalg.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/linalg.hpp"
+#include "common/rng.hpp"
+
+namespace liquid3d {
+namespace {
+
+TEST(Matrix, MultiplyAndTranspose) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const Matrix at = a.transposed();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_EQ(at.cols(), 2u);
+  const Matrix ata = at * a;  // 3x3
+  EXPECT_DOUBLE_EQ(ata(0, 0), 17.0);
+  EXPECT_DOUBLE_EQ(ata(1, 2), 36.0);
+  const std::vector<double> v = a * std::vector<double>{1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(v[0], 6.0);
+  EXPECT_DOUBLE_EQ(v[1], 15.0);
+}
+
+TEST(SolveLinear, KnownSystem) {
+  Matrix a(3, 3);
+  a(0, 0) = 4;
+  a(0, 1) = 1;
+  a(0, 2) = 0;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  a(1, 2) = 1;
+  a(2, 0) = 0;
+  a(2, 1) = 1;
+  a(2, 2) = 2;
+  // x = (1, 2, 3) -> b = (6, 10, 8).
+  const std::vector<double> x = solve_linear(a, {6, 10, 8});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 2;
+  a(1, 1) = 0;
+  const std::vector<double> x = solve_linear(a, {3, 4});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(solve_linear(a, {1, 2}), ConfigError);
+}
+
+class RandomSolveSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSolveSweep, SolvesRandomDiagonallyDominantSystems) {
+  Rng rng(GetParam());
+  const std::size_t n = 4 + rng.uniform_index(12);
+  Matrix a(n, n);
+  std::vector<double> x_true(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x_true[i] = rng.uniform(-5, 5);
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      a(i, j) = rng.uniform(-1, 1);
+      row_sum += std::abs(a(i, j));
+    }
+    a(i, i) = row_sum + 1.0 + rng.uniform();  // strictly dominant
+  }
+  const std::vector<double> b = a * x_true;
+  const std::vector<double> x = solve_linear(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSolveSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(LeastSquares, RecoversRegressionCoefficients) {
+  // y = 2 a - 3 b + small noise, overdetermined.
+  Rng rng(99);
+  const std::size_t n = 200;
+  Matrix a(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, 0) = rng.uniform(-1, 1);
+    a(i, 1) = rng.uniform(-1, 1);
+    y[i] = 2.0 * a(i, 0) - 3.0 * a(i, 1) + 1e-3 * rng.normal();
+  }
+  const std::vector<double> c = solve_least_squares(a, y);
+  EXPECT_NEAR(c[0], 2.0, 1e-2);
+  EXPECT_NEAR(c[1], -3.0, 1e-2);
+}
+
+TEST(LeastSquares, RidgeHandlesCollinearColumns) {
+  // Two identical columns: exactly singular normal equations; the ridge
+  // fallback must still return a finite solution with c0 + c1 ~= 2.
+  const std::size_t n = 50;
+  Matrix a(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(i) / n;
+    a(i, 0) = v;
+    a(i, 1) = v;
+    y[i] = 2.0 * v;
+  }
+  const std::vector<double> c = solve_least_squares(a, y, 1e-8);
+  EXPECT_TRUE(std::isfinite(c[0]) && std::isfinite(c[1]));
+  EXPECT_NEAR(c[0] + c[1], 2.0, 1e-3);
+}
+
+TEST(LeastSquares, UnderdeterminedThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(solve_least_squares(a, {1, 2}), ConfigError);
+}
+
+}  // namespace
+}  // namespace liquid3d

@@ -1,0 +1,119 @@
+// Evaluation metrics (sim/metrics.hpp): hot spots, gradients, thermal
+// cycles (Figs. 6-7).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "sim/metrics.hpp"
+
+namespace liquid3d {
+namespace {
+
+TEST(ThermalCycleCounter, CountsLargeTriangleWaves) {
+  ThermalCycleCounter c;
+  // 3 full triangle cycles of 30 C amplitude: 6 swings above the 20 C
+  // threshold (each peak->valley and valley->peak counts once).
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (double t = 50.0; t <= 80.0; t += 2.0) c.add_sample(t);
+    for (double t = 80.0; t >= 50.0; t -= 2.0) c.add_sample(t);
+  }
+  c.add_sample(80.0);  // confirm the final valley
+  EXPECT_GE(c.cycles_above_threshold(), 5u);
+  EXPECT_LE(c.cycles_above_threshold(), 6u);
+}
+
+TEST(ThermalCycleCounter, IgnoresSmallSwings) {
+  ThermalCycleCounter c;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    for (double t = 70.0; t <= 80.0; t += 1.0) c.add_sample(t);  // 10 C swings
+    for (double t = 80.0; t >= 70.0; t -= 1.0) c.add_sample(t);
+  }
+  EXPECT_EQ(c.cycles_above_threshold(), 0u);
+}
+
+TEST(ThermalCycleCounter, NoiseWithinBandDoesNotCreateReversals) {
+  MetricThresholds thr;
+  thr.cycle_noise_band_c = 1.0;
+  ThermalCycleCounter c(thr);
+  // Rising staircase with +-0.4 C jitter: one long upswing, zero cycles
+  // (the jitter must not be mistaken for peaks).
+  double t = 50.0;
+  for (int i = 0; i < 100; ++i) {
+    t += 0.5;
+    c.add_sample(t + ((i % 2 == 0) ? 0.4 : -0.4));
+  }
+  EXPECT_EQ(c.cycles_above_threshold(), 0u);
+}
+
+TEST(ThermalCycleCounter, SinusoidCountsOncePerHalfPeriod) {
+  ThermalCycleCounter c;
+  // 25 C amplitude sine: every half period is a >20 C swing.
+  const int periods = 5;
+  const int samples_per_period = 40;
+  for (int i = 0; i < periods * samples_per_period; ++i) {
+    const double phase =
+        2.0 * std::numbers::pi * static_cast<double>(i) / samples_per_period;
+    c.add_sample(70.0 + 25.0 * std::sin(phase));
+  }
+  EXPECT_GE(c.cycles_above_threshold(), 2u * periods - 2);
+  EXPECT_LE(c.cycles_above_threshold(), 2u * periods);
+}
+
+TEST(MetricsCollector, HotspotAndTargetFractions) {
+  MetricsCollector m(2);
+  // 1 of 4 samples above 85; 3 of 4 above the 80 C target (83, 86, 81).
+  m.add_sample({83.0, 70.0}, {83.0, 70.0});
+  m.add_sample({86.0, 71.0}, {86.0, 71.0});
+  m.add_sample({79.0, 75.0}, {79.0, 75.0});
+  m.add_sample({81.0, 60.0}, {81.0, 60.0});
+  EXPECT_DOUBLE_EQ(m.hotspot_percent(), 25.0);
+  EXPECT_DOUBLE_EQ(m.above_target_percent(), 75.0);
+}
+
+TEST(MetricsCollector, SpatialGradientUsesUnitSpread) {
+  MetricsCollector m(2);
+  m.add_sample({80.0, 70.0, 64.0}, {80.0, 70.0});  // spread 16 > 15
+  m.add_sample({80.0, 70.0, 66.0}, {80.0, 70.0});  // spread 14
+  EXPECT_DOUBLE_EQ(m.spatial_gradient_percent(), 50.0);
+  EXPECT_NEAR(m.gradient_stats().mean(), 15.0, 1e-9);
+}
+
+TEST(MetricsCollector, TmaxStatsTrackMaxUnit) {
+  MetricsCollector m(1);
+  m.add_sample({50.0, 60.0}, {50.0});
+  m.add_sample({90.0, 40.0}, {90.0});
+  EXPECT_DOUBLE_EQ(m.tmax_stats().max(), 90.0);
+  EXPECT_DOUBLE_EQ(m.tmax_stats().mean(), 75.0);
+}
+
+TEST(MetricsCollector, CyclesNormalizedPerThousandCoreSamples) {
+  MetricsCollector m(1);
+  // One 30 C cycle over ~32 samples on a single core.
+  for (double t = 50.0; t <= 80.0; t += 2.0) m.add_sample({t}, {t});
+  for (double t = 80.0; t >= 50.0; t -= 2.0) m.add_sample({t}, {t});
+  m.add_sample({80.0}, {80.0});
+  const double per1000 = m.thermal_cycles_per_1000();
+  EXPECT_GT(per1000, 0.0);
+  EXPECT_LT(per1000, 1000.0);
+}
+
+TEST(MetricsCollector, ArityValidated) {
+  MetricsCollector m(2);
+  EXPECT_THROW(m.add_sample({80.0}, {80.0}), ConfigError);
+  EXPECT_THROW(m.add_sample({}, {80.0, 70.0}), ConfigError);
+}
+
+TEST(MetricsCollector, CustomThresholds) {
+  MetricThresholds thr;
+  thr.hotspot_c = 90.0;
+  thr.spatial_gradient_c = 5.0;
+  MetricsCollector m(1, thr);
+  m.add_sample({88.0, 80.0}, {88.0});
+  EXPECT_DOUBLE_EQ(m.hotspot_percent(), 0.0);   // 88 < 90
+  EXPECT_DOUBLE_EQ(m.spatial_gradient_percent(), 100.0);  // 8 > 5
+}
+
+}  // namespace
+}  // namespace liquid3d

@@ -1,0 +1,113 @@
+// Microchannel convective model and hydraulics (coolant/microchannel.hpp),
+// checked against the printed Table I values.
+#include <gtest/gtest.h>
+
+#include "coolant/microchannel.hpp"
+#include "geom/stack.hpp"
+
+namespace liquid3d {
+namespace {
+
+MicrochannelModel paper_model() {
+  return MicrochannelModel(CavitySpec{}, CoolantProperties::water());
+}
+
+TEST(MicrochannelModel, RBeolMatchesTableI) {
+  // Table I: R_th-BEOL = t_B / k_BEOL = 12 µm / 2.25 W/(m K)
+  //                    = 5.333 (K mm^2)/W.
+  const MicrochannelModelParams p{};
+  EXPECT_NEAR(p.r_beol_area() * 1e6, 5.333, 0.001);  // K mm^2 / W
+}
+
+TEST(MicrochannelModel, HEffFoldsFinGeometry) {
+  // h_eff = h * 2 (w_c + t_c) / p = 37132 * 2 * 150µm / 100µm = 3 h.
+  const MicrochannelModel m = paper_model();
+  EXPECT_NEAR(m.h_eff(), 3.0 * 37132.0, 1.0);
+}
+
+TEST(MicrochannelModel, DeltaTConvAtPaperHeatFlux) {
+  // At the 200 W/cm^2 the paper cites for interlayer cooling capability,
+  // the convective drop is ~18 K — consistent with the quoted
+  // ΔT_jmax-in of 60 K budget.
+  const MicrochannelModel m = paper_model();
+  const double q = 200.0 * 1e4;  // W/m^2
+  EXPECT_NEAR(m.delta_t_conv(q), q / (3.0 * 37132.0), 1e-9);
+  EXPECT_GT(m.delta_t_conv(q), 15.0);
+  EXPECT_LT(m.delta_t_conv(q), 20.0);
+}
+
+TEST(MicrochannelModel, RThHeatMatchesEquation5) {
+  // R_th-heat = A_heater / (c_p rho V̇); check against hand-computed value
+  // for a 1 cm^2 heater at 1 l/min.
+  const MicrochannelModel m = paper_model();
+  const double r = m.r_th_heat(1e-4, VolumetricFlow::from_l_per_min(1.0));
+  const double expected = 1e-4 / (4183.0 * 998.0 * (1e-3 / 60.0));
+  EXPECT_NEAR(r, expected, 1e-12);
+  // Doubling the flow halves the resistance.
+  EXPECT_NEAR(m.r_th_heat(1e-4, VolumetricFlow::from_l_per_min(2.0)), r / 2.0, 1e-12);
+}
+
+TEST(MicrochannelModel, HydraulicDiameterOfPaperChannel) {
+  // D_h = 2ab/(a+b) = 2*50*100/150 µm = 66.67 µm.
+  const MicrochannelModel m = paper_model();
+  EXPECT_NEAR(m.hydraulic_diameter(), 66.6667e-6, 1e-9);
+}
+
+TEST(MicrochannelModel, FlowIsLaminarAcrossOperatingRange) {
+  const MicrochannelModel m = paper_model();
+  // Even at the nominal (optimistic) per-cavity upper bound of Table I the
+  // channel Reynolds number stays well below transition (~2300).
+  const double re = m.reynolds(VolumetricFlow::from_l_per_min(1.0));
+  EXPECT_LT(re, 2300.0 * 1.5);
+  EXPECT_GT(re, 0.0);
+  // At the pressure-limited delivered flows (~5-15 ml/min per cavity) the
+  // flow is deeply laminar.
+  EXPECT_LT(m.reynolds(VolumetricFlow::from_ml_per_min(15.0)), 60.0);
+}
+
+TEST(MicrochannelModel, PressureDropLinearInFlow) {
+  const MicrochannelModel m = paper_model();
+  const double l = 11.5e-3;  // die width
+  const double dp1 = m.pressure_drop(VolumetricFlow::from_ml_per_min(5.0), l);
+  const double dp2 = m.pressure_drop(VolumetricFlow::from_ml_per_min(10.0), l);
+  EXPECT_NEAR(dp2, 2.0 * dp1, 1e-6 * dp2);  // laminar: dP ~ u
+  EXPECT_GT(dp1, 0.0);
+}
+
+TEST(MicrochannelModel, DeliveredFlowsSitInDatasheetPressureRange) {
+  // The paper quotes 300-600 mbar across the settings; the pressure-limited
+  // delivery model is built to invert exactly this relation, so the drops
+  // at its flows must land in (or near) that band.
+  const MicrochannelModel m = paper_model();
+  const double l = 11.5e-3;
+  const double dp_lo = m.pressure_drop(VolumetricFlow::from_ml_per_min(3.6), l);
+  const double dp_hi = m.pressure_drop(VolumetricFlow::from_ml_per_min(14.5), l);
+  EXPECT_GT(dp_lo, 0.10e5);  // > 100 mbar
+  EXPECT_LT(dp_hi, 0.70e5);  // < 700 mbar
+}
+
+TEST(MicrochannelModel, TransitTimeJustifiesQuasiStaticFluid) {
+  // The fluid crosses the die orders of magnitude faster than the 100 ms
+  // sampling interval, which is what licenses the algebraic fluid treatment
+  // in the thermal model.
+  const MicrochannelModel m = paper_model();
+  const double t = m.transit_time(VolumetricFlow::from_ml_per_min(3.6), 11.5e-3);
+  EXPECT_LT(t, 0.1);   // far below the sampling interval
+  EXPECT_GT(t, 1e-5);  // but finite and physical
+}
+
+TEST(MicrochannelModel, PerChannelFlowDividesEqually) {
+  const MicrochannelModel m = paper_model();
+  const VolumetricFlow cavity = VolumetricFlow::from_ml_per_min(65.0);
+  EXPECT_NEAR(m.per_channel_flow(cavity).ml_per_min(), 1.0, 1e-12);
+}
+
+TEST(CoolantProperties, WaterMatchesTableI) {
+  const CoolantProperties w = CoolantProperties::water();
+  EXPECT_DOUBLE_EQ(w.heat_capacity, 4183.0);  // Table I c_p
+  EXPECT_DOUBLE_EQ(w.density, 998.0);         // Table I rho
+  EXPECT_NEAR(w.volumetric_heat_capacity(), 4.175e6, 1e4);
+}
+
+}  // namespace
+}  // namespace liquid3d

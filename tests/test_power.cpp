@@ -1,0 +1,131 @@
+// Power and leakage models (power/power_model.hpp, power/leakage.hpp).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "power/power_model.hpp"
+
+namespace liquid3d {
+namespace {
+
+TEST(LeakageModel, UnityAtReference) {
+  const LeakageModel m;
+  EXPECT_DOUBLE_EQ(m.scale(80.0), 1.0);
+}
+
+TEST(LeakageModel, MonotoneInTemperature) {
+  const LeakageModel m;
+  double prev = 0.0;
+  for (double t = 40.0; t <= 120.0; t += 5.0) {
+    const double s = m.scale(t);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(LeakageModel, QuadraticGrowthAboveReference) {
+  // The polynomial (Su et al.) grows superlinearly: the increase from
+  // 80->120 exceeds twice the increase from 80->100.
+  const LeakageModel m;
+  const double d1 = m.scale(100.0) - m.scale(80.0);
+  const double d2 = m.scale(120.0) - m.scale(80.0);
+  EXPECT_GT(d2, 2.0 * d1);
+}
+
+TEST(LeakageModel, PowerScalesReference) {
+  const LeakageModel m;
+  EXPECT_DOUBLE_EQ(m.power(0.5, 80.0), 0.5);
+  EXPECT_GT(m.power(0.5, 100.0), 0.5);
+  EXPECT_LT(m.power(0.5, 60.0), 0.5);
+  EXPECT_GE(m.power(0.5, -300.0), 0.0);  // clamped, never negative
+}
+
+TEST(LeakageModel, RejectsDecreasingCoefficients) {
+  LeakageParams p;
+  p.linear_coeff = -0.1;
+  EXPECT_THROW(LeakageModel{p}, ConfigError);
+}
+
+TEST(PowerModel, CoreStateOrdering) {
+  const PowerModel m;
+  const double t = 80.0;
+  const double sleep = m.core_power(CoreState::kSleep, 0.0, 1.0, t);
+  const double idle = m.core_power(CoreState::kIdle, 0.0, 1.0, t);
+  const double active = m.core_power(CoreState::kActive, 1.0, 1.0, t);
+  EXPECT_LT(sleep, idle);
+  EXPECT_LT(idle, active);
+  EXPECT_NEAR(sleep, 0.02, 1e-12);  // paper's sleep power, leakage folded in
+}
+
+TEST(PowerModel, ActivePowerInterpolatesWithBusyFraction) {
+  const PowerModel m;
+  const double t = 80.0;
+  const double p25 = m.core_power(CoreState::kActive, 0.25, 1.0, t);
+  const double p75 = m.core_power(CoreState::kActive, 0.75, 1.0, t);
+  const double p0 = m.core_power(CoreState::kActive, 0.0, 1.0, t);
+  const double p100 = m.core_power(CoreState::kActive, 1.0, 1.0, t);
+  EXPECT_NEAR(p25, p0 + 0.25 * (p100 - p0), 1e-9);
+  EXPECT_NEAR(p75, p0 + 0.75 * (p100 - p0), 1e-9);
+}
+
+TEST(PowerModel, FullyBusyCoreDrawsPaperActivePower) {
+  // 3 W active power (paper / ISSCC'06) at nominal activity, plus leakage.
+  PowerModelParams params;
+  const PowerModel m(params);
+  const double p = m.core_power(CoreState::kActive, 1.0, 1.0, 80.0);
+  EXPECT_NEAR(p, 3.0 + params.core_leak_ref_w, 1e-9);
+}
+
+TEST(PowerModel, ActivityFactorScalesDynamicPart) {
+  const PowerModel m;
+  const double lo = m.core_power(CoreState::kActive, 1.0, 0.92, 80.0);
+  const double hi = m.core_power(CoreState::kActive, 1.0, 1.08, 80.0);
+  EXPECT_GT(hi, lo);
+  EXPECT_NEAR(hi - lo, 3.0 * 0.16, 1e-9);
+}
+
+TEST(PowerModel, L2MatchesCacti) {
+  PowerModelParams params;
+  const PowerModel m(params);
+  // 1.28 W per L2 (paper / CACTI 4.0) plus leakage at reference temp.
+  EXPECT_NEAR(m.l2_power(80.0), 1.28 + params.l2_leak_ref_w, 1e-9);
+}
+
+TEST(PowerModel, CrossbarScalesWithActivityAndMemory) {
+  const PowerModel m;
+  const double t = 80.0;
+  const double idle = m.crossbar_power(0.0, 0.0, t);
+  const double half = m.crossbar_power(0.5, 0.5, t);
+  const double full = m.crossbar_power(1.0, 1.0, t);
+  EXPECT_LT(idle, half);
+  EXPECT_LT(half, full);
+  // Clamped inputs do not blow up.
+  EXPECT_DOUBLE_EQ(m.crossbar_power(2.0, 5.0, t), full);
+  EXPECT_DOUBLE_EQ(m.crossbar_power(-1.0, -1.0, t), idle);
+}
+
+TEST(PowerModel, MiscScalesWithArea) {
+  const PowerModel m;
+  const double small = m.misc_power(10e-6, 80.0);
+  const double large = m.misc_power(20e-6, 80.0);
+  EXPECT_NEAR(large, 2.0 * small, 1e-12);
+}
+
+TEST(PowerModel, LeakageRaisesAllUnitPowersWithTemperature) {
+  const PowerModel m;
+  EXPECT_GT(m.core_power(CoreState::kActive, 1.0, 1.0, 100.0),
+            m.core_power(CoreState::kActive, 1.0, 1.0, 60.0));
+  EXPECT_GT(m.l2_power(100.0), m.l2_power(60.0));
+  EXPECT_GT(m.crossbar_power(0.5, 0.5, 100.0), m.crossbar_power(0.5, 0.5, 60.0));
+  EXPECT_GT(m.misc_power(10e-6, 100.0), m.misc_power(10e-6, 60.0));
+}
+
+TEST(PowerModel, InvalidConfigsRejected) {
+  PowerModelParams bad;
+  bad.core_idle_w = 5.0;  // above active
+  EXPECT_THROW(PowerModel{bad}, ConfigError);
+  const PowerModel m;
+  EXPECT_THROW(m.core_power(CoreState::kActive, 1.5, 1.0, 80.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace liquid3d

@@ -1,0 +1,106 @@
+// Cross-module property tests: invariants that must hold across the whole
+// (setting x utilization x system) plane, i.e. everything the controller's
+// characterization relies on.
+#include <gtest/gtest.h>
+
+#include "control/characterize.hpp"
+#include "control/flow_lut.hpp"
+#include "coolant/flow.hpp"
+
+namespace liquid3d {
+namespace {
+
+ThermalModelParams tiny_grid() {
+  ThermalModelParams p;
+  p.grid_rows = 8;
+  p.grid_cols = 9;
+  return p;
+}
+
+struct PlaneCase {
+  std::size_t layer_pairs;
+  double utilization;
+};
+
+class PlaneSweep : public ::testing::TestWithParam<PlaneCase> {};
+
+TEST_P(PlaneSweep, SteadyEnergyBalanceHoldsEverywhere) {
+  // Property: at every operating point of either system, the coolant
+  // removes exactly the injected power in steady state.
+  const auto [pairs, u] = GetParam();
+  CharacterizationHarness h(make_niagara_stack(pairs, CoolingType::kLiquid),
+                            tiny_grid(), PowerModelParams{}, PumpModel::laing_ddc(),
+                            FlowDeliveryMode::kPressureLimited);
+  for (std::size_t s = 0; s < h.setting_count(); s += 2) {
+    (void)h.steady_tmax(u, s);
+    double absorbed = 0.0;
+    for (std::size_t k = 0; k < h.model().stack().cavity_count(); ++k) {
+      absorbed += h.model().cavity_absorbed_power(k);
+    }
+    const double injected = h.model().total_power();
+    EXPECT_NEAR(absorbed, injected, 0.02 * injected)
+        << "pairs=" << pairs << " u=" << u << " s=" << s;
+  }
+}
+
+TEST_P(PlaneSweep, TmaxBoundedBelowByInletAboveByRunawayCheck) {
+  const auto [pairs, u] = GetParam();
+  CharacterizationHarness h(make_niagara_stack(pairs, CoolingType::kLiquid),
+                            tiny_grid(), PowerModelParams{}, PumpModel::laing_ddc(),
+                            FlowDeliveryMode::kPressureLimited);
+  for (std::size_t s = 0; s < h.setting_count(); s += 2) {
+    const double t = h.steady_tmax(u, s);
+    EXPECT_GT(t, tiny_grid().inlet_temperature) << "s=" << s;
+    EXPECT_LT(t, 450.0) << "s=" << s;  // no numerical blow-up anywhere
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OperatingPlane, PlaneSweep,
+                         ::testing::Values(PlaneCase{1, 0.0}, PlaneCase{1, 0.5},
+                                           PlaneCase{1, 1.0}, PlaneCase{2, 0.0},
+                                           PlaneCase{2, 0.5}, PlaneCase{2, 1.0}));
+
+TEST(Properties, LutFromRealSystemIsInternallyConsistent) {
+  // The controller's core soundness property, on the real (small-grid)
+  // system: if the LUT says setting k suffices for an observation made at
+  // setting s, then the steady temperature at setting k actually meets the
+  // characterization target.
+  CharacterizationHarness h(make_2layer_system(), tiny_grid(), PowerModelParams{},
+                            PumpModel::laing_ddc(),
+                            FlowDeliveryMode::kPressureLimited);
+  const double target = 78.0;
+  const FlowLut lut = FlowLut::characterize(
+      [&](double u, std::size_t s) { return h.steady_tmax(u, s); },
+      h.setting_count(), target, 13);
+
+  for (double u : {0.0, 0.3, 0.7, 1.0}) {
+    for (std::size_t s_cur = 0; s_cur < h.setting_count(); ++s_cur) {
+      const double observed = h.steady_tmax(u, s_cur);
+      const std::size_t required = lut.required_setting(s_cur, observed);
+      // Steady state at the required setting honours the target (within the
+      // characterization sweep's grid resolution).
+      EXPECT_LE(h.steady_tmax(u, required), target + 1.0)
+          << "u=" << u << " s_cur=" << s_cur << " required=" << required;
+    }
+  }
+}
+
+TEST(Properties, FourLayerRunsHotterThanTwoLayerAtSameSetting) {
+  // Fig. 5's system-size ordering, asserted across the plane: the 4-layer
+  // system (double the power, same per-cavity flow) is hotter everywhere.
+  CharacterizationHarness h2(make_2layer_system(), tiny_grid(), PowerModelParams{},
+                             PumpModel::laing_ddc(),
+                             FlowDeliveryMode::kPressureLimited);
+  CharacterizationHarness h4(make_4layer_system(), tiny_grid(), PowerModelParams{},
+                             PumpModel::laing_ddc(),
+                             FlowDeliveryMode::kPressureLimited);
+  for (double u : {0.2, 0.6, 1.0}) {
+    for (std::size_t s : {std::size_t{1}, std::size_t{3}}) {
+      EXPECT_GT(h4.steady_tmax(u, s), h2.steady_tmax(u, s))
+          << "u=" << u << " s=" << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace liquid3d

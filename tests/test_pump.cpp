@@ -1,0 +1,137 @@
+// Pump model and actuator (coolant/pump.hpp): Fig. 3's operating points and
+// the transition-latency semantics that motivate proactive control.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "coolant/pump.hpp"
+
+namespace liquid3d {
+namespace {
+
+TEST(PumpModel, LaingDdcHasFivePaperSettings) {
+  const PumpModel p = PumpModel::laing_ddc();
+  ASSERT_EQ(p.setting_count(), 5u);
+  for (std::size_t s = 0; s < 5; ++s) {
+    EXPECT_DOUBLE_EQ(p.setting(s).nominal_flow_l_per_hour, 75.0 * (s + 1));
+  }
+}
+
+TEST(PumpModel, PowerCurveEndpointsMatchFig3Axis) {
+  // Fig. 3 right axis: ~3 W at 75 l/h, 21 W at 375 l/h, quadratic.
+  const PumpModel p = PumpModel::laing_ddc();
+  EXPECT_NEAR(p.power(0), 3.0, 1e-9);
+  EXPECT_NEAR(p.power(4), 21.0, 1e-9);
+  // Quadratic interior values: P = 2.25 + 1.3333e-4 FR^2.
+  EXPECT_NEAR(p.power(1), 5.25, 1e-9);
+  EXPECT_NEAR(p.power(2), 9.0, 1e-9);
+  EXPECT_NEAR(p.power(3), 14.25, 1e-9);
+}
+
+TEST(PumpModel, PowerGrowsSuperlinearlyWithFlow) {
+  // The quadratic pump law is the whole reason variable flow saves energy:
+  // halving the flow costs much less than half the power.
+  const PumpModel p = PumpModel::laing_ddc();
+  const double power_ratio = p.power(4) / p.power(1);
+  const double flow_ratio =
+      p.setting(4).nominal_flow_l_per_hour / p.setting(1).nominal_flow_l_per_hour;
+  EXPECT_GT(power_ratio, flow_ratio);
+}
+
+TEST(PumpModel, DeliveredFlowAppliesFiftyPercentLoss) {
+  // Sec. III-B: "a global reduction in the flow rate by 50 %".
+  const PumpModel p = PumpModel::laing_ddc();
+  EXPECT_NEAR(p.delivered_flow(4).l_per_hour(), 375.0 * 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(p.delivery_efficiency(), 0.5);
+}
+
+TEST(PumpModel, PerCavityFlowMatchesFig3) {
+  // Fig. 3: per-cavity flow for the 2-layer system (3 cavities) at the top
+  // setting: 375 l/h * 0.5 / 3 = 62.5 l/h = 1041.7 ml/min.
+  const PumpModel p = PumpModel::laing_ddc();
+  EXPECT_NEAR(p.per_cavity_flow(4, 3).ml_per_min(), 1041.67, 0.01);
+  // 4-layer (5 cavities): 625 ml/min.
+  EXPECT_NEAR(p.per_cavity_flow(4, 5).ml_per_min(), 625.0, 0.01);
+  // Lowest setting, 2-layer: 75 * 0.5 / 3 = 12.5 l/h = 208.3 ml/min.
+  EXPECT_NEAR(p.per_cavity_flow(0, 3).ml_per_min(), 208.33, 0.01);
+}
+
+TEST(PumpModel, TransitionLatencyInPaperRange) {
+  // "A typical impeller pump ... takes around 250-300 ms to complete the
+  // transition to a new flow rate."
+  const PumpModel p = PumpModel::laing_ddc();
+  EXPECT_GE(p.transition_latency().as_ms(), 250);
+  EXPECT_LE(p.transition_latency().as_ms(), 300);
+}
+
+TEST(PumpModel, ValidationRejectsBadConfigs) {
+  EXPECT_THROW(PumpModel({}, 0.5, SimTime::from_ms(275)), ConfigError);
+  EXPECT_THROW(PumpModel({{75, 3}, {50, 5}}, 0.5, SimTime::from_ms(275)), ConfigError);
+  EXPECT_THROW(PumpModel({{75, 3}, {150, 2}}, 0.5, SimTime::from_ms(275)), ConfigError);
+  EXPECT_THROW(PumpModel({{75, 3}}, 0.0, SimTime::from_ms(275)), ConfigError);
+}
+
+TEST(PumpActuator, TransitionCompletesAfterLatency) {
+  const PumpModel p = PumpModel::laing_ddc();
+  PumpActuator a(p, 0);
+  EXPECT_EQ(a.effective_setting(), 0u);
+
+  a.command(3, SimTime::from_ms(1000));
+  EXPECT_TRUE(a.in_transition());
+  EXPECT_EQ(a.effective_setting(), 0u);
+  EXPECT_EQ(a.target_setting(), 3u);
+
+  a.tick(SimTime::from_ms(1100));  // 100 ms elapsed < 275 ms
+  EXPECT_EQ(a.effective_setting(), 0u);
+  a.tick(SimTime::from_ms(1275));  // exactly the latency
+  EXPECT_EQ(a.effective_setting(), 3u);
+  EXPECT_FALSE(a.in_transition());
+  EXPECT_EQ(a.transition_count(), 1u);
+}
+
+TEST(PumpActuator, RepeatedSameCommandIsIdempotent) {
+  const PumpModel p = PumpModel::laing_ddc();
+  PumpActuator a(p, 2);
+  a.command(2, SimTime::from_ms(0));
+  EXPECT_EQ(a.transition_count(), 0u);
+  a.command(4, SimTime::from_ms(0));
+  a.command(4, SimTime::from_ms(100));
+  EXPECT_EQ(a.transition_count(), 1u);
+}
+
+TEST(PumpActuator, PowerIsConservativeDuringTransition) {
+  const PumpModel p = PumpModel::laing_ddc();
+  PumpActuator a(p, 0);
+  EXPECT_NEAR(a.power(), 3.0, 1e-9);
+  a.command(4, SimTime::from_ms(0));
+  // Spinning up: charged at the higher of the two settings.
+  EXPECT_NEAR(a.power(), 21.0, 1e-9);
+  a.tick(SimTime::from_ms(275));
+  EXPECT_NEAR(a.power(), 21.0, 1e-9);
+  // Spinning down: still charged at the higher power until complete.
+  a.command(1, SimTime::from_ms(300));
+  EXPECT_NEAR(a.power(), 21.0, 1e-9);
+  a.tick(SimTime::from_ms(575));
+  EXPECT_NEAR(a.power(), 5.25, 1e-9);
+}
+
+TEST(PumpActuator, RetargetingDuringTransitionRestartsLatency) {
+  const PumpModel p = PumpModel::laing_ddc();
+  PumpActuator a(p, 0);
+  a.command(2, SimTime::from_ms(0));
+  a.command(4, SimTime::from_ms(200));  // changes mind mid-transition
+  a.tick(SimTime::from_ms(300));        // 300 ms after first, 100 after second
+  EXPECT_EQ(a.effective_setting(), 0u);
+  a.tick(SimTime::from_ms(475));
+  EXPECT_EQ(a.effective_setting(), 4u);
+  EXPECT_EQ(a.transition_count(), 2u);
+}
+
+TEST(PumpActuator, InvalidSettingRejected) {
+  const PumpModel p = PumpModel::laing_ddc();
+  EXPECT_THROW(PumpActuator(p, 9), ConfigError);
+  PumpActuator a(p, 0);
+  EXPECT_THROW(a.command(9, SimTime{}), ConfigError);
+}
+
+}  // namespace
+}  // namespace liquid3d

@@ -1,0 +1,117 @@
+// Multi-queue execution substrate (sched/queues.hpp).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sched/queues.hpp"
+
+namespace liquid3d {
+namespace {
+
+Thread make_thread(std::uint64_t id, int ms) {
+  Thread t;
+  t.id = id;
+  t.total_length = SimTime::from_ms(ms);
+  t.remaining = t.total_length;
+  return t;
+}
+
+constexpr SimTime kTick = SimTime::from_ms(100);
+
+TEST(Queues, ExecutesFifoWithinTick) {
+  CoreQueues q(1);
+  q.push_back(0, make_thread(1, 30));
+  q.push_back(0, make_thread(2, 30));
+  q.push_back(0, make_thread(3, 30));
+  const auto r = q.execute(kTick);
+  EXPECT_EQ(r.completed, 3u);
+  EXPECT_NEAR(r.busy_fraction[0], 0.9, 1e-9);
+  EXPECT_EQ(q.length(0), 0u);
+}
+
+TEST(Queues, PartialExecutionCarriesRemainder) {
+  CoreQueues q(1);
+  q.push_back(0, make_thread(1, 250));
+  auto r = q.execute(kTick);
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_DOUBLE_EQ(r.busy_fraction[0], 1.0);
+  EXPECT_EQ(q.queue(0).front().remaining.as_ms(), 150);
+  r = q.execute(kTick);
+  EXPECT_EQ(q.queue(0).front().remaining.as_ms(), 50);
+  r = q.execute(kTick);
+  EXPECT_EQ(r.completed, 1u);
+  EXPECT_NEAR(r.busy_fraction[0], 0.5, 1e-9);
+}
+
+TEST(Queues, IdleCoreReportsZeroBusy) {
+  CoreQueues q(2);
+  q.push_back(0, make_thread(1, 100));
+  const auto r = q.execute(kTick);
+  EXPECT_DOUBLE_EQ(r.busy_fraction[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.busy_fraction[1], 0.0);
+}
+
+TEST(Queues, BacklogAndLengthTrackContents) {
+  CoreQueues q(2);
+  q.push_back(0, make_thread(1, 100));
+  q.push_back(0, make_thread(2, 50));
+  EXPECT_EQ(q.length(0), 2u);
+  EXPECT_EQ(q.total_queued(), 2u);
+  EXPECT_NEAR(q.backlog_seconds(0), 0.15, 1e-9);
+  EXPECT_NEAR(q.backlog_seconds(1), 0.0, 1e-9);
+}
+
+TEST(Queues, PopFrontAndBack) {
+  CoreQueues q(1);
+  q.push_back(0, make_thread(1, 10));
+  q.push_back(0, make_thread(2, 10));
+  q.push_back(0, make_thread(3, 10));
+  EXPECT_EQ(q.pop_back(0).id, 3u);
+  EXPECT_EQ(q.pop_front(0).id, 1u);
+  EXPECT_EQ(q.length(0), 1u);
+  EXPECT_EQ(q.queue(0).front().id, 2u);
+}
+
+TEST(Queues, PushFrontPreempts) {
+  CoreQueues q(1);
+  q.push_back(0, make_thread(1, 500));
+  q.push_front(0, make_thread(2, 40));
+  const auto r = q.execute(kTick);
+  // Thread 2 runs first (40 ms), then thread 1 gets the remaining 60 ms.
+  EXPECT_EQ(r.completed, 1u);
+  EXPECT_EQ(q.queue(0).front().id, 1u);
+  EXPECT_EQ(q.queue(0).front().remaining.as_ms(), 440);
+}
+
+TEST(Queues, CompletedTotalAccumulates) {
+  CoreQueues q(1);
+  for (int i = 0; i < 5; ++i) q.push_back(0, make_thread(i, 20));
+  q.execute(kTick);
+  EXPECT_EQ(q.completed_total(), 5u);
+  for (int i = 0; i < 3; ++i) q.push_back(0, make_thread(10 + i, 20));
+  q.execute(kTick);
+  EXPECT_EQ(q.completed_total(), 8u);
+}
+
+TEST(Queues, WorkIsConservedAcrossTicks) {
+  // Total executed busy time equals total thread length regardless of how
+  // threads straddle tick boundaries.
+  CoreQueues q(2);
+  double total_work = 0.0;
+  for (int i = 0; i < 7; ++i) {
+    const int len = 37 + 61 * i % 250;
+    q.push_back(i % 2, make_thread(i, len));
+    total_work += len * 1e-3;
+  }
+  double busy_time = 0.0;
+  for (int t = 0; t < 30; ++t) {
+    const auto r = q.execute(kTick);
+    busy_time += (r.busy_fraction[0] + r.busy_fraction[1]) * 0.1;
+  }
+  EXPECT_NEAR(busy_time, total_work, 1e-9);
+  EXPECT_EQ(q.total_queued(), 0u);
+}
+
+TEST(Queues, ZeroCoresRejected) { EXPECT_THROW(CoreQueues(0), ConfigError); }
+
+}  // namespace
+}  // namespace liquid3d

@@ -1,0 +1,71 @@
+// RingBuffer semantics (common/ring_buffer.hpp).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/ring_buffer.hpp"
+
+namespace liquid3d {
+namespace {
+
+TEST(RingBuffer, FillsThenEvictsOldest) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.empty());
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.front(), 1);
+  EXPECT_EQ(rb.back(), 3);
+  rb.push(4);  // evicts 1
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.front(), 2);
+  EXPECT_EQ(rb.back(), 4);
+  EXPECT_EQ(rb[0], 2);
+  EXPECT_EQ(rb[1], 3);
+  EXPECT_EQ(rb[2], 4);
+}
+
+TEST(RingBuffer, ToVectorPreservesOrderAcrossWrap) {
+  RingBuffer<int> rb(4);
+  for (int i = 0; i < 11; ++i) rb.push(i);
+  const std::vector<int> v = rb.to_vector();
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v, (std::vector<int>{7, 8, 9, 10}));
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<double> rb(2);
+  rb.push(1.0);
+  rb.push(2.0);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(5.0);
+  EXPECT_EQ(rb.front(), 5.0);
+  EXPECT_EQ(rb.size(), 1u);
+}
+
+TEST(RingBuffer, ZeroCapacityRejected) {
+  EXPECT_THROW(RingBuffer<int>(0), ConfigError);
+}
+
+class RingBufferSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RingBufferSweep, SizeNeverExceedsCapacityAndOrderHolds) {
+  const std::size_t cap = GetParam();
+  RingBuffer<std::size_t> rb(cap);
+  for (std::size_t i = 0; i < 3 * cap + 7; ++i) {
+    rb.push(i);
+    EXPECT_LE(rb.size(), cap);
+    EXPECT_EQ(rb.back(), i);
+    // Elements are consecutive ending at i.
+    for (std::size_t j = 0; j < rb.size(); ++j) {
+      EXPECT_EQ(rb[j], i - (rb.size() - 1 - j));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RingBufferSweep,
+                         ::testing::Values(1, 2, 3, 5, 16, 128));
+
+}  // namespace
+}  // namespace liquid3d

@@ -1,0 +1,137 @@
+// Sequential probability ratio test (forecast/sprt.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "forecast/sprt.hpp"
+
+namespace liquid3d {
+namespace {
+
+TEST(Sprt, ThresholdsFollowWald) {
+  SprtParams p;
+  p.false_alarm_prob = 0.01;
+  p.missed_alarm_prob = 0.05;
+  const SprtDetector d(p);
+  EXPECT_NEAR(d.upper_threshold(), std::log(0.95 / 0.01), 1e-12);
+  EXPECT_NEAR(d.lower_threshold(), std::log(0.05 / 0.99), 1e-12);
+}
+
+TEST(Sprt, QuietOnWellBehavedResiduals) {
+  SprtDetector d;
+  d.set_noise_std(1.0);
+  Rng rng(5);
+  std::size_t alarms = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (d.observe(rng.normal())) ++alarms;
+  }
+  // alpha = 1 %: expect on the order of tens of alarms at most over 5000
+  // samples of perfectly matched noise.
+  EXPECT_LT(alarms, 60u);
+}
+
+TEST(Sprt, DetectsPositiveShiftQuickly) {
+  SprtDetector d;
+  d.set_noise_std(1.0);
+  Rng rng(6);
+  int detect_at = -1;
+  for (int i = 0; i < 200; ++i) {
+    if (d.observe(3.0 + rng.normal())) {  // the H1 magnitude itself
+      detect_at = i;
+      break;
+    }
+  }
+  ASSERT_GE(detect_at, 0) << "shift never detected";
+  EXPECT_LT(detect_at, 10);  // SPRT is fast at the design magnitude
+}
+
+TEST(Sprt, DetectsNegativeShiftToo) {
+  SprtDetector d;
+  d.set_noise_std(1.0);
+  Rng rng(7);
+  int detect_at = -1;
+  for (int i = 0; i < 200; ++i) {
+    if (d.observe(-3.0 + rng.normal())) {
+      detect_at = i;
+      break;
+    }
+  }
+  ASSERT_GE(detect_at, 0);
+  EXPECT_LT(detect_at, 10);
+}
+
+TEST(Sprt, AlarmResetsState) {
+  SprtDetector d;
+  d.set_noise_std(1.0);
+  // Drive to alarm deterministically.
+  while (!d.observe(3.0)) {
+  }
+  EXPECT_EQ(d.llr_positive(), 0.0);
+  EXPECT_EQ(d.llr_negative(), 0.0);
+  EXPECT_EQ(d.alarm_count(), 1u);
+}
+
+TEST(Sprt, NoiseFloorPreventsDustAlarms) {
+  // With a perfectly fitting model (sigma ~ 0), numerical dust in the
+  // residuals must not alarm thanks to the min_noise_std floor.
+  SprtDetector d;
+  d.set_noise_std(0.0);  // floored internally to 0.05
+  Rng rng(8);
+  std::size_t alarms = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (d.observe(1e-9 * rng.normal())) ++alarms;
+  }
+  EXPECT_EQ(alarms, 0u);
+}
+
+TEST(Sprt, ManualResetClearsLlr) {
+  SprtDetector d;
+  d.set_noise_std(1.0);
+  // Above m/2 (the drift zero point at the default 4-sigma design
+  // magnitude), so the positive LLR moves up without reaching the alarm.
+  d.observe(2.5);
+  EXPECT_GT(d.llr_positive(), 0.0);
+  d.reset();
+  EXPECT_EQ(d.llr_positive(), 0.0);
+  EXPECT_EQ(d.llr_negative(), 0.0);
+}
+
+TEST(Sprt, InvalidParamsRejected) {
+  SprtParams p;
+  p.false_alarm_prob = 0.0;
+  EXPECT_THROW(SprtDetector{p}, ConfigError);
+  p = SprtParams{};
+  p.magnitude_sigmas = 0.0;
+  EXPECT_THROW(SprtDetector{p}, ConfigError);
+}
+
+class MagnitudeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MagnitudeSweep, LargerShiftsDetectFaster) {
+  // Detection latency decreases with the true shift magnitude.  The default
+  // design magnitude is 4 sigma; shifts at or above ~3 sigma drift the LLR
+  // upward and must be caught quickly.
+  const double shift = GetParam();
+  SprtDetector d;
+  d.set_noise_std(1.0);
+  Rng rng(11);
+  int detect_at = 1000;
+  for (int i = 0; i < 1000; ++i) {
+    if (d.observe(shift + rng.normal())) {
+      detect_at = i;
+      break;
+    }
+  }
+  if (shift >= 4.0) {
+    EXPECT_LT(detect_at, 8);
+  } else if (shift >= 3.0) {
+    EXPECT_LT(detect_at, 30);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, MagnitudeSweep, ::testing::Values(3.0, 4.0, 6.0, 9.0));
+
+}  // namespace
+}  // namespace liquid3d

@@ -1,0 +1,105 @@
+// 3D stack description (geom/stack.hpp, geom/sites.hpp).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "geom/sites.hpp"
+#include "geom/stack.hpp"
+
+namespace liquid3d {
+namespace {
+
+TEST(Stack, TwoLayerSystemMatchesPaper) {
+  const Stack3D s = make_2layer_system();
+  EXPECT_EQ(s.layer_count(), 2u);
+  EXPECT_EQ(s.cavity_count(), 3u);  // below, between, above
+  // 195 microchannels in the 2-layer system (Sec. III-A).
+  EXPECT_EQ(s.total_channel_count(), 195u);
+  EXPECT_EQ(s.total_count(BlockType::kCore), 8u);
+  EXPECT_EQ(s.total_count(BlockType::kL2Cache), 4u);
+  EXPECT_EQ(s.cooling(), CoolingType::kLiquid);
+}
+
+TEST(Stack, FourLayerSystemMatchesPaper) {
+  const Stack3D s = make_4layer_system();
+  EXPECT_EQ(s.layer_count(), 4u);
+  EXPECT_EQ(s.cavity_count(), 5u);
+  // 325 microchannels in the 4-layer system (Sec. III-A).
+  EXPECT_EQ(s.total_channel_count(), 325u);
+  EXPECT_EQ(s.total_count(BlockType::kCore), 16u);
+  EXPECT_EQ(s.total_count(BlockType::kL2Cache), 8u);
+}
+
+TEST(Stack, AirVariantHasNoCavities) {
+  const Stack3D s = make_2layer_system(CoolingType::kAir);
+  EXPECT_EQ(s.cavity_count(), 0u);
+  EXPECT_EQ(s.total_channel_count(), 0u);
+  EXPECT_FALSE(s.has_cavities());
+}
+
+TEST(Stack, CavityGeometryMatchesTableI) {
+  const CavitySpec c = make_2layer_system().cavity();
+  EXPECT_DOUBLE_EQ(c.channel_width, 50e-6);    // w_c
+  EXPECT_DOUBLE_EQ(c.channel_height, 100e-6);  // t_c
+  EXPECT_DOUBLE_EQ(c.wall_thickness, 50e-6);   // t_s
+  EXPECT_DOUBLE_EQ(c.pitch, 100e-6);           // p
+  EXPECT_EQ(c.channel_count, 65u);
+  EXPECT_DOUBLE_EQ(c.channel_cross_section(), 5e-9);
+}
+
+TEST(Stack, TsvSpecMatchesPaper) {
+  const TsvSpec t = make_2layer_system().tsvs();
+  EXPECT_EQ(t.count, 128u);  // 128 TSVs within the crossbar
+  EXPECT_DOUBLE_EQ(t.side, 50e-6);
+  EXPECT_NEAR(t.total_area(), 128 * 2.5e-9, 1e-15);
+}
+
+TEST(Stack, DieThicknessMatchesTableIII) {
+  const Stack3D s = make_2layer_system();
+  for (const LayerSpec& l : s.layers()) {
+    EXPECT_DOUBLE_EQ(l.die_thickness, 0.15e-3);  // Table III
+    EXPECT_DOUBLE_EQ(l.beol_thickness, 12e-6);   // Table I t_B
+  }
+  EXPECT_DOUBLE_EQ(s.bond_thickness(), 0.02e-3);        // Table III
+  EXPECT_DOUBLE_EQ(s.interlayer_resistivity(), 0.25);   // Table III
+}
+
+TEST(Stack, MismatchedLayerOutlineRejected) {
+  Stack3D s("custom", CoolingType::kAir);
+  s.add_layer(LayerSpec{Floorplan("a", 10e-3, 10e-3)});
+  EXPECT_THROW(s.add_layer(LayerSpec{Floorplan("b", 11e-3, 10e-3)}), ConfigError);
+}
+
+TEST(Stack, CavitiesRejectedOnAirStacks) {
+  Stack3D s("custom", CoolingType::kAir);
+  s.add_layer(LayerSpec{Floorplan("a", 10e-3, 10e-3)});
+  EXPECT_THROW(s.set_cavities(CavitySpec{}), ConfigError);
+}
+
+TEST(Sites, CoreEnumerationIsLayerMajor) {
+  const Stack3D s = make_4layer_system();
+  const std::vector<BlockSite> cores = enumerate_sites(s, BlockType::kCore);
+  ASSERT_EQ(cores.size(), 16u);
+  // Layers 0 and 2 are core dies in the 4-layer system.
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(cores[i].layer, 0u);
+  for (std::size_t i = 8; i < 16; ++i) EXPECT_EQ(cores[i].layer, 2u);
+  const std::vector<BlockSite> caches = enumerate_sites(s, BlockType::kL2Cache);
+  ASSERT_EQ(caches.size(), 8u);
+  EXPECT_EQ(caches.front().layer, 1u);
+  EXPECT_EQ(caches.back().layer, 3u);
+}
+
+class LayerPairSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LayerPairSweep, ChannelCountScalesWithCavities) {
+  const std::size_t pairs = GetParam();
+  const Stack3D s = make_niagara_stack(pairs, CoolingType::kLiquid);
+  EXPECT_EQ(s.layer_count(), 2 * pairs);
+  EXPECT_EQ(s.cavity_count(), 2 * pairs + 1);
+  EXPECT_EQ(s.total_channel_count(), 65 * (2 * pairs + 1));
+  EXPECT_EQ(s.total_count(BlockType::kCore), 8 * pairs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, LayerPairSweep, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace liquid3d

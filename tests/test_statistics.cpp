@@ -1,0 +1,100 @@
+// Streaming and batch statistics (common/statistics.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+
+namespace liquid3d {
+namespace {
+
+TEST(RunningStats, MatchesClosedFormOnSmallSet) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.add(3.5);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+class MergeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MergeSweep, MergeEqualsCombinedStream) {
+  // Property: merging two accumulators is identical to accumulating the
+  // concatenated stream, for arbitrary splits.
+  Rng rng(GetParam());
+  const std::size_t n = 200 + rng.uniform_index(300);
+  const std::size_t split = rng.uniform_index(n);
+  RunningStats a;
+  RunningStats b;
+  RunningStats combined;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 4.0);
+    combined.add(x);
+    (i < split ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeSweep, ::testing::Values(1, 2, 3, 11, 42, 1234));
+
+TEST(FractionCounter, CountsAndPercent) {
+  FractionCounter f;
+  EXPECT_EQ(f.fraction(), 0.0);
+  for (int i = 0; i < 10; ++i) f.add(i < 3);
+  EXPECT_EQ(f.hits(), 3u);
+  EXPECT_EQ(f.total(), 10u);
+  EXPECT_DOUBLE_EQ(f.percent(), 30.0);
+  f.reset();
+  EXPECT_EQ(f.total(), 0u);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+  EXPECT_NEAR(percentile(v, 25), 17.5, 1e-12);
+  EXPECT_THROW(percentile({}, 50), ConfigError);
+  EXPECT_THROW(percentile(v, 101), ConfigError);
+}
+
+TEST(Correlation, DetectsPerfectAndAnti) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  std::vector<double> z = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(x, z), -1.0, 1e-12);
+  const std::vector<double> c = {3, 3, 3, 3, 3};
+  EXPECT_EQ(pearson_correlation(x, c), 0.0);  // degenerate
+}
+
+TEST(Rmse, ComputesRootMeanSquare) {
+  EXPECT_DOUBLE_EQ(rmse({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_NEAR(rmse({0, 0}, {3, 4}), std::sqrt(12.5), 1e-12);
+  EXPECT_THROW(rmse({1}, {1, 2}), ConfigError);
+}
+
+}  // namespace
+}  // namespace liquid3d

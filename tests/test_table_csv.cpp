@@ -1,0 +1,82 @@
+// Console table and CSV writers (common/table.hpp, common/csv.hpp).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace liquid3d {
+namespace {
+
+TEST(TablePrinter, AlignsColumnsAndSeparatesHeader) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+  // Header line and separator come first.
+  EXPECT_LT(out.find("name"), out.find("---"));
+  EXPECT_LT(out.find("---"), out.find("alpha"));
+}
+
+TEST(TablePrinter, RowArityEnforced) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ConfigError);
+}
+
+TEST(TablePrinter, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::pct(12.345, 1), "12.3%");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/liquid3d_test.csv";
+  {
+    CsvWriter csv(path, {"x", "y"});
+    csv.add_row(std::vector<std::string>{"1", "2"});
+    csv.add_row(std::vector<double>{3.5, 4.5});
+    ASSERT_TRUE(csv.ok());
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3.5,4.5");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  const std::string path = ::testing::TempDir() + "/liquid3d_escape.csv";
+  {
+    CsvWriter csv(path, {"a"});
+    csv.add_row(std::vector<std::string>{"hello, \"world\""});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);  // header
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"hello, \"\"world\"\"\"");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, ArityEnforced) {
+  const std::string path = ::testing::TempDir() + "/liquid3d_arity.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.add_row(std::vector<std::string>{"1"}), ConfigError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace liquid3d

@@ -1,0 +1,77 @@
+// TALB thermal weight tables (control/talb_weights.hpp).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "control/talb_weights.hpp"
+
+namespace liquid3d {
+namespace {
+
+TEST(TalbWeights, WeightsFromTempsNormalizeToMeanOne) {
+  const std::vector<double> temps = {70.0, 75.0, 80.0, 95.0};
+  const std::vector<double> w = TalbWeightTable::weights_from_temps(temps, 45.0);
+  ASSERT_EQ(w.size(), 4u);
+  const double mean = std::accumulate(w.begin(), w.end(), 0.0) / 4.0;
+  EXPECT_NEAR(mean, 1.0, 1e-9);
+}
+
+TEST(TalbWeights, HotterCoresGetLargerWeights) {
+  // A thermally disadvantaged core (hotter under uniform load) must look
+  // "longer" to the balancer, i.e. weight > 1 (Sec. IV: inverse balanced
+  // power, p_i ~ 1/R_i).
+  const std::vector<double> temps = {60.0, 70.0, 80.0, 90.0};
+  const std::vector<double> w = TalbWeightTable::weights_from_temps(temps, 45.0);
+  for (std::size_t i = 1; i < w.size(); ++i) EXPECT_GT(w[i], w[i - 1]);
+  EXPECT_LT(w.front(), 1.0);
+  EXPECT_GT(w.back(), 1.0);
+}
+
+TEST(TalbWeights, UniformTempsGiveUniformWeights) {
+  const std::vector<double> w =
+      TalbWeightTable::weights_from_temps({75.0, 75.0, 75.0}, 45.0);
+  for (double x : w) EXPECT_NEAR(x, 1.0, 1e-9);
+}
+
+TEST(TalbWeights, ReferenceAboveTempsStaysPositive) {
+  // Degenerate input (temps below the reference) must not produce zero or
+  // negative weights.
+  const std::vector<double> w =
+      TalbWeightTable::weights_from_temps({40.0, 41.0}, 45.0);
+  for (double x : w) EXPECT_GT(x, 0.0);
+}
+
+TEST(TalbWeights, BandLookupSelectsByTmax) {
+  TalbWeightTable table({{70.0, {1.0, 1.0}},   // below 70
+                         {80.0, {1.2, 0.8}},   // 70..80
+                         {std::numeric_limits<double>::infinity(), {1.5, 0.5}}});
+  EXPECT_EQ(table.lookup(60.0)[0], 1.0);
+  EXPECT_EQ(table.lookup(75.0)[0], 1.2);
+  EXPECT_EQ(table.lookup(95.0)[0], 1.5);
+  // Exactly at a boundary: the next band applies (bands are [.., upper)).
+  EXPECT_EQ(table.lookup(70.0)[0], 1.2);
+  EXPECT_EQ(table.core_count(), 2u);
+}
+
+TEST(TalbWeights, UniformFactoryReducesToLb) {
+  const TalbWeightTable t = TalbWeightTable::uniform(8);
+  EXPECT_EQ(t.core_count(), 8u);
+  for (double w : t.lookup(85.0)) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(TalbWeights, ValidationRejectsMalformedBands) {
+  using Bands = std::vector<TalbWeightTable::Band>;
+  // Empty.
+  EXPECT_THROW(TalbWeightTable(Bands{}), ConfigError);
+  // Mismatched arity.
+  EXPECT_THROW(TalbWeightTable(Bands{{70.0, {1.0, 1.0}}, {80.0, {1.0}}}), ConfigError);
+  // Unsorted upper bounds.
+  EXPECT_THROW(TalbWeightTable(Bands{{80.0, {1.0}}, {70.0, {1.0}}}), ConfigError);
+  // Non-positive weight.
+  EXPECT_THROW(TalbWeightTable(Bands{{80.0, {0.0}}}), ConfigError);
+}
+
+}  // namespace
+}  // namespace liquid3d

@@ -1,0 +1,115 @@
+// The Fig. 4 runtime loop (control/thermal_manager.hpp): forecast-driven
+// commands, safe defaults, fixed-max mode, and the reactive ablation.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "control/thermal_manager.hpp"
+
+namespace liquid3d {
+namespace {
+
+double analytic_tmax(double u, std::size_t s) {
+  const double base[] = {70.0, 62.0, 56.0, 51.0, 47.0};
+  const double slope[] = {40.0, 30.0, 30.0, 32.0, 17.0};
+  return base[s] + slope[s] * u;
+}
+
+FlowLut make_lut() { return FlowLut::characterize(analytic_tmax, 5, 80.0, 101); }
+
+ThermalManagerConfig fast_cfg() {
+  ThermalManagerConfig cfg;
+  cfg.predictor.arma.ar_order = 3;
+  cfg.predictor.arma.ma_order = 0;
+  cfg.predictor.window_capacity = 64;
+  cfg.predictor.input_smoothing = 1.0;
+  return cfg;
+}
+
+ThermalManager make_manager(ThermalManagerConfig cfg) {
+  return ThermalManager(make_lut(), TalbWeightTable::uniform(8),
+                        PumpModel::laing_ddc(), cfg);
+}
+
+TEST(ThermalManager, StartsAtMaximumFlow) {
+  ThermalManager m = make_manager(fast_cfg());
+  EXPECT_EQ(m.actuator().effective_setting(), 4u);
+}
+
+TEST(ThermalManager, StaysAtMaxUntilPredictorReady) {
+  ThermalManager m = make_manager(fast_cfg());
+  // Feed a cool signal for fewer samples than the ARMA window needs: the
+  // safe default (max flow) must hold.
+  for (int i = 0; i < 10; ++i) {
+    const SimTime now = SimTime::from_ms(100 * (i + 1));
+    EXPECT_EQ(m.update(now, 50.0), 4u) << "sample " << i;
+  }
+}
+
+TEST(ThermalManager, ScalesDownOnceConfident) {
+  ThermalManager m = make_manager(fast_cfg());
+  std::size_t setting = 4;
+  for (int i = 0; i < 100; ++i) {
+    setting = m.update(SimTime::from_ms(100 * (i + 1)), 50.0);
+  }
+  EXPECT_LT(setting, 4u);  // cool steady signal -> lower flow
+  EXPECT_GT(m.actuator().transition_count(), 0u);
+}
+
+TEST(ThermalManager, FixedMaxModeNeverMoves) {
+  ThermalManagerConfig cfg = fast_cfg();
+  cfg.variable_flow = false;
+  ThermalManager m = make_manager(cfg);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(m.update(SimTime::from_ms(100 * (i + 1)), 50.0), 4u);
+  }
+  EXPECT_EQ(m.actuator().transition_count(), 0u);
+}
+
+TEST(ThermalManager, ReactiveModeFollowsMeasurementImmediately) {
+  ThermalManagerConfig cfg = fast_cfg();
+  cfg.reactive = true;
+  ThermalManager m = make_manager(cfg);
+  // Reactive mode needs no predictor warm-up: a cold reading drops flow on
+  // the very first sample (measured-guard path).
+  const std::size_t s = m.update(SimTime::from_ms(100), 40.0);
+  EXPECT_LT(s, 4u);
+  EXPECT_DOUBLE_EQ(m.last_forecast(), 40.0);
+}
+
+TEST(ThermalManager, HotForecastRaisesFlow) {
+  ThermalManagerConfig cfg = fast_cfg();
+  cfg.reactive = true;  // deterministic (no ARMA warm-up)
+  ThermalManager m = make_manager(cfg);
+  SimTime now = SimTime::from_ms(100);
+  m.update(now, 40.0);  // drops low
+  now += SimTime::from_ms(100);
+  m.actuator().tick(now + SimTime::from_ms(300));  // let transition finish
+  const std::size_t s = m.update(now + SimTime::from_ms(400), 115.0);
+  EXPECT_EQ(s, 4u);  // hot reading -> max immediately
+}
+
+TEST(ThermalManager, WeightLookupPassesThrough) {
+  TalbWeightTable table({{75.0, {1.5, 0.5}},
+                         {std::numeric_limits<double>::infinity(), {2.0, 0.1}}});
+  ThermalManager m(make_lut(), table, PumpModel::laing_ddc(), fast_cfg());
+  EXPECT_DOUBLE_EQ(m.thermal_weights(60.0)[0], 1.5);
+  EXPECT_DOUBLE_EQ(m.thermal_weights(90.0)[0], 2.0);
+}
+
+TEST(ThermalManager, TransitionLatencyDelaysEffectiveSetting) {
+  ThermalManagerConfig cfg = fast_cfg();
+  cfg.reactive = true;
+  ThermalManager m = make_manager(cfg);
+  m.update(SimTime::from_ms(100), 40.0);  // command a drop at t=100ms
+  // At t=200 ms the 275 ms pump transition is still in flight.
+  m.update(SimTime::from_ms(200), 40.0);
+  EXPECT_TRUE(m.actuator().in_transition());
+  // By t=500 ms it has completed.
+  m.update(SimTime::from_ms(500), 40.0);
+  EXPECT_FALSE(m.actuator().in_transition());
+  EXPECT_LT(m.actuator().effective_setting(), 4u);
+}
+
+}  // namespace
+}  // namespace liquid3d

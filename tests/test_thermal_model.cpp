@@ -1,0 +1,291 @@
+// The 3D thermal model (thermal/model3d.hpp): conservation, monotonicity,
+// transient-vs-steady consistency, TSV and grid-refinement behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "coolant/flow.hpp"
+#include "geom/sites.hpp"
+#include "geom/stack.hpp"
+#include "thermal/model3d.hpp"
+
+namespace liquid3d {
+namespace {
+
+ThermalModelParams fast_params() {
+  ThermalModelParams p;
+  p.grid_rows = 12;
+  p.grid_cols = 13;
+  return p;
+}
+
+/// Uniform power on all cores of every layer; zero elsewhere.
+void set_core_power(ThermalModel3D& m, double watts_per_core) {
+  const Stack3D& stack = m.stack();
+  for (std::size_t l = 0; l < stack.layer_count(); ++l) {
+    const Floorplan& fp = stack.layer(l).floorplan;
+    std::vector<double> w(fp.block_count(), 0.0);
+    for (std::size_t b = 0; b < fp.block_count(); ++b) {
+      if (fp.block(b).type == BlockType::kCore) w[b] = watts_per_core;
+    }
+    m.set_block_power(l, w);
+  }
+}
+
+VolumetricFlow setting_flow(std::size_t s) {
+  const MicrochannelModel channels(CavitySpec{}, CoolantProperties::water());
+  const FlowDelivery d(PumpModel::laing_ddc(), FlowDeliveryMode::kPressureLimited,
+                       channels, 11.5e-3, 3);
+  return d.per_cavity(s);
+}
+
+TEST(ThermalModel, ZeroPowerSettlesAtInletTemperature) {
+  ThermalModel3D m(make_2layer_system(), fast_params());
+  m.set_cavity_flow(setting_flow(2));
+  m.solve_steady_state();
+  EXPECT_NEAR(m.max_temperature(), m.params().inlet_temperature, 0.05);
+  EXPECT_NEAR(m.min_temperature(), m.params().inlet_temperature, 0.05);
+}
+
+TEST(ThermalModel, SteadyStateConservesEnergyLiquid) {
+  // All injected power must leave through the coolant.
+  ThermalModel3D m(make_2layer_system(), fast_params());
+  m.set_cavity_flow(setting_flow(3));
+  set_core_power(m, 2.0);
+  m.solve_steady_state();
+  double absorbed = 0.0;
+  for (std::size_t k = 0; k < m.stack().cavity_count(); ++k) {
+    absorbed += m.cavity_absorbed_power(k);
+  }
+  EXPECT_NEAR(absorbed, m.total_power(), 0.02 * m.total_power());
+}
+
+TEST(ThermalModel, MoreFlowMeansCooler) {
+  ThermalModel3D m(make_2layer_system(), fast_params());
+  set_core_power(m, 3.0);
+  double prev = 1e9;
+  for (std::size_t s = 0; s < 5; ++s) {
+    m.set_cavity_flow(setting_flow(s));
+    m.solve_steady_state();
+    const double tmax = m.max_temperature();
+    EXPECT_LT(tmax, prev) << "setting " << s;
+    prev = tmax;
+  }
+}
+
+TEST(ThermalModel, MorePowerMeansHotter) {
+  ThermalModel3D m(make_2layer_system(), fast_params());
+  m.set_cavity_flow(setting_flow(2));
+  double prev = 0.0;
+  for (double p : {0.5, 1.0, 2.0, 3.0}) {
+    set_core_power(m, p);
+    m.solve_steady_state();
+    EXPECT_GT(m.max_temperature(), prev);
+    prev = m.max_temperature();
+  }
+}
+
+TEST(ThermalModel, TransientConvergesToSteadyState) {
+  ThermalModel3D steady(make_2layer_system(), fast_params());
+  steady.set_cavity_flow(setting_flow(2));
+  set_core_power(steady, 2.5);
+  steady.solve_steady_state();
+
+  ThermalModel3D trans(make_2layer_system(), fast_params());
+  trans.set_cavity_flow(setting_flow(2));
+  set_core_power(trans, 2.5);
+  trans.initialize(trans.params().inlet_temperature);
+  for (int i = 0; i < 2000; ++i) trans.step(0.05);  // 100 s simulated
+
+  EXPECT_NEAR(trans.max_temperature(), steady.max_temperature(), 0.2);
+  EXPECT_NEAR(trans.min_temperature(), steady.min_temperature(), 0.2);
+}
+
+TEST(ThermalModel, CoolantHeatsDownstream) {
+  ThermalModelParams p = fast_params();
+  p.alternate_flow_direction = false;  // all cavities flow +x for this check
+  ThermalModel3D m(make_2layer_system(), p);
+  m.set_cavity_flow(setting_flow(1));
+  set_core_power(m, 3.0);
+  m.solve_steady_state();
+  for (std::size_t k = 0; k < m.stack().cavity_count(); ++k) {
+    EXPECT_GT(m.fluid_outlet_temperature(k), m.params().inlet_temperature + 1.0)
+        << "cavity " << k;
+  }
+  // Junction cells get hotter toward the outlet (ΔT_heat accumulation).
+  const Grid& g = m.grid();
+  const std::size_t row = g.rows() / 2;
+  const double t_in_side = m.cell_temperature(0, g.index(row, 1));
+  const double t_out_side = m.cell_temperature(0, g.index(row, g.cols() - 2));
+  EXPECT_GT(t_out_side, t_in_side + 1.0);
+}
+
+TEST(ThermalModel, CounterflowWastesCapacityInAdvectionLimitedRegime) {
+  // At the pressure-limited flows the coolant saturates to the wall
+  // temperature within a couple of cells (advection-limited cooling).
+  // Reversing the middle cavity then makes it exhaust at the cold end: it
+  // absorbs far less than its share and the stack runs hotter.  This is why
+  // alternate_flow_direction defaults to off (see ThermalModelParams).
+  auto run = [](bool alternate) {
+    ThermalModelParams p = fast_params();
+    p.alternate_flow_direction = alternate;
+    ThermalModel3D m(make_2layer_system(), p);
+    m.set_cavity_flow(setting_flow(1));
+    set_core_power(m, 3.0);
+    m.solve_steady_state();
+    return m;
+  };
+  ThermalModel3D uni = run(false);
+  ThermalModel3D alt = run(true);
+
+  // Unidirectional: the three cavities share the load roughly equally.
+  const double uni_mid_share =
+      uni.cavity_absorbed_power(1) /
+      (uni.cavity_absorbed_power(0) + uni.cavity_absorbed_power(2));
+  EXPECT_GT(uni_mid_share, 0.35);
+  // Counterflow: the reversed middle cavity carries a small fraction.
+  const double alt_mid_share =
+      alt.cavity_absorbed_power(1) /
+      (alt.cavity_absorbed_power(0) + alt.cavity_absorbed_power(2));
+  EXPECT_LT(alt_mid_share, 0.25);
+  // And the stack runs hotter overall.
+  EXPECT_GT(alt.max_temperature(), uni.max_temperature() + 3.0);
+}
+
+TEST(ThermalModel, TsvsCoolTheCrossbarRegion) {
+  // Copper TSVs lower the vertical resistance under the crossbar, so the
+  // crossbar block runs cooler with TSVs than without, all else equal.
+  Stack3D with_tsv = make_2layer_system();
+  Stack3D no_tsv = make_2layer_system();
+  no_tsv.set_tsvs(TsvSpec{0, 50e-6, 400.0});
+
+  auto xbar_temp = [](Stack3D stack) {
+    ThermalModel3D m(std::move(stack), fast_params());
+    m.set_cavity_flow(setting_flow(1));
+    const Floorplan& fp = m.stack().layer(0).floorplan;
+    std::vector<double> w(fp.block_count(), 0.0);
+    for (std::size_t b = 0; b < fp.block_count(); ++b) {
+      if (fp.block(b).type == BlockType::kCrossbar) w[b] = 3.0;
+    }
+    m.set_block_power(0, w);
+    m.solve_steady_state();
+    return m.block_temperature(0, *fp.find("xbar"));
+  };
+  EXPECT_LT(xbar_temp(std::move(with_tsv)), xbar_temp(std::move(no_tsv)));
+}
+
+TEST(ThermalModel, AirPackageTracksPower) {
+  ThermalModel3D m(make_2layer_system(CoolingType::kAir), fast_params());
+  set_core_power(m, 1.0);
+  m.solve_steady_state();
+  const double sink_low = m.sink_temperature();
+  const double tmax_low = m.max_temperature();
+  set_core_power(m, 3.0);
+  m.solve_steady_state();
+  EXPECT_GT(m.sink_temperature(), sink_low);
+  EXPECT_GT(m.max_temperature(), tmax_low);
+  EXPECT_GT(m.sink_temperature(), m.params().ambient_temperature);
+  // Junction is hotter than the sink (heat flows outward).
+  EXPECT_GT(m.max_temperature(), m.sink_temperature());
+}
+
+TEST(ThermalModel, AirTransientMatchesSteady) {
+  ThermalModel3D steady(make_2layer_system(CoolingType::kAir), fast_params());
+  set_core_power(steady, 2.0);
+  steady.solve_steady_state();
+
+  ThermalModel3D trans(make_2layer_system(CoolingType::kAir), fast_params());
+  set_core_power(trans, 2.0);
+  trans.initialize(trans.params().ambient_temperature);
+  for (int i = 0; i < 4000; ++i) trans.step(0.1);  // 400 s: package tau is slow
+  EXPECT_NEAR(trans.max_temperature(), steady.max_temperature(), 0.5);
+  EXPECT_NEAR(trans.sink_temperature(), steady.sink_temperature(), 0.5);
+}
+
+TEST(ThermalModel, LiquidBeatsAirAtSamePower) {
+  // The paper's premise: interlayer liquid cooling removes heat far better
+  // than the conventional package.
+  ThermalModel3D liquid(make_2layer_system(), fast_params());
+  liquid.set_cavity_flow(setting_flow(4));
+  set_core_power(liquid, 3.0);
+  liquid.solve_steady_state();
+
+  ThermalModel3D air(make_2layer_system(CoolingType::kAir), fast_params());
+  set_core_power(air, 3.0);
+  air.solve_steady_state();
+
+  EXPECT_LT(liquid.max_temperature(), air.max_temperature());
+}
+
+class GridRefinementSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(GridRefinementSweep, TmaxIsGridStable) {
+  // Refining the grid must not change the steady maximum temperature by
+  // more than a few percent of its rise over the inlet.
+  ThermalModelParams coarse = fast_params();
+  ThermalModelParams fine = fast_params();
+  fine.grid_rows = GetParam().first;
+  fine.grid_cols = GetParam().second;
+
+  auto tmax = [](ThermalModelParams p) {
+    ThermalModel3D m(make_2layer_system(), p);
+    m.set_cavity_flow(setting_flow(2));
+    set_core_power(m, 3.0);
+    m.solve_steady_state();
+    return m.max_temperature();
+  };
+  const double t_coarse = tmax(coarse);
+  const double t_fine = tmax(fine);
+  const double rise = t_coarse - 45.0;
+  EXPECT_NEAR(t_fine, t_coarse, 0.15 * rise);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, GridRefinementSweep,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{23, 26},
+                      std::pair<std::size_t, std::size_t>{34, 39},
+                      std::pair<std::size_t, std::size_t>{46, 52}));
+
+TEST(ThermalModel, StagnantCoolantHasNoSteadyStateAndHeatsWithoutBound) {
+  ThermalModel3D m(make_2layer_system(), fast_params());
+  set_core_power(m, 1.0);
+  m.set_cavity_flow(setting_flow(0));
+  m.solve_steady_state();
+  const double flowing = m.max_temperature();
+
+  // Pump off: a steady solve must be rejected (no heat path to anywhere)...
+  m.set_cavity_flow(VolumetricFlow{});
+  EXPECT_THROW(m.solve_steady_state(), ConfigError);
+
+  // ...and the transient just keeps climbing.
+  m.initialize(m.params().inlet_temperature);
+  for (int i = 0; i < 400; ++i) m.step(0.1);
+  const double t_40s = m.max_temperature();
+  for (int i = 0; i < 400; ++i) m.step(0.1);
+  EXPECT_GT(m.max_temperature(), t_40s + 1.0);
+  EXPECT_GT(m.max_temperature(), flowing);
+}
+
+TEST(ThermalModel, BlockReadbackConsistent) {
+  ThermalModel3D m(make_2layer_system(), fast_params());
+  m.set_cavity_flow(setting_flow(2));
+  set_core_power(m, 3.0);
+  m.solve_steady_state();
+  const Floorplan& fp = m.stack().layer(0).floorplan;
+  for (std::size_t b = 0; b < fp.block_count(); ++b) {
+    EXPECT_GE(m.block_temperature(0, b), m.block_mean_temperature(0, b) - 1e-9);
+    EXPECT_LE(m.block_temperature(0, b), m.max_temperature() + 1e-9);
+  }
+  // Cores (powered) run hotter than the die's unpowered blocks.
+  const std::vector<BlockSite> cores = enumerate_sites(m.stack(), BlockType::kCore);
+  double core_min = 1e9;
+  for (const BlockSite& c : cores) {
+    core_min = std::min(core_min, m.block_temperature(c.layer, c.block));
+  }
+  EXPECT_GT(core_min, m.min_temperature());
+}
+
+}  // namespace
+}  // namespace liquid3d

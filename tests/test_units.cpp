@@ -1,0 +1,66 @@
+// Unit conversions and strong types (common/units.hpp).
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace liquid3d {
+namespace {
+
+TEST(Units, ScalarConversions) {
+  EXPECT_DOUBLE_EQ(um(100.0), 100e-6);
+  EXPECT_DOUBLE_EQ(mm(11.5), 11.5e-3);
+  EXPECT_DOUBLE_EQ(mm2(115.0), 115e-6);
+  EXPECT_DOUBLE_EQ(cm2(1.0), 1e-4);
+  EXPECT_DOUBLE_EQ(celsius_to_kelvin(80.0), 353.15);
+  EXPECT_DOUBLE_EQ(kelvin_to_celsius(353.15), 80.0);
+  EXPECT_DOUBLE_EQ(ms(275.0), 0.275);
+}
+
+TEST(VolumetricFlow, RoundTripsThroughAllUnits) {
+  const VolumetricFlow f = VolumetricFlow::from_l_per_min(0.5);
+  EXPECT_NEAR(f.l_per_min(), 0.5, 1e-12);
+  EXPECT_NEAR(f.ml_per_min(), 500.0, 1e-9);
+  EXPECT_NEAR(f.l_per_hour(), 30.0, 1e-9);
+  EXPECT_NEAR(f.m3_per_s(), 0.5e-3 / 60.0, 1e-15);
+}
+
+TEST(VolumetricFlow, PaperUnitEquivalences) {
+  // Fig. 3 uses l/h at the pump and ml/min per cavity; Table I uses l/min.
+  EXPECT_NEAR(VolumetricFlow::from_l_per_hour(75.0).ml_per_min(), 1250.0, 1e-9);
+  EXPECT_NEAR(VolumetricFlow::from_l_per_hour(375.0).l_per_min(), 6.25, 1e-12);
+  EXPECT_NEAR(VolumetricFlow::from_ml_per_min(1000.0).l_per_min(), 1.0, 1e-12);
+}
+
+TEST(VolumetricFlow, ComparisonAndArithmetic) {
+  const VolumetricFlow a = VolumetricFlow::from_ml_per_min(100.0);
+  const VolumetricFlow b = VolumetricFlow::from_ml_per_min(200.0);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a * 2.0, b);
+  EXPECT_EQ(b / 2.0, a);
+  EXPECT_EQ((a + a), b);
+  EXPECT_NEAR((b - a).ml_per_min(), 100.0, 1e-9);
+  EXPECT_TRUE(VolumetricFlow{}.is_zero());
+  EXPECT_FALSE(a.is_zero());
+}
+
+TEST(SimTime, MillisecondExactness) {
+  const SimTime t = SimTime::from_ms(100);
+  EXPECT_EQ(t.as_ms(), 100);
+  EXPECT_DOUBLE_EQ(t.as_s(), 0.1);
+  // 18,000 ticks of 100 ms == exactly 30 minutes (no float drift).
+  SimTime acc{};
+  for (int i = 0; i < 18000; ++i) acc += t;
+  EXPECT_EQ(acc.as_ms(), 30 * 60 * 1000);
+}
+
+TEST(SimTime, ComparisonAndArithmetic) {
+  const SimTime a = SimTime::from_ms(250);
+  const SimTime b = SimTime::from_s(0.3);
+  EXPECT_LT(a, b);
+  EXPECT_EQ((b - a).as_ms(), 50);
+  EXPECT_EQ((a + b).as_ms(), 550);
+  EXPECT_EQ(SimTime::from_s(0.2755).as_ms(), 276);  // rounds to nearest ms
+}
+
+}  // namespace
+}  // namespace liquid3d
