@@ -1,12 +1,16 @@
 // bench_micro_solver — engineering micro-benchmarks (google-benchmark) for
-// the thermal substrate: banded Cholesky factorization/solve and full
-// transient/steady model operations at several grid resolutions.
+// the thermal substrate: banded Cholesky factorization/solve (new engine vs
+// the seed row-major baseline), multi-RHS batching, full transient/steady
+// model operations, and warm- vs cold-started flow-LUT characterization.
 #include <benchmark/benchmark.h>
 
+#include "control/characterize.hpp"
 #include "coolant/flow.hpp"
+#include "coolant/pump.hpp"
 #include "geom/stack.hpp"
-#include "thermal/banded_cholesky.hpp"
+#include "reference_row_major_banded.hpp"
 #include "thermal/model3d.hpp"
+#include "thermal/solver/banded_spd.hpp"
 
 namespace {
 
@@ -14,6 +18,14 @@ using namespace liquid3d;
 
 BandedSpdMatrix make_grid_matrix(std::size_t n, std::size_t bw) {
   BandedSpdMatrix m(n, bw);
+  for (std::size_t i = 0; i < n; ++i) m.add_diagonal(i, 4.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) m.add_coupling(i, i + 1, 1.0);
+  for (std::size_t i = 0; i + bw < n; ++i) m.add_coupling(i, i + bw, 1.0);
+  return m;
+}
+
+liquid3d_bench::SeedRowMajorBanded make_seed_matrix(std::size_t n, std::size_t bw) {
+  liquid3d_bench::SeedRowMajorBanded m(n, bw);
   for (std::size_t i = 0; i < n; ++i) m.add_diagonal(i, 4.0);
   for (std::size_t i = 0; i + 1 < n; ++i) m.add_coupling(i, i + 1, 1.0);
   for (std::size_t i = 0; i + bw < n; ++i) m.add_coupling(i, i + bw, 1.0);
@@ -31,6 +43,20 @@ void BM_BandedFactorize(benchmark::State& state) {
 }
 BENCHMARK(BM_BandedFactorize)->Args({1196, 52})->Args({2392, 104})->Args({4784, 208});
 
+void BM_BandedFactorizeSeedBaseline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto bw = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    liquid3d_bench::SeedRowMajorBanded m = make_seed_matrix(n, bw);
+    m.factorize();
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_BandedFactorizeSeedBaseline)
+    ->Args({1196, 52})
+    ->Args({2392, 104})
+    ->Args({4784, 208});
+
 void BM_BandedSolve(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto bw = static_cast<std::size_t>(state.range(1));
@@ -44,6 +70,47 @@ void BM_BandedSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BandedSolve)->Args({1196, 52})->Args({2392, 104})->Args({4784, 208});
+
+void BM_BandedSolveSeedBaseline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto bw = static_cast<std::size_t>(state.range(1));
+  liquid3d_bench::SeedRowMajorBanded m = make_seed_matrix(n, bw);
+  m.factorize();
+  std::vector<double> rhs(n, 1.0);
+  for (auto _ : state) {
+    std::vector<double> x = rhs;
+    m.solve(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_BandedSolveSeedBaseline)
+    ->Args({1196, 52})
+    ->Args({2392, 104})
+    ->Args({4784, 208});
+
+void BM_BandedSolveMultiRhs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto bw = static_cast<std::size_t>(state.range(1));
+  const auto nrhs = static_cast<std::size_t>(state.range(2));
+  BandedSpdMatrix m = make_grid_matrix(n, bw);
+  m.factorize();
+  std::vector<double> rhs(n * nrhs, 1.0);
+  std::vector<double> x(n * nrhs);
+  for (auto _ : state) {
+    x = rhs;
+    m.solve(std::span<double>(x), nrhs);
+    benchmark::DoNotOptimize(x);
+  }
+  // Per-RHS throughput: compare against BM_BandedSolve to read the batching
+  // win directly.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nrhs));
+}
+BENCHMARK(BM_BandedSolveMultiRhs)
+    ->Args({1196, 52, 4})
+    ->Args({1196, 52, 16})
+    ->Args({4784, 208, 4})
+    ->Args({4784, 208, 16});
 
 ThermalModel3D make_model(std::size_t rows, std::size_t cols, std::size_t pairs) {
   ThermalModelParams p;
@@ -89,6 +156,44 @@ void BM_SteadyState(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SteadyState)->Args({12, 13})->Args({23, 26});
+
+// Full flow-LUT characterization (the acceptance workload: 25 utilization
+// points x all pump settings).  `fast` is the production configuration —
+// direct fluid-eliminated steady solver, fused leakage iteration,
+// warm-started, sampled over the thread pool; the baseline replicates the
+// seed behaviour: pseudo-transient continuation, outer leakage fixed
+// point, serial sweep.
+void characterization_pass(bool fast, std::size_t threads, std::size_t points) {
+  ThermalModelParams p;  // paper-default grid
+  p.direct_steady_solver = fast;
+  const Stack3D stack = make_2layer_system();
+  auto factory = [&]() {
+    auto h = std::make_unique<CharacterizationHarness>(
+        stack, p, PowerModelParams{}, PumpModel::laing_ddc(),
+        FlowDeliveryMode::kPressureLimited);
+    h->set_warm_start(fast);
+    h->set_fused_leakage(fast);
+    return h;
+  };
+  const FlowLut lut = characterize_flow_lut(factory, 78.0, points, threads);
+  benchmark::DoNotOptimize(lut.setting_count());
+}
+
+void BM_FlowLutCharacterization(benchmark::State& state) {
+  const bool fast = state.range(0) != 0;
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    characterization_pass(fast, threads, 25);
+  }
+  state.SetLabel(fast ? "solver engine: direct steady + warm start + pool"
+                      : "seed behaviour: pseudo-transient, serial");
+}
+BENCHMARK(BM_FlowLutCharacterization)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({1, 0})  // 0 = hardware concurrency
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 }  // namespace
 

@@ -1,0 +1,89 @@
+// reference_row_major_banded.hpp — the seed's row-major banded Cholesky,
+// kept verbatim (modulo naming) as the benchmark baseline so the solver
+// engine's speedup over it stays measurable in one binary.  Not part of the
+// library; benchmarks only.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace liquid3d_bench {
+
+/// Row-major lower-band storage: element (i, j) with i-b <= j <= i lives at
+/// band_[i * (b+1) + (j - i + b)] — the seed layout whose factorize/solve
+/// inner loops stride by the full band width.
+class SeedRowMajorBanded {
+ public:
+  SeedRowMajorBanded(std::size_t n, std::size_t half_bandwidth)
+      : n_(n), b_(half_bandwidth), band_(n * (half_bandwidth + 1), 0.0) {}
+
+  void add_diagonal(std::size_t i, double g) { at(i, i) += g; }
+
+  void add_coupling(std::size_t i, std::size_t j, double g) {
+    const std::size_t lo = std::min(i, j);
+    const std::size_t hi = std::max(i, j);
+    at(lo, lo) += g;
+    at(hi, hi) += g;
+    at(hi, lo) -= g;
+  }
+
+  void factorize() {
+    const std::size_t w = b_ + 1;
+    for (std::size_t j = 0; j < n_; ++j) {
+      double d = band_[j * w + b_];
+      const std::size_t k_lo = (j >= b_) ? j - b_ : 0;
+      for (std::size_t k = k_lo; k < j; ++k) {
+        const double ljk = band_[j * w + (k - j + b_)];
+        d -= ljk * ljk;
+      }
+      LIQUID3D_ASSERT(d > 0.0, "banded Cholesky: non-positive pivot");
+      const double ljj = std::sqrt(d);
+      band_[j * w + b_] = ljj;
+      const double inv = 1.0 / ljj;
+      const std::size_t i_hi = std::min(n_ - 1, j + b_);
+      for (std::size_t i = j + 1; i <= i_hi; ++i) {
+        double s = band_[i * w + (j - i + b_)];
+        const std::size_t kk_lo = std::max((i >= b_) ? i - b_ : 0, k_lo);
+        for (std::size_t k = kk_lo; k < j; ++k) {
+          s -= band_[i * w + (k - i + b_)] * band_[j * w + (k - j + b_)];
+        }
+        band_[i * w + (j - i + b_)] = s * inv;
+      }
+    }
+  }
+
+  void solve(std::vector<double>& rhs) const {
+    const std::size_t w = b_ + 1;
+    for (std::size_t i = 0; i < n_; ++i) {
+      double s = rhs[i];
+      const std::size_t k_lo = (i >= b_) ? i - b_ : 0;
+      for (std::size_t k = k_lo; k < i; ++k) {
+        s -= band_[i * w + (k - i + b_)] * rhs[k];
+      }
+      rhs[i] = s / band_[i * w + b_];
+    }
+    for (std::size_t ii = n_; ii-- > 0;) {
+      double s = rhs[ii];
+      const std::size_t j_hi = std::min(n_ - 1, ii + b_);
+      for (std::size_t j = ii + 1; j <= j_hi; ++j) {
+        s -= band_[j * w + (ii - j + b_)] * rhs[j];
+      }
+      rhs[ii] = s / band_[ii * w + b_];
+    }
+  }
+
+ private:
+  double& at(std::size_t i, std::size_t j) {
+    return band_[i * (b_ + 1) + (j - i + b_)];
+  }
+
+  std::size_t n_;
+  std::size_t b_;
+  std::vector<double> band_;
+};
+
+}  // namespace liquid3d_bench

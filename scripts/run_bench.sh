@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# run_bench.sh — build the benchmarks in Release and record the solver
+# micro-benchmarks as machine-readable JSON (BENCH_solver.json at the repo
+# root), starting the perf trajectory the acceptance criteria compare
+# against.
+#
+# Usage: scripts/run_bench.sh [build-dir] [output.json]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+out_json="${2:-${repo_root}/BENCH_solver.json}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=Release -DLIQUID3D_BUILD_BENCH=ON >/dev/null
+cmake --build "${build_dir}" --target bench_micro_solver -j "$(nproc)"
+
+"${build_dir}/bench_micro_solver" \
+  --benchmark_format=json \
+  --benchmark_out="${out_json}" \
+  --benchmark_out_format=json \
+  --benchmark_filter='BM_Banded|BM_TransientStep|BM_SteadyState|BM_FlowLut'
+
+echo "wrote ${out_json}"

@@ -1,0 +1,113 @@
+// thread_pool.hpp — a small reusable worker pool for the embarrassingly
+// parallel outer loops: characterization grid points and the policy x
+// workload experiment grid.  Each task owns its working set (typically a
+// whole ThermalModel3D), so the pool needs no shared-state machinery beyond
+// the queue itself.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace liquid3d {
+
+class ThreadPool {
+ public:
+  /// Worker count defaults to the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = default_concurrency()) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  [[nodiscard]] static std::size_t default_concurrency() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  }
+
+  /// Enqueue a callable; the future carries its result (or exception).
+  template <class F>
+  [[nodiscard]] auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    std::packaged_task<R()> task(std::forward<F>(f));
+    std::future<R> fut = task.get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back(
+          [t = std::make_shared<std::packaged_task<R()>>(std::move(task))] {
+            (*t)();
+          });
+    }
+    wake_.notify_one();
+    return fut;
+  }
+
+  /// Run fn(i) for i in [begin, end) across the pool and block until every
+  /// index finished.  The first exception (if any) is rethrown — but only
+  /// after ALL indices have completed: `fn` is borrowed by reference, so
+  /// returning while workers still run would leave them calling through a
+  /// destroyed callable.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn) {
+    std::vector<std::future<void>> pending;
+    pending.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      pending.push_back(submit([&fn, i] { fn(i); }));
+    }
+    std::exception_ptr first_error;
+    for (auto& f : pending) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace liquid3d

@@ -1,8 +1,11 @@
 #include "control/characterize.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "coolant/microchannel.hpp"
 
 namespace liquid3d {
@@ -74,12 +77,25 @@ void CharacterizationHarness::apply_uniform_power(double utilization) {
 }
 
 double CharacterizationHarness::solve_with_leakage_fixed_point(double utilization) {
-  // The leakage term depends on temperature, which depends on power: iterate
-  // power assignment and steady solve until T_max settles.  At the lowest
-  // flow settings the leakage-temperature loop gain approaches (and can
-  // exceed) 1, so the iteration budget must be generous; a genuinely
+  // The leakage term depends on temperature, which depends on power.  The
+  // fused path re-applies the power assignment before every pseudo-transient
+  // step, so one continuation run converges power and temperature together —
+  // the seed wrapped the whole steady solve in an outer fixed point and paid
+  // for 3-4 complete pseudo-transient runs per operating point.  A genuinely
   // diverging iterate is physical thermal runaway and is reported as the
   // (large) last value, which the LUT correctly treats as "needs more flow".
+  if (fused_leakage_) {
+    apply_uniform_power(utilization);
+    // Abort on runaway (>400 C) — but never before the first solve: the
+    // warm-start seed may legitimately be a hot state that this operating
+    // point cools down from.
+    std::size_t steps = 0;
+    model_.solve_steady_state([&]() {
+      apply_uniform_power(utilization);
+      return steps++ == 0 || model_.max_temperature() <= 400.0;
+    });
+    return model_.max_temperature();
+  }
   double tmax_prev = model_.max_temperature();
   for (int iter = 0; iter < 80; ++iter) {
     apply_uniform_power(utilization);
@@ -92,19 +108,82 @@ double CharacterizationHarness::solve_with_leakage_fixed_point(double utilizatio
   return tmax_prev;
 }
 
+namespace {
+/// Distance between operating points: utilization spans [0,1]; the flow
+/// coordinate is scaled so the full pump range weighs about as much as the
+/// full utilization range.
+double operating_point_distance(double u_a, double f_a, double u_b, double f_b) {
+  constexpr double kFlowScale = 50.0;  // ml/min — typical per-cavity range
+  return std::abs(u_a - u_b) + std::abs(f_a - f_b) / kFlowScale;
+}
+}  // namespace
+
+void CharacterizationHarness::seed_from_nearest(double utilization,
+                                                double flow_ml_per_min) {
+  const WarmPoint* best = nullptr;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (const WarmPoint& p : warm_points_) {
+    const double d = operating_point_distance(utilization, flow_ml_per_min,
+                                              p.utilization, p.flow_ml_per_min);
+    if (d < best_dist) {
+      best_dist = d;
+      best = &p;
+    }
+  }
+  if (best != nullptr) model_.restore_state(best->state);
+}
+
+void CharacterizationHarness::remember_point(double utilization,
+                                             double flow_ml_per_min) {
+  constexpr std::size_t kMaxPoints = 48;
+  // Replace the closest existing point when full (or when re-solving the
+  // same operating point) so the cache tracks the sweep frontier.
+  WarmPoint* victim = nullptr;
+  double victim_dist = std::numeric_limits<double>::infinity();
+  for (WarmPoint& p : warm_points_) {
+    const double d = operating_point_distance(utilization, flow_ml_per_min,
+                                              p.utilization, p.flow_ml_per_min);
+    if (d < victim_dist) {
+      victim_dist = d;
+      victim = &p;
+    }
+  }
+  if (warm_points_.size() < kMaxPoints && victim_dist > 1e-9) {
+    warm_points_.emplace_back();
+    victim = &warm_points_.back();
+  }
+  LIQUID3D_ASSERT(victim != nullptr, "warm point bookkeeping failed");
+  victim->utilization = utilization;
+  victim->flow_ml_per_min = flow_ml_per_min;
+  model_.save_state(victim->state);
+}
+
+double CharacterizationHarness::solve_at_operating_point(double utilization,
+                                                         double flow_ml_per_min) {
+  if (warm_start_) seed_from_nearest(utilization, flow_ml_per_min);
+  const double tmax = solve_with_leakage_fixed_point(utilization);
+  // Never cache a runaway state: seeding a neighbouring (convergent) point
+  // from a >400 C iterate would poison its solve.
+  if (warm_start_ && tmax <= 400.0) remember_point(utilization, flow_ml_per_min);
+  return tmax;
+}
+
 double CharacterizationHarness::steady_tmax(double utilization, std::size_t setting) {
+  double flow_key = 0.0;
   if (delivery_) {
-    model_.set_cavity_flow(delivery_->per_cavity(setting));
+    const VolumetricFlow flow = delivery_->per_cavity(setting);
+    model_.set_cavity_flow(flow);
+    flow_key = flow.ml_per_min();
   } else {
     LIQUID3D_REQUIRE(setting == 0, "air stacks have a single (no-pump) setting");
   }
-  return solve_with_leakage_fixed_point(utilization);
+  return solve_at_operating_point(utilization, flow_key);
 }
 
 double CharacterizationHarness::steady_tmax_at_flow(double utilization,
                                                     VolumetricFlow per_cavity) {
   model_.set_cavity_flow(per_cavity);
-  return solve_with_leakage_fixed_point(utilization);
+  return solve_at_operating_point(utilization, per_cavity.ml_per_min());
 }
 
 std::vector<double> CharacterizationHarness::steady_core_temps(double utilization,
@@ -137,6 +216,54 @@ VolumetricFlow CharacterizationHarness::min_flow_for_target(double utilization,
     if ((b - a).ml_per_min() < 0.05) break;
   }
   return b;
+}
+
+std::vector<std::vector<double>> sample_tmax_grid(const HarnessFactory& make_harness,
+                                                  std::size_t setting_count,
+                                                  std::size_t utilization_points,
+                                                  std::size_t threads) {
+  LIQUID3D_REQUIRE(setting_count >= 1, "need at least one pump setting");
+  // >= 3 matches FlowLut::from_samples — fail before the sweep, not after.
+  LIQUID3D_REQUIRE(utilization_points >= 3, "utilization sweep too coarse");
+  std::vector<double> us(utilization_points);
+  for (std::size_t i = 0; i < utilization_points; ++i) {
+    us[i] = static_cast<double>(i) / static_cast<double>(utilization_points - 1);
+  }
+  std::vector<std::vector<double>> grid(setting_count,
+                                        std::vector<double>(utilization_points));
+
+  if (threads == 0) threads = ThreadPool::default_concurrency();
+  const std::size_t workers = std::min(threads, setting_count);
+
+  // Worker h owns one harness and sweeps settings h, h+W, h+2W, ...; within
+  // a worker the sweep is setting-major with ascending utilization, so each
+  // solve warm-starts from a neighbouring operating point.
+  auto sweep = [&](std::size_t h) {
+    const std::unique_ptr<CharacterizationHarness> harness = make_harness();
+    for (std::size_t s = h; s < setting_count; s += workers) {
+      for (std::size_t i = 0; i < utilization_points; ++i) {
+        grid[s][i] = harness->steady_tmax(us[i], s);
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    sweep(0);
+    return grid;
+  }
+  ThreadPool pool(workers);
+  pool.parallel_for(0, workers, sweep);
+  return grid;
+}
+
+FlowLut characterize_flow_lut(const HarnessFactory& make_harness,
+                              double target_temperature,
+                              std::size_t utilization_points, std::size_t threads) {
+  const std::unique_ptr<CharacterizationHarness> probe = make_harness();
+  const std::size_t settings = probe->setting_count();
+  return FlowLut::from_samples(
+      sample_tmax_grid(make_harness, settings, utilization_points, threads),
+      target_temperature);
 }
 
 }  // namespace liquid3d

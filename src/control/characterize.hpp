@@ -10,13 +10,22 @@
 // This harness computes steady states of a ThermalModel3D under uniform
 // per-core utilization — the balanced-load operating point TALB itself
 // drives the system toward — including the leakage-temperature fixed point.
+// Steady solves here are *warm-started*: every converged operating point is
+// snapshotted, and a new solve seeds the model from the nearest previously
+// converged (utilization, flow) point.  Characterization sweeps are monotone
+// in both coordinates, so pseudo-transient iteration counts collapse by an
+// order of magnitude; the grid itself is sampled in parallel (one harness
+// per worker) by `characterize_flow_lut`.
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/units.hpp"
+#include "control/flow_lut.hpp"
 #include "coolant/flow.hpp"
 #include "coolant/pump.hpp"
 #include "geom/sites.hpp"
@@ -64,13 +73,57 @@ class CharacterizationHarness {
   /// model temperatures).
   void apply_uniform_power(double utilization);
 
+  /// Warm-starting from previously converged operating points is on by
+  /// default; disable to force every solve to continue from whatever state
+  /// the model happens to be in (the seed behaviour).
+  void set_warm_start(bool enabled) { warm_start_ = enabled; }
+  [[nodiscard]] bool warm_start() const { return warm_start_; }
+  /// Fold the leakage-power update into the pseudo-transient continuation
+  /// (one steady run per operating point) instead of the seed's outer
+  /// power/solve fixed point (3-4 runs).  On by default.
+  void set_fused_leakage(bool enabled) { fused_leakage_ = enabled; }
+  [[nodiscard]] bool fused_leakage() const { return fused_leakage_; }
+  /// Number of converged operating points currently cached.
+  [[nodiscard]] std::size_t warm_point_count() const { return warm_points_.size(); }
+
  private:
+  struct WarmPoint {
+    double utilization;
+    double flow_ml_per_min;  ///< 0 for air stacks
+    ThermalState state;
+  };
+
   [[nodiscard]] double solve_with_leakage_fixed_point(double utilization);
+  [[nodiscard]] double solve_at_operating_point(double utilization,
+                                                double flow_ml_per_min);
+  void seed_from_nearest(double utilization, double flow_ml_per_min);
+  void remember_point(double utilization, double flow_ml_per_min);
 
   ThermalModel3D model_;
   PowerModel power_;
   std::optional<FlowDelivery> delivery_;
   std::vector<BlockSite> cores_;
+  bool warm_start_ = true;
+  bool fused_leakage_ = true;
+  std::vector<WarmPoint> warm_points_;
 };
+
+/// Factory producing an independent harness per worker thread (each worker
+/// owns its own ThermalModel3D — no shared mutable state).
+using HarnessFactory = std::function<std::unique_ptr<CharacterizationHarness>()>;
+
+/// Sample the steady T_max(u, s) characterization grid.  Whole setting rows
+/// are distributed over `threads` workers (0 = hardware concurrency); each
+/// worker sweeps its rows utilization-ascending so warm starts stay within
+/// a few degrees of the seed state.  Returns grid[setting][u_index].
+[[nodiscard]] std::vector<std::vector<double>> sample_tmax_grid(
+    const HarnessFactory& make_harness, std::size_t setting_count,
+    std::size_t utilization_points, std::size_t threads = 0);
+
+/// Full flow-LUT characterization: parallel grid sampling + table build.
+[[nodiscard]] FlowLut characterize_flow_lut(const HarnessFactory& make_harness,
+                                            double target_temperature,
+                                            std::size_t utilization_points = 41,
+                                            std::size_t threads = 0);
 
 }  // namespace liquid3d

@@ -56,6 +56,18 @@ FlowLut FlowLut::characterize(const std::function<double(double, std::size_t)>& 
       t[s][i] = tmax(us[i], s);
     }
   }
+  return from_samples(t, target_temperature);
+}
+
+FlowLut FlowLut::from_samples(const std::vector<std::vector<double>>& t,
+                              double target_temperature) {
+  const std::size_t setting_count = t.size();
+  LIQUID3D_REQUIRE(setting_count >= 1, "need at least one pump setting");
+  const std::size_t utilization_points = t.front().size();
+  LIQUID3D_REQUIRE(utilization_points >= 3, "utilization sweep too coarse");
+  for (const auto& row : t) {
+    LIQUID3D_REQUIRE(row.size() == utilization_points, "ragged sample grid");
+  }
 
   // Required setting per utilization point: the smallest s whose steady
   // T_max meets the target (the highest setting if none does).

@@ -41,10 +41,17 @@ class FlowLut {
   /// Characterize a system.  tmax(u, s) must return the steady maximum
   /// temperature under uniform utilization u at setting s (see
   /// CharacterizationHarness).  `utilization_points` controls the sweep
-  /// resolution.
+  /// resolution.  Samples serially; `characterize_flow_lut` (characterize.hpp)
+  /// is the parallel warm-started driver.
   [[nodiscard]] static FlowLut characterize(
       const std::function<double(double, std::size_t)>& tmax, std::size_t setting_count,
       double target_temperature, std::size_t utilization_points = 41);
+
+  /// Build the table from a pre-sampled grid tmax_grid[setting][u_index]
+  /// (utilizations uniform ascending on [0, 1]).  Splitting sampling from
+  /// construction lets callers fan the solves out over a thread pool.
+  [[nodiscard]] static FlowLut from_samples(
+      const std::vector<std::vector<double>>& tmax_grid, double target_temperature);
 
  private:
   std::vector<std::vector<double>> thresholds_;

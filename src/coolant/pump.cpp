@@ -49,15 +49,15 @@ VolumetricFlow PumpModel::per_cavity_flow(std::size_t setting_index,
 }
 
 PumpActuator::PumpActuator(const PumpModel& model, std::size_t initial_setting)
-    : model_(&model), effective_(initial_setting), target_(initial_setting) {
+    : model_(model), effective_(initial_setting), target_(initial_setting) {
   LIQUID3D_REQUIRE(initial_setting < model.setting_count(), "invalid pump setting");
 }
 
 void PumpActuator::command(std::size_t setting_index, SimTime now) {
-  LIQUID3D_REQUIRE(setting_index < model_->setting_count(), "invalid pump setting");
+  LIQUID3D_REQUIRE(setting_index < model_.setting_count(), "invalid pump setting");
   if (setting_index == target_) return;
   target_ = setting_index;
-  transition_due_ = now + model_->transition_latency();
+  transition_due_ = now + model_.transition_latency();
   ++transitions_;
 }
 
@@ -69,11 +69,11 @@ void PumpActuator::tick(SimTime now) {
 
 double PumpActuator::power() const {
   // During a transition charge the larger of the two powers (conservative).
-  return std::max(model_->power(effective_), model_->power(target_));
+  return std::max(model_.power(effective_), model_.power(target_));
 }
 
 VolumetricFlow PumpActuator::per_cavity_flow(std::size_t cavity_count) const {
-  return model_->per_cavity_flow(effective_, cavity_count);
+  return model_.per_cavity_flow(effective_, cavity_count);
 }
 
 }  // namespace liquid3d

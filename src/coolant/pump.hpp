@@ -86,7 +86,10 @@ class PumpActuator {
   [[nodiscard]] std::size_t transition_count() const { return transitions_; }
 
  private:
-  const PumpModel* model_;
+  // Held by value: actuators outlive (and move independently of) the model
+  // they were built from — storing a pointer dangled when a ThermalManager
+  // was constructed from a temporary PumpModel and then moved.
+  PumpModel model_;
   std::size_t effective_;
   std::size_t target_;
   SimTime transition_due_{};

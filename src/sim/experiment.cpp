@@ -1,8 +1,10 @@
 #include "sim/experiment.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace liquid3d {
 
@@ -91,15 +93,38 @@ SimulationConfig ExperimentSuite::make_config(PolicyConfig policy,
 std::vector<PolicySummary> ExperimentSuite::run(
     const std::vector<PolicyConfig>& policies,
     const std::vector<BenchmarkSpec>& workloads) {
+  // Build every cell's config up front, on this thread: make_config lazily
+  // constructs the shared characterizations (flow LUT, TALB weights), and
+  // doing that here keeps the fan-out workers free of shared mutable state.
+  std::vector<SimulationConfig> cells;
+  cells.reserve(policies.size() * workloads.size());
+  for (const PolicyConfig& pc : policies) {
+    for (const BenchmarkSpec& wl : workloads) {
+      cells.push_back(make_config(pc, wl));
+    }
+  }
+
+  std::vector<SimulationResult> results(cells.size());
+  {
+    ThreadPool pool(cfg_.worker_threads == 0 ? ThreadPool::default_concurrency()
+                                             : cfg_.worker_threads);
+    pool.parallel_for(0, cells.size(), [&](std::size_t i) {
+      Simulator sim(cells[i]);
+      results[i] = sim.run();
+    });
+  }
+
   std::vector<PolicySummary> summaries;
   summaries.reserve(policies.size());
+  std::size_t cursor = 0;
   for (const PolicyConfig& pc : policies) {
     PolicySummary summary;
     summary.label = policy_label(pc.policy, pc.cooling);
-    for (const BenchmarkSpec& wl : workloads) {
-      Simulator sim(make_config(pc, wl));
-      summary.per_workload.push_back(sim.run());
-    }
+    summary.per_workload.assign(
+        std::make_move_iterator(results.begin() + static_cast<std::ptrdiff_t>(cursor)),
+        std::make_move_iterator(results.begin() +
+                                static_cast<std::ptrdiff_t>(cursor + workloads.size())));
+    cursor += workloads.size();
     summaries.push_back(std::move(summary));
   }
   return summaries;

@@ -30,6 +30,10 @@ struct SuiteConfig {
   SimTime duration = SimTime::from_s(60);
   std::uint64_t seed = 7;
   bool dpm_enabled = true;
+  /// Worker threads for the policy x workload fan-out (0 = hardware
+  /// concurrency).  Every cell is an independent Simulator (own thermal
+  /// model, own RNG stream), so results are bit-identical to a serial run.
+  std::size_t worker_threads = 0;
   /// Base template applied to every run (thermal/power/etc. parameters).
   SimulationConfig base{};
 };

@@ -55,14 +55,14 @@ std::shared_ptr<const FlowLut> Simulator::build_flow_lut(const SimulationConfig&
   LIQUID3D_REQUIRE(cfg.cooling != CoolingMode::kAir,
                    "flow LUT only applies to liquid cooling");
   const Stack3D stack = make_stack(cfg);
-  CharacterizationHarness harness(stack, cfg.thermal, cfg.power, PumpModel::laing_ddc(),
-                                  cfg.delivery_mode);
-  auto tmax_fn = [&harness](double u, std::size_t s) {
-    return harness.steady_tmax(u, s);
+  // One independent harness (and thermal model) per characterization worker.
+  auto factory = [&cfg, &stack]() {
+    return std::make_unique<CharacterizationHarness>(
+        stack, cfg.thermal, cfg.power, PumpModel::laing_ddc(), cfg.delivery_mode);
   };
   return std::make_shared<const FlowLut>(
-      FlowLut::characterize(tmax_fn, harness.setting_count(),
-                            cfg.metrics.target_c - cfg.manager.lut_margin_c, 25));
+      characterize_flow_lut(factory, cfg.metrics.target_c - cfg.manager.lut_margin_c,
+                            25, cfg.characterization_threads));
 }
 
 std::shared_ptr<const TalbWeightTable> Simulator::build_talb_weights(

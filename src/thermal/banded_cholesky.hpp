@@ -1,49 +1,8 @@
-// banded_cholesky.hpp — symmetric positive-definite banded direct solver.
+// banded_cholesky.hpp — compatibility forward to the solver engine.
 //
-// The 3D thermal grid, ordered column-of-cells-major with layers innermost,
-// produces an SPD matrix with half-bandwidth cols x layers.  Backward-Euler
-// stepping solves with the same matrix thousands of times, so we factorize
-// once (O(n b^2)) and back-substitute per step (O(n b)).
+// The banded SPD solver moved to thermal/solver/ (column-major band
+// storage, multi-RHS batching, factorization cache); this header keeps the
+// original include path working.
 #pragma once
 
-#include <cstddef>
-#include <vector>
-
-namespace liquid3d {
-
-/// Lower-banded storage: element (i, j) with i-b <= j <= i lives at
-/// band_[i * (b+1) + (j - i + b)].
-class BandedSpdMatrix {
- public:
-  BandedSpdMatrix(std::size_t n, std::size_t half_bandwidth);
-
-  [[nodiscard]] std::size_t size() const { return n_; }
-  [[nodiscard]] std::size_t half_bandwidth() const { return b_; }
-
-  /// Access A(i, j) for j in [i - b, i]; callers must keep j <= i.
-  [[nodiscard]] double& at(std::size_t i, std::size_t j);
-  [[nodiscard]] double at(std::size_t i, std::size_t j) const;
-
-  /// Symmetric accumulate: adds g to A(i,i) and A(j,j), -g to A(max,min).
-  void add_coupling(std::size_t i, std::size_t j, double g);
-  /// Adds g to the diagonal A(i,i).
-  void add_diagonal(std::size_t i, double g);
-
-  void set_zero();
-
-  /// In-place Cholesky A = L L^T.  Throws LogicError if a pivot is not
-  /// positive (matrix not SPD — indicates a malformed thermal network).
-  void factorize();
-  [[nodiscard]] bool factorized() const { return factorized_; }
-
-  /// Solve A x = rhs using the factorization (rhs is overwritten with x).
-  void solve(std::vector<double>& rhs) const;
-
- private:
-  std::size_t n_;
-  std::size_t b_;
-  std::vector<double> band_;
-  bool factorized_ = false;
-};
-
-}  // namespace liquid3d
+#include "thermal/solver/banded_spd.hpp"  // IWYU pragma: export

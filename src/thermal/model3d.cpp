@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/error.hpp"
 
@@ -32,6 +33,8 @@ ThermalModel3D::ThermalModel3D(Stack3D stack, ThermalModelParams params)
   temps_.assign(node_count_, params_.ambient_temperature);
   cell_power_.assign(node_count_, 0.0);
   rhs_.assign(node_count_, 0.0);
+  temps_prev_.assign(node_count_, 0.0);
+  layer_scratch_.assign(cell_count_, 0.0);
   if (stack_.has_cavities()) {
     fluid_temp_.assign(stack_.cavity_count(),
                        std::vector<double>(cell_count_, inlet_temperature_));
@@ -241,21 +244,13 @@ void ThermalModel3D::build_matrix(BandedSpdMatrix& m, double inv_dt) const {
   }
 }
 
-void ThermalModel3D::ensure_transient_matrix(double dt_s) {
-  if (transient_matrix_ && transient_dt_ == dt_s) return;
+const BandedSpdMatrix& ThermalModel3D::matrix_for_dt(double dt_s) {
+  if (const BandedSpdMatrix* cached = factor_cache_.find(dt_s)) return *cached;
   const std::size_t bw = grid_.cols() * layer_count_;
-  transient_matrix_ = std::make_unique<BandedSpdMatrix>(node_count_, bw);
-  build_matrix(*transient_matrix_, 1.0 / dt_s);
-  transient_matrix_->factorize();
-  transient_dt_ = dt_s;
-}
-
-void ThermalModel3D::ensure_steady_matrix() {
-  if (steady_matrix_) return;
-  const std::size_t bw = grid_.cols() * layer_count_;
-  steady_matrix_ = std::make_unique<BandedSpdMatrix>(node_count_, bw);
-  build_matrix(*steady_matrix_, 1.0 / params_.steady_pseudo_dt);
-  steady_matrix_->factorize();
+  auto m = std::make_unique<BandedSpdMatrix>(node_count_, bw);
+  build_matrix(*m, 1.0 / dt_s);
+  m->factorize();
+  return factor_cache_.insert(dt_s, std::move(m));
 }
 
 double ThermalModel3D::march_fluid(std::size_t cavity) {
@@ -315,8 +310,9 @@ double ThermalModel3D::march_all_fluid() {
 }
 
 double ThermalModel3D::advance(const BandedSpdMatrix& m, double inv_dt,
-                               std::size_t fluid_iters) {
-  const std::vector<double> temps_prev = temps_;
+                               std::size_t fluid_iters, double fluid_tol) {
+  temps_prev_.assign(temps_.begin(), temps_.end());
+  const std::vector<double>& temps_prev = temps_prev_;
   const bool liquid = stack_.has_cavities();
   const std::size_t max_iters = liquid ? fluid_iters : 1;
 
@@ -348,7 +344,7 @@ double ThermalModel3D::advance(const BandedSpdMatrix& m, double inv_dt,
     temps_.swap(rhs_);
     if (!liquid) break;
     const double delta = march_all_fluid();
-    if (delta < params_.fluid_tolerance) break;
+    if (delta < fluid_tol) break;
   }
 
   double change = 0.0;
@@ -360,8 +356,8 @@ double ThermalModel3D::advance(const BandedSpdMatrix& m, double inv_dt,
 
 void ThermalModel3D::step(double dt_s) {
   LIQUID3D_REQUIRE(dt_s > 0.0, "time step must be positive");
-  ensure_transient_matrix(dt_s);
-  advance(*transient_matrix_, 1.0 / dt_s, params_.max_fluid_iterations);
+  const BandedSpdMatrix& m = matrix_for_dt(dt_s);
+  advance(m, 1.0 / dt_s, params_.max_fluid_iterations, params_.fluid_tolerance);
   if (!stack_.has_cavities()) update_package_transient(dt_s);
 }
 
@@ -399,21 +395,181 @@ void ThermalModel3D::update_package_steady() {
   sink_temp_ = (a11 * g_sa * params_.ambient_temperature + g_ss * gt_total) / det;
 }
 
-void ThermalModel3D::solve_steady_state() {
+void ThermalModel3D::build_steady_direct_system(BandedLuMatrix& m,
+                                                std::vector<double>& inlet_coef) const {
+  m.set_zero();
+  inlet_coef.assign(node_count_, 0.0);
+  // Conduction network (no capacitance term: this is the true steady state,
+  // not a pseudo-transient step).
+  for (const Coupling& c : couplings_) {
+    m.add(c.a, c.a, c.g);
+    m.add(c.b, c.b, c.g);
+    m.add(c.a, c.b, -c.g);
+    m.add(c.b, c.a, -c.g);
+  }
+  // Fluid elimination.  Per channel row the march is an affine recursion in
+  // the wall temperatures (see march_fluid):
+  //   q_c    = (g_dn T_dn,c + g_up T_up,c - g_sum T_in,c) / denom
+  //   T_f,c  = s2 T_in,c + d2 T_dn,c + u2 T_up,c
+  //   T_in,c+1 = s T_in,c + d T_dn,c + u T_up,c
+  // so each cell's fluid temperature is a closed-form linear combination of
+  // the inlet and the upstream wall temperatures, and the convective term
+  // g_w (T_wall - T_f) becomes ordinary matrix couplings plus an inlet
+  // constant — all within the band, since upstream cells of the same row
+  // are at most (cols-1)*layers node indices away.
+  const double w_cavity =
+      params_.coolant.volumetric_heat_capacity() * cavity_flow_.m3_per_s();
+  const double w_row = w_cavity / static_cast<double>(grid_.rows());
+  LIQUID3D_ASSERT(w_row > 1e-12, "direct steady solve requires nonzero flow");
+  std::vector<double> coef_dn(cell_count_, 0.0);
+  std::vector<double> coef_up(cell_count_, 0.0);
+  for (std::size_t k = 0; k < stack_.cavity_count(); ++k) {
+    const bool has_below = k >= 1;
+    const bool has_above = k < layer_count_;
+    const double g_dn = has_below ? g_fluid_dn_ : 0.0;
+    const double g_up = has_above ? g_fluid_up_ : 0.0;
+    const double g_sum = g_dn + g_up;
+    const double denom = 1.0 + g_sum / (2.0 * w_row);
+    const double s = 1.0 - g_sum / (w_row * denom);
+    const double d = g_dn / (w_row * denom);
+    const double u = g_up / (w_row * denom);
+    const double s2 = 1.0 - g_sum / (2.0 * w_row * denom);
+    const double d2 = g_dn / (2.0 * w_row * denom);
+    const double u2 = g_up / (2.0 * w_row * denom);
+    const bool reverse = params_.alternate_flow_direction && (k % 2 == 1);
+    for (std::size_t r = 0; r < grid_.rows(); ++r) {
+      double alpha = 1.0;  // T_in coefficient on the inlet temperature
+      std::vector<std::size_t> upstream;  // visited cells, march order
+      upstream.reserve(grid_.cols());
+      for (std::size_t ci = 0; ci < grid_.cols(); ++ci) {
+        const std::size_t c = reverse ? grid_.cols() - 1 - ci : ci;
+        const std::size_t cell = grid_.index(r, c);
+        // Couple both walls of this cell to T_f,c's expansion.
+        for (int face = 0; face < 2; ++face) {
+          const bool is_dn = face == 0;
+          if (is_dn ? !has_below : !has_above) continue;
+          const double g_w = is_dn ? g_dn : g_up;
+          const std::size_t wall = is_dn ? node(k - 1, cell) : node(k, cell);
+          m.add(wall, wall, g_w);  // the g_w T_wall term
+          // -g_w T_f,c: current cell's walls...
+          if (has_below) m.add(wall, node(k - 1, cell), -g_w * d2);
+          if (has_above) m.add(wall, node(k, cell), -g_w * u2);
+          // ...the upstream walls through T_in,c...
+          for (const std::size_t cu : upstream) {
+            if (has_below && coef_dn[cu] != 0.0) {
+              m.add(wall, node(k - 1, cu), -g_w * s2 * coef_dn[cu]);
+            }
+            if (has_above && coef_up[cu] != 0.0) {
+              m.add(wall, node(k, cu), -g_w * s2 * coef_up[cu]);
+            }
+          }
+          // ...and the inlet constant.
+          inlet_coef[wall] += g_w * s2 * alpha;
+        }
+        // Advance the T_in recursion past this cell.
+        alpha *= s;
+        for (const std::size_t cu : upstream) {
+          coef_dn[cu] *= s;
+          coef_up[cu] *= s;
+        }
+        coef_dn[cell] = d;
+        coef_up[cell] = u;
+        upstream.push_back(cell);
+      }
+      for (const std::size_t cu : upstream) {
+        coef_dn[cu] = 0.0;
+        coef_up[cu] = 0.0;
+      }
+    }
+  }
+}
+
+void ThermalModel3D::solve_steady_state_direct(const std::function<bool()>& pre_step) {
+  const double flow_key = cavity_flow_.ml_per_min();
+  if (!steady_direct_ ||
+      !FactorizationCache::keys_match(steady_direct_flow_, flow_key)) {
+    const std::size_t bw = grid_.cols() * layer_count_;
+    if (!steady_direct_) {
+      steady_direct_ = std::make_unique<BandedLuMatrix>(node_count_, bw, bw);
+    }
+    build_steady_direct_system(*steady_direct_, steady_inlet_coef_);
+    steady_direct_->factorize();
+    steady_direct_flow_ = flow_key;
+  }
+  // The solve is exact for a fixed power map; the loop only iterates the
+  // temperature-dependent power (leakage) supplied through pre_step.  Near
+  // runaway the leakage loop gain approaches 1 and convergence stalls —
+  // like the seed's outer fixed point (80 iterations, 0.05 K) we return the
+  // last iterate rather than failing: callers treat a hot non-converged
+  // point as "needs more flow".
+  constexpr std::size_t kMaxPowerIterations = 80;
+  constexpr double kPowerTolerance = 0.05;  // K, the seed's leakage criterion
+  for (std::size_t iter = 0; iter < kMaxPowerIterations; ++iter) {
+    if (pre_step && !pre_step()) return;
+    for (std::size_t i = 0; i < node_count_; ++i) {
+      rhs_[i] = cell_power_[i] + steady_inlet_coef_[i] * inlet_temperature_;
+    }
+    steady_direct_->solve(rhs_);
+    double delta = 0.0;
+    for (std::size_t i = 0; i < node_count_; ++i) {
+      delta = std::max(delta, std::abs(rhs_[i] - temps_[i]));
+    }
+    temps_.swap(rhs_);
+    (void)march_all_fluid();  // refresh fluid state for readbacks
+    if (!pre_step || delta < kPowerTolerance) return;
+  }
+}
+
+void ThermalModel3D::solve_steady_state(const std::function<bool()>& pre_step) {
   // Zero flow on a liquid stack has no bounded steady state (every heat
   // path ends in the coolant); fail fast instead of iterating forever.
   LIQUID3D_REQUIRE(!stack_.has_cavities() || cavity_flow_.m3_per_s() > 0.0,
                    "steady state of a liquid stack requires nonzero flow");
-  ensure_steady_matrix();
+  if (params_.direct_steady_solver && stack_.has_cavities()) {
+    // The unpivoted LU is provably stable while every fluid-eliminated row
+    // stays diagonally dominant, which holds exactly when the per-cell
+    // convective conductance does not exceed twice the per-row-channel
+    // capacity rate (sigma = g_sum / w_row <= 2).
+    const double w_row = params_.coolant.volumetric_heat_capacity() *
+                         cavity_flow_.m3_per_s() /
+                         static_cast<double>(grid_.rows());
+    const double g_sum_max = g_fluid_dn_ + g_fluid_up_;
+    if (g_sum_max <= 2.0 * w_row) {
+      solve_steady_state_direct(pre_step);
+      return;
+    }
+    // Deeply advection-limited regime: dominance is not guaranteed, so the
+    // direct solution is demoted to an initializer — the pseudo-transient
+    // loop below owns convergence, and its criterion does not depend on the
+    // LU's accuracy.  A sanity clamp discards the initializer outright if
+    // the factorization ever did go unstable.
+    std::vector<double> backup(temps_);
+    solve_steady_state_direct({});
+    for (double t : temps_) {
+      if (!std::isfinite(t) || t < -200.0 || t > 2000.0) {
+        temps_ = std::move(backup);
+        (void)march_all_fluid();
+        break;
+      }
+    }
+  }
+  const BandedSpdMatrix& m = matrix_for_dt(params_.steady_pseudo_dt);
   const double inv_dt = 1.0 / params_.steady_pseudo_dt;
+  // Far from the steady state the inner silicon<->fluid alternation need
+  // not be polished: its tolerance tracks the last outer step's movement
+  // (floored at the configured tolerance, so the endgame — and the final
+  // answer — is exactly as tight as before).
+  double fluid_tol = params_.fluid_tolerance;
   for (std::size_t iter = 0; iter < params_.max_steady_iterations; ++iter) {
-    double delta = advance(*steady_matrix_, inv_dt, params_.steady_fluid_iterations);
+    if (pre_step && !pre_step()) return;
+    double delta = advance(m, inv_dt, params_.steady_fluid_iterations, fluid_tol);
     if (!stack_.has_cavities()) {
       const double spr_before = spreader_temp_;
       update_package_steady();
       delta = std::max(delta, std::abs(spreader_temp_ - spr_before));
     }
     if (delta < params_.steady_tolerance) return;
+    fluid_tol = std::max(params_.fluid_tolerance, 0.1 * delta);
   }
   // Not converged within the iteration cap — surface it; silent divergence
   // would corrupt every characterization built on top.
@@ -427,20 +583,18 @@ double ThermalModel3D::cell_temperature(std::size_t layer, std::size_t cell) con
 
 double ThermalModel3D::block_temperature(std::size_t layer, std::size_t block) const {
   LIQUID3D_REQUIRE(layer < layer_count_, "layer index out of range");
-  std::vector<double> layer_temps(cell_count_);
   for (std::size_t cell = 0; cell < cell_count_; ++cell) {
-    layer_temps[cell] = temps_[node(layer, cell)];
+    layer_scratch_[cell] = temps_[node(layer, cell)];
   }
-  return maps_[layer].block_max(layer_temps, block);
+  return maps_[layer].block_max(layer_scratch_, block);
 }
 
 double ThermalModel3D::block_mean_temperature(std::size_t layer, std::size_t block) const {
   LIQUID3D_REQUIRE(layer < layer_count_, "layer index out of range");
-  std::vector<double> layer_temps(cell_count_);
   for (std::size_t cell = 0; cell < cell_count_; ++cell) {
-    layer_temps[cell] = temps_[node(layer, cell)];
+    layer_scratch_[cell] = temps_[node(layer, cell)];
   }
-  return maps_[layer].block_mean(layer_temps, block);
+  return maps_[layer].block_mean(layer_scratch_, block);
 }
 
 double ThermalModel3D::max_temperature() const {
@@ -465,6 +619,34 @@ double ThermalModel3D::total_power() const {
   double acc = 0.0;
   for (double p : cell_power_) acc += p;
   return acc;
+}
+
+void ThermalModel3D::save_state(ThermalState& out) const {
+  out.temps.assign(temps_.begin(), temps_.end());
+  out.fluid_temp.resize(fluid_temp_.size());
+  for (std::size_t k = 0; k < fluid_temp_.size(); ++k) {
+    out.fluid_temp[k].assign(fluid_temp_[k].begin(), fluid_temp_[k].end());
+  }
+  out.cavity_absorbed.assign(cavity_absorbed_.begin(), cavity_absorbed_.end());
+  out.cavity_outlet.assign(cavity_outlet_.begin(), cavity_outlet_.end());
+  out.spreader_temp = spreader_temp_;
+  out.sink_temp = sink_temp_;
+}
+
+void ThermalModel3D::restore_state(const ThermalState& state) {
+  LIQUID3D_REQUIRE(state.temps.size() == temps_.size() &&
+                       state.fluid_temp.size() == fluid_temp_.size(),
+                   "state shape does not match this model");
+  temps_.assign(state.temps.begin(), state.temps.end());
+  for (std::size_t k = 0; k < fluid_temp_.size(); ++k) {
+    LIQUID3D_REQUIRE(state.fluid_temp[k].size() == fluid_temp_[k].size(),
+                     "fluid state shape does not match this model");
+    fluid_temp_[k].assign(state.fluid_temp[k].begin(), state.fluid_temp[k].end());
+  }
+  cavity_absorbed_.assign(state.cavity_absorbed.begin(), state.cavity_absorbed.end());
+  cavity_outlet_.assign(state.cavity_outlet.begin(), state.cavity_outlet.end());
+  spreader_temp_ = state.spreader_temp;
+  sink_temp_ = state.sink_temp;
 }
 
 }  // namespace liquid3d

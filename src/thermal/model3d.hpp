@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -42,9 +43,24 @@
 #include "coolant/properties.hpp"
 #include "geom/grid.hpp"
 #include "geom/stack.hpp"
-#include "thermal/banded_cholesky.hpp"
+#include "thermal/solver/banded_lu.hpp"
+#include "thermal/solver/banded_spd.hpp"
+#include "thermal/solver/factorization_cache.hpp"
 
 namespace liquid3d {
+
+/// Complete dynamic state of a ThermalModel3D — everything `step` and
+/// `solve_steady_state` evolve.  Snapshot/restore lets characterization
+/// warm-start a steady solve from a previously converged nearby operating
+/// point instead of pseudo-timestepping from scratch.
+struct ThermalState {
+  std::vector<double> temps;                   ///< silicon nodes [°C]
+  std::vector<std::vector<double>> fluid_temp; ///< [cavity][cell]
+  std::vector<double> cavity_absorbed;
+  std::vector<double> cavity_outlet;
+  double spreader_temp = 0.0;
+  double sink_temp = 0.0;
+};
 
 struct ThermalModelParams {
   // Grid resolution (per layer).  The paper uses 100 µm cells; the default
@@ -108,6 +124,13 @@ struct ThermalModelParams {
   double steady_pseudo_dt = 5.0;        ///< s
   double steady_tolerance = 1e-4;       ///< K
   std::size_t max_steady_iterations = 1500;
+
+  /// Liquid stacks only: solve the steady state directly.  The coolant
+  /// march is linear in the wall temperatures, and eliminating it couples
+  /// each cell only to upstream cells in its channel row — within the
+  /// matrix bandwidth — so one banded-LU solve replaces the whole
+  /// pseudo-transient continuation (which this flag falls back to).
+  bool direct_steady_solver = true;
 };
 
 class ThermalModel3D {
@@ -143,12 +166,20 @@ class ThermalModel3D {
   void step(double dt_s);
 
   /// Solve directly for the steady state under the current power and flow.
-  void solve_steady_state();
+  /// `pre_step`, when given, runs before every pseudo-transient step — the
+  /// hook characterization uses to fold the temperature-dependent leakage
+  /// power update into the continuation loop instead of wrapping the whole
+  /// solve in an outer fixed point.  Returning false aborts the iteration
+  /// (e.g. on detected thermal runaway).
+  void solve_steady_state(const std::function<bool()>& pre_step = {});
 
   // -- Readback ---------------------------------------------------------------
   [[nodiscard]] double cell_temperature(std::size_t layer, std::size_t cell) const;
   /// Worst-case (max-cell) temperature over a block's footprint — what a
-  /// per-unit thermal sensor reports.
+  /// per-unit thermal sensor reports.  NOTE: the block readbacks share a
+  /// per-model scratch buffer (no per-call allocation), so a model instance
+  /// must not be read concurrently from multiple threads — parallel drivers
+  /// give each worker its own model.
   [[nodiscard]] double block_temperature(std::size_t layer, std::size_t block) const;
   [[nodiscard]] double block_mean_temperature(std::size_t layer, std::size_t block) const;
   /// Maximum junction temperature anywhere in the stack.
@@ -165,6 +196,18 @@ class ThermalModel3D {
   /// Total power currently injected [W].
   [[nodiscard]] double total_power() const;
 
+  // -- State snapshot (warm starts) -------------------------------------------
+  /// Copy the full dynamic state into `out` (reuses its storage).
+  void save_state(ThermalState& out) const;
+  /// Restore a state previously captured from this model (or an identically
+  /// configured one); sizes must match.
+  void restore_state(const ThermalState& state);
+
+  /// Factorization cache statistics (shared by transient and steady solves).
+  [[nodiscard]] const FactorizationCache& factorization_cache() const {
+    return factor_cache_;
+  }
+
  private:
   struct Coupling {
     std::size_t a;
@@ -178,11 +221,21 @@ class ThermalModel3D {
 
   void build_topology();
   void build_matrix(BandedSpdMatrix& m, double inv_dt) const;
-  void ensure_transient_matrix(double dt_s);
-  void ensure_steady_matrix();
+  /// Factorized system matrix for the given step size — a cache lookup
+  /// after the first use of each dt (assembly + factorization on miss).
+  const BandedSpdMatrix& matrix_for_dt(double dt_s);
+  /// Assemble the fluid-eliminated steady system (liquid stacks): matrix
+  /// over silicon nodes plus each node's coefficient on the inlet
+  /// temperature (the constant term the elimination produces).
+  void build_steady_direct_system(BandedLuMatrix& m,
+                                  std::vector<double>& inlet_coef) const;
+  /// Direct steady solve (liquid stacks); see ThermalModelParams.
+  void solve_steady_state_direct(const std::function<bool()>& pre_step);
   /// One backward-Euler step (including the fluid fixed point); returns the
-  /// largest node temperature change.
-  double advance(const BandedSpdMatrix& m, double inv_dt, std::size_t fluid_iters);
+  /// largest node temperature change.  `fluid_tol` bounds the inner
+  /// silicon<->fluid alternation error for this step.
+  double advance(const BandedSpdMatrix& m, double inv_dt, std::size_t fluid_iters,
+                 double fluid_tol);
   /// March the coolant downstream through one cavity given silicon temps.
   /// Returns the largest fluid temperature change.
   double march_fluid(std::size_t cavity);
@@ -219,13 +272,21 @@ class ThermalModel3D {
   double inlet_temperature_;
   VolumetricFlow cavity_flow_{};
 
-  // Cached factorizations.
-  std::unique_ptr<BandedSpdMatrix> transient_matrix_;
-  double transient_dt_ = 0.0;
-  std::unique_ptr<BandedSpdMatrix> steady_matrix_;
+  // Cached factorizations, keyed by dt (transient sub-steps and the steady
+  // pseudo-step share one cache; see FactorizationCache for the tolerant
+  // key comparison that replaced the seed's exact `transient_dt_ == dt_s`).
+  FactorizationCache factor_cache_{4};
+  // Direct steady system, cached per flow setting (the elimination
+  // coefficients depend on the flow; conduction topology does not).
+  std::unique_ptr<BandedLuMatrix> steady_direct_;
+  std::vector<double> steady_inlet_coef_;
+  double steady_direct_flow_ = -1.0;  ///< ml/min key; -1 = not built
 
-  // Scratch.
+  // Persistent scratch — the hot loop (`step`/`advance`) and the per-sample
+  // readbacks must not touch the heap after warm-up.
   std::vector<double> rhs_;
+  std::vector<double> temps_prev_;
+  mutable std::vector<double> layer_scratch_;
   std::vector<double> block_power_scratch_;
 };
 

@@ -1,0 +1,57 @@
+#include "thermal/solver/factorization_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+FactorizationCache::FactorizationCache(std::size_t capacity) : capacity_(capacity) {
+  LIQUID3D_REQUIRE(capacity >= 1, "cache needs at least one slot");
+  entries_.reserve(capacity);
+}
+
+bool FactorizationCache::keys_match(double dt_a, double dt_b) {
+  return std::abs(dt_a - dt_b) <= 1e-9 * std::max(std::abs(dt_a), std::abs(dt_b));
+}
+
+BandedSpdMatrix* FactorizationCache::find(double dt) {
+  for (Entry& e : entries_) {
+    if (keys_match(e.dt, dt)) {
+      e.stamp = ++clock_;
+      ++hits_;
+      return e.matrix.get();
+    }
+  }
+  ++misses_;
+  return nullptr;
+}
+
+BandedSpdMatrix& FactorizationCache::insert(double dt,
+                                            std::unique_ptr<BandedSpdMatrix> matrix) {
+  LIQUID3D_REQUIRE(matrix != nullptr, "cannot cache a null matrix");
+  for (Entry& e : entries_) {
+    if (keys_match(e.dt, dt)) {
+      e.stamp = ++clock_;
+      e.matrix = std::move(matrix);
+      return *e.matrix;
+    }
+  }
+  if (entries_.size() < capacity_) {
+    entries_.push_back({dt, ++clock_, std::move(matrix)});
+    return *entries_.back().matrix;
+  }
+  auto lru = std::min_element(entries_.begin(), entries_.end(),
+                              [](const Entry& a, const Entry& b) {
+                                return a.stamp < b.stamp;
+                              });
+  lru->dt = dt;
+  lru->stamp = ++clock_;
+  lru->matrix = std::move(matrix);
+  return *lru->matrix;
+}
+
+void FactorizationCache::clear() { entries_.clear(); }
+
+}  // namespace liquid3d

@@ -1,0 +1,63 @@
+// factorization_cache.hpp — small LRU cache of banded Cholesky
+// factorizations keyed by time step.
+//
+// A thermal network's system matrix depends only on the topology (fixed for
+// a model's lifetime) and on 1/dt, so every distinct step size seen by
+// transient stepping, steady pseudo-timestepping, and characterization maps
+// to exactly one factorization.  The simulator alternates between a handful
+// of step sizes (the sampling sub-step and the steady pseudo-step), so a
+// small LRU keyed by dt makes every `ensure_*_matrix`-style call after the
+// first a pure lookup — no re-assembly, no re-factorization, no allocation.
+//
+// Keys match under a relative tolerance rather than bit equality: step
+// sizes arrive through arithmetic like `dt / substeps`, and the seed's
+// exact `transient_dt_ == dt_s` comparison silently re-factorized on
+// last-ulp differences.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "thermal/solver/banded_spd.hpp"
+
+namespace liquid3d {
+
+class FactorizationCache {
+ public:
+  explicit FactorizationCache(std::size_t capacity = 4);
+
+  /// True when the two step sizes address the same factorization (relative
+  /// tolerance 1e-9, far below any physically meaningful dt change).
+  [[nodiscard]] static bool keys_match(double dt_a, double dt_b);
+
+  /// Cached factorization for `dt`, or nullptr on miss.  A hit refreshes
+  /// the entry's recency.  Never allocates.
+  [[nodiscard]] BandedSpdMatrix* find(double dt);
+
+  /// Insert a factorized matrix under `dt`, evicting the least recently
+  /// used entry when at capacity.  Returns the cached matrix.
+  BandedSpdMatrix& insert(double dt, std::unique_ptr<BandedSpdMatrix> matrix);
+
+  void clear();
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    double dt;
+    std::uint64_t stamp;
+    std::unique_ptr<BandedSpdMatrix> matrix;
+  };
+
+  std::size_t capacity_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace liquid3d

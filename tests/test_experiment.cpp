@@ -74,7 +74,7 @@ TEST(Experiment, BaselineLookup) {
   var.label = "TALB (Var)";
   const std::vector<PolicySummary> rs = {lb_air, var};
   EXPECT_EQ(&find_baseline(rs), &rs[0]);
-  EXPECT_THROW(find_baseline(rs, "nonexistent"), ConfigError);
+  EXPECT_THROW((void)find_baseline(rs, "nonexistent"), ConfigError);
 }
 
 }  // namespace

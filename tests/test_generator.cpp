@@ -127,7 +127,9 @@ TEST(Generator, ThreadIdsAreUniqueAndMonotone) {
   for (std::size_t t = 0; t < 100; ++t) {
     for (const Thread& th :
          gen.tick(SimTime::from_ms(100 * static_cast<int>(t)), kTick)) {
-      if (!first) EXPECT_GT(th.id, last);
+      if (!first) {
+        EXPECT_GT(th.id, last);
+      }
       last = th.id;
       first = false;
     }

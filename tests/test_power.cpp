@@ -124,7 +124,7 @@ TEST(PowerModel, InvalidConfigsRejected) {
   bad.core_idle_w = 5.0;  // above active
   EXPECT_THROW(PowerModel{bad}, ConfigError);
   const PowerModel m;
-  EXPECT_THROW(m.core_power(CoreState::kActive, 1.5, 1.0, 80.0), ConfigError);
+  EXPECT_THROW((void)m.core_power(CoreState::kActive, 1.5, 1.0, 80.0), ConfigError);
 }
 
 }  // namespace

@@ -1,0 +1,412 @@
+// Solver engine (thermal/solver/): multi-RHS batching, refactorization
+// after set_zero, the dt-keyed factorization cache, warm-started
+// characterization equivalence, and the no-allocation guarantee of the
+// transient hot loop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/linalg.hpp"
+#include "common/rng.hpp"
+#include "control/characterize.hpp"
+#include "coolant/flow.hpp"
+#include "coolant/pump.hpp"
+#include "geom/stack.hpp"
+#include "thermal/model3d.hpp"
+#include "thermal/solver/banded_lu.hpp"
+#include "thermal/solver/banded_spd.hpp"
+#include "thermal/solver/factorization_cache.hpp"
+
+// -- Global allocation counter ----------------------------------------------
+//
+// Replacing the global operator new/delete in this TU instruments every heap
+// allocation in the test binary; the hot-loop test below asserts the count
+// stays flat across 1000 warmed-up steps.
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc{};
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace liquid3d {
+namespace {
+
+BandedSpdMatrix random_network(std::size_t n, std::size_t bw, Rng& rng,
+                               Matrix* dense = nullptr) {
+  BandedSpdMatrix banded(n, bw);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = 0.5 + rng.uniform();
+    banded.add_diagonal(i, c);
+    if (dense) (*dense)(i, i) += c;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < std::min(n, i + bw + 1); ++j) {
+      if (!rng.bernoulli(0.4)) continue;
+      const double g = rng.uniform(0.1, 2.0);
+      banded.add_coupling(i, j, g);
+      if (dense) {
+        (*dense)(i, i) += g;
+        (*dense)(j, j) += g;
+        (*dense)(i, j) -= g;
+        (*dense)(j, i) -= g;
+      }
+    }
+  }
+  return banded;
+}
+
+TEST(SolverEngine, MultiRhsMatchesSingleRhsSolves) {
+  constexpr std::size_t n = 90;
+  constexpr std::size_t bw = 11;
+  constexpr std::size_t nrhs = 5;
+  Rng rng(11);
+  BandedSpdMatrix m = random_network(n, bw, rng);
+  m.factorize();
+
+  // nrhs independent right-hand sides.
+  std::vector<std::vector<double>> singles(nrhs, std::vector<double>(n));
+  std::vector<double> batched(n * nrhs);
+  for (std::size_t r = 0; r < nrhs; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = rng.uniform(-5, 5);
+      singles[r][i] = v;
+      batched[i * nrhs + r] = v;  // node-major interleaved layout
+    }
+  }
+  for (auto& rhs : singles) m.solve(rhs);
+  m.solve(std::span<double>(batched), nrhs);
+
+  for (std::size_t r = 0; r < nrhs; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(batched[i * nrhs + r], singles[r][i],
+                  1e-10 * (1.0 + std::abs(singles[r][i])))
+          << "rhs " << r << " row " << i;
+    }
+  }
+}
+
+TEST(SolverEngine, MultiRhsMatchesDenseSolver) {
+  constexpr std::size_t n = 60;
+  constexpr std::size_t bw = 9;
+  constexpr std::size_t nrhs = 3;
+  Rng rng(12);
+  Matrix dense(n, n);
+  BandedSpdMatrix m = random_network(n, bw, rng, &dense);
+  m.factorize();
+
+  std::vector<double> batched(n * nrhs);
+  std::vector<std::vector<double>> b(nrhs, std::vector<double>(n));
+  for (std::size_t r = 0; r < nrhs; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      b[r][i] = rng.uniform(-3, 3);
+      batched[i * nrhs + r] = b[r][i];
+    }
+  }
+  m.solve(std::span<double>(batched), nrhs);
+  for (std::size_t r = 0; r < nrhs; ++r) {
+    const std::vector<double> x = solve_linear(dense, b[r]);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(batched[i * nrhs + r], x[i], 1e-8 * (1.0 + std::abs(x[i])));
+    }
+  }
+}
+
+TEST(SolverEngine, RefactorizeAfterSetZero) {
+  constexpr std::size_t n = 40;
+  constexpr std::size_t bw = 6;
+  Rng rng(13);
+  BandedSpdMatrix m = random_network(n, bw, rng);
+  m.factorize();
+  ASSERT_TRUE(m.factorized());
+
+  // Rebuild with a different network and factorize again; the solution must
+  // match a fresh matrix assembled identically.
+  m.set_zero();
+  EXPECT_FALSE(m.factorized());
+  Rng rng2(14);
+  Matrix dense(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = 0.5 + rng2.uniform();
+    m.add_diagonal(i, c);
+    dense(i, i) += c;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < std::min(n, i + bw + 1); ++j) {
+      if (!rng2.bernoulli(0.4)) continue;
+      const double g = rng2.uniform(0.1, 2.0);
+      m.add_coupling(i, j, g);
+      dense(i, i) += g;
+      dense(j, j) += g;
+      dense(i, j) -= g;
+      dense(j, i) -= g;
+    }
+  }
+  m.factorize();
+  std::vector<double> rhs(n, 1.0);
+  std::vector<double> x = rhs;
+  m.solve(x);
+  const std::vector<double> x_ref = solve_linear(dense, rhs);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i], x_ref[i], 1e-8 * (1.0 + std::abs(x_ref[i])));
+  }
+}
+
+TEST(SolverEngine, BatchedSolveRejectsBadSizes) {
+  BandedSpdMatrix m(4, 1);
+  for (std::size_t i = 0; i < 4; ++i) m.add_diagonal(i, 2.0);
+  m.factorize();
+  std::vector<double> wrong(7, 1.0);
+  EXPECT_THROW(m.solve(std::span<double>(wrong), 2), ConfigError);
+  std::vector<double> ok(8, 1.0);
+  EXPECT_THROW(m.solve(std::span<double>(ok), 0), ConfigError);
+}
+
+// -- Banded LU (non-symmetric) ----------------------------------------------
+
+TEST(BandedLu, MatchesDenseSolverOnRandomDiagDominant) {
+  constexpr std::size_t n = 70;
+  constexpr std::size_t bl = 8;
+  constexpr std::size_t bu = 5;
+  Rng rng(21);
+  BandedLuMatrix m(n, bl, bu);
+  Matrix dense(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const bool in_band = (j <= i && i - j <= bl) || (j > i && j - i <= bu);
+      if (!in_band || (i != j && !rng.bernoulli(0.5))) continue;
+      const double v = (i == j) ? 0.0 : rng.uniform(-1.0, 1.0);
+      if (i != j) {
+        m.add(i, j, v);
+        dense(i, j) += v;
+      }
+    }
+  }
+  // Strict diagonal dominance guarantees the unpivoted factorization.
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 1.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) row_sum += std::abs(dense(i, j));
+    }
+    m.add(i, i, row_sum);
+    dense(i, i) += row_sum;
+  }
+  m.factorize();
+  std::vector<double> b(n);
+  for (double& v : b) v = rng.uniform(-3, 3);
+  std::vector<double> x = b;
+  m.solve(x);
+  const std::vector<double> x_ref = solve_linear(dense, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i], x_ref[i], 1e-9 * (1.0 + std::abs(x_ref[i])));
+  }
+}
+
+TEST(BandedLu, VanishingPivotDetected) {
+  BandedLuMatrix m(2, 1, 1);
+  m.add(0, 1, 1.0);
+  m.add(1, 0, 1.0);  // zero diagonal -> zero pivot
+  EXPECT_THROW(m.factorize(), LogicError);
+}
+
+// -- Direct steady solver (fluid elimination) ---------------------------------
+
+TEST(DirectSteady, MatchesPseudoTransientContinuation) {
+  auto make = [](bool direct) {
+    ThermalModelParams p;
+    p.grid_rows = 9;
+    p.grid_cols = 10;
+    p.direct_steady_solver = direct;
+    return ThermalModel3D(make_niagara_stack(1, CoolingType::kLiquid), p);
+  };
+  for (const double flow_ml : {6.0, 20.0, 45.0}) {
+    ThermalModel3D direct = make(true);
+    ThermalModel3D pseudo = make(false);
+    for (ThermalModel3D* m : {&direct, &pseudo}) {
+      m->set_cavity_flow(VolumetricFlow::from_ml_per_min(flow_ml));
+      const Floorplan& fp = m->stack().layer(0).floorplan;
+      std::vector<double> watts(fp.block_count(), 0.0);
+      for (std::size_t b = 0; b < fp.block_count(); ++b) {
+        if (fp.block(b).type == BlockType::kCore) watts[b] = 2.8;
+      }
+      m->set_block_power(0, watts);
+      m->initialize(45.0);
+      m->solve_steady_state();
+    }
+    // The elimination is exact; both paths solve the same linear steady
+    // state, the continuation just stops at its 1e-4 K tolerance.
+    EXPECT_NEAR(direct.max_temperature(), pseudo.max_temperature(), 5e-3)
+        << "flow " << flow_ml;
+    for (std::size_t cav = 0; cav < direct.stack().cavity_count(); ++cav) {
+      EXPECT_NEAR(direct.fluid_outlet_temperature(cav),
+                  pseudo.fluid_outlet_temperature(cav), 5e-3);
+    }
+  }
+}
+
+TEST(DirectSteady, ReusesFactorizationPerFlowSetting) {
+  ThermalModelParams p;
+  p.grid_rows = 6;
+  p.grid_cols = 7;
+  ThermalModel3D m(make_niagara_stack(1, CoolingType::kLiquid), p);
+  const Floorplan& fp = m.stack().layer(0).floorplan;
+  std::vector<double> watts(fp.block_count(), 1.5);
+  m.set_block_power(0, watts);
+  m.set_cavity_flow(VolumetricFlow::from_ml_per_min(12.0));
+  m.solve_steady_state();
+  const double t1 = m.max_temperature();
+  m.solve_steady_state();  // same flow: cached factorization, same answer
+  EXPECT_DOUBLE_EQ(m.max_temperature(), t1);
+  m.set_cavity_flow(VolumetricFlow::from_ml_per_min(30.0));
+  m.solve_steady_state();  // higher flow must cool the stack
+  EXPECT_LT(m.max_temperature(), t1);
+}
+
+// -- Factorization cache -----------------------------------------------------
+
+TEST(FactorizationCache, ToleratesLastUlpKeys) {
+  // 0.1/2 vs 0.05 differ in arithmetic provenance; both must hit one entry.
+  const double a = 0.1 / 2.0;
+  const double b = 0.05;
+  EXPECT_TRUE(FactorizationCache::keys_match(a, b));
+  EXPECT_FALSE(FactorizationCache::keys_match(0.05, 0.051));
+}
+
+TEST(FactorizationCache, LruEvictsOldestEntry) {
+  FactorizationCache cache(2);
+  auto make = [] {
+    auto m = std::make_unique<BandedSpdMatrix>(3, 1);
+    for (std::size_t i = 0; i < 3; ++i) m->add_diagonal(i, 1.0);
+    m->factorize();
+    return m;
+  };
+  cache.insert(0.1, make());
+  cache.insert(0.2, make());
+  EXPECT_NE(cache.find(0.1), nullptr);  // refresh 0.1 -> 0.2 becomes LRU
+  cache.insert(0.3, make());            // evicts 0.2
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.find(0.1), nullptr);
+  EXPECT_EQ(cache.find(0.2), nullptr);
+  EXPECT_NE(cache.find(0.3), nullptr);
+}
+
+TEST(FactorizationCache, ModelReusesFactorizationsAcrossDts) {
+  ThermalModelParams p;
+  p.grid_rows = 6;
+  p.grid_cols = 7;
+  ThermalModel3D model(make_niagara_stack(1, CoolingType::kLiquid), p);
+  model.set_cavity_flow(VolumetricFlow::from_ml_per_min(20.0));
+  model.initialize(45.0);
+  model.step(0.05);
+  model.step(0.1);
+  model.step(0.05);  // alternating dts must both stay cached
+  model.step(0.1);
+  const auto& cache = model.factorization_cache();
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_GE(cache.hits(), 2u);
+}
+
+// -- Warm-started characterization -------------------------------------------
+
+TEST(WarmStart, MatchesColdStartSteadyState) {
+  ThermalModelParams p;
+  p.grid_rows = 8;
+  p.grid_cols = 9;
+  CharacterizationHarness warm(make_2layer_system(), p, PowerModelParams{},
+                               PumpModel::laing_ddc(),
+                               FlowDeliveryMode::kPressureLimited);
+  // Visit several operating points first so the warm path genuinely seeds
+  // from a cached neighbour rather than from the virgin state.
+  (void)warm.steady_tmax(0.2, 1);
+  (void)warm.steady_tmax(0.8, 3);
+  (void)warm.steady_tmax(0.4, 2);
+  EXPECT_GE(warm.warm_point_count(), 3u);
+  const double t_warm = warm.steady_tmax(0.6, 2);
+
+  CharacterizationHarness cold(make_2layer_system(), p, PowerModelParams{},
+                               PumpModel::laing_ddc(),
+                               FlowDeliveryMode::kPressureLimited);
+  cold.set_warm_start(false);
+  const double t_cold = cold.steady_tmax(0.6, 2);
+
+  // Same steady state regardless of the seed trajectory: the fixed point is
+  // unique, warm-starting only changes how fast we reach it.
+  EXPECT_NEAR(t_warm, t_cold, 0.2);
+  EXPECT_EQ(cold.warm_point_count(), 0u);
+}
+
+TEST(WarmStart, StateRoundTripRestoresTemperatures) {
+  ThermalModelParams p;
+  p.grid_rows = 6;
+  p.grid_cols = 7;
+  ThermalModel3D model(make_niagara_stack(1, CoolingType::kLiquid), p);
+  model.set_cavity_flow(VolumetricFlow::from_ml_per_min(15.0));
+  model.initialize(45.0);
+  const Floorplan& fp = model.stack().layer(0).floorplan;
+  std::vector<double> watts(fp.block_count(), 0.0);
+  for (std::size_t b = 0; b < fp.block_count(); ++b) {
+    if (fp.block(b).type == BlockType::kCore) watts[b] = 2.5;
+  }
+  model.set_block_power(0, watts);
+  for (int i = 0; i < 20; ++i) model.step(0.1);
+
+  ThermalState snap;
+  model.save_state(snap);
+  const double tmax_before = model.max_temperature();
+  for (int i = 0; i < 20; ++i) model.step(0.1);
+  EXPECT_NE(model.max_temperature(), tmax_before);
+  model.restore_state(snap);
+  EXPECT_DOUBLE_EQ(model.max_temperature(), tmax_before);
+}
+
+// -- No-allocation hot loop --------------------------------------------------
+
+TEST(HotLoop, StepDoesNotAllocateAfterWarmup) {
+  ThermalModelParams p;
+  p.grid_rows = 10;
+  p.grid_cols = 11;
+  ThermalModel3D model(make_niagara_stack(1, CoolingType::kLiquid), p);
+  model.set_cavity_flow(VolumetricFlow::from_ml_per_min(20.0));
+  const Floorplan& fp = model.stack().layer(0).floorplan;
+  std::vector<double> watts(fp.block_count(), 0.0);
+  for (std::size_t b = 0; b < fp.block_count(); ++b) {
+    if (fp.block(b).type == BlockType::kCore) watts[b] = 3.0;
+  }
+  model.set_block_power(0, watts);
+  model.initialize(45.0);
+
+  // Warm-up: first step of each dt assembles + factorizes (allocates), and
+  // scratch buffers reach their steady capacity.
+  model.step(0.05);
+  model.step(0.05);
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    model.step(0.05);
+    (void)model.max_temperature();
+    (void)model.block_temperature(0, 0);
+    (void)model.block_mean_temperature(0, 0);
+  }
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "hot loop performed " << (after - before)
+                           << " heap allocations over 1000 steps";
+}
+
+}  // namespace
+}  // namespace liquid3d

@@ -76,8 +76,8 @@ TEST(Percentile, InterpolatesBetweenOrderStatistics) {
   EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
   EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
   EXPECT_NEAR(percentile(v, 25), 17.5, 1e-12);
-  EXPECT_THROW(percentile({}, 50), ConfigError);
-  EXPECT_THROW(percentile(v, 101), ConfigError);
+  EXPECT_THROW((void)percentile({}, 50), ConfigError);
+  EXPECT_THROW((void)percentile(v, 101), ConfigError);
 }
 
 TEST(Correlation, DetectsPerfectAndAnti) {
@@ -93,7 +93,7 @@ TEST(Correlation, DetectsPerfectAndAnti) {
 TEST(Rmse, ComputesRootMeanSquare) {
   EXPECT_DOUBLE_EQ(rmse({1, 2, 3}, {1, 2, 3}), 0.0);
   EXPECT_NEAR(rmse({0, 0}, {3, 4}), std::sqrt(12.5), 1e-12);
-  EXPECT_THROW(rmse({1}, {1, 2}), ConfigError);
+  EXPECT_THROW((void)rmse({1}, {1, 2}), ConfigError);
 }
 
 }  // namespace

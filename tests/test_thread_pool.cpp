@@ -1,0 +1,91 @@
+// ThreadPool (common/thread_pool.hpp): result delivery, exception
+// propagation, parallel_for coverage, and the parallel characterization
+// sampler producing the same grid as a serial sweep.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "control/characterize.hpp"
+#include "coolant/pump.hpp"
+#include "geom/stack.hpp"
+
+namespace liquid3d {
+namespace {
+
+TEST(ThreadPool, SubmitDeliversResults) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+  auto f1 = pool.submit([] { return 6 * 7; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 257;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(0, kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ManyTasksDrainAcrossWorkers) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  std::vector<std::future<void>> futs;
+  futs.reserve(200);
+  for (long i = 1; i <= 200; ++i) {
+    futs.push_back(pool.submit([&sum, i] { sum.fetch_add(i); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(sum.load(), 200L * 201L / 2L);
+}
+
+TEST(ParallelCharacterization, GridMatchesSerialSweep) {
+  ThermalModelParams p;
+  p.grid_rows = 6;
+  p.grid_cols = 7;
+  const Stack3D stack = make_2layer_system();
+  auto factory = [&]() {
+    return std::make_unique<CharacterizationHarness>(
+        stack, p, PowerModelParams{}, PumpModel::laing_ddc(),
+        FlowDeliveryMode::kPressureLimited);
+  };
+
+  const std::size_t settings = factory()->setting_count();
+  constexpr std::size_t kPoints = 5;
+  const auto parallel = sample_tmax_grid(factory, settings, kPoints, 3);
+  const auto serial = sample_tmax_grid(factory, settings, kPoints, 1);
+
+  ASSERT_EQ(parallel.size(), settings);
+  for (std::size_t s = 0; s < settings; ++s) {
+    ASSERT_EQ(parallel[s].size(), kPoints);
+    for (std::size_t i = 0; i < kPoints; ++i) {
+      // Warm-start trajectories differ between schedules, but the steady
+      // fixed point is unique — grids must agree to solver tolerance.
+      EXPECT_NEAR(parallel[s][i], serial[s][i], 0.2)
+          << "setting " << s << " point " << i;
+    }
+  }
+
+  // And the LUT built from those samples must be internally consistent.
+  const FlowLut lut = characterize_flow_lut(factory, 80.0, kPoints, 2);
+  EXPECT_EQ(lut.setting_count(), settings);
+}
+
+}  // namespace
+}  // namespace liquid3d
