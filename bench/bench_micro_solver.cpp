@@ -157,6 +157,41 @@ void BM_SteadyState(benchmark::State& state) {
 }
 BENCHMARK(BM_SteadyState)->Args({12, 13})->Args({23, 26});
 
+// Vector-flow steady solves: the per-cavity generalization rebuilds the
+// fluid-eliminated system with one capacity rate per cavity.  arg2 = 0 runs
+// the uniform broadcast (the pre-vector baseline cost), arg2 = 1 a skewed
+// vector at the same total flow (valve-network operating point), so the
+// JSON tracks the assembly cost of the vector path against uniform.
+void BM_SteadyStatePerCavity(benchmark::State& state) {
+  ThermalModel3D m = make_model(static_cast<std::size_t>(state.range(0)),
+                                static_cast<std::size_t>(state.range(1)), 1);
+  const bool skewed = state.range(2) != 0;
+  const MicrochannelModel ch(CavitySpec{}, CoolantProperties::water());
+  const FlowDelivery d(PumpModel::laing_ddc(), FlowDeliveryMode::kPressureLimited, ch,
+                       11.5e-3, 3);
+  const VolumetricFlow f = d.per_cavity(2);
+  // Alternate between two operating points so every iteration pays the full
+  // rebuild (assembly + factorization + solve) — a fixed flow would be a
+  // cache hit after the first solve and hide the assembly cost.
+  const std::vector<VolumetricFlow> skew_a = {f * 1.4, f * 1.0, f * 0.6};
+  const std::vector<VolumetricFlow> skew_b = {f * 0.6, f * 1.0, f * 1.4};
+  bool flip = false;
+  for (auto _ : state) {
+    flip = !flip;
+    if (skewed) {
+      m.set_cavity_flow(flip ? skew_a : skew_b);  // same total as uniform
+    } else {
+      m.set_cavity_flow(flip ? f : f * 1.02);
+    }
+    m.initialize(45.0);
+    m.solve_steady_state();
+    benchmark::DoNotOptimize(m.max_temperature());
+  }
+  state.SetLabel(skewed ? "per-cavity flow vector (skewed, equal total)"
+                        : "uniform broadcast baseline");
+}
+BENCHMARK(BM_SteadyStatePerCavity)->Args({23, 26, 0})->Args({23, 26, 1});
+
 // Full flow-LUT characterization (the acceptance workload: 25 utilization
 // points x all pump settings).  `fast` is the production configuration —
 // direct fluid-eliminated steady solver, fused leakage iteration,

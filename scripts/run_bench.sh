@@ -15,6 +15,8 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Release -DLIQUID3D_BUILD_BENCH=ON >/dev/null
 cmake --build "${build_dir}" --target bench_micro_solver -j "$(nproc)"
 
+# BM_SteadyState also matches BM_SteadyStatePerCavity (the vector-flow
+# assembly benchmark) by prefix; keep both in the JSON.
 "${build_dir}/bench_micro_solver" \
   --benchmark_format=json \
   --benchmark_out="${out_json}" \

@@ -1,0 +1,59 @@
+#include "control/cavity_flow_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+CavityFlowController::CavityFlowController(std::size_t cavity_count,
+                                           CavityFlowControllerParams params)
+    : cavity_count_(cavity_count), params_(params) {
+  LIQUID3D_REQUIRE(cavity_count_ > 0, "per-cavity control requires cavities");
+  LIQUID3D_REQUIRE(params_.min_opening > 0.0 && params_.min_opening <= 1.0,
+                   "min_opening must be in (0, 1]");
+  LIQUID3D_REQUIRE(params_.activation_band_c >= 0.0,
+                   "activation band must be non-negative");
+  LIQUID3D_REQUIRE(params_.full_scale_span_c > 0.0,
+                   "full-scale span must be positive");
+  LIQUID3D_REQUIRE(params_.opening_quantum > 0.0 && params_.opening_quantum <= 1.0,
+                   "opening quantum must be in (0, 1]");
+}
+
+std::vector<double> CavityFlowController::valve_openings(
+    const std::vector<double>& cavity_tmax) const {
+  std::vector<double> openings;
+  valve_openings_into(cavity_tmax, openings);
+  return openings;
+}
+
+void CavityFlowController::valve_openings_into(
+    const std::vector<double>& cavity_tmax, std::vector<double>& out) const {
+  out.assign(cavity_count_, 1.0);
+  if (cavity_tmax.empty()) return;  // uniform fallback (no valve network)
+  LIQUID3D_REQUIRE(cavity_tmax.size() == cavity_count_,
+                   "cavity T_max arity must equal the cavity count");
+
+  const auto [lo_it, hi_it] =
+      std::minmax_element(cavity_tmax.begin(), cavity_tmax.end());
+  const double span = *hi_it - *lo_it;
+  if (span <= params_.activation_band_c) return;  // too small to act on
+
+  // Throttle depth grows with the observed spread and saturates at the
+  // full-scale span; the hottest cavity always stays fully open and the
+  // others close in proportion to how far below it they sit.
+  const double depth = std::min(1.0, span / params_.full_scale_span_c);
+  for (std::size_t k = 0; k < cavity_count_; ++k) {
+    const double deficit = (*hi_it - cavity_tmax[k]) / span;  // 0 = hottest
+    const double raw = 1.0 - (1.0 - params_.min_opening) * depth * deficit;
+    // Snap to the quantum grid, clamped back into the valve's physical
+    // range (a quantum that does not divide 1 would otherwise round the
+    // hottest cavity past fully open).
+    out[k] = std::clamp(std::round(raw / params_.opening_quantum) *
+                            params_.opening_quantum,
+                        params_.min_opening, 1.0);
+  }
+}
+
+}  // namespace liquid3d

@@ -1,0 +1,68 @@
+// cavity_flow_controller.hpp — the per-cavity half of the proactive flow
+// control ensemble: per-cavity T_max observations -> valve openings.
+//
+// The pump setting is decided exactly as before (ThermalManager's
+// FlowRateController over the FlowLut: immediate scale-up, hysteretic
+// one-step scale-down) from the *global* maximum temperature — the LUT
+// characterization remains valid because the valve network conserves the
+// total delivered flow, so the worst cavity never receives less than the
+// LUT's uniform share once the valves steer flow toward it.  This class
+// adds the orthogonal valve decision: the hottest cavity's valve opens
+// fully, the others close in proportion to their temperature deficit, with
+// the throttle depth scaling with the observed spread.  When the spread is
+// below an activation band the valves stay uniform (redistribution has
+// nothing to win and valve motion costs transitions), and with no
+// observations at all (valve network absent) the decision degrades to
+// uniform delivery.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace liquid3d {
+
+struct CavityFlowControllerParams {
+  /// Floor for the coolest cavity's valve; keep equal to
+  /// ValveNetworkParams::min_opening so commands are never clamped twice.
+  double min_opening = 0.05;
+  /// Per-cavity T_max spread [K] below which the valves stay uniform.
+  double activation_band_c = 0.75;
+  /// Spread [K] at which the coolest cavity reaches the full throttle
+  /// (min_opening).  Below it the throttle depth scales linearly with the
+  /// spread, so small thermal asymmetries get gentle corrections — slamming
+  /// the coolest valve to the floor on a 1 K spread inverts the thermal
+  /// profile by the next decision and oscillates.
+  double full_scale_span_c = 8.0;
+  /// Openings are quantized to this step (hottest stays exactly 1.0).
+  /// Stateless chatter suppression: as temperatures drift sample to sample
+  /// the raw proportional openings drift with them, and every drift beyond
+  /// the actuator deadband would count a transition and restart the
+  /// actuation latency; snapping to a coarse grid means only a real
+  /// operating-point change crosses a quantum boundary and issues a
+  /// command.
+  double opening_quantum = 0.1;
+};
+
+class CavityFlowController {
+ public:
+  CavityFlowController(std::size_t cavity_count,
+                       CavityFlowControllerParams params = {});
+
+  /// Valve openings for the next interval from per-cavity maximum junction
+  /// temperatures (arity = cavity count; empty = uniform fallback).  The
+  /// hottest cavity always gets 1.0; the result is in [min_opening, 1].
+  [[nodiscard]] std::vector<double> valve_openings(
+      const std::vector<double>& cavity_tmax) const;
+  /// Allocation-free variant for per-tick callers: writes into `out`.
+  void valve_openings_into(const std::vector<double>& cavity_tmax,
+                           std::vector<double>& out) const;
+
+  [[nodiscard]] std::size_t cavity_count() const { return cavity_count_; }
+  [[nodiscard]] const CavityFlowControllerParams& params() const { return params_; }
+
+ private:
+  std::size_t cavity_count_;
+  CavityFlowControllerParams params_;
+};
+
+}  // namespace liquid3d

@@ -186,6 +186,16 @@ double CharacterizationHarness::steady_tmax_at_flow(double utilization,
   return solve_at_operating_point(utilization, per_cavity.ml_per_min());
 }
 
+double CharacterizationHarness::steady_tmax_at_flows(
+    double utilization, const std::vector<VolumetricFlow>& flows) {
+  LIQUID3D_REQUIRE(!flows.empty(), "flow vector must not be empty");
+  model_.set_cavity_flow(flows);
+  double mean = 0.0;
+  for (const VolumetricFlow& f : flows) mean += f.ml_per_min();
+  mean /= static_cast<double>(flows.size());
+  return solve_at_operating_point(utilization, mean);
+}
+
 std::vector<double> CharacterizationHarness::steady_core_temps(double utilization,
                                                                std::size_t setting) {
   (void)steady_tmax(utilization, setting);
@@ -264,6 +274,52 @@ FlowLut characterize_flow_lut(const HarnessFactory& make_harness,
   return FlowLut::from_samples(
       sample_tmax_grid(make_harness, settings, utilization_points, threads),
       target_temperature);
+}
+
+CavitySkewGrid sample_cavity_skew_grid(const HarnessFactory& make_harness,
+                                       const ValveNetwork& network,
+                                       std::size_t setting, double utilization,
+                                       std::size_t opening_points,
+                                       std::size_t threads) {
+  LIQUID3D_REQUIRE(opening_points >= 2, "opening sweep too coarse");
+  const std::size_t cavities = network.cavity_count();
+
+  CavitySkewGrid grid;
+  grid.openings.resize(opening_points);
+  const double lo = network.params().min_opening;
+  for (std::size_t i = 0; i < opening_points; ++i) {
+    grid.openings[i] =
+        lo + (1.0 - lo) * static_cast<double>(i) /
+                 static_cast<double>(opening_points - 1);
+  }
+  grid.tmax.assign(cavities, std::vector<double>(opening_points));
+
+  if (threads == 0) threads = ThreadPool::default_concurrency();
+  const std::size_t workers = std::min(threads, cavities);
+
+  // Worker h sweeps cavities h, h+W, ...; within a cavity the openings are
+  // swept ascending so each solve warm-starts near the previous one, ending
+  // at the fully-open (uniform) point shared by every cavity row.
+  auto sweep = [&](std::size_t h) {
+    const std::unique_ptr<CharacterizationHarness> harness = make_harness();
+    std::vector<double> openings(cavities, 1.0);
+    for (std::size_t k = h; k < cavities; k += workers) {
+      for (std::size_t i = 0; i < opening_points; ++i) {
+        openings[k] = grid.openings[i];
+        grid.tmax[k][i] = harness->steady_tmax_at_flows(
+            utilization, network.flows(setting, openings));
+      }
+      openings[k] = 1.0;
+    }
+  };
+
+  if (workers <= 1) {
+    sweep(0);
+    return grid;
+  }
+  ThreadPool pool(workers);
+  pool.parallel_for(0, workers, sweep);
+  return grid;
 }
 
 }  // namespace liquid3d

@@ -28,6 +28,7 @@
 #include "control/flow_lut.hpp"
 #include "coolant/flow.hpp"
 #include "coolant/pump.hpp"
+#include "coolant/valve_network.hpp"
 #include "geom/sites.hpp"
 #include "geom/stack.hpp"
 #include "power/power_model.hpp"
@@ -52,6 +53,12 @@ class CharacterizationHarness {
 
   /// Steady maximum temperature at an explicit per-cavity flow.
   [[nodiscard]] double steady_tmax_at_flow(double utilization, VolumetricFlow per_cavity);
+
+  /// Steady maximum temperature at an explicit per-cavity flow *vector*
+  /// (valve-network operating points).  Warm-start proximity uses the mean
+  /// flow, which tracks the total the pump delivers.
+  [[nodiscard]] double steady_tmax_at_flows(double utilization,
+                                            const std::vector<VolumetricFlow>& flows);
 
   /// Steady per-core temperatures (global core order) at the given setting.
   [[nodiscard]] std::vector<double> steady_core_temps(double utilization,
@@ -125,5 +132,20 @@ using HarnessFactory = std::function<std::unique_ptr<CharacterizationHarness>()>
                                             double target_temperature,
                                             std::size_t utilization_points = 41,
                                             std::size_t threads = 0);
+
+/// Per-cavity valve sensitivity grid: steady T_max with cavity k's valve
+/// throttled to each sampled opening while every other valve stays fully
+/// open (flows renormalized by the valve network, so the total delivered
+/// flow is the setting's).  Result: grid[cavity][opening_index], openings
+/// ascending from `min_opening` to 1.  Cavity rows are fanned out over the
+/// ThreadPool (one harness per worker), mirroring sample_tmax_grid.
+struct CavitySkewGrid {
+  std::vector<double> openings;            ///< sampled opening values
+  std::vector<std::vector<double>> tmax;   ///< [cavity][opening_index]
+};
+[[nodiscard]] CavitySkewGrid sample_cavity_skew_grid(
+    const HarnessFactory& make_harness, const ValveNetwork& network,
+    std::size_t setting, double utilization, std::size_t opening_points = 5,
+    std::size_t threads = 0);
 
 }  // namespace liquid3d

@@ -27,11 +27,15 @@ std::size_t FlowRateController::decide(double forecast_tmax, double measured_tma
   // Scale down only with hysteresis margin below the current setting's
   // boundary temperature ("once we switch to a higher flow rate setting, we
   // do not decrease the flow rate until the predicted T_max is at least 2°C
-  // lower than the boundary temperature between two flow rate settings").
+  // lower than the boundary temperature between two flow rate settings"),
+  // and by at most one setting per decision: the hysteresis check only
+  // consults the boundary of the *current* setting, so jumping multiple
+  // settings at once would skip the intermediate boundaries.  Stepping one
+  // at a time re-validates every boundary on the way down.
   const double boundary = lut_.boundary(current, current);
   if (forecast_tmax <= boundary - params_.hysteresis &&
       measured_tmax <= boundary - params_.hysteresis) {
-    return required;
+    return std::max(required, current - 1);
   }
   return current;
 }

@@ -5,7 +5,8 @@
 // moves are immediate; downward moves are held until the forecast is at
 // least `hysteresis` (2 °C in the paper) below the boundary temperature of
 // the current setting, which suppresses rapid oscillation between adjacent
-// settings.
+// settings — and descend one setting per decision, so every intermediate
+// boundary is re-validated on the way down (the paper's gradual stepping).
 #pragma once
 
 #include <cstddef>

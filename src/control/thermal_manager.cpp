@@ -1,9 +1,12 @@
 #include "control/thermal_manager.hpp"
 
+#include "common/error.hpp"
+
 namespace liquid3d {
 
 ThermalManager::ThermalManager(FlowLut lut, TalbWeightTable weights,
-                               const PumpModel& pump, ThermalManagerConfig cfg)
+                               const PumpModel& pump, ThermalManagerConfig cfg,
+                               std::optional<ValveNetwork> valves)
     : cfg_(cfg),
       controller_(std::move(lut), cfg.controller),
       weights_(std::move(weights)),
@@ -11,29 +14,55 @@ ThermalManager::ThermalManager(FlowLut lut, TalbWeightTable weights,
       // Start at the maximum setting: the safe state until the predictor
       // has seen enough history.
       actuator_(pump, pump.max_setting()),
-      max_setting_(pump.max_setting()) {}
+      max_setting_(pump.max_setting()) {
+  if (valves) {
+    CavityFlowControllerParams cp = cfg_.cavity_controller;
+    // A single opening floor: the controller must not command below what
+    // the lossy valves can physically reach.
+    cp.min_opening = valves->params().min_opening;
+    cavity_controller_.emplace(valves->cavity_count(), cp);
+    valves_.emplace(std::move(*valves));
+  }
+}
 
-std::size_t ThermalManager::update(SimTime now, double measured_tmax) {
+std::vector<VolumetricFlow> ThermalManager::cavity_flows() const {
+  LIQUID3D_REQUIRE(valves_.has_value(), "no valve network attached");
+  return valves_->effective_flows(actuator_.effective_setting());
+}
+
+void ThermalManager::cavity_flows_into(std::vector<VolumetricFlow>& out) const {
+  LIQUID3D_REQUIRE(valves_.has_value(), "no valve network attached");
+  valves_->effective_flows_into(actuator_.effective_setting(), out);
+}
+
+std::size_t ThermalManager::update(SimTime now, double measured_tmax,
+                                   const std::vector<double>& cavity_tmax) {
   actuator_.tick(now);
+  if (valves_) valves_->tick(now);
 
+  std::size_t decision;
   if (!cfg_.variable_flow) {
     last_forecast_ = measured_tmax;
-    actuator_.command(max_setting_, now);
-    return max_setting_;
+    decision = max_setting_;
+  } else {
+    predictor_.observe(measured_tmax);
+    last_forecast_ = cfg_.reactive ? measured_tmax : predictor_.forecast();
+    if (!cfg_.reactive && !predictor_.ready()) {
+      // Until the ARMA model is ready, stay at maximum flow (safe default).
+      decision = max_setting_;
+    } else {
+      decision = controller_.decide(last_forecast_, measured_tmax,
+                                    actuator_.effective_setting());
+    }
   }
-
-  predictor_.observe(measured_tmax);
-  last_forecast_ = cfg_.reactive ? measured_tmax : predictor_.forecast();
-
-  // Until the ARMA model is ready, stay at maximum flow (safe default).
-  if (!cfg_.reactive && !predictor_.ready()) {
-    actuator_.command(max_setting_, now);
-    return max_setting_;
-  }
-
-  const std::size_t decision =
-      controller_.decide(last_forecast_, measured_tmax, actuator_.effective_setting());
   actuator_.command(decision, now);
+
+  // Valve redistribution is orthogonal to the pump setting: it runs in
+  // fixed-max mode too (same total flow, steered toward the hot cavity).
+  if (valves_ && !cavity_tmax.empty()) {
+    cavity_controller_->valve_openings_into(cavity_tmax, opening_scratch_);
+    valves_->command(opening_scratch_, now);
+  }
   return decision;
 }
 

@@ -56,6 +56,13 @@ PumpActuator::PumpActuator(const PumpModel& model, std::size_t initial_setting)
 void PumpActuator::command(std::size_t setting_index, SimTime now) {
   LIQUID3D_REQUIRE(setting_index < model_.setting_count(), "invalid pump setting");
   if (setting_index == target_) return;
+  if (setting_index == effective_) {
+    // Canceling a pending transition back to the setting the pump is
+    // effectively at: the impeller never left, so no transition happens and
+    // no latency is imposed.
+    target_ = setting_index;
+    return;
+  }
   target_ = setting_index;
   transition_due_ = now + model_.transition_latency();
   ++transitions_;

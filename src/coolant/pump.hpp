@@ -67,6 +67,9 @@ class PumpActuator {
   PumpActuator(const PumpModel& model, std::size_t initial_setting);
 
   /// Command a new setting; ignored if equal to the current target.
+  /// Commanding the current *effective* setting while a transition is
+  /// pending cancels that transition instantly (the impeller never left),
+  /// without counting a transition or imposing latency.
   void command(std::size_t setting_index, SimTime now);
 
   /// Advance time; completes any pending transition whose latency elapsed.

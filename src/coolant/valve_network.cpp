@@ -1,0 +1,97 @@
+#include "coolant/valve_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+ValveNetwork::ValveNetwork(FlowDelivery delivery, ValveNetworkParams params)
+    : delivery_(std::move(delivery)), params_(params) {
+  LIQUID3D_REQUIRE(params_.min_opening > 0.0 && params_.min_opening <= 1.0,
+                   "min_opening must be in (0, 1]");
+  LIQUID3D_REQUIRE(params_.deadband >= 0.0, "deadband must be non-negative");
+  LIQUID3D_REQUIRE(delivery_.cavity_count() > 0, "valve network requires cavities");
+}
+
+VolumetricFlow ValveNetwork::total_delivered(std::size_t setting) const {
+  return delivery_.per_cavity(setting) * static_cast<double>(cavity_count());
+}
+
+double ValveNetwork::clamp_opening(double opening) const {
+  return std::clamp(opening, params_.min_opening, 1.0);
+}
+
+std::vector<VolumetricFlow> ValveNetwork::flows(
+    std::size_t setting, const std::vector<double>& openings) const {
+  std::vector<VolumetricFlow> result;
+  flows_into(setting, openings, result);
+  return result;
+}
+
+void ValveNetwork::flows_into(std::size_t setting,
+                              const std::vector<double>& openings,
+                              std::vector<VolumetricFlow>& out) const {
+  LIQUID3D_REQUIRE(openings.size() == cavity_count(),
+                   "opening vector arity must equal the cavity count");
+  const VolumetricFlow total = total_delivered(setting);
+  double sum = 0.0;
+  for (double o : openings) {
+    LIQUID3D_REQUIRE(std::isfinite(o), "opening must be finite");
+    sum += clamp_opening(o);
+  }
+  out.resize(openings.size());
+  for (std::size_t k = 0; k < openings.size(); ++k) {
+    out[k] = total * (clamp_opening(openings[k]) / sum);
+  }
+}
+
+std::vector<VolumetricFlow> ValveNetwork::uniform_flows(std::size_t setting) const {
+  return std::vector<VolumetricFlow>(cavity_count(), delivery_.per_cavity(setting));
+}
+
+ValveNetworkActuator::ValveNetworkActuator(ValveNetwork network)
+    : network_(std::move(network)),
+      effective_(network_.cavity_count(), 1.0),
+      target_(network_.cavity_count(), 1.0) {}
+
+bool ValveNetworkActuator::within_deadband(const std::vector<double>& a,
+                                           const std::vector<double>& b) const {
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (std::abs(a[k] - b[k]) > network_.params().deadband) return false;
+  }
+  return true;
+}
+
+void ValveNetworkActuator::command(const std::vector<double>& openings, SimTime now) {
+  LIQUID3D_REQUIRE(openings.size() == network_.cavity_count(),
+                   "opening vector arity must equal the cavity count");
+  // Per-tick path: clamp into persistent scratch (no allocation after the
+  // first command; swaps/copies below stay within existing capacity).
+  clamp_scratch_.resize(openings.size());
+  for (std::size_t k = 0; k < openings.size(); ++k) {
+    clamp_scratch_[k] = network_.clamp_opening(openings[k]);
+  }
+  if (within_deadband(clamp_scratch_, target_)) return;
+  if (within_deadband(clamp_scratch_, effective_)) {
+    // Canceling a pending transition back to where the valves already are:
+    // no motion, no latency, no transition counted (PumpActuator semantics).
+    target_ = effective_;
+    return;
+  }
+  // Dwell gate: a real retarget is accepted at most once per min_dwell.
+  if (transitions_ > 0 && now < dwell_until_) return;
+  target_.swap(clamp_scratch_);
+  transition_due_ = now + network_.params().actuation_latency;
+  dwell_until_ = now + network_.params().min_dwell;
+  ++transitions_;
+}
+
+void ValveNetworkActuator::tick(SimTime now) {
+  if (effective_ != target_ && now >= transition_due_) {
+    effective_ = target_;
+  }
+}
+
+}  // namespace liquid3d

@@ -1,0 +1,137 @@
+// valve_network.hpp — multi-branch coolant delivery: one shared pump feeding
+// N cavities through individually throttled valves.
+//
+// The paper's delivery model (Sec. III-B) drives every cavity with the same
+// flow; real cooling plants route a shared supply through a manifold of
+// branch valves so coolant can be steered toward the hottest branch (cf. the
+// cryogenics-plant benchmarking literature in PAPERS.md).  The model here:
+//
+//   * the pump is a (setting-discrete) flow source: the total delivered flow
+//     at setting s is exactly `cavity_count x FlowDelivery::per_cavity(s)` —
+//     throttling *redistributes* flow between branches, it never changes the
+//     total (conservation; the pump head rises until the open branches carry
+//     the displaced flow);
+//   * each branch valve has an opening in [0, 1] acting as a linear
+//     conductance, so branch i carries `total x opening_i / sum(openings)`;
+//   * valves are lossy: they never seal below `min_opening` (a closed valve
+//     still leaks), which also keeps every cavity's flow strictly positive —
+//     a dry microchannel cavity has no bounded steady state;
+//   * opening changes take an actuation latency to complete
+//     (`ValveNetworkActuator`, same effective/target split as PumpActuator),
+//     and commands within `deadband` of the target are ignored so the
+//     controller cannot chatter the valves.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+#include "coolant/flow.hpp"
+
+namespace liquid3d {
+
+struct ValveNetworkParams {
+  /// Valves are lossy and never seal: the smallest effective opening.  Also
+  /// the hydraulic guarantee that every cavity keeps nonzero flow.
+  double min_opening = 0.05;
+  /// Opening commands take this long to complete (motorized needle valves
+  /// are slower than the pump's impeller spin-up).
+  SimTime actuation_latency = SimTime::from_ms(150);
+  /// Commanded openings within this distance (per valve, absolute) of the
+  /// current target are treated as "no change".
+  double deadband = 0.04;
+  /// Minimum time between accepted retargets.  The steering loop is
+  /// self-attenuating (moving flow toward the hot cavity shrinks the very
+  /// spread that commanded the move), so an unconstrained controller
+  /// retargets nearly every sample; the dwell bounds the transition rate
+  /// the way a relay's minimum off-time does.  Cancels (free) are exempt.
+  SimTime min_dwell = SimTime::from_ms(500);
+};
+
+/// Static hydraulic model of the manifold: pump settings x valve openings
+/// -> per-cavity flow vector.
+class ValveNetwork {
+ public:
+  ValveNetwork(FlowDelivery delivery, ValveNetworkParams params = {});
+
+  [[nodiscard]] std::size_t cavity_count() const { return delivery_.cavity_count(); }
+  [[nodiscard]] std::size_t setting_count() const { return delivery_.setting_count(); }
+  [[nodiscard]] const ValveNetworkParams& params() const { return params_; }
+  [[nodiscard]] const FlowDelivery& delivery() const { return delivery_; }
+
+  /// Total flow the pump delivers to the manifold at a setting (what the
+  /// uniform model splits equally).
+  [[nodiscard]] VolumetricFlow total_delivered(std::size_t setting) const;
+
+  /// Per-cavity flows for a set of valve openings.  Openings are clamped to
+  /// [min_opening, 1]; the result always sums to `total_delivered(setting)`.
+  [[nodiscard]] std::vector<VolumetricFlow> flows(
+      std::size_t setting, const std::vector<double>& openings) const;
+  /// Allocation-free variant for per-tick callers: writes into `out`
+  /// (resized once, no allocation after first use).
+  void flows_into(std::size_t setting, const std::vector<double>& openings,
+                  std::vector<VolumetricFlow>& out) const;
+
+  /// All valves fully open: the uniform split (bit-identical to the paper's
+  /// per-cavity delivery).
+  [[nodiscard]] std::vector<VolumetricFlow> uniform_flows(std::size_t setting) const;
+
+  /// Clamp one commanded opening to the valve's physical range.
+  [[nodiscard]] double clamp_opening(double opening) const;
+
+ private:
+  FlowDelivery delivery_;
+  ValveNetworkParams params_;
+};
+
+/// Runtime state of the valve manifold: commanded vs. effective openings,
+/// actuation latency, and the transition count (oscillation metric) — the
+/// PumpActuator pattern generalized to a vector of actuators that move
+/// together.  Commanding the current *effective* openings while a transition
+/// is pending cancels it without counting a transition (see
+/// PumpActuator::command).
+class ValveNetworkActuator {
+ public:
+  /// Valves start fully open (the uniform-delivery state).
+  explicit ValveNetworkActuator(ValveNetwork network);
+
+  /// Command a new opening vector (arity = cavity count); no-op when every
+  /// valve is within the deadband of the current target.
+  void command(const std::vector<double>& openings, SimTime now);
+
+  /// Advance time; completes a pending transition whose latency elapsed.
+  void tick(SimTime now);
+
+  [[nodiscard]] const ValveNetwork& network() const { return network_; }
+  [[nodiscard]] const std::vector<double>& effective_openings() const {
+    return effective_;
+  }
+  [[nodiscard]] const std::vector<double>& target_openings() const { return target_; }
+  [[nodiscard]] bool in_transition() const { return effective_ != target_; }
+  [[nodiscard]] std::size_t transition_count() const { return transitions_; }
+
+  /// Per-cavity flows at the *effective* openings for a pump setting.
+  [[nodiscard]] std::vector<VolumetricFlow> effective_flows(
+      std::size_t pump_setting) const {
+    return network_.flows(pump_setting, effective_);
+  }
+  /// Allocation-free variant (see ValveNetwork::flows_into).
+  void effective_flows_into(std::size_t pump_setting,
+                            std::vector<VolumetricFlow>& out) const {
+    network_.flows_into(pump_setting, effective_, out);
+  }
+
+ private:
+  [[nodiscard]] bool within_deadband(const std::vector<double>& a,
+                                     const std::vector<double>& b) const;
+
+  ValveNetwork network_;
+  std::vector<double> effective_;
+  std::vector<double> target_;
+  SimTime transition_due_{};
+  SimTime dwell_until_{};
+  std::size_t transitions_ = 0;
+  std::vector<double> clamp_scratch_;  ///< command() must not allocate per tick
+};
+
+}  // namespace liquid3d

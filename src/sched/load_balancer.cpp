@@ -9,39 +9,19 @@ namespace liquid3d {
 
 namespace {
 
-/// Index of the shortest queue (ties: lowest index, deterministic).
-std::size_t shortest_queue(const CoreQueues& queues) {
-  std::size_t best = 0;
-  std::size_t best_len = std::numeric_limits<std::size_t>::max();
-  for (std::size_t c = 0; c < queues.core_count(); ++c) {
-    if (queues.length(c) < best_len) {
-      best_len = queues.length(c);
-      best = c;
-    }
-  }
-  return best;
-}
-
-std::size_t longest_queue(const CoreQueues& queues) {
-  std::size_t best = 0;
-  std::size_t best_len = 0;
-  for (std::size_t c = 0; c < queues.core_count(); ++c) {
-    if (queues.length(c) > best_len) {
-      best_len = queues.length(c);
-      best = c;
-    }
-  }
-  return best;
-}
-
 class LoadBalancer final : public Scheduler {
  public:
-  explicit LoadBalancer(LoadBalancerParams params) : params_(params) {}
+  explicit LoadBalancer(LoadBalancerParams params) : params_(std::move(params)) {
+    for (double b : params_.core_bias) {
+      LIQUID3D_REQUIRE(b > 0.0, "core bias entries must be positive");
+    }
+  }
 
   [[nodiscard]] std::string name() const override { return "LB"; }
 
   void dispatch(std::vector<Thread> arrivals, CoreQueues& queues,
                 const SchedulerContext& /*ctx*/) override {
+    (void)check_bias_arity(queues);
     for (Thread& t : arrivals) {
       queues.push_back(shortest_queue(queues), t);
     }
@@ -49,17 +29,77 @@ class LoadBalancer final : public Scheduler {
 
   void manage(CoreQueues& queues, const SchedulerContext& /*ctx*/) override {
     // Move *waiting* threads (never the running head) from the longest to
-    // the shortest queue until the imbalance threshold is met.
+    // the shortest queue until the imbalance threshold is met.  With a bias
+    // vector the comparison uses effective (bias-divided) lengths, so the
+    // balanced state keeps proportionally more load on biased cores.
+    const bool biased = check_bias_arity(queues);
     for (;;) {
       const std::size_t hi = longest_queue(queues);
       const std::size_t lo = shortest_queue(queues);
-      if (queues.length(hi) <= queues.length(lo) + params_.imbalance_threshold) break;
+      const double spread =
+          effective_length(queues, hi) - effective_length(queues, lo);
+      if (spread <= static_cast<double>(params_.imbalance_threshold)) break;
+      if (biased) {
+        // One move shifts the pair's effective spread by 1/b_hi + 1/b_lo.
+        // Only move while that strictly shrinks |spread|; otherwise the
+        // move overshoots past zero and the next iteration moves the same
+        // thread straight back (livelock when biases are small relative to
+        // the integer threshold).
+        const double quantum = 1.0 / params_.core_bias[hi] + 1.0 / params_.core_bias[lo];
+        if (spread <= 0.5 * quantum) break;
+      }
       if (queues.length(hi) <= 1) break;  // only the running thread left
       queues.push_back(lo, queues.pop_back(hi));
     }
   }
 
  private:
+  /// Bias active?  Also rejects a bias vector whose arity does not match
+  /// the machine at the first dispatch/manage call (a short vector would
+  /// otherwise throw a raw std::out_of_range mid-run, a long one would be
+  /// silently truncated).
+  [[nodiscard]] bool check_bias_arity(const CoreQueues& queues) const {
+    if (params_.core_bias.empty()) return false;
+    LIQUID3D_REQUIRE(params_.core_bias.size() == queues.core_count(),
+                     "core_bias arity must equal the core count");
+    return true;
+  }
+
+  [[nodiscard]] double effective_length(const CoreQueues& queues,
+                                        std::size_t core) const {
+    const double len = static_cast<double>(queues.length(core));
+    if (params_.core_bias.empty()) return len;
+    return len / params_.core_bias[core];
+  }
+
+  /// Index of the effectively shortest queue (ties: lowest index,
+  /// deterministic).  With no bias this is the plain shortest queue.
+  [[nodiscard]] std::size_t shortest_queue(const CoreQueues& queues) const {
+    std::size_t best = 0;
+    double best_len = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < queues.core_count(); ++c) {
+      const double len = effective_length(queues, c);
+      if (len < best_len) {
+        best_len = len;
+        best = c;
+      }
+    }
+    return best;
+  }
+
+  [[nodiscard]] std::size_t longest_queue(const CoreQueues& queues) const {
+    std::size_t best = 0;
+    double best_len = -1.0;
+    for (std::size_t c = 0; c < queues.core_count(); ++c) {
+      const double len = effective_length(queues, c);
+      if (len > best_len) {
+        best_len = len;
+        best = c;
+      }
+    }
+    return best;
+  }
+
   LoadBalancerParams params_;
 };
 

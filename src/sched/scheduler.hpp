@@ -51,6 +51,11 @@ class Scheduler {
 struct LoadBalancerParams {
   /// Move waiting threads when queue lengths differ by more than this.
   std::size_t imbalance_threshold = 2;
+  /// Per-core attractiveness (empty = uniform).  A core's effective queue
+  /// length is its real length divided by its bias, so biased cores absorb
+  /// proportionally more load — the mechanism behind the skewed-workload
+  /// scenarios (hot upper die, hot corner).  All entries must be positive.
+  std::vector<double> core_bias{};
 };
 
 struct MigrationParams {

@@ -130,6 +130,56 @@ std::vector<PolicySummary> ExperimentSuite::run(
   return summaries;
 }
 
+std::vector<SkewScenario> skewed_workload_scenarios(std::size_t layer_pairs) {
+  LIQUID3D_REQUIRE(layer_pairs >= 1, "need at least one layer pair");
+  const std::size_t cores = 8 * layer_pairs;
+  constexpr double kHotBias = 6.0;
+
+  // Core sites enumerate layer-major: the second half of the core list is
+  // the upper core die (4-layer) or the top core row (2-layer).
+  SkewScenario upper{"hot-upper-die", std::vector<double>(cores, 1.0)};
+  for (std::size_t c = cores / 2; c < cores; ++c) upper.core_bias[c] = kHotBias;
+
+  SkewScenario corner{"hot-corner", std::vector<double>(cores, 1.0)};
+  corner.core_bias[0] = kHotBias;
+  corner.core_bias[1] = kHotBias;
+  return {std::move(upper), std::move(corner)};
+}
+
+FlowComparisonResult ExperimentSuite::run_flow_comparison(
+    const SkewScenario& scenario, const BenchmarkSpec& workload,
+    CoolingMode cooling) {
+  LIQUID3D_REQUIRE(cooling != CoolingMode::kAir,
+                   "flow comparison requires a liquid stack");
+  SimulationConfig uniform_cfg =
+      make_config({Policy::kLoadBalancing, cooling}, workload);
+  uniform_cfg.core_bias = scenario.core_bias;
+  // Force the delivery models explicitly: a base config with valves already
+  // enabled must not silently turn the "uniform" cell into a second valved
+  // run (the comparison would read as a ~0 delta instead of an error).
+  uniform_cfg.manager.valve_network = false;
+  SimulationConfig valved_cfg = uniform_cfg;
+  valved_cfg.manager.valve_network = true;
+
+  FlowComparisonResult r;
+  r.scenario = scenario.name;
+  std::vector<SimulationConfig> cells = {std::move(uniform_cfg),
+                                         std::move(valved_cfg)};
+  std::vector<SimulationResult> results(cells.size());
+  {
+    ThreadPool pool(cells.size());
+    pool.parallel_for(0, cells.size(), [&](std::size_t i) {
+      Simulator sim(cells[i]);
+      results[i] = sim.run();
+    });
+  }
+  r.uniform = std::move(results[0]);
+  r.valved = std::move(results[1]);
+  r.uniform.label += " [uniform]";
+  r.valved.label += " [valved]";
+  return r;
+}
+
 const PolicySummary& find_baseline(const std::vector<PolicySummary>& summaries,
                                    const std::string& label) {
   for (const PolicySummary& s : summaries) {

@@ -53,6 +53,30 @@ struct PolicySummary {
   [[nodiscard]] double total_throughput() const;
 };
 
+/// A spatially skewed load pattern for the per-cavity flow experiments:
+/// per-core dispatch bias handed to the load balancer (see
+/// LoadBalancerParams::core_bias).
+struct SkewScenario {
+  std::string name;
+  std::vector<double> core_bias;  ///< arity = core count of the system
+};
+
+/// The canonical skews (bias 6:1 toward the hot cores):
+///  * "hot-upper-die" — load concentrates on the upper half of the core
+///    sites (4-layer: the whole upper core die; 2-layer: the top core row);
+///  * "hot-corner"    — load concentrates on two adjacent corner cores.
+[[nodiscard]] std::vector<SkewScenario> skewed_workload_scenarios(
+    std::size_t layer_pairs);
+
+/// Uniform vs. valve-network delivery on one skewed workload, at equal
+/// total delivered flow (same pump, same LUT, same schedule skew — only the
+/// per-cavity distribution differs).
+struct FlowComparisonResult {
+  std::string scenario;
+  SimulationResult uniform;  ///< valves absent (the paper's equal split)
+  SimulationResult valved;   ///< valve-network per-cavity control
+};
+
 class ExperimentSuite {
  public:
   explicit ExperimentSuite(SuiteConfig cfg);
@@ -70,6 +94,15 @@ class ExperimentSuite {
   /// Build one concrete SimulationConfig cell (shares characterizations).
   [[nodiscard]] SimulationConfig make_config(PolicyConfig policy,
                                              const BenchmarkSpec& workload);
+
+  /// Run one skewed workload twice — uniform delivery vs. valve-network
+  /// per-cavity control — under the given liquid cooling mode.  Both cells
+  /// share the characterization, seed, and skew, so the comparison isolates
+  /// the delivery model; with CoolingMode::kLiquidMax the total delivered
+  /// flow (and pump energy) is identical by construction.
+  [[nodiscard]] FlowComparisonResult run_flow_comparison(
+      const SkewScenario& scenario, const BenchmarkSpec& workload,
+      CoolingMode cooling = CoolingMode::kLiquidMax);
 
  private:
   SuiteConfig cfg_;

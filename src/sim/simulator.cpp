@@ -36,9 +36,22 @@ namespace {
 
 std::unique_ptr<Scheduler> make_scheduler(const SimulationConfig& cfg) {
   switch (cfg.policy) {
-    case Policy::kLoadBalancing: return make_load_balancer(cfg.load_balancer);
-    case Policy::kReactiveMigration: return make_reactive_migration(cfg.migration);
-    case Policy::kTalb: return make_talb(cfg.talb);
+    case Policy::kLoadBalancing: {
+      LoadBalancerParams p = cfg.load_balancer;
+      if (!cfg.core_bias.empty()) p.core_bias = cfg.core_bias;
+      return make_load_balancer(std::move(p));
+    }
+    case Policy::kReactiveMigration: {
+      MigrationParams p = cfg.migration;
+      if (!cfg.core_bias.empty()) p.lb.core_bias = cfg.core_bias;
+      return make_reactive_migration(std::move(p));
+    }
+    case Policy::kTalb:
+      // TALB balances on *thermal* weights; a static dispatch bias would be
+      // silently ignored, so reject it instead of mislabeling the run.
+      LIQUID3D_REQUIRE(cfg.core_bias.empty(),
+                       "core_bias is not supported by the TALB policy");
+      return make_talb(cfg.talb);
   }
   LIQUID3D_ASSERT(false, "unknown policy");
 }
@@ -111,6 +124,8 @@ Simulator::Simulator(SimulationConfig config)
       queues_(cores_.size()),
       scheduler_(make_scheduler(cfg_)),
       dpm_(cores_.size(), cfg_.dpm) {
+  LIQUID3D_REQUIRE(cfg_.core_bias.empty() || cfg_.core_bias.size() == cores_.size(),
+                   "core_bias arity must equal the system's core count");
   generator_.set_phase_schedule(cfg_.phases);
 
   const bool liquid = cfg_.cooling != CoolingMode::kAir;
@@ -129,8 +144,12 @@ Simulator::Simulator(SimulationConfig config)
     }
     ThermalManagerConfig mc = cfg_.manager;
     mc.variable_flow = cfg_.cooling == CoolingMode::kLiquidVar;
+    std::optional<ValveNetwork> valves;
+    if (cfg_.manager.valve_network) {
+      valves.emplace(*delivery_, cfg_.manager.valves);
+    }
     manager_ = std::make_unique<ThermalManager>(*cfg_.flow_lut, *cfg_.talb_weights,
-                                                pump_, mc);
+                                                pump_, mc, std::move(valves));
   } else if (!cfg_.talb_weights) {
     cfg_.talb_weights = cfg_.policy == Policy::kTalb
                             ? build_talb_weights(cfg_)
@@ -199,6 +218,19 @@ std::vector<double> Simulator::read_unit_temps() const {
   return temps;
 }
 
+double Simulator::apply_flow_decision() {
+  if (!delivery_) return 1.0;
+  if (manager_->has_valve_network()) {
+    manager_->cavity_flows_into(flow_scratch_);
+    thermal_.set_cavity_flow(flow_scratch_);
+    const auto [lo, hi] = std::minmax_element(flow_scratch_.begin(), flow_scratch_.end());
+    return lo->m3_per_s() > 0.0 ? hi->m3_per_s() / lo->m3_per_s() : 1.0;
+  }
+  thermal_.set_cavity_flow(
+      delivery_->per_cavity(manager_->actuator().effective_setting()));
+  return 1.0;
+}
+
 void Simulator::warm_start() {
   // Initialize from the steady state of the benchmark's average load
   // ("all simulations are initialized with steady state temperature
@@ -206,10 +238,7 @@ void Simulator::warm_start() {
   const double u = cfg_.benchmark.avg_utilization;
   std::vector<double> busy(cores_.size(), u);
   thermal_.initialize(cfg_.thermal.ambient_temperature);
-  if (delivery_) {
-    thermal_.set_cavity_flow(
-        delivery_->per_cavity(manager_->actuator().effective_setting()));
-  }
+  if (delivery_) apply_flow_decision();  // valves start uniform
   for (int i = 0; i < 3; ++i) {
     apply_power(busy, cfg_.benchmark);  // leakage fixed point
     thermal_.solve_steady_state();
@@ -230,7 +259,9 @@ SimulationResult Simulator::run() {
   RunningStats busy_stats;
   RunningStats setting_stats;
   RunningStats forecast_err2;
+  RunningStats skew_stats;
   std::deque<std::pair<std::size_t, double>> pending_forecasts;
+  std::vector<double> cavity_tmax;  // per-cavity observations (valve control)
 
   const std::vector<double> uniform_weights(cores_.size(), 1.0);
 
@@ -255,10 +286,7 @@ SimulationResult Simulator::run() {
     dpm_.tick(exec.busy_fraction, dt);
     apply_power(exec.busy_fraction, cfg_.benchmark);
 
-    if (delivery_) {
-      thermal_.set_cavity_flow(
-          delivery_->per_cavity(manager_->actuator().effective_setting()));
-    }
+    if (delivery_) skew_stats.add(apply_flow_decision());
     const double sub_dt = dt_s / static_cast<double>(cfg_.thermal_substeps);
     for (std::size_t s = 0; s < cfg_.thermal_substeps; ++s) {
       thermal_.step(sub_dt);
@@ -271,7 +299,10 @@ SimulationResult Simulator::run() {
     double pump_watts = 0.0;
     std::size_t setting = 0;
     if (manager_) {
-      setting = manager_->update(now + dt, tmax);
+      if (manager_->has_valve_network()) {
+        thermal_.cavity_max_temperatures(cavity_tmax);
+      }
+      setting = manager_->update(now + dt, tmax, cavity_tmax);
       pump_watts = manager_->actuator().power();
       setting_stats.add(static_cast<double>(manager_->actuator().effective_setting()));
       if (cfg_.cooling == CoolingMode::kLiquidVar && !cfg_.manager.reactive) {
@@ -326,6 +357,10 @@ SimulationResult Simulator::run() {
   r.avg_utilization = busy_stats.mean();
   r.migrations = scheduler_->migration_count();
   r.pump_transitions = manager_ ? manager_->actuator().transition_count() : 0;
+  r.valve_transitions = manager_ && manager_->valves()
+                            ? manager_->valves()->transition_count()
+                            : 0;
+  r.avg_flow_skew = skew_stats.count() > 0 ? skew_stats.mean() : 1.0;
   r.predictor_rebuilds = manager_ ? manager_->predictor().rebuild_count() : 0;
   r.forecast_rmse = std::sqrt(forecast_err2.mean());
   r.avg_pump_setting = setting_stats.mean();

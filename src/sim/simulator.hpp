@@ -69,6 +69,10 @@ struct SimulationConfig {
   GeneratorConfig generator{};
   FlowDeliveryMode delivery_mode = FlowDeliveryMode::kPressureLimited;
   std::vector<PhaseChange> phases{};
+  /// Per-core dispatch bias handed to the load-balancing schedulers; empty
+  /// = uniform.  Used by the skewed-workload scenarios (hot upper die, hot
+  /// corner) to concentrate load on a core subset.
+  std::vector<double> core_bias{};
 
   /// Pre-built characterization artifacts (reused across runs of the same
   /// system).  Built on demand when absent.
@@ -92,6 +96,10 @@ struct SimulationResult {
   double avg_utilization = 0.0;
   std::size_t migrations = 0;
   std::size_t pump_transitions = 0;
+  std::size_t valve_transitions = 0;
+  /// Mean ratio of the largest to the smallest per-cavity flow over the run
+  /// (1.0 = uniform delivery; >1 = the valve network steered flow).
+  double avg_flow_skew = 1.0;
   std::size_t predictor_rebuilds = 0;
   double forecast_rmse = 0.0;
   double avg_pump_setting = 0.0;
@@ -139,6 +147,9 @@ class Simulator {
   [[nodiscard]] std::vector<double> read_core_temps() const;
   [[nodiscard]] std::vector<double> read_unit_temps() const;
   void warm_start();
+  /// Push the manager's effective flow decision (uniform or per-cavity)
+  /// into the thermal model; returns the max/min flow ratio (1 = uniform).
+  double apply_flow_decision();
 
   SimulationConfig cfg_;
   Stack3D stack_;
@@ -154,6 +165,7 @@ class Simulator {
   std::unique_ptr<ThermalManager> manager_;
   std::function<void(const SampleTrace&)> trace_;
   double last_chip_watts_ = 0.0;
+  std::vector<VolumetricFlow> flow_scratch_;  ///< per-tick flow vector scratch
 };
 
 }  // namespace liquid3d

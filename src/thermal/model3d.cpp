@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 
 #include "common/error.hpp"
@@ -40,6 +41,7 @@ ThermalModel3D::ThermalModel3D(Stack3D stack, ThermalModelParams params)
                        std::vector<double>(cell_count_, inlet_temperature_));
     cavity_absorbed_.assign(stack_.cavity_count(), 0.0);
     cavity_outlet_.assign(stack_.cavity_count(), inlet_temperature_);
+    cavity_flows_.assign(stack_.cavity_count(), VolumetricFlow{});
   }
   spreader_temp_ = params_.ambient_temperature;
   sink_temp_ = params_.ambient_temperature;
@@ -220,7 +222,17 @@ void ThermalModel3D::set_block_power(std::size_t layer, const std::vector<double
 void ThermalModel3D::set_cavity_flow(VolumetricFlow per_cavity) {
   LIQUID3D_REQUIRE(stack_.has_cavities(), "flow only applies to liquid stacks");
   LIQUID3D_REQUIRE(per_cavity.m3_per_s() >= 0.0, "flow must be non-negative");
-  cavity_flow_ = per_cavity;
+  std::fill(cavity_flows_.begin(), cavity_flows_.end(), per_cavity);
+}
+
+void ThermalModel3D::set_cavity_flow(const std::vector<VolumetricFlow>& per_cavity) {
+  LIQUID3D_REQUIRE(stack_.has_cavities(), "flow only applies to liquid stacks");
+  LIQUID3D_REQUIRE(per_cavity.size() == stack_.cavity_count(),
+                   "flow vector arity must equal the cavity count");
+  for (const VolumetricFlow& f : per_cavity) {
+    LIQUID3D_REQUIRE(f.m3_per_s() >= 0.0, "flow must be non-negative");
+  }
+  cavity_flows_.assign(per_cavity.begin(), per_cavity.end());
 }
 
 void ThermalModel3D::initialize(double temperature_c) {
@@ -256,7 +268,7 @@ const BandedSpdMatrix& ThermalModel3D::matrix_for_dt(double dt_s) {
 double ThermalModel3D::march_fluid(std::size_t cavity) {
   auto& fluid = fluid_temp_[cavity];
   const double w_cavity = params_.coolant.volumetric_heat_capacity() *
-                          cavity_flow_.m3_per_s();
+                          cavity_flows_[cavity].m3_per_s();
   const double w_row = w_cavity / static_cast<double>(grid_.rows());
   const bool has_below = cavity >= 1;
   const bool has_above = cavity < layer_count_;
@@ -417,13 +429,13 @@ void ThermalModel3D::build_steady_direct_system(BandedLuMatrix& m,
   // g_w (T_wall - T_f) becomes ordinary matrix couplings plus an inlet
   // constant — all within the band, since upstream cells of the same row
   // are at most (cols-1)*layers node indices away.
-  const double w_cavity =
-      params_.coolant.volumetric_heat_capacity() * cavity_flow_.m3_per_s();
-  const double w_row = w_cavity / static_cast<double>(grid_.rows());
-  LIQUID3D_ASSERT(w_row > 1e-12, "direct steady solve requires nonzero flow");
   std::vector<double> coef_dn(cell_count_, 0.0);
   std::vector<double> coef_up(cell_count_, 0.0);
   for (std::size_t k = 0; k < stack_.cavity_count(); ++k) {
+    const double w_cavity =
+        params_.coolant.volumetric_heat_capacity() * cavity_flows_[k].m3_per_s();
+    const double w_row = w_cavity / static_cast<double>(grid_.rows());
+    LIQUID3D_ASSERT(w_row > 1e-12, "direct steady solve requires nonzero flow");
     const bool has_below = k >= 1;
     const bool has_above = k < layer_count_;
     const double g_dn = has_below ? g_fluid_dn_ : 0.0;
@@ -485,16 +497,31 @@ void ThermalModel3D::build_steady_direct_system(BandedLuMatrix& m,
 }
 
 void ThermalModel3D::solve_steady_state_direct(const std::function<bool()>& pre_step) {
-  const double flow_key = cavity_flow_.ml_per_min();
-  if (!steady_direct_ ||
-      !FactorizationCache::keys_match(steady_direct_flow_, flow_key)) {
+  // Cache key: the full per-cavity flow vector.  Any single cavity moving
+  // outside the key tolerance invalidates the factorization — the eliminated
+  // coefficients of that cavity's rows change.
+  bool key_matches = steady_direct_ != nullptr &&
+                     steady_direct_flows_.size() == cavity_flows_.size();
+  if (key_matches) {
+    for (std::size_t k = 0; k < cavity_flows_.size(); ++k) {
+      if (!FactorizationCache::keys_match(steady_direct_flows_[k],
+                                          cavity_flows_[k].ml_per_min())) {
+        key_matches = false;
+        break;
+      }
+    }
+  }
+  if (!key_matches) {
     const std::size_t bw = grid_.cols() * layer_count_;
     if (!steady_direct_) {
       steady_direct_ = std::make_unique<BandedLuMatrix>(node_count_, bw, bw);
     }
     build_steady_direct_system(*steady_direct_, steady_inlet_coef_);
     steady_direct_->factorize();
-    steady_direct_flow_ = flow_key;
+    steady_direct_flows_.resize(cavity_flows_.size());
+    for (std::size_t k = 0; k < cavity_flows_.size(); ++k) {
+      steady_direct_flows_[k] = cavity_flows_[k].ml_per_min();
+    }
   }
   // The solve is exact for a fixed power map; the loop only iterates the
   // temperature-dependent power (leakage) supplied through pre_step.  Near
@@ -521,17 +548,27 @@ void ThermalModel3D::solve_steady_state_direct(const std::function<bool()>& pre_
 }
 
 void ThermalModel3D::solve_steady_state(const std::function<bool()>& pre_step) {
-  // Zero flow on a liquid stack has no bounded steady state (every heat
-  // path ends in the coolant); fail fast instead of iterating forever.
-  LIQUID3D_REQUIRE(!stack_.has_cavities() || cavity_flow_.m3_per_s() > 0.0,
-                   "steady state of a liquid stack requires nonzero flow");
+  // Zero flow in any cavity of a liquid stack has no bounded steady state
+  // (every heat path ends in the coolant); fail fast instead of iterating
+  // forever.
+  if (stack_.has_cavities()) {
+    for (const VolumetricFlow& f : cavity_flows_) {
+      LIQUID3D_REQUIRE(f.m3_per_s() > 0.0,
+                       "steady state of a liquid stack requires nonzero flow "
+                       "in every cavity");
+    }
+  }
   if (params_.direct_steady_solver && stack_.has_cavities()) {
     // The unpivoted LU is provably stable while every fluid-eliminated row
     // stays diagonally dominant, which holds exactly when the per-cell
     // convective conductance does not exceed twice the per-row-channel
-    // capacity rate (sigma = g_sum / w_row <= 2).
-    const double w_row = params_.coolant.volumetric_heat_capacity() *
-                         cavity_flow_.m3_per_s() /
+    // capacity rate (sigma = g_sum / w_row <= 2).  With per-cavity flows
+    // the weakest cavity (smallest flow) governs.
+    double min_flow = cavity_flows_.front().m3_per_s();
+    for (const VolumetricFlow& f : cavity_flows_) {
+      min_flow = std::min(min_flow, f.m3_per_s());
+    }
+    const double w_row = params_.coolant.volumetric_heat_capacity() * min_flow /
                          static_cast<double>(grid_.rows());
     const double g_sum_max = g_fluid_dn_ + g_fluid_up_;
     if (g_sum_max <= 2.0 * w_row) {
@@ -603,6 +640,26 @@ double ThermalModel3D::max_temperature() const {
 
 double ThermalModel3D::min_temperature() const {
   return *std::min_element(temps_.begin(), temps_.end());
+}
+
+double ThermalModel3D::cavity_max_temperature(std::size_t cavity) const {
+  LIQUID3D_REQUIRE(stack_.has_cavities() && cavity < stack_.cavity_count(),
+                   "cavity index out of range");
+  double best = -std::numeric_limits<double>::infinity();
+  for (std::size_t l : {cavity >= 1 ? cavity - 1 : layer_count_, cavity}) {
+    if (l >= layer_count_) continue;  // edge cavities touch a single die
+    for (std::size_t cell = 0; cell < cell_count_; ++cell) {
+      best = std::max(best, temps_[node(l, cell)]);
+    }
+  }
+  return best;
+}
+
+void ThermalModel3D::cavity_max_temperatures(std::vector<double>& out) const {
+  out.resize(stack_.cavity_count());
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    out[k] = cavity_max_temperature(k);
+  }
 }
 
 double ThermalModel3D::fluid_outlet_temperature(std::size_t cavity) const {

@@ -151,9 +151,20 @@ class ThermalModel3D {
   /// Per-block dissipated power [W] for one layer (arity = block count).
   void set_block_power(std::size_t layer, const std::vector<double>& watts);
 
-  /// Per-cavity volumetric flow (all cavities identical; Sec. III-B).
+  /// Uniform per-cavity volumetric flow (Sec. III-B assumption): broadcasts
+  /// one value to every cavity.
   void set_cavity_flow(VolumetricFlow per_cavity);
-  [[nodiscard]] VolumetricFlow cavity_flow() const { return cavity_flow_; }
+  /// Per-cavity flow vector (arity = cavity count) — the valve-network
+  /// generalization.  Each cavity's value feeds its own fluid march and the
+  /// fluid-eliminated steady assembly.
+  void set_cavity_flow(const std::vector<VolumetricFlow>& per_cavity);
+  /// Flow of one cavity.
+  [[nodiscard]] VolumetricFlow cavity_flow(std::size_t cavity) const {
+    return cavity_flows_.at(cavity);
+  }
+  [[nodiscard]] const std::vector<VolumetricFlow>& cavity_flows() const {
+    return cavity_flows_;
+  }
 
   /// Override the coolant inlet temperature [°C].
   void set_inlet_temperature(double celsius) { inlet_temperature_ = celsius; }
@@ -185,6 +196,14 @@ class ThermalModel3D {
   /// Maximum junction temperature anywhere in the stack.
   [[nodiscard]] double max_temperature() const;
   [[nodiscard]] double min_temperature() const;
+
+  /// Maximum junction temperature over the dies a cavity touches (layer
+  /// k-1 below and layer k above) — the per-cavity observation the valve
+  /// controller steers on [°C].
+  [[nodiscard]] double cavity_max_temperature(std::size_t cavity) const;
+  /// Per-cavity maxima for all cavities, written into `out` (no allocation
+  /// after first use).
+  void cavity_max_temperatures(std::vector<double>& out) const;
 
   /// Mean coolant outlet temperature of a cavity [°C].
   [[nodiscard]] double fluid_outlet_temperature(std::size_t cavity) const;
@@ -270,17 +289,18 @@ class ThermalModel3D {
   double spreader_temp_ = 45.0;
   double sink_temp_ = 45.0;
   double inlet_temperature_;
-  VolumetricFlow cavity_flow_{};
+  std::vector<VolumetricFlow> cavity_flows_;  ///< [cavity]
 
   // Cached factorizations, keyed by dt (transient sub-steps and the steady
   // pseudo-step share one cache; see FactorizationCache for the tolerant
   // key comparison that replaced the seed's exact `transient_dt_ == dt_s`).
   FactorizationCache factor_cache_{4};
-  // Direct steady system, cached per flow setting (the elimination
-  // coefficients depend on the flow; conduction topology does not).
+  // Direct steady system, cached per flow *vector* (the elimination
+  // coefficients depend on every cavity's flow; conduction topology does
+  // not).  A change to any single cavity's flow invalidates the cache.
   std::unique_ptr<BandedLuMatrix> steady_direct_;
   std::vector<double> steady_inlet_coef_;
-  double steady_direct_flow_ = -1.0;  ///< ml/min key; -1 = not built
+  std::vector<double> steady_direct_flows_;  ///< ml/min key; empty = not built
 
   // Persistent scratch — the hot loop (`step`/`advance`) and the per-sample
   // readbacks must not touch the heap after warm-up.

@@ -67,6 +67,44 @@ TEST(Experiment, SeedVariesPerWorkload) {
   EXPECT_NE(a.seed, b.seed);
 }
 
+TEST(Experiment, SkewScenariosMatchSystemShape) {
+  const auto two_layer = skewed_workload_scenarios(1);
+  ASSERT_EQ(two_layer.size(), 2u);
+  EXPECT_EQ(two_layer[0].name, "hot-upper-die");
+  EXPECT_EQ(two_layer[0].core_bias.size(), 8u);
+  EXPECT_GT(two_layer[0].core_bias[7], two_layer[0].core_bias[0]);
+  EXPECT_EQ(two_layer[1].name, "hot-corner");
+  EXPECT_GT(two_layer[1].core_bias[0], two_layer[1].core_bias[7]);
+  const auto four_layer = skewed_workload_scenarios(2);
+  EXPECT_EQ(four_layer[0].core_bias.size(), 16u);
+  // 4-layer: the entire upper core die (second half of the core sites).
+  EXPECT_GT(four_layer[0].core_bias[8], four_layer[0].core_bias[7]);
+}
+
+TEST(Experiment, ValveNetworkBeatsUniformFlowOnSkewedLoad) {
+  // The acceptance experiment: same skewed workload, same pump pinned at
+  // max (equal total delivered flow and equal pump energy), only the
+  // per-cavity distribution differs.  Steering flow toward the hot cavities
+  // must lower T_max.
+  SuiteConfig sc = tiny_suite();
+  sc.duration = SimTime::from_s(10);
+  ExperimentSuite suite(sc);
+  const SkewScenario scenario = skewed_workload_scenarios(sc.layer_pairs)[0];
+  const FlowComparisonResult r =
+      suite.run_flow_comparison(scenario, *find_benchmark("Web-med"));
+
+  EXPECT_EQ(r.scenario, "hot-upper-die");
+  // Equal total delivered flow -> identical pump energy by construction.
+  EXPECT_DOUBLE_EQ(r.valved.pump_energy_j, r.uniform.pump_energy_j);
+  EXPECT_EQ(r.uniform.valve_transitions, 0u);
+  EXPECT_DOUBLE_EQ(r.uniform.avg_flow_skew, 1.0);
+  // The valve network actually acted...
+  EXPECT_GT(r.valved.valve_transitions, 0u);
+  EXPECT_GT(r.valved.avg_flow_skew, 1.0);
+  // ...and cooled the stack at the same total flow.
+  EXPECT_LT(r.valved.avg_tmax, r.uniform.avg_tmax);
+}
+
 TEST(Experiment, BaselineLookup) {
   PolicySummary lb_air;
   lb_air.label = "LB (Air)";

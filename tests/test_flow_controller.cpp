@@ -103,6 +103,40 @@ TEST(FlowController, StableFixedPointUnderConstantLoad) {
   EXPECT_LE(analytic_tmax(u, setting), 80.0);
 }
 
+TEST(FlowController, ScaleDownIsClampedToOneSettingPerDecision) {
+  // A very cool forecast at setting 4 requires setting 0 (more than one
+  // below), but the hysteresis check only consults boundary(4, 4) — jumping
+  // to 0 would skip the boundaries of settings 3, 2, and 1.  The fixed
+  // controller descends one setting per decision.
+  const FlowRateController c = make_controller();
+  EXPECT_EQ(c.decide(30.0, 30.0, 4), 3u);
+  EXPECT_EQ(c.decide(30.0, 30.0, 3), 2u);
+  EXPECT_EQ(c.decide(30.0, 30.0, 2), 1u);
+  EXPECT_EQ(c.decide(30.0, 30.0, 1), 0u);
+  EXPECT_EQ(c.decide(30.0, 30.0, 0), 0u);
+}
+
+TEST(FlowController, GradualDescentRevalidatesEveryBoundary) {
+  // Closed loop at light load: each decision re-reads the temperature the
+  // *new* setting produces, so every intermediate setting's boundary is
+  // consulted on the way down.  At u = 0.2 the descent runs 4->3->2->1 one
+  // step per decision and parks at 1: setting 1's own boundary (69.8 °C at
+  // the analytic LUT) is less than 2 °C above the observed 68 °C, so the
+  // hysteresis holds the last step — exactly the guard the old jump to the
+  // required setting skipped.
+  const FlowRateController c = make_controller(2.0);
+  const double u = 0.2;
+  std::size_t s = 4;
+  std::vector<std::size_t> path;
+  for (int i = 0; i < 6; ++i) {
+    const double t = analytic_tmax(u, s);
+    s = c.decide(t, t, s);
+    path.push_back(s);
+  }
+  const std::vector<std::size_t> expected = {3, 2, 1, 1, 1, 1};
+  EXPECT_EQ(path, expected);
+}
+
 TEST(FlowController, NegativeHysteresisRejected) {
   FlowControllerParams p;
   p.hysteresis = -1.0;

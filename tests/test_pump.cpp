@@ -126,6 +126,40 @@ TEST(PumpActuator, RetargetingDuringTransitionRestartsLatency) {
   EXPECT_EQ(a.transition_count(), 2u);
 }
 
+TEST(PumpActuator, CancelBackToEffectiveIsFree) {
+  // effective=2, target=3, then command(2): the pump never left setting 2,
+  // so the cancel must not count a transition nor impose latency (the seed
+  // compared only against target_ and did both).
+  const PumpModel p = PumpModel::laing_ddc();
+  PumpActuator a(p, 2);
+  a.command(3, SimTime::from_ms(0));
+  EXPECT_EQ(a.transition_count(), 1u);
+  EXPECT_TRUE(a.in_transition());
+
+  a.command(2, SimTime::from_ms(100));  // cancel before the latency elapsed
+  EXPECT_EQ(a.transition_count(), 1u);  // no spurious transition counted
+  EXPECT_FALSE(a.in_transition());      // no latency stall
+  EXPECT_EQ(a.effective_setting(), 2u);
+  EXPECT_EQ(a.target_setting(), 2u);
+  // And the actuator is immediately commandable again.
+  a.command(4, SimTime::from_ms(150));
+  EXPECT_EQ(a.transition_count(), 2u);
+  a.tick(SimTime::from_ms(425));
+  EXPECT_EQ(a.effective_setting(), 4u);
+}
+
+TEST(PumpActuator, CancelDoesNotAffectPowerAccounting) {
+  // During the canceled transition the conservative (higher) power was
+  // charged; after the cancel the power must return to the effective
+  // setting's immediately.
+  const PumpModel p = PumpModel::laing_ddc();
+  PumpActuator a(p, 1);
+  a.command(4, SimTime::from_ms(0));
+  EXPECT_NEAR(a.power(), 21.0, 1e-9);
+  a.command(1, SimTime::from_ms(50));
+  EXPECT_NEAR(a.power(), 5.25, 1e-9);
+}
+
 TEST(PumpActuator, InvalidSettingRejected) {
   const PumpModel p = PumpModel::laing_ddc();
   EXPECT_THROW(PumpActuator(p, 9), ConfigError);

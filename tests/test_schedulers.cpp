@@ -1,6 +1,7 @@
 // Scheduling policies (sched/): LB, reactive migration, TALB (Eq. 8).
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
 #include "sched/scheduler.hpp"
 
 namespace liquid3d {
@@ -49,6 +50,50 @@ TEST(LoadBalancer, RebalancesWaitingThreads) {
   // Balanced to within the threshold.
   EXPECT_LE(q.length(0), q.length(1) + 1);
   EXPECT_GE(q.length(0) + q.length(1), 6u);
+}
+
+TEST(LoadBalancer, BiasedDispatchFavorsHighBiasCores) {
+  LoadBalancerParams p;
+  p.core_bias = {1.0, 6.0};
+  auto lb = make_load_balancer(p);
+  CoreQueues q(2);
+  const auto ctx = make_ctx({70, 70});
+  std::vector<Thread> arrivals;
+  for (int i = 0; i < 7; ++i) arrivals.push_back(make_thread(i));
+  lb->dispatch(std::move(arrivals), q, ctx);
+  // Effective length = length / bias: core 1 absorbs ~6x the load.
+  EXPECT_GT(q.length(1), q.length(0));
+}
+
+TEST(LoadBalancer, SmallBiasesDoNotLivelockManage) {
+  // Regression: with biases < 1 one move shifts the effective spread by
+  // 1/b_hi + 1/b_lo (here 10), far past the integer threshold — the seed
+  // of this feature ping-ponged the same thread between the queues forever.
+  // manage() must terminate and leave the queues unchanged-or-better.
+  LoadBalancerParams p;
+  p.core_bias = {0.2, 0.2};
+  p.imbalance_threshold = 2;
+  auto lb = make_load_balancer(p);
+  CoreQueues q(2);
+  for (int i = 0; i < 4; ++i) q.push_back(0, make_thread(i));
+  for (int i = 4; i < 9; ++i) q.push_back(1, make_thread(i));
+  lb->manage(q, make_ctx({70, 70}));  // must return
+  EXPECT_EQ(q.length(0) + q.length(1), 9u);
+}
+
+TEST(LoadBalancer, BiasArityMismatchRejected) {
+  LoadBalancerParams p;
+  p.core_bias = {1.0, 2.0, 1.0};  // 3 entries, 2 cores
+  auto lb = make_load_balancer(p);
+  CoreQueues q(2);
+  EXPECT_THROW(lb->manage(q, make_ctx({70, 70})), ConfigError);
+  EXPECT_THROW(lb->dispatch({make_thread(1)}, q, make_ctx({70, 70})), ConfigError);
+}
+
+TEST(LoadBalancer, NonPositiveBiasRejected) {
+  LoadBalancerParams p;
+  p.core_bias = {1.0, 0.0};
+  EXPECT_THROW((void)make_load_balancer(p), ConfigError);
 }
 
 TEST(LoadBalancer, NeverMovesRunningHead) {

@@ -4,6 +4,7 @@
 
 #include <limits>
 
+#include "common/error.hpp"
 #include "control/thermal_manager.hpp"
 
 namespace liquid3d {
@@ -102,13 +103,56 @@ TEST(ThermalManager, TransitionLatencyDelaysEffectiveSetting) {
   cfg.reactive = true;
   ThermalManager m = make_manager(cfg);
   m.update(SimTime::from_ms(100), 40.0);  // command a drop at t=100ms
+  EXPECT_EQ(m.actuator().target_setting(), 3u);  // one setting per decision
   // At t=200 ms the 275 ms pump transition is still in flight.
   m.update(SimTime::from_ms(200), 40.0);
   EXPECT_TRUE(m.actuator().in_transition());
-  // By t=500 ms it has completed.
+  EXPECT_EQ(m.actuator().effective_setting(), 4u);
+  // By t=500 ms the first step has completed; the still-cool reading then
+  // commands the *next* single-step drop (gradual descent, never a jump).
   m.update(SimTime::from_ms(500), 40.0);
-  EXPECT_FALSE(m.actuator().in_transition());
-  EXPECT_LT(m.actuator().effective_setting(), 4u);
+  EXPECT_EQ(m.actuator().effective_setting(), 3u);
+  EXPECT_EQ(m.actuator().target_setting(), 2u);
+}
+
+TEST(ThermalManager, ValveNetworkSteersTowardHotCavity) {
+  ThermalManagerConfig cfg = fast_cfg();
+  cfg.reactive = true;  // deterministic
+  cfg.variable_flow = false;  // fixed-max pump: pure redistribution
+  const MicrochannelModel channels(CavitySpec{}, CoolantProperties::water());
+  ValveNetwork net(FlowDelivery(PumpModel::laing_ddc(),
+                                FlowDeliveryMode::kPressureLimited, channels,
+                                11.5e-3, 3),
+                   ValveNetworkParams{});
+  const double total = net.total_delivered(4).ml_per_min();
+  ThermalManager m(make_lut(), TalbWeightTable::uniform(8),
+                   PumpModel::laing_ddc(), cfg, net);
+  ASSERT_TRUE(m.has_valve_network());
+
+  // Hot cavity 0, cool cavity 2: the valves start moving.
+  m.update(SimTime::from_ms(100), 78.0, {78.0, 72.0, 60.0});
+  ASSERT_NE(m.valves(), nullptr);
+  EXPECT_TRUE(m.valves()->in_transition());
+  m.update(SimTime::from_ms(300), 78.0, {78.0, 72.0, 60.0});  // latency done
+
+  const std::vector<VolumetricFlow> flows = m.cavity_flows();
+  ASSERT_EQ(flows.size(), 3u);
+  EXPECT_GT(flows[0].ml_per_min(), flows[1].ml_per_min());
+  EXPECT_GT(flows[1].ml_per_min(), flows[2].ml_per_min());
+  // Conservation: redistribution never changes the total delivered flow.
+  EXPECT_NEAR(flows[0].ml_per_min() + flows[1].ml_per_min() +
+                  flows[2].ml_per_min(),
+              total, 1e-9 * total);
+  // Fixed-max mode: the pump itself never moved.
+  EXPECT_EQ(m.actuator().effective_setting(), 4u);
+  EXPECT_EQ(m.actuator().transition_count(), 0u);
+}
+
+TEST(ThermalManager, NoValveNetworkKeepsUniformApi) {
+  ThermalManager m = make_manager(fast_cfg());
+  EXPECT_FALSE(m.has_valve_network());
+  EXPECT_EQ(m.valves(), nullptr);
+  EXPECT_THROW((void)m.cavity_flows(), ConfigError);
 }
 
 }  // namespace

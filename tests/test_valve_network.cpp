@@ -1,0 +1,155 @@
+// Valve-network delivery (coolant/valve_network.hpp): conservation of total
+// delivered flow, the lossy-valve floor, and the actuator's latency /
+// deadband / cancel semantics.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "coolant/valve_network.hpp"
+#include "geom/stack.hpp"
+
+namespace liquid3d {
+namespace {
+
+ValveNetwork make_network(std::size_t cavities = 3, ValveNetworkParams params = {}) {
+  const MicrochannelModel channels(CavitySpec{}, CoolantProperties::water());
+  FlowDelivery delivery(PumpModel::laing_ddc(), FlowDeliveryMode::kPressureLimited,
+                        channels, 11.5e-3, cavities);
+  return ValveNetwork(std::move(delivery), params);
+}
+
+double total_ml(const std::vector<VolumetricFlow>& flows) {
+  double acc = 0.0;
+  for (const VolumetricFlow& f : flows) acc += f.ml_per_min();
+  return acc;
+}
+
+TEST(ValveNetwork, FullyOpenEqualsUniformSplit) {
+  const ValveNetwork net = make_network();
+  const std::vector<double> open(3, 1.0);
+  for (std::size_t s = 0; s < net.setting_count(); ++s) {
+    const auto flows = net.flows(s, open);
+    const auto uniform = net.uniform_flows(s);
+    ASSERT_EQ(flows.size(), 3u);
+    for (std::size_t k = 0; k < 3; ++k) {
+      EXPECT_DOUBLE_EQ(flows[k].ml_per_min(), uniform[k].ml_per_min());
+      EXPECT_DOUBLE_EQ(flows[k].ml_per_min(), net.delivery().per_cavity(s).ml_per_min());
+    }
+  }
+}
+
+TEST(ValveNetwork, ThrottlingConservesTotalDeliveredFlow) {
+  const ValveNetwork net = make_network();
+  const double total = net.total_delivered(3).ml_per_min();
+  for (const std::vector<double>& openings :
+       {std::vector<double>{1.0, 1.0, 1.0}, std::vector<double>{1.0, 0.5, 0.05},
+        std::vector<double>{0.05, 0.05, 1.0}, std::vector<double>{0.3, 0.3, 0.3}}) {
+    EXPECT_NEAR(total_ml(net.flows(3, openings)), total, 1e-9 * total);
+  }
+}
+
+TEST(ValveNetwork, ThrottledBranchLosesFlowToOpenBranches) {
+  const ValveNetwork net = make_network();
+  const auto uniform = net.flows(2, {1.0, 1.0, 1.0});
+  const auto skewed = net.flows(2, {1.0, 1.0, 0.25});
+  EXPECT_LT(skewed[2].ml_per_min(), uniform[2].ml_per_min());
+  EXPECT_GT(skewed[0].ml_per_min(), uniform[0].ml_per_min());
+  EXPECT_GT(skewed[1].ml_per_min(), uniform[1].ml_per_min());
+  // Proportional split: the open branches share equally.
+  EXPECT_DOUBLE_EQ(skewed[0].ml_per_min(), skewed[1].ml_per_min());
+}
+
+TEST(ValveNetwork, LossyValvesNeverSeal) {
+  ValveNetworkParams p;
+  p.min_opening = 0.1;
+  const ValveNetwork net = make_network(3, p);
+  // A commanded closure clamps to the leak floor: every branch keeps flow.
+  const auto flows = net.flows(4, {0.0, -5.0, 1.0});
+  for (const VolumetricFlow& f : flows) EXPECT_GT(f.ml_per_min(), 0.0);
+  // Both "closed" branches sit at the same floor.
+  EXPECT_DOUBLE_EQ(flows[0].ml_per_min(), flows[1].ml_per_min());
+  EXPECT_NEAR(flows[0].ml_per_min() / flows[2].ml_per_min(), 0.1, 1e-12);
+}
+
+TEST(ValveNetwork, RejectsBadConfigs) {
+  ValveNetworkParams bad;
+  bad.min_opening = 0.0;
+  EXPECT_THROW(make_network(3, bad), ConfigError);
+  const ValveNetwork net = make_network();
+  EXPECT_THROW((void)net.flows(0, {1.0, 1.0}), ConfigError);  // wrong arity
+}
+
+TEST(ValveActuator, StartsFullyOpenAndUniform) {
+  const ValveNetworkActuator a(make_network());
+  EXPECT_FALSE(a.in_transition());
+  EXPECT_EQ(a.transition_count(), 0u);
+  const auto flows = a.effective_flows(2);
+  EXPECT_DOUBLE_EQ(flows[0].ml_per_min(), flows[1].ml_per_min());
+  EXPECT_DOUBLE_EQ(flows[1].ml_per_min(), flows[2].ml_per_min());
+}
+
+TEST(ValveActuator, TransitionCompletesAfterLatency) {
+  ValveNetworkActuator a(make_network());
+  a.command({1.0, 1.0, 0.3}, SimTime::from_ms(1000));
+  EXPECT_TRUE(a.in_transition());
+  EXPECT_EQ(a.transition_count(), 1u);
+  EXPECT_DOUBLE_EQ(a.effective_openings()[2], 1.0);  // still moving
+
+  a.tick(SimTime::from_ms(1100));  // 100 ms < 150 ms latency
+  EXPECT_DOUBLE_EQ(a.effective_openings()[2], 1.0);
+  a.tick(SimTime::from_ms(1150));
+  EXPECT_FALSE(a.in_transition());
+  EXPECT_DOUBLE_EQ(a.effective_openings()[2], 0.3);
+}
+
+TEST(ValveActuator, DeadbandSuppressesChatter) {
+  ValveNetworkActuator a(make_network());
+  a.command({1.0, 1.0, 0.5}, SimTime::from_ms(0));
+  a.tick(SimTime::from_ms(150));
+  EXPECT_EQ(a.transition_count(), 1u);
+  // A command within the deadband of the target is a no-op.
+  a.command({1.0, 1.0, 0.51}, SimTime::from_ms(200));
+  EXPECT_EQ(a.transition_count(), 1u);
+  EXPECT_FALSE(a.in_transition());
+  // Beyond the deadband (and past the dwell) it counts.
+  a.command({1.0, 1.0, 0.6}, SimTime::from_ms(600));
+  EXPECT_EQ(a.transition_count(), 2u);
+}
+
+TEST(ValveActuator, DwellBoundsTheRetargetRate) {
+  // The steering loop is self-attenuating, so without a dwell the
+  // controller retargets nearly every 100 ms sample; accepted retargets
+  // are limited to one per min_dwell (500 ms default).
+  ValveNetworkActuator a(make_network());
+  a.command({1.0, 1.0, 0.5}, SimTime::from_ms(0));
+  EXPECT_EQ(a.transition_count(), 1u);
+  a.tick(SimTime::from_ms(200));
+  // Inside the dwell window: a genuinely different command is deferred.
+  a.command({1.0, 1.0, 0.8}, SimTime::from_ms(300));
+  EXPECT_EQ(a.transition_count(), 1u);
+  EXPECT_DOUBLE_EQ(a.target_openings()[2], 0.5);
+  // After the dwell elapses it is accepted.
+  a.command({1.0, 1.0, 0.8}, SimTime::from_ms(500));
+  EXPECT_EQ(a.transition_count(), 2u);
+  EXPECT_DOUBLE_EQ(a.target_openings()[2], 0.8);
+  // Cancels back to the effective state stay free even inside the dwell.
+  a.command({1.0, 1.0, 0.5}, SimTime::from_ms(550));
+  EXPECT_EQ(a.transition_count(), 2u);
+  EXPECT_FALSE(a.in_transition());
+}
+
+TEST(ValveActuator, CancelBackToEffectiveIsFree) {
+  // Same semantics as the fixed PumpActuator: commanding the openings the
+  // valves are already at cancels a pending transition without counting.
+  ValveNetworkActuator a(make_network());
+  a.command({1.0, 1.0, 0.3}, SimTime::from_ms(0));
+  EXPECT_EQ(a.transition_count(), 1u);
+  a.command({1.0, 1.0, 1.0}, SimTime::from_ms(50));  // back to where we are
+  EXPECT_EQ(a.transition_count(), 1u);
+  EXPECT_FALSE(a.in_transition());
+  EXPECT_DOUBLE_EQ(a.target_openings()[2], 1.0);
+}
+
+}  // namespace
+}  // namespace liquid3d
