@@ -4,11 +4,15 @@
 // model operations, and warm- vs cold-started flow-LUT characterization.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "control/characterize.hpp"
 #include "coolant/flow.hpp"
 #include "coolant/pump.hpp"
 #include "geom/stack.hpp"
 #include "reference_row_major_banded.hpp"
+#include "thermal/batch_stepper.hpp"
 #include "thermal/model3d.hpp"
 #include "thermal/solver/banded_spd.hpp"
 
@@ -145,6 +149,43 @@ BENCHMARK(BM_TransientStep)
     ->Args({23, 26, 1})
     ->Args({23, 26, 2})
     ->Args({46, 52, 1});
+
+// Batched transient stepping: N independent models sharing one stack and dt
+// advance in lockstep through one factorization (BatchThermalStepper), so
+// the per-substep factor stream is read once for the whole batch instead of
+// once per scenario.  items = model-steps; compare items/s across the 1/4/16
+// rows to read the per-solve batching win (the session/batch-runner layers
+// add only per-tick scheduling on top of this hot path).
+void BM_BatchedTransient(benchmark::State& state) {
+  const auto nsessions = static_cast<std::size_t>(state.range(0));
+  std::vector<std::unique_ptr<ThermalModel3D>> models;
+  std::vector<ThermalModel3D*> ptrs;
+  for (std::size_t i = 0; i < nsessions; ++i) {
+    models.push_back(std::make_unique<ThermalModel3D>(make_model(23, 26, 1)));
+    ThermalModel3D& m = *models.back();
+    // Distinct power maps: convergence trajectories (and fluid fixed-point
+    // depths) differ across the batch, as they do across real scenarios.
+    const Floorplan& fp = m.stack().layer(0).floorplan;
+    std::vector<double> w(fp.block_count(), 0.0);
+    for (std::size_t b = 0; b < fp.block_count(); ++b) {
+      if (fp.block(b).type == BlockType::kCore) {
+        w[b] = 2.0 + 0.15 * static_cast<double>(i);
+      }
+    }
+    m.set_block_power(0, w);
+    ptrs.push_back(&m);
+  }
+  BatchThermalStepper stepper;
+  stepper.step(ptrs, 0.05);  // prime the shared factorization
+  for (auto _ : state) {
+    stepper.step(ptrs, 0.05);
+    benchmark::DoNotOptimize(ptrs.front()->max_temperature());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nsessions));
+  state.SetLabel("lockstep 50ms steps, one shared factorization");
+}
+BENCHMARK(BM_BatchedTransient)->Arg(1)->Arg(4)->Arg(16);
 
 void BM_SteadyState(benchmark::State& state) {
   ThermalModel3D m = make_model(static_cast<std::size_t>(state.range(0)),

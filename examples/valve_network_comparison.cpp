@@ -7,11 +7,18 @@
 // total flow goes.  The valve network steers flow toward the hottest cavity
 // (CavityFlowController), which lowers T_max on skewed loads.
 //
-// Usage: example_valve_network_comparison [duration_s] [layer_pairs]
+// Results are emitted through the structured report writers (sim/report.hpp):
+// the full per-cell table as CSV on stdout, and optionally the same data as
+// JSON to a file.
+//
+// Usage: example_valve_network_comparison [duration_s] [layer_pairs] [out.json]
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 
 #include "sim/experiment.hpp"
+#include "sim/report.hpp"
 
 using namespace liquid3d;
 
@@ -28,24 +35,35 @@ int main(int argc, char** argv) {
   std::printf("valve-network comparison: %zu-layer system, %s, %.0f s, equal "
               "total delivered flow (pump at max)\n\n",
               2 * layer_pairs, workload.name.c_str(), duration_s);
-  std::printf("%-14s | %-8s | %9s | %9s | %8s | %8s | %6s\n", "scenario",
-              "delivery", "avg Tmax", "peak Tmax", "hotspot%", "pump J", "skew");
-  std::printf("---------------+----------+-----------+-----------+----------+--"
-              "--------+-------\n");
 
+  std::vector<SimulationResult> results;
   for (const SkewScenario& scenario : skewed_workload_scenarios(layer_pairs)) {
     const FlowComparisonResult r = suite.run_flow_comparison(scenario, workload);
-    for (const SimulationResult* s : {&r.uniform, &r.valved}) {
-      std::printf("%-14s | %-8s | %8.2fC | %8.2fC | %8.2f | %8.1f | %6.2f\n",
-                  scenario.name.c_str(), s == &r.uniform ? "uniform" : "valved",
-                  s->avg_tmax, s->hotspot_max_sample, s->hotspot_percent,
-                  s->pump_energy_j, s->avg_flow_skew);
+    SimulationResult uniform = r.uniform;
+    SimulationResult valved = r.valved;
+    // Make each row self-describing before export.
+    uniform.label = scenario.name + " " + uniform.label;
+    valved.label = scenario.name + " " + valved.label;
+    results.push_back(std::move(uniform));
+    results.push_back(std::move(valved));
+    std::fprintf(stderr,
+                 "%s: valve network dTmax(avg) = %+.2f K, dTmax(peak) = %+.2f K, "
+                 "%zu valve transitions\n",
+                 scenario.name.c_str(), r.valved.avg_tmax - r.uniform.avg_tmax,
+                 r.valved.hotspot_max_sample - r.uniform.hotspot_max_sample,
+                 r.valved.valve_transitions);
+  }
+
+  write_results_csv(std::cout, results);
+
+  if (argc > 3) {
+    std::ofstream json(argv[3]);
+    if (!json) {
+      std::fprintf(stderr, "cannot open %s for writing\n", argv[3]);
+      return 1;
     }
-    std::printf("  -> valve network: dTmax(avg) = %+.2f K, dTmax(peak) = %+.2f K, "
-                "%zu valve transitions\n\n",
-                r.valved.avg_tmax - r.uniform.avg_tmax,
-                r.valved.hotspot_max_sample - r.uniform.hotspot_max_sample,
-                r.valved.valve_transitions);
+    write_results_json(json, results);
+    std::fprintf(stderr, "wrote %s\n", argv[3]);
   }
   return 0;
 }

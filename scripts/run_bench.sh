@@ -21,6 +21,6 @@ cmake --build "${build_dir}" --target bench_micro_solver -j "$(nproc)"
   --benchmark_format=json \
   --benchmark_out="${out_json}" \
   --benchmark_out_format=json \
-  --benchmark_filter='BM_Banded|BM_TransientStep|BM_SteadyState|BM_FlowLut'
+  --benchmark_filter='BM_Banded|BM_TransientStep|BM_BatchedTransient|BM_SteadyState|BM_FlowLut'
 
 echo "wrote ${out_json}"

@@ -1,0 +1,68 @@
+#include "sim/batch_runner.hpp"
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+std::size_t BatchRunner::add(SimulationConfig cfg) {
+  return add(std::make_unique<SimulationSession>(std::move(cfg)));
+}
+
+std::size_t BatchRunner::add(std::unique_ptr<SimulationSession> session) {
+  LIQUID3D_REQUIRE(session != nullptr, "cannot add a null session");
+  sessions_.push_back(std::move(session));
+  return sessions_.size() - 1;
+}
+
+std::vector<SimulationResult> BatchRunner::run() {
+  LIQUID3D_REQUIRE(!sessions_.empty(), "batch runner has no sessions");
+
+  // init() before grouping: the warm start is a per-session steady solve
+  // (identical to the serial path), and grouping only needs the topology
+  // fingerprint, which is fixed at construction.
+  for (auto& s : sessions_) s->init();
+
+  // Lockstep compatibility: identical system matrix for every substep size
+  // (topology fingerprint) and an identical tick structure (sampling
+  // interval in the exact millisecond domain + substep count).
+  using GroupKey = std::tuple<std::uint64_t, std::int64_t, std::size_t>;
+  std::map<GroupKey, std::vector<SimulationSession*>> groups;
+  for (auto& s : sessions_) {
+    groups[{s->thermal().topology_fingerprint(),
+            s->config().sampling_interval.as_ms(), s->substep_count()}]
+        .push_back(s.get());
+  }
+  group_count_ = groups.size();
+
+  for (auto& [key, members] : groups) {
+    // Sessions may have different durations: finished members drop out of
+    // the lockstep set and the rest keep sharing a (smaller) batch.
+    for (;;) {
+      active_.clear();
+      for (SimulationSession* s : members) {
+        if (!s->done()) active_.push_back(s);
+      }
+      if (active_.empty()) break;
+      for (SimulationSession* s : active_) s->begin_tick();
+      models_.clear();
+      for (SimulationSession* s : active_) models_.push_back(&s->thermal());
+      const double sub_dt = active_.front()->substep_dt();
+      const std::size_t substeps = active_.front()->substep_count();
+      for (std::size_t sub = 0; sub < substeps; ++sub) {
+        stepper_.step(models_, sub_dt);
+      }
+      for (SimulationSession* s : active_) s->finish_tick();
+    }
+  }
+
+  std::vector<SimulationResult> results;
+  results.reserve(sessions_.size());
+  for (const auto& s : sessions_) results.push_back(s->result());
+  return results;
+}
+
+}  // namespace liquid3d

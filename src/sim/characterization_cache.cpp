@@ -1,0 +1,199 @@
+#include "sim/characterization_cache.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "control/characterize.hpp"
+#include "coolant/pump.hpp"
+
+namespace liquid3d {
+
+namespace {
+
+void append(std::string& key, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g,", v);
+  key += buf;
+}
+
+void append(std::string& key, std::size_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%zu,", v);
+  key += buf;
+}
+
+// Every numeric parameter the characterization harness consumes.  The grid
+// resolution matters (steady temperatures are grid-dependent) and so do the
+// solver knobs (direct vs pseudo-transient paths agree only to tolerance).
+void append_thermal(std::string& key, const ThermalModelParams& t) {
+  append(key, t.grid_rows);
+  append(key, t.grid_cols);
+  append(key, t.silicon_conductivity);
+  append(key, t.silicon_volumetric_heat_capacity);
+  append(key, t.bond_conductivity);
+  append(key, t.cavity_wall_conductivity);
+  append(key, t.inlet_temperature);
+  append(key, t.ambient_temperature);
+  append(key, t.channel_params.beol_thickness);
+  append(key, t.channel_params.beol_conductivity);
+  append(key, t.channel_params.heat_transfer_coeff);
+  append(key, t.coolant.heat_capacity);
+  append(key, t.coolant.density);
+  append(key, t.coolant.conductivity);
+  append(key, t.coolant.dynamic_viscosity);
+  append(key, t.tim_thickness);
+  append(key, t.tim_conductivity);
+  append(key, t.spreader_capacitance);
+  append(key, t.sink_capacitance);
+  append(key, t.spreader_to_sink_resistance);
+  append(key, t.sink_to_ambient_resistance);
+  key += t.alternate_flow_direction ? "alt," : "noalt,";
+  append(key, t.fluid_tolerance);
+  append(key, t.max_fluid_iterations);
+  append(key, t.steady_fluid_iterations);
+  append(key, t.steady_pseudo_dt);
+  append(key, t.steady_tolerance);
+  append(key, t.max_steady_iterations);
+  key += t.direct_steady_solver ? "direct," : "pseudo,";
+}
+
+void append_power(std::string& key, const PowerModelParams& p) {
+  append(key, p.core_active_w);
+  append(key, p.core_idle_w);
+  append(key, p.core_sleep_w);
+  append(key, p.l2_w);
+  append(key, p.crossbar_max_w);
+  append(key, p.crossbar_floor_frac);
+  append(key, p.misc_w_per_m2);
+  append(key, p.core_leak_ref_w);
+  append(key, p.l2_leak_ref_w);
+  append(key, p.crossbar_leak_ref_w);
+  append(key, p.misc_leak_ref_w_per_m2);
+  append(key, p.leakage.reference_temperature);
+  append(key, p.leakage.linear_coeff);
+  append(key, p.leakage.quadratic_coeff);
+}
+
+void append_system(std::string& key, const SimulationConfig& cfg, bool liquid) {
+  append(key, cfg.layer_pairs);
+  key += liquid ? "liquid," : "air,";
+  key += to_string(cfg.delivery_mode);
+  key += ",";
+  append_thermal(key, cfg.thermal);
+  append_power(key, cfg.power);
+}
+
+std::shared_ptr<const FlowLut> build_flow_lut(const SimulationConfig& cfg) {
+  LIQUID3D_REQUIRE(cfg.cooling != CoolingMode::kAir,
+                   "flow LUT only applies to liquid cooling");
+  const Stack3D stack = make_simulation_stack(cfg);
+  // One independent harness (and thermal model) per characterization worker.
+  auto factory = [&cfg, &stack]() {
+    return std::make_unique<CharacterizationHarness>(
+        stack, cfg.thermal, cfg.power, PumpModel::laing_ddc(), cfg.delivery_mode);
+  };
+  return std::make_shared<const FlowLut>(
+      characterize_flow_lut(factory, cfg.metrics.target_c - cfg.manager.lut_margin_c,
+                            25, cfg.characterization_threads));
+}
+
+std::shared_ptr<const TalbWeightTable> build_talb_weights(
+    const SimulationConfig& cfg) {
+  const Stack3D stack = make_simulation_stack(cfg);
+  const bool liquid = cfg.cooling != CoolingMode::kAir;
+  std::optional<CharacterizationHarness> harness;
+  if (liquid) {
+    harness.emplace(stack, cfg.thermal, cfg.power, PumpModel::laing_ddc(),
+                    cfg.delivery_mode);
+  } else {
+    harness.emplace(stack, cfg.thermal, cfg.power);
+  }
+  const std::size_t setting = liquid ? harness->setting_count() / 2 : 0;
+  const double t_ref =
+      liquid ? cfg.thermal.inlet_temperature : cfg.thermal.ambient_temperature;
+
+  const std::vector<double> levels = {0.3, 0.6, 0.9};
+  std::vector<double> tmax_at_level;
+  std::vector<std::vector<double>> weights_at_level;
+  for (double u : levels) {
+    const std::vector<double> temps = harness->steady_core_temps(u, setting);
+    tmax_at_level.push_back(*std::max_element(temps.begin(), temps.end()));
+    weights_at_level.push_back(TalbWeightTable::weights_from_temps(temps, t_ref));
+  }
+
+  std::vector<TalbWeightTable::Band> bands;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const double upper = (i + 1 < levels.size())
+                             ? 0.5 * (tmax_at_level[i] + tmax_at_level[i + 1])
+                             : std::numeric_limits<double>::infinity();
+    bands.push_back({upper, weights_at_level[i]});
+  }
+  return std::make_shared<const TalbWeightTable>(std::move(bands));
+}
+
+}  // namespace
+
+std::string CharacterizationCache::flow_lut_key(const SimulationConfig& cfg) {
+  std::string key = "lut:";
+  append_system(key, cfg, /*liquid=*/true);
+  append(key, cfg.metrics.target_c - cfg.manager.lut_margin_c);
+  append(key, cfg.characterization_threads);
+  return key;
+}
+
+std::string CharacterizationCache::talb_key(const SimulationConfig& cfg) {
+  std::string key = "talb:";
+  append_system(key, cfg, cfg.cooling != CoolingMode::kAir);
+  return key;
+}
+
+std::shared_ptr<const FlowLut> CharacterizationCache::flow_lut(
+    const SimulationConfig& cfg) {
+  // Validate before the lookup: the key tags every flow LUT as liquid, so an
+  // air configuration must fail here rather than silently hit a cached
+  // liquid entry built from the same thermal/power parameters.
+  LIQUID3D_REQUIRE(cfg.cooling != CoolingMode::kAir,
+                   "flow LUT only applies to liquid cooling");
+  const std::string key = flow_lut_key(cfg);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = luts_.find(key);
+  if (it == luts_.end()) {
+    // Built under the lock: concurrent requesters for the same system wait
+    // for one build instead of duplicating minutes of steady solves.
+    it = luts_.emplace(key, build_flow_lut(cfg)).first;
+  }
+  return it->second;
+}
+
+std::shared_ptr<const TalbWeightTable> CharacterizationCache::talb_weights(
+    const SimulationConfig& cfg) {
+  const std::string key = talb_key(cfg);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = weights_.find(key);
+  if (it == weights_.end()) {
+    it = weights_.emplace(key, build_talb_weights(cfg)).first;
+  }
+  return it->second;
+}
+
+CharacterizationCache& CharacterizationCache::global() {
+  static CharacterizationCache cache;
+  return cache;
+}
+
+std::size_t CharacterizationCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return luts_.size() + weights_.size();
+}
+
+void CharacterizationCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  luts_.clear();
+  weights_.clear();
+}
+
+}  // namespace liquid3d

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "sim/batch_runner.hpp"
 
 namespace liquid3d {
 
@@ -21,12 +22,22 @@ std::vector<PolicyConfig> paper_policy_grid() {
 }
 
 namespace {
+
+ScenarioSpec scenario_of(PolicyConfig pc) {
+  ScenarioSpec s;
+  s.name = std::string(policy_name(pc.policy)) + "-" + cooling_name(pc.cooling);
+  s.policy = pc.policy;
+  s.cooling = pc.cooling;
+  return s;
+}
+
 double mean_over(const std::vector<SimulationResult>& rs,
                  double (SimulationResult::*field)) {
   double acc = 0.0;
   for (const SimulationResult& r : rs) acc += r.*field;
   return rs.empty() ? 0.0 : acc / static_cast<double>(rs.size());
 }
+
 }  // namespace
 
 double PolicySummary::mean_hotspot_percent() const {
@@ -65,61 +76,73 @@ double PolicySummary::total_throughput() const {
 
 ExperimentSuite::ExperimentSuite(SuiteConfig cfg) : cfg_(std::move(cfg)) {}
 
-SimulationConfig ExperimentSuite::make_config(PolicyConfig policy,
+SimulationConfig ExperimentSuite::make_config(const ScenarioSpec& scenario,
                                               const BenchmarkSpec& workload) {
   SimulationConfig cfg = cfg_.base;
   cfg.layer_pairs = cfg_.layer_pairs;
-  cfg.policy = policy.policy;
-  cfg.cooling = policy.cooling;
+  apply_scenario(scenario, cfg);
   cfg.benchmark = workload;
   cfg.duration = cfg_.duration;
-  cfg.seed = cfg_.seed + static_cast<std::uint64_t>(workload.id);
+  cfg.seed = cell_seed(cfg_.seed, scenario, workload);
   cfg.dpm.enabled = cfg_.dpm_enabled;
 
-  if (policy.cooling != CoolingMode::kAir) {
-    if (!flow_lut_) flow_lut_ = Simulator::build_flow_lut(cfg);
-    cfg.flow_lut = flow_lut_;
-    if (policy.policy == Policy::kTalb) {
-      if (!talb_liquid_) talb_liquid_ = Simulator::build_talb_weights(cfg);
-      cfg.talb_weights = talb_liquid_;
+  // Attach the shared characterization artifacts: every cell of one system
+  // resolves to the same cache entries, so sessions never rebuild them.
+  if (scenario.cooling != CoolingMode::kAir) {
+    cfg.flow_lut = cache_.flow_lut(cfg);
+    if (scenario.policy == Policy::kTalb) {
+      cfg.talb_weights = cache_.talb_weights(cfg);
     }
-  } else if (policy.policy == Policy::kTalb) {
-    if (!talb_air_) talb_air_ = Simulator::build_talb_weights(cfg);
-    cfg.talb_weights = talb_air_;
+  } else if (scenario.policy == Policy::kTalb) {
+    cfg.talb_weights = cache_.talb_weights(cfg);
   }
   return cfg;
 }
 
+SimulationConfig ExperimentSuite::make_config(PolicyConfig policy,
+                                              const BenchmarkSpec& workload) {
+  return make_config(scenario_of(policy), workload);
+}
+
+std::vector<SimulationResult> ExperimentSuite::run_cells(
+    std::vector<SimulationConfig> cells) {
+  if (cfg_.execution == SuiteExecution::kBatched) {
+    BatchRunner batch;
+    for (SimulationConfig& cell : cells) batch.add(std::move(cell));
+    return batch.run();
+  }
+  std::vector<SimulationResult> results(cells.size());
+  ThreadPool pool(cfg_.worker_threads == 0 ? ThreadPool::default_concurrency()
+                                           : cfg_.worker_threads);
+  pool.parallel_for(0, cells.size(), [&](std::size_t i) {
+    Simulator sim(cells[i]);
+    results[i] = sim.run();
+  });
+  return results;
+}
+
 std::vector<PolicySummary> ExperimentSuite::run(
-    const std::vector<PolicyConfig>& policies,
+    const std::vector<ScenarioSpec>& scenarios,
     const std::vector<BenchmarkSpec>& workloads) {
   // Build every cell's config up front, on this thread: make_config lazily
-  // constructs the shared characterizations (flow LUT, TALB weights), and
-  // doing that here keeps the fan-out workers free of shared mutable state.
+  // fills the characterization cache (flow LUT, TALB weights), and doing
+  // that here keeps the fan-out workers free of shared mutable state.
   std::vector<SimulationConfig> cells;
-  cells.reserve(policies.size() * workloads.size());
-  for (const PolicyConfig& pc : policies) {
+  cells.reserve(scenarios.size() * workloads.size());
+  for (const ScenarioSpec& sc : scenarios) {
     for (const BenchmarkSpec& wl : workloads) {
-      cells.push_back(make_config(pc, wl));
+      cells.push_back(make_config(sc, wl));
     }
   }
 
-  std::vector<SimulationResult> results(cells.size());
-  {
-    ThreadPool pool(cfg_.worker_threads == 0 ? ThreadPool::default_concurrency()
-                                             : cfg_.worker_threads);
-    pool.parallel_for(0, cells.size(), [&](std::size_t i) {
-      Simulator sim(cells[i]);
-      results[i] = sim.run();
-    });
-  }
+  std::vector<SimulationResult> results = run_cells(std::move(cells));
 
   std::vector<PolicySummary> summaries;
-  summaries.reserve(policies.size());
+  summaries.reserve(scenarios.size());
   std::size_t cursor = 0;
-  for (const PolicyConfig& pc : policies) {
+  for (const ScenarioSpec& sc : scenarios) {
     PolicySummary summary;
-    summary.label = policy_label(pc.policy, pc.cooling);
+    summary.label = sc.display_label();
     summary.per_workload.assign(
         std::make_move_iterator(results.begin() + static_cast<std::ptrdiff_t>(cursor)),
         std::make_move_iterator(results.begin() +
@@ -130,20 +153,13 @@ std::vector<PolicySummary> ExperimentSuite::run(
   return summaries;
 }
 
-std::vector<SkewScenario> skewed_workload_scenarios(std::size_t layer_pairs) {
-  LIQUID3D_REQUIRE(layer_pairs >= 1, "need at least one layer pair");
-  const std::size_t cores = 8 * layer_pairs;
-  constexpr double kHotBias = 6.0;
-
-  // Core sites enumerate layer-major: the second half of the core list is
-  // the upper core die (4-layer) or the top core row (2-layer).
-  SkewScenario upper{"hot-upper-die", std::vector<double>(cores, 1.0)};
-  for (std::size_t c = cores / 2; c < cores; ++c) upper.core_bias[c] = kHotBias;
-
-  SkewScenario corner{"hot-corner", std::vector<double>(cores, 1.0)};
-  corner.core_bias[0] = kHotBias;
-  corner.core_bias[1] = kHotBias;
-  return {std::move(upper), std::move(corner)};
+std::vector<PolicySummary> ExperimentSuite::run(
+    const std::vector<PolicyConfig>& policies,
+    const std::vector<BenchmarkSpec>& workloads) {
+  std::vector<ScenarioSpec> scenarios;
+  scenarios.reserve(policies.size());
+  for (const PolicyConfig& pc : policies) scenarios.push_back(scenario_of(pc));
+  return run(scenarios, workloads);
 }
 
 FlowComparisonResult ExperimentSuite::run_flow_comparison(
@@ -151,32 +167,44 @@ FlowComparisonResult ExperimentSuite::run_flow_comparison(
     CoolingMode cooling) {
   LIQUID3D_REQUIRE(cooling != CoolingMode::kAir,
                    "flow comparison requires a liquid stack");
-  SimulationConfig uniform_cfg =
-      make_config({Policy::kLoadBalancing, cooling}, workload);
-  uniform_cfg.core_bias = scenario.core_bias;
-  // Force the delivery models explicitly: a base config with valves already
-  // enabled must not silently turn the "uniform" cell into a second valved
-  // run (the comparison would read as a ~0 delta instead of an error).
-  uniform_cfg.manager.valve_network = false;
-  SimulationConfig valved_cfg = uniform_cfg;
-  valved_cfg.manager.valve_network = true;
+  // Two scenarios differing ONLY in the delivery axis: cell_seed ignores
+  // valves/skew, so both arms replay the identical workload trace — a base
+  // config with valves already enabled cannot silently turn the "uniform"
+  // arm into a second valved run.  A canonical skew binds by name through
+  // the spec; a caller-supplied bias vector is applied directly.
+  const bool canonical = [&] {
+    for (const SkewScenario& s : skewed_workload_scenarios(cfg_.layer_pairs)) {
+      if (s.name == scenario.name) return s.core_bias == scenario.core_bias;
+    }
+    return false;
+  }();
+
+  ScenarioSpec uniform;
+  uniform.name = std::string("lb-") + cooling_name(cooling) + "/" + scenario.name +
+                 "/uniform";
+  uniform.policy = Policy::kLoadBalancing;
+  uniform.cooling = cooling;
+  uniform.valve_network = false;
+  if (canonical) uniform.skew = scenario.name;
+  uniform.label = policy_label(uniform.policy, cooling) + " [uniform]";
+
+  ScenarioSpec valved = uniform;
+  valved.name = std::string("lb-") + cooling_name(cooling) + "/" + scenario.name +
+                "/valved";
+  valved.valve_network = true;
+  valved.label = policy_label(valved.policy, cooling) + " [valved]";
+
+  std::vector<SimulationConfig> cells = {make_config(uniform, workload),
+                                         make_config(valved, workload)};
+  if (!canonical) {
+    for (SimulationConfig& cell : cells) cell.core_bias = scenario.core_bias;
+  }
+  std::vector<SimulationResult> results = run_cells(std::move(cells));
 
   FlowComparisonResult r;
   r.scenario = scenario.name;
-  std::vector<SimulationConfig> cells = {std::move(uniform_cfg),
-                                         std::move(valved_cfg)};
-  std::vector<SimulationResult> results(cells.size());
-  {
-    ThreadPool pool(cells.size());
-    pool.parallel_for(0, cells.size(), [&](std::size_t i) {
-      Simulator sim(cells[i]);
-      results[i] = sim.run();
-    });
-  }
   r.uniform = std::move(results[0]);
   r.valved = std::move(results[1]);
-  r.uniform.label += " [uniform]";
-  r.valved.label += " [valved]";
   return r;
 }
 

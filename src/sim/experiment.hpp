@@ -1,22 +1,30 @@
 // experiment.hpp — the evaluation grid of Sec. V.
 //
-// Figures 6, 7, and 8 all run the same grid: every policy x cooling
-// configuration over the eight Table II workloads, on the 2- (and for some
-// plots 4-) layer system.  This helper runs the grid once, reusing one flow
-// LUT / TALB weight characterization per system, and exposes per-policy
-// aggregates (mean and max over workloads) plus the LB-on-air energy
-// normalization the paper's plots use.
+// Figures 6, 7, and 8 all run the same grid: every scenario (policy x
+// cooling cell) over the eight Table II workloads, on the 2- (and for some
+// plots 4-) layer system.  This helper runs the grid once, sharing one
+// characterization per system through a CharacterizationCache, and exposes
+// per-scenario aggregates (mean and max over workloads) plus the LB-on-air
+// energy normalization the paper's plots use.
+//
+// Cells are expressed as ScenarioSpec values (sim/scenario.hpp); the legacy
+// PolicyConfig pair survives as a convenience adapter.  Execution is either
+// a ThreadPool fan-out (one session per worker) or a lockstep BatchRunner
+// (all compatible cells sharing one factorization) — both are bit-identical
+// to a serial sweep, so the choice is purely an execution-resource knob.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "sim/characterization_cache.hpp"
+#include "sim/scenario.hpp"
 #include "sim/simulator.hpp"
 
 namespace liquid3d {
 
-/// One policy/cooling configuration in the evaluation.
+/// One policy/cooling configuration in the evaluation (legacy cell id).
 struct PolicyConfig {
   Policy policy;
   CoolingMode cooling;
@@ -25,20 +33,27 @@ struct PolicyConfig {
 /// The seven bars of Figs. 6-7, in plot order.
 [[nodiscard]] std::vector<PolicyConfig> paper_policy_grid();
 
+/// How ExperimentSuite::run executes its cells (results are identical).
+enum class SuiteExecution {
+  kThreadPool,  ///< one session per worker thread (wall-clock parallelism)
+  kBatched,     ///< lockstep BatchRunner (shared factorizations, one thread)
+};
+
 struct SuiteConfig {
   std::size_t layer_pairs = 1;
   SimTime duration = SimTime::from_s(60);
   std::uint64_t seed = 7;
   bool dpm_enabled = true;
   /// Worker threads for the policy x workload fan-out (0 = hardware
-  /// concurrency).  Every cell is an independent Simulator (own thermal
+  /// concurrency).  Every cell is an independent session (own thermal
   /// model, own RNG stream), so results are bit-identical to a serial run.
   std::size_t worker_threads = 0;
+  SuiteExecution execution = SuiteExecution::kThreadPool;
   /// Base template applied to every run (thermal/power/etc. parameters).
   SimulationConfig base{};
 };
 
-/// Results of one policy over all workloads.
+/// Results of one scenario over all workloads.
 struct PolicySummary {
   std::string label;
   std::vector<SimulationResult> per_workload;
@@ -53,21 +68,6 @@ struct PolicySummary {
   [[nodiscard]] double total_throughput() const;
 };
 
-/// A spatially skewed load pattern for the per-cavity flow experiments:
-/// per-core dispatch bias handed to the load balancer (see
-/// LoadBalancerParams::core_bias).
-struct SkewScenario {
-  std::string name;
-  std::vector<double> core_bias;  ///< arity = core count of the system
-};
-
-/// The canonical skews (bias 6:1 toward the hot cores):
-///  * "hot-upper-die" — load concentrates on the upper half of the core
-///    sites (4-layer: the whole upper core die; 2-layer: the top core row);
-///  * "hot-corner"    — load concentrates on two adjacent corner cores.
-[[nodiscard]] std::vector<SkewScenario> skewed_workload_scenarios(
-    std::size_t layer_pairs);
-
 /// Uniform vs. valve-network delivery on one skewed workload, at equal
 /// total delivered flow (same pump, same LUT, same schedule skew — only the
 /// per-cavity distribution differs).
@@ -81,17 +81,24 @@ class ExperimentSuite {
  public:
   explicit ExperimentSuite(SuiteConfig cfg);
 
-  /// Run the given policies over the given workloads (defaults: the paper's
-  /// seven policies over all eight Table II benchmarks).
+  /// Run the given scenarios over the given workloads.
+  [[nodiscard]] std::vector<PolicySummary> run(
+      const std::vector<ScenarioSpec>& scenarios,
+      const std::vector<BenchmarkSpec>& workloads);
+  /// Legacy adapter: policy/cooling pairs become unnamed scenarios.
   [[nodiscard]] std::vector<PolicySummary> run(
       const std::vector<PolicyConfig>& policies,
       const std::vector<BenchmarkSpec>& workloads);
 
   [[nodiscard]] std::vector<PolicySummary> run_paper_grid() {
-    return run(paper_policy_grid(), table2_benchmarks());
+    return run(paper_scenario_grid(), table2_benchmarks());
   }
 
-  /// Build one concrete SimulationConfig cell (shares characterizations).
+  /// Build one concrete cell: the scenario bound to the suite's base
+  /// config, with a deterministic per-cell seed (cell_seed) and the shared
+  /// characterization artifacts attached.
+  [[nodiscard]] SimulationConfig make_config(const ScenarioSpec& scenario,
+                                             const BenchmarkSpec& workload);
   [[nodiscard]] SimulationConfig make_config(PolicyConfig policy,
                                              const BenchmarkSpec& workload);
 
@@ -104,11 +111,15 @@ class ExperimentSuite {
       const SkewScenario& scenario, const BenchmarkSpec& workload,
       CoolingMode cooling = CoolingMode::kLiquidMax);
 
+  /// The suite's characterization cache (shared across all cells).
+  [[nodiscard]] CharacterizationCache& characterizations() { return cache_; }
+
  private:
+  [[nodiscard]] std::vector<SimulationResult> run_cells(
+      std::vector<SimulationConfig> cells);
+
   SuiteConfig cfg_;
-  std::shared_ptr<const FlowLut> flow_lut_;           // lazily built
-  std::shared_ptr<const TalbWeightTable> talb_liquid_;
-  std::shared_ptr<const TalbWeightTable> talb_air_;
+  CharacterizationCache cache_;
 };
 
 /// Energy normalization baseline: the summary whose label matches

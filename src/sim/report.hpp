@@ -1,0 +1,39 @@
+// report.hpp — structured export of simulation results.
+//
+// SimulationResult and PolicySummary values flatten to plain rows (the
+// common/csv.hpp convention: a header vector plus string rows) and to JSON,
+// so examples, sweep shards, and external plotting consume one format
+// instead of each bench hand-rolling printf tables.  Doubles are written
+// with %.17g — round-trippable, so a re-parsed shard compares bit-exactly
+// against the in-process result.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace liquid3d {
+
+/// Column names of one SimulationResult row (label, benchmark, then every
+/// metric in declaration order).
+[[nodiscard]] const std::vector<std::string>& simulation_result_csv_header();
+[[nodiscard]] std::vector<std::string> to_csv_row(const SimulationResult& r);
+
+/// Header row + one row per result.  Fields containing the separator are
+/// double-quoted (RFC-4180 style).
+void write_results_csv(std::ostream& out,
+                       const std::vector<SimulationResult>& results);
+/// JSON array of objects, one per result.
+void write_results_json(std::ostream& out,
+                        const std::vector<SimulationResult>& results);
+
+/// Flattened per-workload rows, each prefixed with its summary's label.
+void write_summaries_csv(std::ostream& out,
+                         const std::vector<PolicySummary>& summaries);
+/// JSON array of {label, aggregates, per_workload[]} objects.
+void write_summaries_json(std::ostream& out,
+                          const std::vector<PolicySummary>& summaries);
+
+}  // namespace liquid3d

@@ -1,371 +1,16 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <deque>
-#include <limits>
-
-#include "common/error.hpp"
-#include "control/characterize.hpp"
+#include "sim/characterization_cache.hpp"
 
 namespace liquid3d {
 
-const char* to_string(Policy p) {
-  switch (p) {
-    case Policy::kLoadBalancing: return "LB";
-    case Policy::kReactiveMigration: return "Mig";
-    case Policy::kTalb: return "TALB";
-  }
-  return "?";
-}
-
-const char* to_string(CoolingMode m) {
-  switch (m) {
-    case CoolingMode::kAir: return "Air";
-    case CoolingMode::kLiquidMax: return "Max";
-    case CoolingMode::kLiquidVar: return "Var";
-  }
-  return "?";
-}
-
-std::string policy_label(Policy p, CoolingMode m) {
-  return std::string(to_string(p)) + " (" + to_string(m) + ")";
-}
-
-namespace {
-
-std::unique_ptr<Scheduler> make_scheduler(const SimulationConfig& cfg) {
-  switch (cfg.policy) {
-    case Policy::kLoadBalancing: {
-      LoadBalancerParams p = cfg.load_balancer;
-      if (!cfg.core_bias.empty()) p.core_bias = cfg.core_bias;
-      return make_load_balancer(std::move(p));
-    }
-    case Policy::kReactiveMigration: {
-      MigrationParams p = cfg.migration;
-      if (!cfg.core_bias.empty()) p.lb.core_bias = cfg.core_bias;
-      return make_reactive_migration(std::move(p));
-    }
-    case Policy::kTalb:
-      // TALB balances on *thermal* weights; a static dispatch bias would be
-      // silently ignored, so reject it instead of mislabeling the run.
-      LIQUID3D_REQUIRE(cfg.core_bias.empty(),
-                       "core_bias is not supported by the TALB policy");
-      return make_talb(cfg.talb);
-  }
-  LIQUID3D_ASSERT(false, "unknown policy");
-}
-
-Stack3D make_stack(const SimulationConfig& cfg) {
-  const CoolingType type =
-      cfg.cooling == CoolingMode::kAir ? CoolingType::kAir : CoolingType::kLiquid;
-  return make_niagara_stack(cfg.layer_pairs, type);
-}
-
-}  // namespace
-
 std::shared_ptr<const FlowLut> Simulator::build_flow_lut(const SimulationConfig& cfg) {
-  LIQUID3D_REQUIRE(cfg.cooling != CoolingMode::kAir,
-                   "flow LUT only applies to liquid cooling");
-  const Stack3D stack = make_stack(cfg);
-  // One independent harness (and thermal model) per characterization worker.
-  auto factory = [&cfg, &stack]() {
-    return std::make_unique<CharacterizationHarness>(
-        stack, cfg.thermal, cfg.power, PumpModel::laing_ddc(), cfg.delivery_mode);
-  };
-  return std::make_shared<const FlowLut>(
-      characterize_flow_lut(factory, cfg.metrics.target_c - cfg.manager.lut_margin_c,
-                            25, cfg.characterization_threads));
+  return CharacterizationCache::global().flow_lut(cfg);
 }
 
 std::shared_ptr<const TalbWeightTable> Simulator::build_talb_weights(
     const SimulationConfig& cfg) {
-  const Stack3D stack = make_stack(cfg);
-  const bool liquid = cfg.cooling != CoolingMode::kAir;
-  std::optional<CharacterizationHarness> harness;
-  if (liquid) {
-    harness.emplace(stack, cfg.thermal, cfg.power, PumpModel::laing_ddc(),
-                    cfg.delivery_mode);
-  } else {
-    harness.emplace(stack, cfg.thermal, cfg.power);
-  }
-  const std::size_t setting = liquid ? harness->setting_count() / 2 : 0;
-  const double t_ref =
-      liquid ? cfg.thermal.inlet_temperature : cfg.thermal.ambient_temperature;
-
-  const std::vector<double> levels = {0.3, 0.6, 0.9};
-  std::vector<double> tmax_at_level;
-  std::vector<std::vector<double>> weights_at_level;
-  for (double u : levels) {
-    const std::vector<double> temps = harness->steady_core_temps(u, setting);
-    tmax_at_level.push_back(*std::max_element(temps.begin(), temps.end()));
-    weights_at_level.push_back(TalbWeightTable::weights_from_temps(temps, t_ref));
-  }
-
-  std::vector<TalbWeightTable::Band> bands;
-  for (std::size_t i = 0; i < levels.size(); ++i) {
-    const double upper = (i + 1 < levels.size())
-                             ? 0.5 * (tmax_at_level[i] + tmax_at_level[i + 1])
-                             : std::numeric_limits<double>::infinity();
-    bands.push_back({upper, weights_at_level[i]});
-  }
-  return std::make_shared<const TalbWeightTable>(std::move(bands));
-}
-
-Simulator::Simulator(SimulationConfig config)
-    : cfg_(std::move(config)),
-      stack_(make_stack(cfg_)),
-      thermal_(stack_, cfg_.thermal),
-      power_(cfg_.power),
-      pump_(PumpModel::laing_ddc()),
-      cores_(enumerate_sites(stack_, BlockType::kCore)),
-      generator_(cfg_.benchmark, enumerate_sites(stack_, BlockType::kCore).size(),
-                 cfg_.seed, cfg_.generator),
-      queues_(cores_.size()),
-      scheduler_(make_scheduler(cfg_)),
-      dpm_(cores_.size(), cfg_.dpm) {
-  LIQUID3D_REQUIRE(cfg_.core_bias.empty() || cfg_.core_bias.size() == cores_.size(),
-                   "core_bias arity must equal the system's core count");
-  generator_.set_phase_schedule(cfg_.phases);
-
-  const bool liquid = cfg_.cooling != CoolingMode::kAir;
-  if (liquid) {
-    const MicrochannelModel channels(stack_.cavity(), cfg_.thermal.coolant,
-                                     cfg_.thermal.channel_params);
-    delivery_.emplace(pump_, cfg_.delivery_mode, channels, stack_.width(),
-                      stack_.cavity_count());
-
-    if (!cfg_.flow_lut) cfg_.flow_lut = build_flow_lut(cfg_);
-    if (!cfg_.talb_weights) {
-      cfg_.talb_weights = cfg_.policy == Policy::kTalb
-                              ? build_talb_weights(cfg_)
-                              : std::make_shared<const TalbWeightTable>(
-                                    TalbWeightTable::uniform(cores_.size()));
-    }
-    ThermalManagerConfig mc = cfg_.manager;
-    mc.variable_flow = cfg_.cooling == CoolingMode::kLiquidVar;
-    std::optional<ValveNetwork> valves;
-    if (cfg_.manager.valve_network) {
-      valves.emplace(*delivery_, cfg_.manager.valves);
-    }
-    manager_ = std::make_unique<ThermalManager>(*cfg_.flow_lut, *cfg_.talb_weights,
-                                                pump_, mc, std::move(valves));
-  } else if (!cfg_.talb_weights) {
-    cfg_.talb_weights = cfg_.policy == Policy::kTalb
-                            ? build_talb_weights(cfg_)
-                            : std::make_shared<const TalbWeightTable>(
-                                  TalbWeightTable::uniform(cores_.size()));
-  }
-}
-
-void Simulator::apply_power(const std::vector<double>& busy, const BenchmarkSpec& bench) {
-  double mean_busy = 0.0;
-  for (double b : busy) mean_busy += b;
-  mean_busy /= static_cast<double>(busy.size());
-
-  // Global core index per (layer, block) follows enumerate_sites order.
-  std::size_t core_cursor = 0;
-  double chip = 0.0;
-  for (std::size_t l = 0; l < stack_.layer_count(); ++l) {
-    const Floorplan& fp = stack_.layer(l).floorplan;
-    std::vector<double> watts(fp.block_count(), 0.0);
-    for (std::size_t b = 0; b < fp.block_count(); ++b) {
-      const Block& blk = fp.block(b);
-      const double t_blk = thermal_.block_mean_temperature(l, b);
-      switch (blk.type) {
-        case BlockType::kCore: {
-          const double core_busy = busy.at(core_cursor);
-          const CoreState state =
-              core_busy > 0.0 ? CoreState::kActive : dpm_.state(core_cursor);
-          watts[b] = power_.core_power(state, core_busy, bench.activity_factor(), t_blk);
-          ++core_cursor;
-          break;
-        }
-        case BlockType::kL2Cache:
-          watts[b] = power_.l2_power(t_blk);
-          break;
-        case BlockType::kCrossbar:
-          watts[b] = power_.crossbar_power(mean_busy, bench.memory_intensity(), t_blk);
-          break;
-        case BlockType::kMisc:
-          watts[b] = power_.misc_power(blk.rect.area(), t_blk);
-          break;
-      }
-      chip += watts[b];
-    }
-    thermal_.set_block_power(l, watts);
-  }
-  last_chip_watts_ = chip;
-}
-
-std::vector<double> Simulator::read_core_temps() const {
-  std::vector<double> temps;
-  temps.reserve(cores_.size());
-  for (const BlockSite& site : cores_) {
-    temps.push_back(thermal_.block_temperature(site.layer, site.block));
-  }
-  return temps;
-}
-
-std::vector<double> Simulator::read_unit_temps() const {
-  std::vector<double> temps;
-  for (std::size_t l = 0; l < stack_.layer_count(); ++l) {
-    const Floorplan& fp = stack_.layer(l).floorplan;
-    for (std::size_t b = 0; b < fp.block_count(); ++b) {
-      temps.push_back(thermal_.block_temperature(l, b));
-    }
-  }
-  return temps;
-}
-
-double Simulator::apply_flow_decision() {
-  if (!delivery_) return 1.0;
-  if (manager_->has_valve_network()) {
-    manager_->cavity_flows_into(flow_scratch_);
-    thermal_.set_cavity_flow(flow_scratch_);
-    const auto [lo, hi] = std::minmax_element(flow_scratch_.begin(), flow_scratch_.end());
-    return lo->m3_per_s() > 0.0 ? hi->m3_per_s() / lo->m3_per_s() : 1.0;
-  }
-  thermal_.set_cavity_flow(
-      delivery_->per_cavity(manager_->actuator().effective_setting()));
-  return 1.0;
-}
-
-void Simulator::warm_start() {
-  // Initialize from the steady state of the benchmark's average load
-  // ("all simulations are initialized with steady state temperature
-  // values", Sec. V).
-  const double u = cfg_.benchmark.avg_utilization;
-  std::vector<double> busy(cores_.size(), u);
-  thermal_.initialize(cfg_.thermal.ambient_temperature);
-  if (delivery_) apply_flow_decision();  // valves start uniform
-  for (int i = 0; i < 3; ++i) {
-    apply_power(busy, cfg_.benchmark);  // leakage fixed point
-    thermal_.solve_steady_state();
-  }
-}
-
-SimulationResult Simulator::run() {
-  warm_start();
-
-  const SimTime dt = cfg_.sampling_interval;
-  const double dt_s = dt.as_s();
-  const std::size_t ticks =
-      static_cast<std::size_t>(cfg_.duration.as_ms() / dt.as_ms());
-  const std::size_t horizon = cfg_.manager.predictor.horizon;
-
-  MetricsCollector metrics(cores_.size(), cfg_.metrics);
-  EnergyAccountant energy;
-  RunningStats busy_stats;
-  RunningStats setting_stats;
-  RunningStats forecast_err2;
-  RunningStats skew_stats;
-  std::deque<std::pair<std::size_t, double>> pending_forecasts;
-  std::vector<double> cavity_tmax;  // per-cavity observations (valve control)
-
-  const std::vector<double> uniform_weights(cores_.size(), 1.0);
-
-  for (std::size_t tick = 0; tick < ticks; ++tick) {
-    const SimTime now = SimTime::from_ms(static_cast<std::int64_t>(tick) * dt.as_ms());
-
-    std::vector<Thread> arrivals = generator_.tick(now, dt);
-
-    SchedulerContext ctx;
-    ctx.now = now;
-    ctx.core_temperature = read_core_temps();
-    const double tmax_pre =
-        *std::max_element(ctx.core_temperature.begin(), ctx.core_temperature.end());
-    ctx.thermal_weight = cfg_.policy == Policy::kTalb && cfg_.talb_weights
-                             ? cfg_.talb_weights->lookup(tmax_pre)
-                             : uniform_weights;
-
-    scheduler_->manage(queues_, ctx);
-    scheduler_->dispatch(std::move(arrivals), queues_, ctx);
-
-    const CoreQueues::TickResult exec = queues_.execute(dt);
-    dpm_.tick(exec.busy_fraction, dt);
-    apply_power(exec.busy_fraction, cfg_.benchmark);
-
-    if (delivery_) skew_stats.add(apply_flow_decision());
-    const double sub_dt = dt_s / static_cast<double>(cfg_.thermal_substeps);
-    for (std::size_t s = 0; s < cfg_.thermal_substeps; ++s) {
-      thermal_.step(sub_dt);
-    }
-
-    const std::vector<double> core_temps = read_core_temps();
-    const std::vector<double> unit_temps = read_unit_temps();
-    const double tmax = *std::max_element(core_temps.begin(), core_temps.end());
-
-    double pump_watts = 0.0;
-    std::size_t setting = 0;
-    if (manager_) {
-      if (manager_->has_valve_network()) {
-        thermal_.cavity_max_temperatures(cavity_tmax);
-      }
-      setting = manager_->update(now + dt, tmax, cavity_tmax);
-      pump_watts = manager_->actuator().power();
-      setting_stats.add(static_cast<double>(manager_->actuator().effective_setting()));
-      if (cfg_.cooling == CoolingMode::kLiquidVar && !cfg_.manager.reactive) {
-        pending_forecasts.emplace_back(tick + horizon, manager_->last_forecast());
-      }
-    }
-    while (!pending_forecasts.empty() && pending_forecasts.front().first <= tick) {
-      const double err = pending_forecasts.front().second - tmax;
-      forecast_err2.add(err * err);
-      pending_forecasts.pop_front();
-    }
-
-    energy.add_interval(last_chip_watts_, pump_watts, dt_s);
-    metrics.add_sample(unit_temps, core_temps);
-    for (double b : exec.busy_fraction) busy_stats.add(b);
-
-    if (trace_) {
-      SampleTrace t;
-      t.now = now + dt;
-      t.tmax = tmax;
-      t.forecast = manager_ ? manager_->last_forecast() : tmax;
-      t.pump_setting = setting;
-      t.flow_ml_per_min =
-          delivery_
-              ? delivery_->per_cavity(manager_->actuator().effective_setting())
-                    .ml_per_min()
-              : 0.0;
-      t.chip_watts = last_chip_watts_;
-      t.pump_watts = pump_watts;
-      double mean_busy = 0.0;
-      for (double b : exec.busy_fraction) mean_busy += b;
-      t.mean_busy = mean_busy / static_cast<double>(exec.busy_fraction.size());
-      t.queued_threads = queues_.total_queued();
-      trace_(t);
-    }
-  }
-
-  SimulationResult r;
-  r.label = policy_label(cfg_.policy, cfg_.cooling);
-  r.benchmark = cfg_.benchmark.name;
-  r.hotspot_percent = metrics.hotspot_percent();
-  r.hotspot_max_sample = metrics.tmax_stats().max();
-  r.above_target_percent = metrics.above_target_percent();
-  r.spatial_gradient_percent = metrics.spatial_gradient_percent();
-  r.thermal_cycles_per_1000 = metrics.thermal_cycles_per_1000();
-  r.avg_tmax = metrics.tmax_stats().mean();
-  r.chip_energy_j = energy.chip_joules();
-  r.pump_energy_j = energy.pump_joules();
-  r.total_energy_j = energy.total_joules();
-  r.throughput_per_s =
-      static_cast<double>(queues_.completed_total()) / cfg_.duration.as_s();
-  r.avg_utilization = busy_stats.mean();
-  r.migrations = scheduler_->migration_count();
-  r.pump_transitions = manager_ ? manager_->actuator().transition_count() : 0;
-  r.valve_transitions = manager_ && manager_->valves()
-                            ? manager_->valves()->transition_count()
-                            : 0;
-  r.avg_flow_skew = skew_stats.count() > 0 ? skew_stats.mean() : 1.0;
-  r.predictor_rebuilds = manager_ ? manager_->predictor().rebuild_count() : 0;
-  r.forecast_rmse = std::sqrt(forecast_err2.mean());
-  r.avg_pump_setting = setting_stats.mean();
-  r.elapsed_s = cfg_.duration.as_s();
-  return r;
+  return CharacterizationCache::global().talb_weights(cfg);
 }
 
 }  // namespace liquid3d

@@ -1,171 +1,54 @@
-// simulator.hpp — full-system simulation: workload + scheduler + DPM +
-// power + 3D thermal model + the joint flow-controller/TALB technique.
+// simulator.hpp — legacy single-call facade over SimulationSession.
 //
-// This is the experimental vehicle of Sec. V: a multi-queue scheduling
-// infrastructure over the 3D thermal model, sampled every 100 ms, with all
-// simulations initialized from the steady state.  One Simulator instance
-// runs one (system, cooling, policy, workload) cell of the evaluation grid.
+// One Simulator runs one (system, cooling, policy, workload) cell of the
+// evaluation grid to completion.  The simulation engine itself lives in
+// sim/session.hpp (explicit init/step/result, lockstep decomposition for
+// batching); `run()` here is exactly the compatibility loop
+//
+//   session.init(); while (session.step()) {} return session.result();
+//
+// New code that wants to inspect or co-advance simulations should hold a
+// SimulationSession (or a BatchRunner) directly.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <memory>
-#include <optional>
-#include <string>
-#include <vector>
-
-#include "control/thermal_manager.hpp"
-#include "coolant/flow.hpp"
-#include "geom/sites.hpp"
-#include "geom/stack.hpp"
-#include "power/dpm.hpp"
-#include "power/energy.hpp"
-#include "power/power_model.hpp"
-#include "sched/scheduler.hpp"
-#include "sim/metrics.hpp"
-#include "thermal/model3d.hpp"
-#include "workload/generator.hpp"
+#include "sim/session.hpp"
 
 namespace liquid3d {
 
-/// Scheduling policy (Sec. V).
-enum class Policy { kLoadBalancing, kReactiveMigration, kTalb };
-/// Cooling configuration (Sec. V): air, liquid at worst-case flow, or
-/// liquid with the paper's variable-flow controller.
-enum class CoolingMode { kAir, kLiquidMax, kLiquidVar };
-
-[[nodiscard]] const char* to_string(Policy p);
-[[nodiscard]] const char* to_string(CoolingMode m);
-/// Paper-style label, e.g. "TALB (Var)".
-[[nodiscard]] std::string policy_label(Policy p, CoolingMode m);
-
-struct SimulationConfig {
-  /// 1 -> 2-layer system (8 cores), 2 -> 4-layer system (16 cores).
-  std::size_t layer_pairs = 1;
-  CoolingMode cooling = CoolingMode::kLiquidVar;
-  Policy policy = Policy::kTalb;
-  BenchmarkSpec benchmark;
-  SimTime duration = SimTime::from_s(60);
-  SimTime sampling_interval = SimTime::from_ms(100);
-  /// Thermal solver sub-steps per sampling interval.
-  std::size_t thermal_substeps = 2;
-  std::uint64_t seed = 1;
-  /// Worker threads for flow-LUT characterization.  The default is a fixed
-  /// count (not hardware concurrency): warm-start trajectories depend on
-  /// which worker sweeps which setting rows, so sampled temperatures vary
-  /// at the millikelvin level with the worker count — a fixed default keeps
-  /// the LUT machine-independent.  0 = hardware concurrency (accepting that
-  /// variance).
-  std::size_t characterization_threads = 4;
-
-  ThermalModelParams thermal{};
-  PowerModelParams power{};
-  DpmParams dpm{};
-  MetricThresholds metrics{};
-  ThermalManagerConfig manager{};
-  MigrationParams migration{};
-  LoadBalancerParams load_balancer{};
-  TalbParams talb{};
-  GeneratorConfig generator{};
-  FlowDeliveryMode delivery_mode = FlowDeliveryMode::kPressureLimited;
-  std::vector<PhaseChange> phases{};
-  /// Per-core dispatch bias handed to the load-balancing schedulers; empty
-  /// = uniform.  Used by the skewed-workload scenarios (hot upper die, hot
-  /// corner) to concentrate load on a core subset.
-  std::vector<double> core_bias{};
-
-  /// Pre-built characterization artifacts (reused across runs of the same
-  /// system).  Built on demand when absent.
-  std::shared_ptr<const FlowLut> flow_lut;
-  std::shared_ptr<const TalbWeightTable> talb_weights;
-};
-
-struct SimulationResult {
-  std::string label;
-  std::string benchmark;
-  double hotspot_percent = 0.0;
-  double hotspot_max_sample = 0.0;  ///< peak T_max over the run
-  double above_target_percent = 0.0;
-  double spatial_gradient_percent = 0.0;
-  double thermal_cycles_per_1000 = 0.0;
-  double avg_tmax = 0.0;
-  double chip_energy_j = 0.0;
-  double pump_energy_j = 0.0;
-  double total_energy_j = 0.0;
-  double throughput_per_s = 0.0;
-  double avg_utilization = 0.0;
-  std::size_t migrations = 0;
-  std::size_t pump_transitions = 0;
-  std::size_t valve_transitions = 0;
-  /// Mean ratio of the largest to the smallest per-cavity flow over the run
-  /// (1.0 = uniform delivery; >1 = the valve network steered flow).
-  double avg_flow_skew = 1.0;
-  std::size_t predictor_rebuilds = 0;
-  double forecast_rmse = 0.0;
-  double avg_pump_setting = 0.0;
-  double elapsed_s = 0.0;
-};
-
-/// Per-sample trace record for examples and debugging.
-struct SampleTrace {
-  SimTime now{};
-  double tmax = 0.0;
-  double forecast = 0.0;
-  std::size_t pump_setting = 0;
-  double flow_ml_per_min = 0.0;
-  double chip_watts = 0.0;
-  double pump_watts = 0.0;
-  double mean_busy = 0.0;
-  std::size_t queued_threads = 0;
-};
-
 class Simulator {
  public:
-  explicit Simulator(SimulationConfig config);
+  explicit Simulator(SimulationConfig config) : session_(std::move(config)) {}
 
   /// Run the configured duration and return the aggregated result.
-  SimulationResult run();
+  SimulationResult run() {
+    session_.init();
+    while (session_.step()) {
+    }
+    return session_.result();
+  }
 
   /// Optional per-sample observer.
   void set_trace_callback(std::function<void(const SampleTrace&)> cb) {
-    trace_ = std::move(cb);
+    session_.set_trace_callback(std::move(cb));
   }
 
-  [[nodiscard]] const SimulationConfig& config() const { return cfg_; }
-  [[nodiscard]] const Stack3D& stack() const { return stack_; }
-  [[nodiscard]] std::size_t core_count() const { return cores_.size(); }
+  [[nodiscard]] const SimulationConfig& config() const { return session_.config(); }
+  [[nodiscard]] const Stack3D& stack() const { return session_.stack(); }
+  [[nodiscard]] std::size_t core_count() const { return session_.core_count(); }
+  /// The underlying steppable session.
+  [[nodiscard]] SimulationSession& session() { return session_; }
+  [[nodiscard]] const SimulationSession& session() const { return session_; }
 
-  /// Build (or reuse) the flow LUT for a system configuration; exposed so
-  /// benches can share one characterization across many runs.
+  /// Characterization artifacts for a system configuration; thin wrappers
+  /// over CharacterizationCache::global() kept for callers of the old
+  /// static builders (benches, tests).
   [[nodiscard]] static std::shared_ptr<const FlowLut> build_flow_lut(
       const SimulationConfig& cfg);
   [[nodiscard]] static std::shared_ptr<const TalbWeightTable> build_talb_weights(
       const SimulationConfig& cfg);
 
  private:
-  void apply_power(const std::vector<double>& busy, const BenchmarkSpec& bench);
-  [[nodiscard]] std::vector<double> read_core_temps() const;
-  [[nodiscard]] std::vector<double> read_unit_temps() const;
-  void warm_start();
-  /// Push the manager's effective flow decision (uniform or per-cavity)
-  /// into the thermal model; returns the max/min flow ratio (1 = uniform).
-  double apply_flow_decision();
-
-  SimulationConfig cfg_;
-  Stack3D stack_;
-  ThermalModel3D thermal_;
-  PowerModel power_;
-  PumpModel pump_;
-  std::optional<FlowDelivery> delivery_;
-  std::vector<BlockSite> cores_;
-  WorkloadGenerator generator_;
-  CoreQueues queues_;
-  std::unique_ptr<Scheduler> scheduler_;
-  FixedTimeoutDpm dpm_;
-  std::unique_ptr<ThermalManager> manager_;
-  std::function<void(const SampleTrace&)> trace_;
-  double last_chip_watts_ = 0.0;
-  std::vector<VolumetricFlow> flow_scratch_;  ///< per-tick flow vector scratch
+  SimulationSession session_;
 };
 
 }  // namespace liquid3d

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <memory>
 
@@ -15,6 +16,26 @@ namespace {
 double channel_coverage(const CavitySpec& cavity, double die_height) {
   return std::min(1.0, static_cast<double>(cavity.channel_count) * cavity.pitch /
                            die_height);
+}
+
+// FNV-1a over 64-bit words; the topology fingerprint hashes the exact bit
+// patterns of every quantity that enters build_matrix, so equal fingerprints
+// imply bit-identical system matrices.
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t word) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    h ^= (word >> shift) & 0xffULL;
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_mix(std::uint64_t& h, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  fnv_mix(h, bits);
 }
 }  // namespace
 
@@ -202,6 +223,25 @@ void ThermalModel3D::build_topology() {
       ext_diag_[node(layer_count_ - 1, cell)] += g_package_;
     }
   }
+
+  // Fingerprint everything build_matrix consumes (plus the shape and the
+  // fluid/package coupling constants, which enter the RHS).
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, static_cast<std::uint64_t>(layer_count_));
+  fnv_mix(h, static_cast<std::uint64_t>(grid_.rows()));
+  fnv_mix(h, static_cast<std::uint64_t>(grid_.cols()));
+  fnv_mix(h, static_cast<std::uint64_t>(liquid ? 1 : 0));
+  for (double c : capacitance_) fnv_mix(h, c);
+  for (double g : ext_diag_) fnv_mix(h, g);
+  for (const Coupling& c : couplings_) {
+    fnv_mix(h, static_cast<std::uint64_t>(c.a));
+    fnv_mix(h, static_cast<std::uint64_t>(c.b));
+    fnv_mix(h, c.g);
+  }
+  fnv_mix(h, g_fluid_dn_);
+  fnv_mix(h, g_fluid_up_);
+  fnv_mix(h, g_package_);
+  topo_fingerprint_ = h;
 }
 
 void ThermalModel3D::set_block_power(std::size_t layer, const std::vector<double>& watts) {
@@ -275,6 +315,14 @@ double ThermalModel3D::march_fluid(std::size_t cavity) {
   const double g_dn = has_below ? g_fluid_dn_ : 0.0;
   const double g_up = has_above ? g_fluid_up_ : 0.0;
   const double g_sum = g_dn + g_up;
+  // Per-cavity loop invariants, hoisted by hand: the compiler must not
+  // replace a division by a reciprocal multiply on its own (the rounding
+  // differs), and three divisions per cell dominated the march.
+  const bool flowing = w_row > 1e-12;
+  const double inv_denom =
+      flowing ? 1.0 / (1.0 + g_sum / (2.0 * w_row)) : 0.0;
+  const double inv_w = flowing ? 1.0 / w_row : 0.0;
+  const double half_inv_w = 0.5 * inv_w;
 
   // Counterflow routing: odd cavities flow -x (inlet at the right edge).
   const bool reverse = params_.alternate_flow_direction && (cavity % 2 == 1);
@@ -294,9 +342,9 @@ double ThermalModel3D::march_fluid(std::size_t cavity) {
         // Heat balance with the cell-mean fluid temperature
         // T_f = T_in + q/(2W):  q (1 + G/(2W)) = Σ g_i T_wall_i - G T_in.
         const double num = g_dn * t_below + g_up * t_above - g_sum * t_in;
-        const double q = num / (1.0 + g_sum / (2.0 * w_row));
-        t_f = t_in + q / (2.0 * w_row);
-        t_in += q / w_row;
+        const double q = num * inv_denom;
+        t_f = t_in + q * half_inv_w;
+        t_in += q * inv_w;
         absorbed += q;
       } else {
         // Stagnant coolant: pure conduction equilibrium between the walls.
@@ -321,37 +369,40 @@ double ThermalModel3D::march_all_fluid() {
   return max_delta;
 }
 
+void ThermalModel3D::assemble_transient_rhs(double inv_dt, double* out) const {
+  // Stored heat + injected power + external couplings.
+  for (std::size_t i = 0; i < node_count_; ++i) {
+    out[i] = capacitance_[i] * inv_dt * temps_prev_[i] + cell_power_[i];
+  }
+  if (stack_.has_cavities()) {
+    for (std::size_t k = 0; k <= layer_count_; ++k) {
+      const auto& fluid = fluid_temp_[k];
+      if (k >= 1) {
+        for (std::size_t cell = 0; cell < cell_count_; ++cell) {
+          out[node(k - 1, cell)] += g_fluid_dn_ * fluid[cell];
+        }
+      }
+      if (k < layer_count_) {
+        for (std::size_t cell = 0; cell < cell_count_; ++cell) {
+          out[node(k, cell)] += g_fluid_up_ * fluid[cell];
+        }
+      }
+    }
+  } else {
+    for (std::size_t cell = 0; cell < cell_count_; ++cell) {
+      out[node(layer_count_ - 1, cell)] += g_package_ * spreader_temp_;
+    }
+  }
+}
+
 double ThermalModel3D::advance(const BandedSpdMatrix& m, double inv_dt,
                                std::size_t fluid_iters, double fluid_tol) {
   temps_prev_.assign(temps_.begin(), temps_.end());
-  const std::vector<double>& temps_prev = temps_prev_;
   const bool liquid = stack_.has_cavities();
   const std::size_t max_iters = liquid ? fluid_iters : 1;
 
   for (std::size_t iter = 0; iter < max_iters; ++iter) {
-    // Assemble RHS: stored heat + injected power + external couplings.
-    for (std::size_t i = 0; i < node_count_; ++i) {
-      rhs_[i] = capacitance_[i] * inv_dt * temps_prev[i] + cell_power_[i];
-    }
-    if (liquid) {
-      for (std::size_t k = 0; k <= layer_count_; ++k) {
-        const auto& fluid = fluid_temp_[k];
-        if (k >= 1) {
-          for (std::size_t cell = 0; cell < cell_count_; ++cell) {
-            rhs_[node(k - 1, cell)] += g_fluid_dn_ * fluid[cell];
-          }
-        }
-        if (k < layer_count_) {
-          for (std::size_t cell = 0; cell < cell_count_; ++cell) {
-            rhs_[node(k, cell)] += g_fluid_up_ * fluid[cell];
-          }
-        }
-      }
-    } else {
-      for (std::size_t cell = 0; cell < cell_count_; ++cell) {
-        rhs_[node(layer_count_ - 1, cell)] += g_package_ * spreader_temp_;
-      }
-    }
+    assemble_transient_rhs(inv_dt, rhs_.data());
     m.solve(rhs_);
     temps_.swap(rhs_);
     if (!liquid) break;
@@ -361,7 +412,7 @@ double ThermalModel3D::advance(const BandedSpdMatrix& m, double inv_dt,
 
   double change = 0.0;
   for (std::size_t i = 0; i < node_count_; ++i) {
-    change = std::max(change, std::abs(temps_[i] - temps_prev[i]));
+    change = std::max(change, std::abs(temps_[i] - temps_prev_[i]));
   }
   return change;
 }

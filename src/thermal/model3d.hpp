@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -227,7 +228,16 @@ class ThermalModel3D {
     return factor_cache_;
   }
 
+  /// Hash of the conduction topology (capacitances, couplings, external
+  /// conductances, grid shape).  Two models with equal fingerprints assemble
+  /// bit-identical system matrices for any dt, so one factorization can
+  /// serve both — the compatibility check behind BatchThermalStepper.
+  [[nodiscard]] std::uint64_t topology_fingerprint() const {
+    return topo_fingerprint_;
+  }
+
  private:
+  friend class BatchThermalStepper;
   struct Coupling {
     std::size_t a;
     std::size_t b;
@@ -255,6 +265,12 @@ class ThermalModel3D {
   /// silicon<->fluid alternation error for this step.
   double advance(const BandedSpdMatrix& m, double inv_dt, std::size_t fluid_iters,
                  double fluid_tol);
+  /// Write the backward-Euler right-hand side (stored heat + injected power
+  /// + external coupling terms) into out[i] for node i.  Reads temps_prev_
+  /// — callers snapshot temps_ there first.  Shared by the serial advance
+  /// and the batch stepper (which interleaves the per-model vectors
+  /// afterwards with a tiled transpose).
+  void assemble_transient_rhs(double inv_dt, double* out) const;
   /// March the coolant downstream through one cavity given silicon temps.
   /// Returns the largest fluid temperature change.
   double march_fluid(std::size_t cavity);
@@ -271,6 +287,7 @@ class ThermalModel3D {
   std::size_t node_count_;
 
   // Static topology.
+  std::uint64_t topo_fingerprint_ = 0;
   std::vector<Coupling> couplings_;
   std::vector<double> capacitance_;  ///< per node [J/K]
   std::vector<double> ext_diag_;     ///< per node: total conductance to

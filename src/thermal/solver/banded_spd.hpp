@@ -55,7 +55,10 @@ class BandedSpdMatrix {
   /// node-major interleaved layout — rhs[i * nrhs + r] is row i of system r
   /// — so the per-row inner loop over systems is contiguous and the L
   /// column loaded for row i is reused across every system.  Overwrites
-  /// `rhs` with the solutions in the same layout.
+  /// `rhs` with the solutions in the same layout.  Each system's solution is
+  /// BIT-IDENTICAL to a standalone single-RHS solve of that right-hand side
+  /// (the kernel replicates the single-RHS operation order per system);
+  /// batched transient scenarios rely on this for serial parity.
   void solve(std::span<double> rhs, std::size_t nrhs) const;
 
  private:

@@ -1,0 +1,18 @@
+// banded_spd_kernels.hpp — internal seam between BandedSpdMatrix and the
+// multi-RHS triangular-solve kernels (banded_spd_multi.cpp), which live in
+// their own translation unit so the build can give them a wider vector
+// preference than the single-RHS path.  Not part of the public solver API.
+#pragma once
+
+#include <cstddef>
+
+namespace liquid3d::detail {
+
+/// Solve L L^T X = B for nrhs interleaved right-hand sides (layout
+/// x[i * nrhs + r]); band/w describe the factorized lower band exactly as
+/// stored by BandedSpdMatrix.  Each system's solution is bit-identical to a
+/// standalone single-RHS solve of that column.
+void solve_multi_dispatch(const double* band, double* x, std::size_t n,
+                          std::size_t b, std::size_t w, std::size_t nrhs);
+
+}  // namespace liquid3d::detail

@@ -1,0 +1,118 @@
+// banded_spd_solve.cpp — the single-RHS triangular-solve path, in its own
+// translation unit so the build can disable floating-point contraction for
+// every solve kernel (see CMakeLists): with FMA contraction on, the
+// single-RHS and multi-RHS code shapes contract differently and the
+// bit-identity contract between batched and serial solves breaks.
+// Factorization stays in banded_spd.cpp with contraction enabled — it is
+// the same code for every model, so parity never depends on it.
+#include "thermal/solver/banded_spd.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "thermal/solver/banded_spd_kernels.hpp"
+
+namespace liquid3d {
+
+void BandedSpdMatrix::solve(std::vector<double>& rhs) const {
+  LIQUID3D_REQUIRE(rhs.size() == n_, "rhs size mismatch");
+  solve(std::span<double>(rhs), 1);
+}
+
+void BandedSpdMatrix::solve(std::span<double> rhs, std::size_t nrhs) const {
+  LIQUID3D_ASSERT(factorized_, "solve requires a factorized matrix");
+  LIQUID3D_REQUIRE(nrhs > 0, "need at least one right-hand side");
+  LIQUID3D_REQUIRE(rhs.size() == n_ * nrhs, "rhs size mismatch");
+  const double* const band = band_.data();
+  double* const x = rhs.data();
+
+  if (nrhs > 1) {
+    detail::solve_multi_dispatch(band, x, n_, b_, w_, nrhs);
+    return;
+  }
+
+  // Forward: L y = rhs, column-oriented — once y[j] is final, its
+  // contribution is pushed down the contiguous L column (an axpy).  The
+  // blocked path finalizes kBlk y values at a time and applies their
+  // columns in one fused sweep: the factor is read exactly once either
+  // way, but the x update — a full store stream per column in the naive
+  // axpy — is written once per block, dividing write traffic by kBlk.
+  {
+    constexpr std::size_t kBlk = 8;
+    std::size_t j0 = 0;
+    for (; j0 + kBlk <= n_; j0 += kBlk) {
+      // Finalize y within the block (intra-block dependencies are the
+      // kBlk x kBlk lower triangle at the top of the block's columns).
+      for (std::size_t j = j0; j < j0 + kBlk; ++j) {
+        double yj = x[j];
+        for (std::size_t p = j0; p < j; ++p) {
+          if (j - p <= b_) yj -= band[p * w_ + (j - p)] * x[p];
+        }
+        x[j] = yj / band[j * w_];
+      }
+      // Fused update of the rows every block column reaches.  cJ[i] is
+      // L(i, J) — base pointers shifted so all eight streams index by i.
+      const double y0 = x[j0], y1 = x[j0 + 1], y2 = x[j0 + 2], y3 = x[j0 + 3];
+      const double y4 = x[j0 + 4], y5 = x[j0 + 5], y6 = x[j0 + 6], y7 = x[j0 + 7];
+      const double* const c0 = band + j0 * w_ - j0;
+      const double* const c1 = c0 + w_ - 1;
+      const double* const c2 = c1 + w_ - 1;
+      const double* const c3 = c2 + w_ - 1;
+      const double* const c4 = c3 + w_ - 1;
+      const double* const c5 = c4 + w_ - 1;
+      const double* const c6 = c5 + w_ - 1;
+      const double* const c7 = c6 + w_ - 1;
+      const std::size_t i_common = std::min(n_ - 1, j0 + b_);
+      for (std::size_t i = j0 + kBlk; i <= i_common; ++i) {
+        x[i] -= c0[i] * y0 + c1[i] * y1 + c2[i] * y2 + c3[i] * y3 +
+                c4[i] * y4 + c5[i] * y5 + c6[i] * y6 + c7[i] * y7;
+      }
+      // Per-column tails beyond the first column's band reach.  Rows inside
+      // the block were already finalized above, so tails start no earlier
+      // than the block end (narrow bands would otherwise re-apply
+      // intra-block updates).
+      for (std::size_t j = j0 + 1; j < j0 + kBlk; ++j) {
+        const std::size_t i_hi = std::min(n_ - 1, j + b_);
+        const double* const cj = band + j * w_ - j;
+        const double yj = x[j];
+        for (std::size_t i = std::max(i_common + 1, j0 + kBlk); i <= i_hi; ++i) {
+          x[i] -= cj[i] * yj;
+        }
+      }
+    }
+    for (std::size_t j = j0; j < n_; ++j) {
+      const double* const colj = band + j * w_;
+      const double yj = x[j] / colj[0];
+      x[j] = yj;
+      const std::size_t m = std::min(b_, n_ - 1 - j);
+      for (std::size_t t = 1; t <= m; ++t) x[j + t] -= colj[t] * yj;
+    }
+  }
+  // Backward: L^T x = y — row j of L^T is column j of L, so this is a dot
+  // product over the same contiguous run.  The reduction uses eight explicit
+  // accumulators: a single serial chain is FMA-latency-bound and the
+  // compiler may not reassociate floating-point sums on its own.  The
+  // summation order is fixed, so results stay deterministic.
+  for (std::size_t jj = n_; jj-- > 0;) {
+    const double* const colj = band + jj * w_;
+    const std::size_t m = std::min(b_, n_ - 1 - jj);
+    const double* const xs = x + jj;
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
+    std::size_t t = 1;
+    for (; t + 7 <= m; t += 8) {
+      s0 += colj[t] * xs[t];
+      s1 += colj[t + 1] * xs[t + 1];
+      s2 += colj[t + 2] * xs[t + 2];
+      s3 += colj[t + 3] * xs[t + 3];
+      s4 += colj[t + 4] * xs[t + 4];
+      s5 += colj[t + 5] * xs[t + 5];
+      s6 += colj[t + 6] * xs[t + 6];
+      s7 += colj[t + 7] * xs[t + 7];
+    }
+    for (; t <= m; ++t) s0 += colj[t] * xs[t];
+    x[jj] = (x[jj] - (((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7)))) / colj[0];
+  }
+}
+
+}  // namespace liquid3d

@@ -67,6 +67,89 @@ TEST(Experiment, SeedVariesPerWorkload) {
   EXPECT_NE(a.seed, b.seed);
 }
 
+TEST(Experiment, SeedVariesPerPolicyCell) {
+  // Cells of the same workload under different policies used to share one
+  // RNG stream; the cell_seed mix separates every (policy, cooling) cell.
+  ExperimentSuite suite(tiny_suite());
+  const BenchmarkSpec wl = *find_benchmark("gzip");
+  const SimulationConfig lb =
+      suite.make_config({Policy::kLoadBalancing, CoolingMode::kAir}, wl);
+  const SimulationConfig mig =
+      suite.make_config({Policy::kReactiveMigration, CoolingMode::kAir}, wl);
+  EXPECT_NE(lb.seed, mig.seed);
+}
+
+void expect_same_result(const SimulationResult& a, const SimulationResult& b) {
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.benchmark, b.benchmark);
+  EXPECT_EQ(a.avg_tmax, b.avg_tmax);
+  EXPECT_EQ(a.chip_energy_j, b.chip_energy_j);
+  EXPECT_EQ(a.pump_energy_j, b.pump_energy_j);
+  EXPECT_EQ(a.throughput_per_s, b.throughput_per_s);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.hotspot_percent, b.hotspot_percent);
+}
+
+TEST(Experiment, CellResultsInvariantUnderGridReordering) {
+  // A cell's seed (and therefore its result) depends only on its identity,
+  // never on its position in the sweep — the property sharding and
+  // checkpointing rely on.
+  SuiteConfig sc = tiny_suite();
+  sc.duration = SimTime::from_s(3);
+  sc.base.thermal.grid_rows = 8;
+  sc.base.thermal.grid_cols = 9;
+
+  const std::vector<PolicyConfig> order_a = {
+      {Policy::kLoadBalancing, CoolingMode::kAir},
+      {Policy::kReactiveMigration, CoolingMode::kAir},
+  };
+  const std::vector<PolicyConfig> order_b = {order_a[1], order_a[0]};
+  const std::vector<BenchmarkSpec> wl_a = {*find_benchmark("gzip"),
+                                           *find_benchmark("Web-med")};
+  const std::vector<BenchmarkSpec> wl_b = {wl_a[1], wl_a[0]};
+
+  ExperimentSuite suite_a(sc);
+  ExperimentSuite suite_b(sc);
+  const auto res_a = suite_a.run(order_a, wl_a);
+  const auto res_b = suite_b.run(order_b, wl_b);
+  ASSERT_EQ(res_a.size(), 2u);
+  ASSERT_EQ(res_b.size(), 2u);
+  // Match cells by identity: summary i of run A is summary (1-i) of run B,
+  // with workloads likewise swapped.
+  for (std::size_t p = 0; p < 2; ++p) {
+    for (std::size_t w = 0; w < 2; ++w) {
+      SCOPED_TRACE(res_a[p].label + " / " + res_a[p].per_workload[w].benchmark);
+      expect_same_result(res_a[p].per_workload[w],
+                         res_b[1 - p].per_workload[1 - w]);
+    }
+  }
+}
+
+TEST(Experiment, BatchedExecutionMatchesThreadPool) {
+  SuiteConfig sc = tiny_suite();
+  sc.duration = SimTime::from_s(3);
+  const std::vector<PolicyConfig> policies = {
+      {Policy::kLoadBalancing, CoolingMode::kLiquidMax},
+      {Policy::kLoadBalancing, CoolingMode::kAir},
+  };
+  const std::vector<BenchmarkSpec> workloads = {*find_benchmark("gzip"),
+                                                *find_benchmark("Web-med")};
+
+  ExperimentSuite pooled(sc);
+  sc.execution = SuiteExecution::kBatched;
+  ExperimentSuite batched(sc);
+  const auto res_pool = pooled.run(policies, workloads);
+  const auto res_batch = batched.run(policies, workloads);
+  ASSERT_EQ(res_pool.size(), res_batch.size());
+  for (std::size_t p = 0; p < res_pool.size(); ++p) {
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+      SCOPED_TRACE(res_pool[p].label);
+      expect_same_result(res_pool[p].per_workload[w],
+                         res_batch[p].per_workload[w]);
+    }
+  }
+}
+
 TEST(Experiment, SkewScenariosMatchSystemShape) {
   const auto two_layer = skewed_workload_scenarios(1);
   ASSERT_EQ(two_layer.size(), 2u);

@@ -1,0 +1,115 @@
+// Structured result export (sim/report.hpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "sim/report.hpp"
+
+namespace liquid3d {
+namespace {
+
+SimulationResult sample_result(const std::string& label) {
+  SimulationResult r;
+  r.label = label;
+  r.benchmark = "Web-med";
+  r.hotspot_percent = 1.25;
+  r.hotspot_max_sample = 86.5;
+  r.avg_tmax = 79.125;
+  r.chip_energy_j = 1234.5;
+  r.pump_energy_j = 17.0;
+  r.total_energy_j = 1251.5;
+  r.throughput_per_s = 41.75;
+  r.avg_utilization = 0.53;
+  r.migrations = 3;
+  r.pump_transitions = 9;
+  r.valve_transitions = 4;
+  r.avg_flow_skew = 1.5;
+  r.forecast_rmse = 0.25;
+  r.avg_pump_setting = 2.5;
+  r.elapsed_s = 60.0;
+  return r;
+}
+
+std::size_t count_lines(const std::string& s) {
+  std::size_t n = 0;
+  for (char c : s) n += c == '\n';
+  return n;
+}
+
+TEST(Report, HeaderAndRowStayInSync) {
+  const SimulationResult r = sample_result("TALB (Var)");
+  EXPECT_EQ(to_csv_row(r).size(), simulation_result_csv_header().size());
+  EXPECT_EQ(simulation_result_csv_header().front(), "label");
+  EXPECT_EQ(simulation_result_csv_header().back(), "elapsed_s");
+}
+
+TEST(Report, ResultsCsvHasHeaderPlusOneRowPerResult) {
+  std::ostringstream out;
+  write_results_csv(out, {sample_result("LB (Air)"), sample_result("TALB (Var)")});
+  const std::string csv = out.str();
+  EXPECT_EQ(count_lines(csv), 3u);
+  EXPECT_EQ(csv.rfind("label,benchmark,", 0), 0u);  // header first
+  EXPECT_NE(csv.find("\nLB (Air),Web-med,1.25,86.5,"), std::string::npos);
+  EXPECT_NE(csv.find(",3,9,4,1.5,"), std::string::npos);  // counts as integers
+}
+
+TEST(Report, CsvQuotesFieldsContainingSeparators) {
+  SimulationResult r = sample_result("weird, \"label\"");
+  std::ostringstream out;
+  write_results_csv(out, {r});
+  EXPECT_NE(out.str().find("\"weird, \"\"label\"\"\","), std::string::npos);
+}
+
+TEST(Report, CsvNumbersRoundTripBitExactly) {
+  SimulationResult r = sample_result("x");
+  r.avg_tmax = 79.0 + 1.0 / 3.0;  // not representable in few digits
+  const std::vector<std::string> row = to_csv_row(r);
+  // avg_tmax is the column after the five percent/cycle metrics.
+  const std::string& formatted = row[7];
+  EXPECT_EQ(std::stod(formatted), r.avg_tmax);
+}
+
+TEST(Report, ResultsJsonIsWellFormedEnough) {
+  std::ostringstream out;
+  write_results_json(out, {sample_result("LB (Air)"), sample_result("TALB (Var)")});
+  const std::string json = out.str();
+  EXPECT_EQ(json.rfind("[\n", 0), 0u);
+  EXPECT_NE(json.find("{\"label\": \"LB (Air)\""), std::string::npos);
+  EXPECT_NE(json.find("\"avg_tmax\": 79.125"), std::string::npos);
+  EXPECT_NE(json.find("\"migrations\": 3"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Report, JsonEscapesStrings) {
+  std::ostringstream out;
+  write_results_json(out, {sample_result("quote\"back\\slash")});
+  EXPECT_NE(out.str().find("quote\\\"back\\\\slash"), std::string::npos);
+}
+
+TEST(Report, SummariesFlattenPerWorkloadRows) {
+  PolicySummary a;
+  a.label = "LB (Air)";
+  a.per_workload = {sample_result("LB (Air)"), sample_result("LB (Air)")};
+  PolicySummary b;
+  b.label = "TALB (Var)";
+  b.per_workload = {sample_result("TALB (Var)")};
+
+  std::ostringstream csv;
+  write_summaries_csv(csv, {a, b});
+  EXPECT_EQ(count_lines(csv.str()), 4u);  // header + 3 rows
+  EXPECT_EQ(csv.str().rfind("policy,label,benchmark,", 0), 0u);
+
+  std::ostringstream json;
+  write_summaries_json(json, {a, b});
+  EXPECT_NE(json.str().find("\"aggregates\": {\"mean_hotspot_percent\": 1.25"),
+            std::string::npos);
+  EXPECT_NE(json.str().find("\"total_chip_energy\": 2469"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace liquid3d

@@ -1,0 +1,287 @@
+// Steppable session + batch runner (sim/session.hpp, sim/batch_runner.hpp)
+// and the lockstep thermal stepper (thermal/batch_stepper.hpp).  The core
+// guarantee under test: batching never changes results — a BatchRunner of
+// many sessions sharing one factorization is bit-identical to serial
+// Simulator::run() calls.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/simulator.hpp"
+#include "thermal/batch_stepper.hpp"
+#include "thermal/model3d.hpp"
+
+namespace liquid3d {
+namespace {
+
+ThermalModelParams small_params(std::size_t rows = 8, std::size_t cols = 9) {
+  ThermalModelParams p;
+  p.grid_rows = rows;
+  p.grid_cols = cols;
+  return p;
+}
+
+std::unique_ptr<ThermalModel3D> make_loaded_model(double core_watts,
+                                                  double flow_ml,
+                                                  CoolingType cooling) {
+  auto m = std::make_unique<ThermalModel3D>(make_niagara_stack(1, cooling),
+                                            small_params());
+  if (cooling == CoolingType::kLiquid) {
+    m->set_cavity_flow(VolumetricFlow::from_ml_per_min(flow_ml));
+  }
+  const Floorplan& fp = m->stack().layer(0).floorplan;
+  std::vector<double> watts(fp.block_count(), 0.0);
+  for (std::size_t b = 0; b < fp.block_count(); ++b) {
+    if (fp.block(b).type == BlockType::kCore) watts[b] = core_watts;
+  }
+  m->set_block_power(0, watts);
+  m->initialize(45.0);
+  return m;
+}
+
+TEST(BatchStepper, LockstepIsBitIdenticalToSerialSteps) {
+  // Eight models with different power maps and flows (different fluid
+  // fixed-point trajectories — some converge in fewer iterations than
+  // others, exercising the active-set masking).
+  constexpr std::size_t kModels = 8;
+  std::vector<std::unique_ptr<ThermalModel3D>> batched;
+  std::vector<std::unique_ptr<ThermalModel3D>> serial;
+  std::vector<ThermalModel3D*> ptrs;
+  for (std::size_t i = 0; i < kModels; ++i) {
+    const double watts = 1.0 + 0.4 * static_cast<double>(i);
+    const double flow = 8.0 + 5.0 * static_cast<double>(i);
+    batched.push_back(make_loaded_model(watts, flow, CoolingType::kLiquid));
+    serial.push_back(make_loaded_model(watts, flow, CoolingType::kLiquid));
+    ptrs.push_back(batched.back().get());
+  }
+
+  BatchThermalStepper stepper;
+  for (int tick = 0; tick < 25; ++tick) {
+    stepper.step(ptrs, 0.05);
+    for (auto& m : serial) m->step(0.05);
+  }
+  EXPECT_GT(stepper.shared_solves(), 25u);  // fluid fixed point iterates
+  EXPECT_GT(stepper.solved_columns(), stepper.shared_solves());
+
+  for (std::size_t i = 0; i < kModels; ++i) {
+    for (std::size_t l = 0; l < batched[i]->layer_count(); ++l) {
+      for (std::size_t c = 0; c < batched[i]->grid().cell_count(); ++c) {
+        ASSERT_EQ(batched[i]->cell_temperature(l, c),
+                  serial[i]->cell_temperature(l, c))
+            << "model " << i << " layer " << l << " cell " << c;
+      }
+    }
+    EXPECT_EQ(batched[i]->fluid_outlet_temperature(1),
+              serial[i]->fluid_outlet_temperature(1));
+  }
+}
+
+TEST(BatchStepper, AirPackageMatchesSerial) {
+  std::vector<std::unique_ptr<ThermalModel3D>> batched;
+  std::vector<std::unique_ptr<ThermalModel3D>> serial;
+  std::vector<ThermalModel3D*> ptrs;
+  for (double watts : {1.5, 2.5, 3.5}) {
+    batched.push_back(make_loaded_model(watts, 0.0, CoolingType::kAir));
+    serial.push_back(make_loaded_model(watts, 0.0, CoolingType::kAir));
+    ptrs.push_back(batched.back().get());
+  }
+  BatchThermalStepper stepper;
+  for (int tick = 0; tick < 40; ++tick) {
+    stepper.step(ptrs, 0.05);
+    for (auto& m : serial) m->step(0.05);
+  }
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched[i]->max_temperature(), serial[i]->max_temperature());
+    EXPECT_EQ(batched[i]->sink_temperature(), serial[i]->sink_temperature());
+  }
+}
+
+TEST(BatchStepper, RejectsMismatchedTopologies) {
+  auto liquid = make_loaded_model(2.0, 20.0, CoolingType::kLiquid);
+  auto air = make_loaded_model(2.0, 0.0, CoolingType::kAir);
+  EXPECT_NE(liquid->topology_fingerprint(), air->topology_fingerprint());
+  std::vector<ThermalModel3D*> mixed = {liquid.get(), air.get()};
+  BatchThermalStepper stepper;
+  EXPECT_THROW(stepper.step(mixed, 0.05), ConfigError);
+}
+
+TEST(BatchStepper, SingleModelDegeneratesToSerialStep) {
+  auto batched = make_loaded_model(2.2, 18.0, CoolingType::kLiquid);
+  auto serial = make_loaded_model(2.2, 18.0, CoolingType::kLiquid);
+  BatchThermalStepper stepper;
+  std::vector<ThermalModel3D*> one = {batched.get()};
+  for (int tick = 0; tick < 10; ++tick) {
+    stepper.step(one, 0.1);
+    serial->step(0.1);
+  }
+  EXPECT_EQ(batched->max_temperature(), serial->max_temperature());
+}
+
+// -- Session / batch-runner parity -------------------------------------------
+
+/// A fast liquid cell; the characterization is shared process-wide through
+/// CharacterizationCache::global(), so only the first build pays.
+SimulationConfig session_config(std::uint64_t seed, const char* workload,
+                                CoolingMode cooling = CoolingMode::kLiquidMax) {
+  SimulationConfig cfg;
+  cfg.benchmark = *find_benchmark(workload);
+  cfg.cooling = cooling;
+  cfg.policy = Policy::kLoadBalancing;
+  cfg.duration = SimTime::from_s(3);
+  cfg.seed = seed;
+  cfg.thermal.grid_rows = 8;
+  cfg.thermal.grid_cols = 9;
+  return cfg;
+}
+
+void expect_bit_identical(const SimulationResult& a, const SimulationResult& b) {
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.benchmark, b.benchmark);
+  EXPECT_EQ(a.hotspot_percent, b.hotspot_percent);
+  EXPECT_EQ(a.hotspot_max_sample, b.hotspot_max_sample);
+  EXPECT_EQ(a.above_target_percent, b.above_target_percent);
+  EXPECT_EQ(a.spatial_gradient_percent, b.spatial_gradient_percent);
+  EXPECT_EQ(a.thermal_cycles_per_1000, b.thermal_cycles_per_1000);
+  EXPECT_EQ(a.avg_tmax, b.avg_tmax);
+  EXPECT_EQ(a.chip_energy_j, b.chip_energy_j);
+  EXPECT_EQ(a.pump_energy_j, b.pump_energy_j);
+  EXPECT_EQ(a.total_energy_j, b.total_energy_j);
+  EXPECT_EQ(a.throughput_per_s, b.throughput_per_s);
+  EXPECT_EQ(a.avg_utilization, b.avg_utilization);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.pump_transitions, b.pump_transitions);
+  EXPECT_EQ(a.valve_transitions, b.valve_transitions);
+  EXPECT_EQ(a.avg_flow_skew, b.avg_flow_skew);
+  EXPECT_EQ(a.predictor_rebuilds, b.predictor_rebuilds);
+  EXPECT_EQ(a.forecast_rmse, b.forecast_rmse);
+  EXPECT_EQ(a.avg_pump_setting, b.avg_pump_setting);
+  EXPECT_EQ(a.elapsed_s, b.elapsed_s);
+}
+
+TEST(SimulationSession, HandSteppedLoopMatchesSimulatorRun) {
+  const SimulationResult via_run = Simulator(session_config(3, "Web-med")).run();
+
+  SimulationSession s(session_config(3, "Web-med"));
+  EXPECT_FALSE(s.initialized());
+  s.init();
+  EXPECT_TRUE(s.initialized());
+  EXPECT_EQ(s.tick_count(), 30u);  // 3 s / 100 ms
+  std::size_t steps = 0;
+  while (!s.done()) {
+    // Decomposed form of step(): pre-thermal, substeps, post-thermal.
+    s.begin_tick();
+    for (std::size_t k = 0; k < s.substep_count(); ++k) {
+      s.thermal().step(s.substep_dt());
+    }
+    s.finish_tick();
+    ++steps;
+    // Mid-run state is inspectable.
+    EXPECT_GT(s.chip_watts(), 0.0);
+    EXPECT_EQ(s.busy_fraction().size(), s.core_count());
+    EXPECT_GT(s.thermal().max_temperature(), 40.0);
+  }
+  EXPECT_EQ(steps, 30u);
+  EXPECT_FALSE(s.step());  // stepping past the end is a no-op
+  expect_bit_identical(s.result(), via_run);
+}
+
+TEST(SimulationSession, StepRequiresInit) {
+  SimulationSession s(session_config(4, "gzip"));
+  EXPECT_THROW(s.begin_tick(), ConfigError);
+  EXPECT_THROW((void)s.result(), ConfigError);
+}
+
+TEST(SimulationSession, MidRunResultIsPartialAggregate) {
+  SimulationSession s(session_config(5, "Web-med"));
+  s.init();
+  for (int i = 0; i < 10; ++i) s.step();
+  const SimulationResult mid = s.result();
+  EXPECT_DOUBLE_EQ(mid.elapsed_s, 1.0);  // 10 ticks x 100 ms
+  EXPECT_GT(mid.chip_energy_j, 0.0);
+  while (s.step()) {
+  }
+  const SimulationResult full = s.result();
+  EXPECT_DOUBLE_EQ(full.elapsed_s, 3.0);
+  EXPECT_GT(full.chip_energy_j, mid.chip_energy_j);
+}
+
+TEST(SimulationSession, ReinitReportsOnlyTheCurrentRun) {
+  SimulationSession s(session_config(6, "Web-med"));
+  s.init();
+  while (s.step()) {
+  }
+  const SimulationResult first = s.result();
+  // Restart: aggregates reset, cumulative counters re-baselined — the
+  // second result must cover only the second run (not report doubled
+  // throughput/migration counts from the object's lifetime).
+  s.init();
+  while (s.step()) {
+  }
+  const SimulationResult second = s.result();
+  EXPECT_DOUBLE_EQ(second.elapsed_s, first.elapsed_s);
+  EXPECT_GT(second.throughput_per_s, 0.0);
+  EXPECT_LT(second.throughput_per_s, 1.5 * first.throughput_per_s);
+  EXPECT_GT(second.chip_energy_j, 0.0);
+  EXPECT_LT(second.chip_energy_j, 1.5 * first.chip_energy_j);
+}
+
+TEST(BatchRunner, EightSessionsBitIdenticalToSerialRuns) {
+  // Eight cells differing in workload, seed, and policy/cooling knobs that
+  // keep one shared topology (all liquid, same grid/stack/dt).
+  const char* workloads[] = {"Web-med", "Web-high", "gzip",    "Database",
+                             "Web&DB",  "gcc",      "MPlayer", "MPlayer&Web"};
+  std::vector<SimulationResult> serial;
+  BatchRunner batch;
+  for (std::size_t i = 0; i < 8; ++i) {
+    SimulationConfig cfg = session_config(100 + i, workloads[i]);
+    serial.push_back(Simulator(cfg).run());
+    batch.add(cfg);
+  }
+  const std::vector<SimulationResult> batched = batch.run();
+  ASSERT_EQ(batched.size(), 8u);
+  EXPECT_EQ(batch.group_count(), 1u);  // one shared factorization group
+  EXPECT_GT(batch.stepper().solved_columns(), batch.stepper().shared_solves());
+  for (std::size_t i = 0; i < 8; ++i) {
+    SCOPED_TRACE(workloads[i]);
+    expect_bit_identical(batched[i], serial[i]);
+  }
+}
+
+TEST(BatchRunner, MixedDurationsDropFinishedSessionsFromLockstep) {
+  BatchRunner batch;
+  SimulationConfig short_cfg = session_config(7, "gzip");
+  short_cfg.duration = SimTime::from_s(1);
+  SimulationConfig long_cfg = session_config(8, "Web-med");
+  long_cfg.duration = SimTime::from_s(2);
+  batch.add(short_cfg);
+  batch.add(long_cfg);
+
+  const SimulationResult short_serial = Simulator(short_cfg).run();
+  const SimulationResult long_serial = Simulator(long_cfg).run();
+  const auto results = batch.run();
+  ASSERT_EQ(results.size(), 2u);
+  expect_bit_identical(results[0], short_serial);
+  expect_bit_identical(results[1], long_serial);
+}
+
+TEST(BatchRunner, IncompatibleTopologiesFormSeparateGroups) {
+  BatchRunner batch;
+  batch.add(session_config(9, "gzip"));                         // liquid
+  SimulationConfig air = session_config(10, "gzip", CoolingMode::kAir);
+  air.policy = Policy::kLoadBalancing;
+  batch.add(air);                                               // air package
+  SimulationConfig coarse = session_config(11, "gzip");
+  coarse.thermal.grid_rows = 6;
+  coarse.thermal.grid_cols = 7;
+  batch.add(coarse);                                            // other grid
+  const auto results = batch.run();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(batch.group_count(), 3u);
+  for (const SimulationResult& r : results) EXPECT_GT(r.avg_tmax, 40.0);
+}
+
+}  // namespace
+}  // namespace liquid3d

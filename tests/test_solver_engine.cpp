@@ -102,6 +102,68 @@ TEST(SolverEngine, MultiRhsMatchesSingleRhsSolves) {
   }
 }
 
+TEST(SolverEngine, MultiRhsIsBitIdenticalToSingleRhs) {
+  // The batched kernel replicates the single-RHS operation order per
+  // system, so batched transient scenarios reproduce serial runs exactly.
+  // Exercised across sizes covering the blocked path, its remainder tail,
+  // and bands narrower than the block.
+  struct Case {
+    std::size_t n, bw, nrhs;
+  };
+  for (const Case c : {Case{90, 11, 5}, Case{64, 3, 2}, Case{131, 40, 16},
+                       Case{7, 2, 3}}) {
+    Rng rng(17 + c.n);
+    BandedSpdMatrix m = random_network(c.n, c.bw, rng);
+    m.factorize();
+    std::vector<std::vector<double>> singles(c.nrhs, std::vector<double>(c.n));
+    std::vector<double> batched(c.n * c.nrhs);
+    for (std::size_t r = 0; r < c.nrhs; ++r) {
+      for (std::size_t i = 0; i < c.n; ++i) {
+        const double v = rng.uniform(-5, 5);
+        singles[r][i] = v;
+        batched[i * c.nrhs + r] = v;
+      }
+    }
+    for (auto& rhs : singles) m.solve(rhs);
+    m.solve(std::span<double>(batched), c.nrhs);
+    for (std::size_t r = 0; r < c.nrhs; ++r) {
+      for (std::size_t i = 0; i < c.n; ++i) {
+        EXPECT_EQ(batched[i * c.nrhs + r], singles[r][i])
+            << "n=" << c.n << " bw=" << c.bw << " rhs " << r << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(SolverEngine, MultiRhsBitIdenticalAcrossBatchWidths) {
+  // A batch's width must not affect any member system: the lockstep
+  // stepper's active set shrinks as models converge, so one model's solves
+  // run at many widths within a single simulation.
+  constexpr std::size_t n = 120;
+  constexpr std::size_t bw = 17;
+  Rng rng(29);
+  BandedSpdMatrix m = random_network(n, bw, rng);
+  m.factorize();
+  std::vector<double> probe(n);
+  for (double& v : probe) v = rng.uniform(-4, 4);
+
+  std::vector<double> reference = probe;
+  m.solve(reference);
+  for (std::size_t nrhs : {2u, 3u, 5u, 8u, 13u, 16u, 19u}) {
+    std::vector<double> batched(n * nrhs);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t r = 0; r < nrhs; ++r) {
+        // Column 0 is the probe; the rest is arbitrary filler.
+        batched[i * nrhs + r] = r == 0 ? probe[i] : probe[(i + r) % n];
+      }
+    }
+    m.solve(std::span<double>(batched), nrhs);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(batched[i * nrhs], reference[i]) << "nrhs " << nrhs << " row " << i;
+    }
+  }
+}
+
 TEST(SolverEngine, MultiRhsMatchesDenseSolver) {
   constexpr std::size_t n = 60;
   constexpr std::size_t bw = 9;
