@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""check_bench_regression.py — fail CI when a benchmark regresses.
+
+Compares the per-iteration times of a fresh google-benchmark JSON run
+against the checked-in baseline (BENCH_solver.json) and exits non-zero if
+any benchmark present in both files regressed by more than the threshold
+(default 30%).
+
+CI runners and the machine that recorded the baseline differ in absolute
+speed, so by default the comparison is *normalized*: each benchmark's
+current/baseline ratio is divided by the median ratio across all compared
+benchmarks.  A uniformly slower (or faster) machine moves every ratio
+together and cancels out; a genuine regression moves one benchmark against
+the rest and survives normalization.  Pass --absolute to compare raw
+ratios instead (sensible when baseline and current ran on the same host).
+
+Corollary: an intentional perf change that speeds up many benchmarks
+shifts the median and can make *unchanged* benchmarks read as regressed —
+refresh the baseline (scripts/run_bench.sh) in the same commit as any
+deliberate perf change.
+
+Usage:
+  scripts/check_bench_regression.py BASELINE.json CURRENT.json \
+      [--threshold 0.30] [--absolute] [--filter REGEX]
+"""
+
+import argparse
+import json
+import re
+import statistics
+import sys
+
+
+def per_iteration_times(path, name_filter):
+    """name -> per-iteration real_time in ns for aggregate-free entries."""
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        if name_filter and not name_filter.search(name):
+            continue
+        unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[
+            bench.get("time_unit", "ns")
+        ]
+        times[name] = bench["real_time"] * unit_ns
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument("current", help="freshly measured JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="allowed fractional slowdown (0.30 = +30%%)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="compare raw ratios (skip median machine-speed normalization)",
+    )
+    parser.add_argument(
+        "--filter", default="", help="only compare benchmark names matching REGEX"
+    )
+    args = parser.parse_args()
+
+    name_filter = re.compile(args.filter) if args.filter else None
+    baseline = per_iteration_times(args.baseline, name_filter)
+    current = per_iteration_times(args.current, name_filter)
+
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("error: no benchmarks in common between baseline and current run")
+        return 2
+
+    ratios = {name: current[name] / baseline[name] for name in shared}
+    scale = 1.0 if args.absolute else statistics.median(ratios.values())
+    limit = 1.0 + args.threshold
+
+    print(
+        f"comparing {len(shared)} benchmarks "
+        f"(machine-speed scale: {scale:.3f}, limit: {limit:.2f}x)"
+    )
+    failures = []
+    for name in shared:
+        normalized = ratios[name] / scale
+        status = "OK"
+        if normalized > limit:
+            status = "REGRESSED"
+            failures.append(name)
+        print(
+            f"  {status:9s} {name:55s} "
+            f"base {baseline[name] / 1e3:12.1f}us  "
+            f"now {current[name] / 1e3:12.1f}us  "
+            f"x{normalized:.3f}"
+        )
+
+    only_current = sorted(set(current) - set(baseline))
+    if only_current:
+        print("new benchmarks (no baseline, informational):")
+        for name in only_current:
+            print(f"  NEW       {name:55s} now {current[name] / 1e3:12.1f}us")
+
+    if failures:
+        print(
+            f"FAIL: {len(failures)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%} vs {args.baseline}"
+        )
+        return 1
+    print("all benchmarks within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,11 +16,15 @@ cmake -B "${build_dir}" -S "${repo_root}" \
 cmake --build "${build_dir}" --target bench_micro_solver -j "$(nproc)"
 
 # BM_SteadyState also matches BM_SteadyStatePerCavity (the vector-flow
-# assembly benchmark) by prefix; keep both in the JSON.
+# assembly benchmark) by prefix; keep both in the JSON.  BM_Cg* is the
+# iterative (PCG) backend, BM_FineGrid* the direct-solver cost at the same
+# fine-grid shape — the pair documents the bandwidth crossover.  NOTE: the
+# fine-grid direct factorization runs tens of seconds and allocates ~1.6 GB;
+# a full refresh takes a few minutes.
 "${build_dir}/bench_micro_solver" \
   --benchmark_format=json \
   --benchmark_out="${out_json}" \
   --benchmark_out_format=json \
-  --benchmark_filter='BM_Banded|BM_TransientStep|BM_BatchedTransient|BM_SteadyState|BM_FlowLut'
+  --benchmark_filter='BM_Banded|BM_TransientStep|BM_BatchedTransient|BM_SteadyState|BM_FlowLut|BM_Cg|BM_FineGrid'
 
 echo "wrote ${out_json}"

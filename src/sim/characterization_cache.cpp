@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "control/characterize.hpp"
 #include "coolant/pump.hpp"
+#include "thermal/solver/backend.hpp"
 
 namespace liquid3d {
 
@@ -29,7 +30,10 @@ void append(std::string& key, std::size_t v) {
 // Every numeric parameter the characterization harness consumes.  The grid
 // resolution matters (steady temperatures are grid-dependent) and so do the
 // solver knobs (direct vs pseudo-transient paths agree only to tolerance).
-void append_thermal(std::string& key, const ThermalModelParams& t) {
+// `layer_count` is the stack's layer count — needed to resolve the backend
+// the model will actually run with.
+void append_thermal(std::string& key, const ThermalModelParams& t,
+                    std::size_t layer_count) {
   append(key, t.grid_rows);
   append(key, t.grid_cols);
   append(key, t.silicon_conductivity);
@@ -59,6 +63,24 @@ void append_thermal(std::string& key, const ThermalModelParams& t) {
   append(key, t.steady_tolerance);
   append(key, t.max_steady_iterations);
   key += t.direct_steady_solver ? "direct," : "pseudo,";
+  // Backend axis: the direct and iterative paths agree only to tolerance,
+  // so artifacts built under one must not be served to the other.  Keyed on
+  // the *resolved* backend — a kAuto config and an explicit request that
+  // resolve identically build bitwise-identical artifacts and must share
+  // one cache entry.  The PCG knobs enter the key only when the resolved
+  // backend actually consumes them, for the same sharing reason.
+  const SolverBackend resolved = resolve_solver_backend(
+      t.solver_backend, t.grid_rows * t.grid_cols * layer_count,
+      t.grid_cols * layer_count);
+  key += to_string(resolved);
+  key += ",";
+  if (resolved == SolverBackend::kPcg) {
+    append(key, t.pcg.tolerance);
+    append(key, t.pcg.max_iterations);
+    key += to_string(t.pcg.preconditioner);
+    key += ",";
+    append(key, t.pcg.ssor_omega);
+  }
 }
 
 void append_power(std::string& key, const PowerModelParams& p) {
@@ -83,7 +105,9 @@ void append_system(std::string& key, const SimulationConfig& cfg, bool liquid) {
   key += liquid ? "liquid," : "air,";
   key += to_string(cfg.delivery_mode);
   key += ",";
-  append_thermal(key, cfg.thermal);
+  // Derive the layer count from the stack the model will actually be built
+  // on, not from assumptions about make_niagara_stack's internal structure.
+  append_thermal(key, cfg.thermal, make_simulation_stack(cfg).layer_count());
   append_power(key, cfg.power);
 }
 

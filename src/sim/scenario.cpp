@@ -57,18 +57,23 @@ CoolingMode cooling_from_name(std::string_view s) {
 }
 
 const std::vector<std::string>& scenario_csv_header() {
-  static const std::vector<std::string> header = {"name",  "policy", "cooling",
-                                                  "valves", "skew",   "label"};
+  static const std::vector<std::string> header = {
+      "name", "policy", "cooling", "valves", "skew", "label", "solver"};
   return header;
 }
 
 std::vector<std::string> to_csv_row(const ScenarioSpec& s) {
   return {s.name,  policy_name(s.policy),       cooling_name(s.cooling),
-          s.valve_network ? "1" : "0", s.skew,  s.label};
+          s.valve_network ? "1" : "0", s.skew,  s.label,
+          to_string(s.solver)};
 }
 
 ScenarioSpec scenario_from_csv_row(const std::vector<std::string>& row) {
-  LIQUID3D_REQUIRE(row.size() == scenario_csv_header().size(),
+  // The solver column was appended in a later schema revision; rows written
+  // before it (6 columns) still parse, defaulting to kAuto — sharded sweep
+  // checkpoints stay readable.
+  LIQUID3D_REQUIRE(row.size() == scenario_csv_header().size() ||
+                       row.size() == scenario_csv_header().size() - 1,
                    "scenario row arity mismatch");
   ScenarioSpec s;
   s.name = row[0];
@@ -84,6 +89,7 @@ ScenarioSpec scenario_from_csv_row(const std::vector<std::string>& row) {
   }
   s.skew = row[4];
   s.label = row[5];
+  if (row.size() > 6) s.solver = solver_backend_from_name(row[6]);
   return s;
 }
 
@@ -93,6 +99,7 @@ void apply_scenario(const ScenarioSpec& s, SimulationConfig& cfg) {
   cfg.policy = s.policy;
   cfg.cooling = s.cooling;
   cfg.manager.valve_network = s.valve_network;
+  cfg.thermal.solver_backend = s.solver;
   cfg.label = s.display_label();
   if (!s.skew.empty()) {
     bool found = false;

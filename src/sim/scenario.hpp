@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sim/session.hpp"
+#include "thermal/solver/backend.hpp"
 
 namespace liquid3d {
 
@@ -51,6 +52,11 @@ struct ScenarioSpec {
   std::string skew;
   /// Display label; empty = the paper-style policy_label().
   std::string label;
+  /// Thermal solver backend for the cell's model (kAuto = the bandwidth
+  /// cost model in thermal/solver/backend.hpp picks).  Like the valve/skew
+  /// axes this is deliberately seed-neutral: a backend comparison runs both
+  /// arms on the identical workload trace.
+  SolverBackend solver = SolverBackend::kAuto;
 
   [[nodiscard]] std::string display_label() const;
 };

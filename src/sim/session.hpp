@@ -74,6 +74,9 @@ struct SimulationConfig {
   /// variance).
   std::size_t characterization_threads = 4;
 
+  /// Thermal model knobs, including the solver backend axis
+  /// (`thermal.solver_backend`: direct banded Cholesky vs preconditioned
+  /// CG, kAuto = bandwidth cost model) — set by ScenarioSpec binding.
   ThermalModelParams thermal{};
   PowerModelParams power{};
   DpmParams dpm{};

@@ -19,6 +19,15 @@ void BatchThermalStepper::step(std::span<ThermalModel3D* const> models,
     LIQUID3D_REQUIRE(m->params().max_fluid_iterations >= 1,
                      "batched stepping requires max_fluid_iterations >= 1");
   }
+  // The shared-factor multi-RHS path is a direct-backend construct.  PCG
+  // models share nothing step-to-step beyond their (cheap, per-model) CSR
+  // systems, so a PCG batch — homogeneous, because the topology fingerprint
+  // mixes the resolved backend in — steps serially; the lockstep grouping
+  // machinery above still applies, it just buys no shared solve.
+  if (lead.backend_ != SolverBackend::kDirect) {
+    for (ThermalModel3D* m : models) m->step(dt_s);
+    return;
+  }
   const BandedSpdMatrix& mat = lead.matrix_for_dt(dt_s);
   const double inv_dt = 1.0 / dt_s;
   const std::size_t n = lead.node_count_;

@@ -14,6 +14,12 @@
 // state models[i]->step(dt) would have — the per-model silicon<->fluid
 // fixed point keeps its own convergence trajectory (models that converge
 // early are masked out of subsequent shared solves rather than over-solved).
+//
+// The shared factor stream applies to the direct (banded Cholesky) backend;
+// models resolved to the PCG backend (solver/backend.hpp) step serially —
+// trivially bit-identical — since an iterative solve has no factorization
+// to share.  Batches are always backend-homogeneous: the topology
+// fingerprint mixes the resolved backend in.
 #pragma once
 
 #include <cstdint>

@@ -48,6 +48,8 @@ ThermalModel3D::ThermalModel3D(Stack3D stack, ThermalModelParams params)
       node_count_(stack_.layer_count() * grid_.cell_count()),
       inlet_temperature_(params.inlet_temperature) {
   LIQUID3D_REQUIRE(layer_count_ >= 1, "stack must have at least one layer");
+  backend_ = resolve_solver_backend(params_.solver_backend, node_count_,
+                                    grid_.cols() * layer_count_);
   maps_.reserve(layer_count_);
   for (std::size_t l = 0; l < layer_count_; ++l) {
     maps_.emplace_back(grid_, stack_.layer(l).floorplan);
@@ -56,6 +58,7 @@ ThermalModel3D::ThermalModel3D(Stack3D stack, ThermalModelParams params)
   cell_power_.assign(node_count_, 0.0);
   rhs_.assign(node_count_, 0.0);
   temps_prev_.assign(node_count_, 0.0);
+  if (backend_ == SolverBackend::kPcg) pcg_x_.assign(node_count_, 0.0);
   layer_scratch_.assign(cell_count_, 0.0);
   if (stack_.has_cavities()) {
     fluid_temp_.assign(stack_.cavity_count(),
@@ -225,8 +228,12 @@ void ThermalModel3D::build_topology() {
   }
 
   // Fingerprint everything build_matrix consumes (plus the shape and the
-  // fluid/package coupling constants, which enter the RHS).
+  // fluid/package coupling constants, which enter the RHS).  The resolved
+  // solver backend is mixed in too: equal fingerprints promise that the
+  // batch stepper can advance the models identically, which holds only
+  // within one backend.
   std::uint64_t h = kFnvOffset;
+  fnv_mix(h, static_cast<std::uint64_t>(backend_));
   fnv_mix(h, static_cast<std::uint64_t>(layer_count_));
   fnv_mix(h, static_cast<std::uint64_t>(grid_.rows()));
   fnv_mix(h, static_cast<std::uint64_t>(grid_.cols()));
@@ -286,14 +293,23 @@ void ThermalModel3D::initialize(double temperature_c) {
   sink_temp_ = params_.ambient_temperature;
 }
 
-void ThermalModel3D::build_matrix(BandedSpdMatrix& m, double inv_dt) const {
-  m.set_zero();
+// One stamping routine serves both backends (their matrix types share the
+// add_diagonal/add_coupling interface on purpose): the direct and iterative
+// paths must assemble the identical operator, and a single stamp keeps an
+// assembly change from reaching one backend but not the other.
+template <typename MatrixT>
+void ThermalModel3D::stamp_system(MatrixT& m, double inv_dt) const {
   for (std::size_t i = 0; i < node_count_; ++i) {
     m.add_diagonal(i, capacitance_[i] * inv_dt + ext_diag_[i]);
   }
   for (const Coupling& c : couplings_) {
     m.add_coupling(c.a, c.b, c.g);
   }
+}
+
+void ThermalModel3D::build_matrix(BandedSpdMatrix& m, double inv_dt) const {
+  m.set_zero();
+  stamp_system(m, inv_dt);
 }
 
 const BandedSpdMatrix& ThermalModel3D::matrix_for_dt(double dt_s) {
@@ -303,6 +319,19 @@ const BandedSpdMatrix& ThermalModel3D::matrix_for_dt(double dt_s) {
   build_matrix(*m, 1.0 / dt_s);
   m->factorize();
   return factor_cache_.insert(dt_s, std::move(m));
+}
+
+void ThermalModel3D::build_sparse_matrix(SparseMatrix& m, double inv_dt) const {
+  stamp_system(m, inv_dt);
+}
+
+PcgSolver& ThermalModel3D::pcg_for_dt(double dt_s) {
+  if (PcgSolver* cached = pcg_cache_.find(dt_s)) return *cached;
+  SparseMatrix a(node_count_);
+  build_sparse_matrix(a, 1.0 / dt_s);
+  a.finalize();
+  return pcg_cache_.insert(dt_s,
+                           std::make_unique<PcgSolver>(std::move(a), params_.pcg));
 }
 
 double ThermalModel3D::march_fluid(std::size_t cavity) {
@@ -395,16 +424,37 @@ void ThermalModel3D::assemble_transient_rhs(double inv_dt, double* out) const {
   }
 }
 
-double ThermalModel3D::advance(const BandedSpdMatrix& m, double inv_dt,
-                               std::size_t fluid_iters, double fluid_tol) {
+double ThermalModel3D::advance(double dt_s, std::size_t fluid_iters,
+                               double fluid_tol) {
+  const double inv_dt = 1.0 / dt_s;
+  const BandedSpdMatrix* direct =
+      backend_ == SolverBackend::kDirect ? &matrix_for_dt(dt_s) : nullptr;
+  PcgSolver* pcg = direct ? nullptr : &pcg_for_dt(dt_s);
   temps_prev_.assign(temps_.begin(), temps_.end());
   const bool liquid = stack_.has_cavities();
   const std::size_t max_iters = liquid ? fluid_iters : 1;
 
   for (std::size_t iter = 0; iter < max_iters; ++iter) {
     assemble_transient_rhs(inv_dt, rhs_.data());
-    m.solve(rhs_);
-    temps_.swap(rhs_);
+    if (direct) {
+      direct->solve(rhs_);
+      temps_.swap(rhs_);
+    } else {
+      // Warm-start from the current field: across fluid iterations (and
+      // across steps) the solution moves by fractions of a kelvin, so the
+      // iterative solve needs a handful of iterations, not a cold start's.
+      pcg_x_.assign(temps_.begin(), temps_.end());
+      last_pcg_ = pcg->solve(rhs_.data(), pcg_x_.data());
+      // An iterate that stalled at the iteration cap is not a solution;
+      // accepting it silently would corrupt every sample and policy
+      // decision built on the field.  ConfigError, not LogicError: the cap
+      // and tolerance are user-tunable knobs, and the fix is theirs.
+      LIQUID3D_REQUIRE(last_pcg_.converged,
+                       "PCG did not converge within max_iterations; raise "
+                       "ThermalModelParams::pcg.max_iterations or loosen the "
+                       "tolerance");
+      temps_.swap(pcg_x_);
+    }
     if (!liquid) break;
     const double delta = march_all_fluid();
     if (delta < fluid_tol) break;
@@ -419,8 +469,7 @@ double ThermalModel3D::advance(const BandedSpdMatrix& m, double inv_dt,
 
 void ThermalModel3D::step(double dt_s) {
   LIQUID3D_REQUIRE(dt_s > 0.0, "time step must be positive");
-  const BandedSpdMatrix& m = matrix_for_dt(dt_s);
-  advance(m, 1.0 / dt_s, params_.max_fluid_iterations, params_.fluid_tolerance);
+  advance(dt_s, params_.max_fluid_iterations, params_.fluid_tolerance);
   if (!stack_.has_cavities()) update_package_transient(dt_s);
 }
 
@@ -609,7 +658,12 @@ void ThermalModel3D::solve_steady_state(const std::function<bool()>& pre_step) {
                        "in every cavity");
     }
   }
-  if (params_.direct_steady_solver && stack_.has_cavities()) {
+  // The fluid-eliminated direct steady solve is a banded-LU object — the
+  // O(n b^2) cost profile the iterative backend exists to avoid — so the
+  // PCG backend always takes the pseudo-transient continuation below, with
+  // each backward-Euler step solved iteratively and warm-started.
+  if (params_.direct_steady_solver && stack_.has_cavities() &&
+      backend_ == SolverBackend::kDirect) {
     // The unpivoted LU is provably stable while every fluid-eliminated row
     // stays diagonally dominant, which holds exactly when the per-cell
     // convective conductance does not exceed twice the per-row-channel
@@ -641,8 +695,6 @@ void ThermalModel3D::solve_steady_state(const std::function<bool()>& pre_step) {
       }
     }
   }
-  const BandedSpdMatrix& m = matrix_for_dt(params_.steady_pseudo_dt);
-  const double inv_dt = 1.0 / params_.steady_pseudo_dt;
   // Far from the steady state the inner silicon<->fluid alternation need
   // not be polished: its tolerance tracks the last outer step's movement
   // (floored at the configured tolerance, so the endgame — and the final
@@ -650,7 +702,8 @@ void ThermalModel3D::solve_steady_state(const std::function<bool()>& pre_step) {
   double fluid_tol = params_.fluid_tolerance;
   for (std::size_t iter = 0; iter < params_.max_steady_iterations; ++iter) {
     if (pre_step && !pre_step()) return;
-    double delta = advance(m, inv_dt, params_.steady_fluid_iterations, fluid_tol);
+    double delta = advance(params_.steady_pseudo_dt,
+                           params_.steady_fluid_iterations, fluid_tol);
     if (!stack_.has_cavities()) {
       const double spr_before = spreader_temp_;
       update_package_steady();

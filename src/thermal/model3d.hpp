@@ -44,9 +44,11 @@
 #include "coolant/properties.hpp"
 #include "geom/grid.hpp"
 #include "geom/stack.hpp"
+#include "thermal/solver/backend.hpp"
 #include "thermal/solver/banded_lu.hpp"
 #include "thermal/solver/banded_spd.hpp"
 #include "thermal/solver/factorization_cache.hpp"
+#include "thermal/solver/pcg.hpp"
 
 namespace liquid3d {
 
@@ -131,7 +133,20 @@ struct ThermalModelParams {
   /// each cell only to upstream cells in its channel row — within the
   /// matrix bandwidth — so one banded-LU solve replaces the whole
   /// pseudo-transient continuation (which this flag falls back to).
+  /// Applies to the direct backend; the PCG backend always reaches the
+  /// steady state by pseudo-transient continuation (the fluid-eliminated
+  /// system is non-symmetric and banded — exactly the O(n b^2) object the
+  /// iterative backend exists to avoid).
   bool direct_steady_solver = true;
+
+  /// Linear solver family for the backward-Euler (and steady pseudo-step)
+  /// systems.  kAuto resolves per model from the bandwidth x size cost
+  /// model in solver/backend.hpp — direct for every current grid, PCG once
+  /// the half-bandwidth (cols x layers) makes O(n b^2) factorization the
+  /// bottleneck (the paper-native 100 µm regime).
+  SolverBackend solver_backend = SolverBackend::kAuto;
+  /// Iterative-backend knobs (tolerance, iteration cap, preconditioner).
+  PcgParams pcg{};
 };
 
 class ThermalModel3D {
@@ -228,6 +243,15 @@ class ThermalModel3D {
     return factor_cache_;
   }
 
+  /// The backend this model resolved to (never kAuto).
+  [[nodiscard]] SolverBackend solver_backend() const { return backend_; }
+  /// PCG system cache statistics (iterative backend; empty on direct).
+  [[nodiscard]] const DtKeyedLruCache<PcgSolver>& pcg_cache() const {
+    return pcg_cache_;
+  }
+  /// Outcome of the most recent PCG solve (iterative backend).
+  [[nodiscard]] const PcgSummary& last_pcg() const { return last_pcg_; }
+
   /// Hash of the conduction topology (capacitances, couplings, external
   /// conductances, grid shape).  Two models with equal fingerprints assemble
   /// bit-identical system matrices for any dt, so one factorization can
@@ -249,10 +273,21 @@ class ThermalModel3D {
   }
 
   void build_topology();
+  /// Stamp the backward-Euler operator (C/dt + G) into any matrix exposing
+  /// add_diagonal/add_coupling — the single assembly both backends share.
+  template <typename MatrixT>
+  void stamp_system(MatrixT& m, double inv_dt) const;
   void build_matrix(BandedSpdMatrix& m, double inv_dt) const;
+  /// CSR twin of build_matrix: the identical operator, assembled by the
+  /// same stamp, for the iterative backend.
+  void build_sparse_matrix(SparseMatrix& m, double inv_dt) const;
   /// Factorized system matrix for the given step size — a cache lookup
   /// after the first use of each dt (assembly + factorization on miss).
+  /// Direct backend only.
   const BandedSpdMatrix& matrix_for_dt(double dt_s);
+  /// PCG system (CSR operator + preconditioner) for the given step size —
+  /// cached per dt exactly like the banded factorizations.
+  PcgSolver& pcg_for_dt(double dt_s);
   /// Assemble the fluid-eliminated steady system (liquid stacks): matrix
   /// over silicon nodes plus each node's coefficient on the inlet
   /// temperature (the constant term the elimination produces).
@@ -262,9 +297,11 @@ class ThermalModel3D {
   void solve_steady_state_direct(const std::function<bool()>& pre_step);
   /// One backward-Euler step (including the fluid fixed point); returns the
   /// largest node temperature change.  `fluid_tol` bounds the inner
-  /// silicon<->fluid alternation error for this step.
-  double advance(const BandedSpdMatrix& m, double inv_dt, std::size_t fluid_iters,
-                 double fluid_tol);
+  /// silicon<->fluid alternation error for this step.  Dispatches the
+  /// linear solves to the resolved backend: the direct path back-substitutes
+  /// through the cached factorization, the PCG path iterates warm-started
+  /// from the current temperature field.
+  double advance(double dt_s, std::size_t fluid_iters, double fluid_tol);
   /// Write the backward-Euler right-hand side (stored heat + injected power
   /// + external coupling terms) into out[i] for node i.  Reads temps_prev_
   /// — callers snapshot temps_ there first.  Shared by the serial advance
@@ -308,10 +345,18 @@ class ThermalModel3D {
   double inlet_temperature_;
   std::vector<VolumetricFlow> cavity_flows_;  ///< [cavity]
 
+  // Resolved solver backend (kAuto is decided at construction, before the
+  // topology fingerprint is computed — the fingerprint mixes it in, so
+  // batch groups are backend-homogeneous).
+  SolverBackend backend_ = SolverBackend::kDirect;
+
   // Cached factorizations, keyed by dt (transient sub-steps and the steady
   // pseudo-step share one cache; see FactorizationCache for the tolerant
   // key comparison that replaced the seed's exact `transient_dt_ == dt_s`).
   FactorizationCache factor_cache_{4};
+  // Iterative-backend twin: PCG systems (CSR + preconditioner) per dt.
+  DtKeyedLruCache<PcgSolver> pcg_cache_{4};
+  PcgSummary last_pcg_{};
   // Direct steady system, cached per flow *vector* (the elimination
   // coefficients depend on every cavity's flow; conduction topology does
   // not).  A change to any single cavity's flow invalidates the cache.
@@ -323,6 +368,7 @@ class ThermalModel3D {
   // readbacks must not touch the heap after warm-up.
   std::vector<double> rhs_;
   std::vector<double> temps_prev_;
+  std::vector<double> pcg_x_;  ///< PCG solution buffer (warm-start copy)
   mutable std::vector<double> layer_scratch_;
   std::vector<double> block_power_scratch_;
 };

@@ -1,0 +1,43 @@
+// backend.hpp — which linear solver family serves a thermal model.
+//
+// The backward-Euler systems can be solved two ways:
+//
+//   kDirect — banded Cholesky (solver/banded_spd.hpp): factorize once per
+//             dt at O(n b^2), back-substitute per solve at O(n b).  Exact,
+//             cache-friendly, and unbeatable while the half-bandwidth
+//             b = cols x layers stays modest (every grid the tests and the
+//             paper evaluation use today).
+//   kPcg    — preconditioned conjugate gradient over CSR (solver/pcg.hpp):
+//             no factorization, O(nnz) ≈ O(7n) per iteration, warm-started
+//             from the previous temperature field.  Wins when the band gets
+//             fat — the paper's native 100 µm grid drives b into the
+//             thousands, where O(n b^2) assembly hits the wall.
+//   kAuto   — pick per model from the bandwidth-driven cost model below;
+//             resolves to kDirect for every current grid.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace liquid3d {
+
+enum class SolverBackend { kAuto, kDirect, kPcg };
+
+[[nodiscard]] const char* to_string(SolverBackend b);
+[[nodiscard]] SolverBackend solver_backend_from_name(std::string_view s);
+
+/// Resolve kAuto to a concrete backend for an n-node system of the given
+/// half-bandwidth; explicit requests pass through untouched.
+///
+/// Cost model (per solve, per row): the direct path costs ~2b flops of
+/// back-substitution plus b^2 / kDirectFactorAmortization of factorization
+/// (one factorization serves the ~hundreds of solves a cached dt sees);
+/// PCG costs ~kPcgIterationEstimate iterations of ~kPcgFlopsPerRow each,
+/// sized for the IC(0)-preconditioned stencil.  With the constants below
+/// the cutover lands near b ≈ 340 — far above every current grid (b ≤ 208),
+/// safely below the paper-native regime (b ≥ 1000).
+[[nodiscard]] SolverBackend resolve_solver_backend(SolverBackend requested,
+                                                   std::size_t n,
+                                                   std::size_t half_bandwidth);
+
+}  // namespace liquid3d

@@ -1,46 +1,89 @@
-// factorization_cache.hpp — small LRU cache of banded Cholesky
-// factorizations keyed by time step.
+// factorization_cache.hpp — small LRU cache of assembled solver systems
+// keyed by time step.
 //
 // A thermal network's system matrix depends only on the topology (fixed for
 // a model's lifetime) and on 1/dt, so every distinct step size seen by
 // transient stepping, steady pseudo-timestepping, and characterization maps
-// to exactly one factorization.  The simulator alternates between a handful
-// of step sizes (the sampling sub-step and the steady pseudo-step), so a
-// small LRU keyed by dt makes every `ensure_*_matrix`-style call after the
-// first a pure lookup — no re-assembly, no re-factorization, no allocation.
+// to exactly one assembled system.  The simulator alternates between a
+// handful of step sizes (the sampling sub-step and the steady pseudo-step),
+// so a small LRU keyed by dt makes every lookup after the first a pure hit —
+// no re-assembly, no re-factorization, no allocation.
 //
 // Keys match under a relative tolerance rather than bit equality: step
 // sizes arrive through arithmetic like `dt / substeps`, and the seed's
 // exact `transient_dt_ == dt_s` comparison silently re-factorized on
 // last-ulp differences.
+//
+// The cache is generic over the cached system type: the direct backend
+// stores factorized BandedSpdMatrix instances (FactorizationCache), the
+// iterative backend stores PcgSolver instances (CSR operator +
+// preconditioner) through the same template.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/error.hpp"
 #include "thermal/solver/banded_spd.hpp"
 
 namespace liquid3d {
 
-class FactorizationCache {
+template <typename SystemT>
+class DtKeyedLruCache {
  public:
-  explicit FactorizationCache(std::size_t capacity = 4);
+  explicit DtKeyedLruCache(std::size_t capacity = 4) : capacity_(capacity) {
+    LIQUID3D_REQUIRE(capacity >= 1, "cache needs at least one slot");
+    entries_.reserve(capacity);
+  }
 
-  /// True when the two step sizes address the same factorization (relative
+  /// True when the two step sizes address the same system (relative
   /// tolerance 1e-9, far below any physically meaningful dt change).
-  [[nodiscard]] static bool keys_match(double dt_a, double dt_b);
+  [[nodiscard]] static bool keys_match(double dt_a, double dt_b) {
+    return std::abs(dt_a - dt_b) <=
+           1e-9 * std::max(std::abs(dt_a), std::abs(dt_b));
+  }
 
-  /// Cached factorization for `dt`, or nullptr on miss.  A hit refreshes
-  /// the entry's recency.  Never allocates.
-  [[nodiscard]] BandedSpdMatrix* find(double dt);
+  /// Cached system for `dt`, or nullptr on miss.  A hit refreshes the
+  /// entry's recency.  Never allocates.
+  [[nodiscard]] SystemT* find(double dt) {
+    for (Entry& e : entries_) {
+      if (keys_match(e.dt, dt)) {
+        e.stamp = ++clock_;
+        ++hits_;
+        return e.system.get();
+      }
+    }
+    ++misses_;
+    return nullptr;
+  }
 
-  /// Insert a factorized matrix under `dt`, evicting the least recently
-  /// used entry when at capacity.  Returns the cached matrix.
-  BandedSpdMatrix& insert(double dt, std::unique_ptr<BandedSpdMatrix> matrix);
+  /// Insert a system under `dt`, evicting the least recently used entry
+  /// when at capacity.  Returns the cached system.
+  SystemT& insert(double dt, std::unique_ptr<SystemT> system) {
+    LIQUID3D_REQUIRE(system != nullptr, "cannot cache a null system");
+    for (Entry& e : entries_) {
+      if (keys_match(e.dt, dt)) {
+        e.stamp = ++clock_;
+        e.system = std::move(system);
+        return *e.system;
+      }
+    }
+    if (entries_.size() < capacity_) {
+      entries_.push_back({dt, ++clock_, std::move(system)});
+      return *entries_.back().system;
+    }
+    std::size_t lru = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].stamp < entries_[lru].stamp) lru = i;
+    }
+    entries_[lru] = {dt, ++clock_, std::move(system)};
+    return *entries_[lru].system;
+  }
 
-  void clear();
+  void clear() { entries_.clear(); }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
@@ -50,7 +93,7 @@ class FactorizationCache {
   struct Entry {
     double dt;
     std::uint64_t stamp;
-    std::unique_ptr<BandedSpdMatrix> matrix;
+    std::unique_ptr<SystemT> system;
   };
 
   std::size_t capacity_;
@@ -59,5 +102,8 @@ class FactorizationCache {
   std::uint64_t misses_ = 0;
   std::vector<Entry> entries_;
 };
+
+/// The direct backend's cache of banded Cholesky factorizations.
+using FactorizationCache = DtKeyedLruCache<BandedSpdMatrix>;
 
 }  // namespace liquid3d

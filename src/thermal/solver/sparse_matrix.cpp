@@ -1,0 +1,93 @@
+#include "thermal/solver/sparse_matrix.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+SparseMatrix::SparseMatrix(std::size_t n) : n_(n), diag_(n, 0.0) {
+  LIQUID3D_REQUIRE(n > 0, "matrix must be non-empty");
+  LIQUID3D_REQUIRE(n <= std::numeric_limits<std::uint32_t>::max(),
+                   "CSR index type limits the matrix to 2^32 rows");
+  // 7-point stencil: ~3 stored off-diagonal pairs per node.
+  coords_.reserve(6 * n);
+}
+
+void SparseMatrix::add_diagonal(std::size_t i, double g) {
+  LIQUID3D_ASSERT(!finalized_ && i < n_, "bad diagonal accumulate");
+  diag_[i] += g;
+}
+
+void SparseMatrix::add_coupling(std::size_t i, std::size_t j, double g) {
+  LIQUID3D_ASSERT(!finalized_ && i != j && i < n_ && j < n_, "bad coupling");
+  diag_[i] += g;
+  diag_[j] += g;
+  coords_.push_back({static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j), -g});
+  coords_.push_back({static_cast<std::uint32_t>(j), static_cast<std::uint32_t>(i), -g});
+}
+
+void SparseMatrix::finalize() {
+  LIQUID3D_REQUIRE(!finalized_, "matrix already finalized");
+  std::sort(coords_.begin(), coords_.end(), [](const Entry& a, const Entry& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  row_ptr_.assign(n_ + 1, 0);
+  diag_pos_.assign(n_, 0);
+  col_.clear();
+  val_.clear();
+  col_.reserve(coords_.size() + n_);
+  val_.reserve(coords_.size() + n_);
+
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    row_ptr_[i] = col_.size();
+    bool diag_emitted = false;
+    while (k < coords_.size() && coords_[k].row == i) {
+      const std::uint32_t c = coords_[k].col;
+      if (!diag_emitted && c > i) {
+        diag_pos_[i] = col_.size();
+        col_.push_back(static_cast<std::uint32_t>(i));
+        val_.push_back(diag_[i]);
+        diag_emitted = true;
+      }
+      double v = coords_[k].v;
+      ++k;
+      while (k < coords_.size() && coords_[k].row == i && coords_[k].col == c) {
+        v += coords_[k].v;  // merge duplicate stamps
+        ++k;
+      }
+      col_.push_back(c);
+      val_.push_back(v);
+    }
+    if (!diag_emitted) {
+      diag_pos_[i] = col_.size();
+      col_.push_back(static_cast<std::uint32_t>(i));
+      val_.push_back(diag_[i]);
+    }
+  }
+  row_ptr_[n_] = col_.size();
+
+  coords_.clear();
+  coords_.shrink_to_fit();
+  diag_.clear();
+  diag_.shrink_to_fit();
+  finalized_ = true;
+}
+
+void SparseMatrix::multiply(const double* x, double* y) const {
+  LIQUID3D_ASSERT(finalized_, "multiply requires a finalized matrix");
+  const std::size_t* const rp = row_ptr_.data();
+  const std::uint32_t* const ci = col_.data();
+  const double* const v = val_.data();
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc = 0.0;
+    const std::size_t end = rp[i + 1];
+    for (std::size_t p = rp[i]; p < end; ++p) acc += v[p] * x[ci[p]];
+    y[i] = acc;
+  }
+}
+
+}  // namespace liquid3d

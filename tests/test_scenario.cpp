@@ -47,6 +47,7 @@ TEST(Scenario, CsvRowRoundTrips) {
   s.valve_network = true;
   s.skew = "hot-corner";
   s.label = "LB (Max) [valved]";
+  s.solver = SolverBackend::kPcg;
 
   const std::vector<std::string> row = to_csv_row(s);
   ASSERT_EQ(row.size(), scenario_csv_header().size());
@@ -57,11 +58,25 @@ TEST(Scenario, CsvRowRoundTrips) {
   EXPECT_EQ(back.valve_network, s.valve_network);
   EXPECT_EQ(back.skew, s.skew);
   EXPECT_EQ(back.label, s.label);
+  EXPECT_EQ(back.solver, s.solver);
 
   EXPECT_THROW((void)scenario_from_csv_row({"too", "short"}), ConfigError);
   std::vector<std::string> bad = row;
   bad[3] = "yes";
   EXPECT_THROW((void)scenario_from_csv_row(bad), ConfigError);
+  std::vector<std::string> bad_solver = row;
+  bad_solver[6] = "cholesky?";
+  EXPECT_THROW((void)scenario_from_csv_row(bad_solver), ConfigError);
+}
+
+TEST(Scenario, LegacyRowsWithoutSolverColumnStillParse) {
+  // Rows checkpointed before the solver axis existed (6 columns) must keep
+  // loading; the backend defaults to auto.
+  const std::vector<std::string> legacy = {"talb-var", "talb", "var",
+                                           "0",        "",     "TALB (Var)"};
+  const ScenarioSpec s = scenario_from_csv_row(legacy);
+  EXPECT_EQ(s.name, "talb-var");
+  EXPECT_EQ(s.solver, SolverBackend::kAuto);
 }
 
 TEST(Scenario, GlobalRegistryServesPaperGridAndRejectsDuplicates) {
@@ -133,6 +148,22 @@ TEST(Scenario, ApplyBindsPolicyCoolingValvesAndSkew) {
   EXPECT_THROW(apply_scenario(air_valves, cfg), ConfigError);
 }
 
+TEST(Scenario, ApplyBindsSolverBackend) {
+  SimulationConfig cfg;
+  ScenarioSpec s;
+  s.name = "talb-var-pcg";
+  s.policy = Policy::kTalb;
+  s.cooling = CoolingMode::kLiquidVar;
+  s.solver = SolverBackend::kPcg;
+  apply_scenario(s, cfg);
+  EXPECT_EQ(cfg.thermal.solver_backend, SolverBackend::kPcg);
+
+  ScenarioSpec dflt;
+  dflt.name = "talb-var";
+  apply_scenario(dflt, cfg);
+  EXPECT_EQ(cfg.thermal.solver_backend, SolverBackend::kAuto);
+}
+
 TEST(Scenario, CellSeedDependsOnIdentityOnly) {
   const BenchmarkSpec gzip = *find_benchmark("gzip");
   const BenchmarkSpec web = *find_benchmark("Web-med");
@@ -156,6 +187,12 @@ TEST(Scenario, CellSeedDependsOnIdentityOnly) {
   valved.valve_network = true;
   valved.skew = "hot-corner";
   EXPECT_EQ(cell_seed(7, uniform, gzip), cell_seed(7, valved, gzip));
+
+  // The solver backend is a numerics axis, not an identity axis: a
+  // direct-vs-PCG comparison runs the same workload trace on both arms.
+  ScenarioSpec pcg = uniform;
+  pcg.solver = SolverBackend::kPcg;
+  EXPECT_EQ(cell_seed(7, uniform, gzip), cell_seed(7, pcg, gzip));
 }
 
 TEST(Scenario, CellSeedsAreDistinctAcrossTheGrid) {

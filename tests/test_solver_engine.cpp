@@ -368,6 +368,56 @@ TEST(FactorizationCache, LruEvictsOldestEntry) {
   EXPECT_NE(cache.find(0.3), nullptr);
 }
 
+TEST(FactorizationCache, EvictionFollowsLeastRecentUseOrder) {
+  // Recency is what find() and insert() touch — verify the full eviction
+  // order over several rounds, not just one eviction.
+  FactorizationCache cache(3);
+  auto make = [] {
+    auto m = std::make_unique<BandedSpdMatrix>(3, 1);
+    for (std::size_t i = 0; i < 3; ++i) m->add_diagonal(i, 1.0);
+    m->factorize();
+    return m;
+  };
+  cache.insert(0.1, make());
+  cache.insert(0.2, make());
+  cache.insert(0.3, make());
+  // Touch in the order 0.3, 0.1 -> LRU is now 0.2.
+  EXPECT_NE(cache.find(0.3), nullptr);
+  EXPECT_NE(cache.find(0.1), nullptr);
+  cache.insert(0.4, make());  // evicts 0.2
+  EXPECT_EQ(cache.find(0.2), nullptr);
+  // LRU is now 0.3 (0.4 and 0.1 are fresher; the failed find(0.2) must not
+  // have refreshed anything).
+  cache.insert(0.5, make());  // evicts 0.3
+  EXPECT_EQ(cache.find(0.3), nullptr);
+  EXPECT_NE(cache.find(0.1), nullptr);
+  EXPECT_NE(cache.find(0.4), nullptr);
+  EXPECT_NE(cache.find(0.5), nullptr);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(FactorizationCache, CapacityOneReplacesOnEveryNewKey) {
+  FactorizationCache cache(1);
+  auto make = [] {
+    auto m = std::make_unique<BandedSpdMatrix>(2, 1);
+    m->add_diagonal(0, 1.0);
+    m->add_diagonal(1, 1.0);
+    m->factorize();
+    return m;
+  };
+  BandedSpdMatrix* first = &cache.insert(0.1, make());
+  EXPECT_EQ(cache.find(0.1), first);
+  cache.insert(0.2, make());  // evicts 0.1 immediately
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.find(0.1), nullptr);
+  EXPECT_NE(cache.find(0.2), nullptr);
+  // Re-inserting the resident key replaces the payload in place, no
+  // eviction churn.
+  BandedSpdMatrix* replaced = &cache.insert(0.2, make());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.find(0.2), replaced);
+}
+
 TEST(FactorizationCache, ModelReusesFactorizationsAcrossDts) {
   ThermalModelParams p;
   p.grid_rows = 6;
@@ -467,6 +517,37 @@ TEST(HotLoop, StepDoesNotAllocateAfterWarmup) {
   }
   const std::size_t after = g_allocations.load(std::memory_order_relaxed);
   EXPECT_EQ(after, before) << "hot loop performed " << (after - before)
+                           << " heap allocations over 1000 steps";
+}
+
+TEST(HotLoop, PcgStepDoesNotAllocateAfterWarmup) {
+  // The iterative backend's hot loop must hold the same contract: the CSR
+  // system and preconditioner are cached per dt, and the PCG scratch
+  // vectors are persistent members.
+  ThermalModelParams p;
+  p.grid_rows = 10;
+  p.grid_cols = 11;
+  p.solver_backend = SolverBackend::kPcg;
+  ThermalModel3D model(make_niagara_stack(1, CoolingType::kLiquid), p);
+  model.set_cavity_flow(VolumetricFlow::from_ml_per_min(20.0));
+  const Floorplan& fp = model.stack().layer(0).floorplan;
+  std::vector<double> watts(fp.block_count(), 0.0);
+  for (std::size_t b = 0; b < fp.block_count(); ++b) {
+    if (fp.block(b).type == BlockType::kCore) watts[b] = 3.0;
+  }
+  model.set_block_power(0, watts);
+  model.initialize(45.0);
+
+  model.step(0.05);
+  model.step(0.05);
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    model.step(0.05);
+    (void)model.max_temperature();
+  }
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "PCG hot loop performed " << (after - before)
                            << " heap allocations over 1000 steps";
 }
 
