@@ -106,6 +106,15 @@ def main():
         for name in only_current:
             print(f"  NEW       {name:55s} now {current[name] / 1e3:12.1f}us")
 
+    only_baseline = sorted(set(baseline) - set(current))
+    if only_baseline:
+        print(
+            "baseline benchmarks absent from this run "
+            "(filtered out or removed, informational):"
+        )
+        for name in only_baseline:
+            print(f"  MISSING   {name:55s} base {baseline[name] / 1e3:12.1f}us")
+
     if failures:
         print(
             f"FAIL: {len(failures)} benchmark(s) regressed more than "

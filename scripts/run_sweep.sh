@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# run_sweep.sh — end-to-end distributed-sweep smoke: plan a grid into K
+# shards, run K local sweep_worker processes (killing and resuming one
+# mid-run to exercise the checkpoint journal), merge the journals, and diff
+# the merged report against a single-process ExperimentSuite::run of the
+# same grid.  Exit 0 iff the two reports are byte-identical.
+#
+# Usage:
+#   scripts/run_sweep.sh [SWEEP_WORKER_BIN] [SHARDS] [WORKDIR]
+#
+#   SWEEP_WORKER_BIN  path to the sweep_worker binary (default: build/sweep_worker)
+#   SHARDS            worker count (default: 3)
+#   WORKDIR           scratch dir (default: mktemp -d, removed on success,
+#                     kept on failure; a caller-supplied dir is never removed)
+#
+# Grid knobs (env): SWEEP_DURATION_S (default 2), SWEEP_GRID_ROWS (8),
+# SWEEP_GRID_COLS (9), SWEEP_SCENARIOS / SWEEP_WORKLOADS (comma lists,
+# default: full paper grid x 2 workloads), SWEEP_STRATEGY (cost).
+set -euo pipefail
+
+BIN="${1:-build/sweep_worker}"
+SHARDS="${2:-3}"
+if [[ $# -ge 3 ]]; then
+    WORKDIR="$3"
+    CLEANUP_WORKDIR=0  # caller-owned: never auto-delete
+else
+    WORKDIR=$(mktemp -d /tmp/liquid3d-sweep.XXXXXX)
+    CLEANUP_WORKDIR=1
+fi
+
+DURATION_S="${SWEEP_DURATION_S:-2}"
+GRID_ROWS="${SWEEP_GRID_ROWS:-8}"
+GRID_COLS="${SWEEP_GRID_COLS:-9}"
+SCENARIOS="${SWEEP_SCENARIOS:-}"
+WORKLOADS="${SWEEP_WORKLOADS:-gzip,Web-med}"
+STRATEGY="${SWEEP_STRATEGY:-cost}"
+
+if [[ ! -x "$BIN" ]]; then
+    echo "error: sweep_worker binary not found at '$BIN'" >&2
+    echo "build it first: cmake --build build --target sweep_worker" >&2
+    exit 2
+fi
+
+echo "== workdir: $WORKDIR (shards: $SHARDS, duration: ${DURATION_S}s)"
+
+plan_args=(plan --shards "$SHARDS" --out-dir "$WORKDIR" --strategy "$STRATEGY"
+           --duration-s "$DURATION_S" --grid-rows "$GRID_ROWS" --grid-cols "$GRID_COLS"
+           --workloads "$WORKLOADS")
+if [[ -n "$SCENARIOS" ]]; then
+    plan_args+=(--scenarios "$SCENARIOS")
+fi
+"$BIN" "${plan_args[@]}"
+
+# -- Launch one worker per shard ---------------------------------------------
+# Worker 1 (when it exists) is the crash-test dummy.  Its shard runs in
+# three acts: a deterministic partial run (--max-cells 1, so the resume path
+# is exercised even on machines fast enough to dodge the kill), a full
+# attempt that gets SIGKILLed shortly after starting, and a final resumed
+# run.  The journal must survive both interruptions with every fsync'd cell
+# intact, and the resumed runs must skip — not recompute — those cells.
+pids=()
+journals=()
+for ((k = 0; k < SHARDS; k++)); do
+    shard=$(printf '%s/sweep-shard-%03d.csv' "$WORKDIR" "$k")
+    journal=$(printf '%s/journal-%03d.csv' "$WORKDIR" "$k")
+    journals+=("$journal")
+    if [[ "$k" == 1 ]]; then
+        continue  # handled separately below
+    fi
+    "$BIN" run --shard "$shard" --journal "$journal" \
+        > "$WORKDIR/worker-$k.log" 2>&1 &
+    pids+=("$!")
+done
+
+shard1_cells=0
+if [[ "$SHARDS" -gt 1 ]]; then
+    # Data rows = lines minus 2 metadata comments and the header.
+    shard1_cells=$(($(wc -l < "$(printf '%s/sweep-shard-001.csv' "$WORKDIR")") - 3))
+fi
+if [[ "$shard1_cells" -gt 0 ]]; then
+    shard1=$(printf '%s/sweep-shard-001.csv' "$WORKDIR")
+    journal1=$(printf '%s/journal-001.csv' "$WORKDIR")
+    # Act 1: deterministic partial run (exit 3 = incomplete, expected).
+    "$BIN" run --shard "$shard1" --journal "$journal1" --batch 1 --max-cells 1 \
+        > "$WORKDIR/worker-1.log" 2>&1 || [[ $? == 3 ]]
+    # Act 2: full attempt, killed mid-run.
+    "$BIN" run --shard "$shard1" --journal "$journal1" --batch 1 \
+        >> "$WORKDIR/worker-1.log" 2>&1 &
+    victim_pid=$!
+    sleep 0.3
+    if kill -KILL "$victim_pid" 2>/dev/null; then
+        echo "== killed worker 1 (pid $victim_pid) mid-run; resuming it"
+    else
+        echo "== worker 1 finished before the kill (fast machine)"
+    fi
+    wait "$victim_pid" 2>/dev/null || true
+    # Act 3: resume to completion; must report at least one resumed cell.
+    "$BIN" run --shard "$shard1" --journal "$journal1" \
+        > "$WORKDIR/resume.out" 2>&1
+    cat "$WORKDIR/resume.out" >> "$WORKDIR/worker-1.log"
+    grep -q '[1-9][0-9]* resumed' "$WORKDIR/resume.out" \
+        || { echo "== FAIL: resumed worker recomputed journaled cells" >&2; exit 1; }
+fi
+
+for pid in "${pids[@]}"; do
+    wait "$pid"
+done
+echo "== all workers done"
+
+# -- Merge vs. single-process reference --------------------------------------
+"$BIN" merge --plan "$WORKDIR/sweep-plan.csv" --out "$WORKDIR/merged.csv" \
+    --json "$WORKDIR/merged.json" "${journals[@]}"
+"$BIN" single --plan "$WORKDIR/sweep-plan.csv" --out "$WORKDIR/single.csv"
+
+if diff -u "$WORKDIR/single.csv" "$WORKDIR/merged.csv"; then
+    echo "== OK: merged sharded sweep is byte-identical to the single-process run"
+    if [[ "$CLEANUP_WORKDIR" == 1 ]]; then
+        rm -rf "$WORKDIR"
+    fi
+else
+    echo "== FAIL: merged output differs from single-process run (kept: $WORKDIR)" >&2
+    exit 1
+fi

@@ -1,14 +1,16 @@
 #include "common/csv.hpp"
 
+#include <istream>
 #include <sstream>
 
 #include "common/error.hpp"
 
 namespace liquid3d {
 
-namespace {
-std::string escape(const std::string& field) {
-  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+std::string csv_escape(const std::string& field) {
+  // '\r' must trigger quoting too: the reader treats an unquoted CRLF as a
+  // line ending, so a bare trailing CR would not round-trip.
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
   std::string out = "\"";
   for (char ch : field) {
     if (ch == '"') out += '"';
@@ -17,7 +19,65 @@ std::string escape(const std::string& field) {
   out += '"';
   return out;
 }
-}  // namespace
+
+std::string to_csv_line(const std::vector<std::string>& row) {
+  std::string line;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) line += ',';
+    line += csv_escape(row[i]);
+  }
+  line += '\n';
+  return line;
+}
+
+bool read_csv_record(std::istream& in, std::vector<std::string>& fields,
+                     bool* terminated) {
+  fields.clear();
+  if (terminated != nullptr) *terminated = false;
+
+  std::string field;
+  bool in_quotes = false;
+  bool any = false;  ///< consumed at least one character of a record
+  int c;
+  while ((c = in.get()) != std::char_traits<char>::eof()) {
+    const char ch = static_cast<char>(c);
+    any = true;
+    if (in_quotes) {
+      if (ch == '"') {
+        if (in.peek() == '"') {
+          field += '"';
+          in.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += ch;
+      }
+      continue;
+    }
+    if (ch == '"' && field.empty()) {
+      in_quotes = true;
+    } else if (ch == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\n') {
+      fields.push_back(std::move(field));
+      if (terminated != nullptr) *terminated = true;
+      return true;
+    } else if (ch == '\r' && in.peek() == '\n') {
+      // CRLF line ending: swallow the CR, let the LF terminate.
+      continue;
+    } else {
+      field += ch;
+    }
+  }
+  if (!any) return false;
+  // Input ended mid-record (no trailing newline, or inside a quoted field):
+  // return what we have with terminated=false so the caller can treat it as
+  // a torn tail.
+  fields.push_back(std::move(field));
+  return true;
+}
 
 CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
     : out_(path), arity_(header.size()) {
@@ -29,7 +89,7 @@ void CsvWriter::add_row(const std::vector<std::string>& row) {
   LIQUID3D_REQUIRE(row.size() == arity_, "csv row arity mismatch");
   for (std::size_t i = 0; i < row.size(); ++i) {
     if (i) out_ << ',';
-    out_ << escape(row[i]);
+    out_ << csv_escape(row[i]);
   }
   out_ << '\n';
 }

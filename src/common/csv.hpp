@@ -1,12 +1,36 @@
-// csv.hpp — minimal CSV writer so benchmark harnesses can dump the series
-// behind each figure for external plotting.
+// csv.hpp — minimal CSV writer/reader (RFC-4180 subset).
+//
+// The writer lets benchmark harnesses dump the series behind each figure
+// for external plotting; the reader is the inverse used by the sweep
+// subsystem (shard files, checkpoint journals, merged reports): fields
+// containing commas, quotes, or newlines round-trip through double-quoting.
 #pragma once
 
 #include <fstream>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 namespace liquid3d {
+
+/// Double-quote `field` if (and only if) it contains a comma, quote, or
+/// newline; embedded quotes are doubled (RFC-4180).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// One escaped, comma-joined, '\n'-terminated line.  The journal relies on
+/// a record being a single contiguous string: one write() per record.
+[[nodiscard]] std::string to_csv_line(const std::vector<std::string>& row);
+
+/// Read one CSV record into `fields` (cleared first).  Handles quoted
+/// fields with embedded separators, doubled quotes, and newlines — a record
+/// may therefore span multiple physical lines.  Returns false at a clean
+/// end of input (no record started).
+///
+/// `terminated` (when non-null) reports whether the record ended with a
+/// newline outside quotes: false means the input ended mid-record (a torn
+/// tail from a killed writer) — callers decide whether to drop or reject.
+bool read_csv_record(std::istream& in, std::vector<std::string>& fields,
+                     bool* terminated = nullptr);
 
 class CsvWriter {
  public:

@@ -1,0 +1,45 @@
+// parse.hpp — strict scalar parsing shared by CSV readers and CLI flags.
+//
+// std::stoull quietly wraps negative input ("-1" → 2^64-1) and std::stod
+// accepts trailing garbage; every serialized-integer consumer here (sweep
+// plans, journals, sweep_worker flags) wants the same rule instead: digits
+// only, full consumption, ConfigError naming the field otherwise.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+/// Strict base-10 unsigned parse: digits only (no sign, no whitespace, no
+/// trailing characters).  `what` names the field/flag in the error.
+[[nodiscard]] inline std::uint64_t parse_u64(const std::string& text,
+                                             const std::string& what) {
+  std::uint64_t v = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, v, 10);
+  LIQUID3D_REQUIRE(ec == std::errc() && ptr == end && !text.empty(),
+                   what + ": not an unsigned integer: '" + text + "'");
+  return v;
+}
+
+/// Strict double parse: full consumption required ("60x" is an error, not
+/// 60).  Accepts everything strtod does otherwise (sign, exponent); built
+/// on strtod rather than std::stod so subnormals round to the nearest
+/// representable value instead of throwing out_of_range.
+[[nodiscard]] inline double parse_double(const std::string& text,
+                                         const std::string& what) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  LIQUID3D_REQUIRE(end == begin + text.size() && !text.empty(),
+                   what + ": not a number: '" + text + "'");
+  return v;
+}
+
+}  // namespace liquid3d

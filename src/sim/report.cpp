@@ -1,24 +1,34 @@
 #include "sim/report.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <iterator>
 #include <ostream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/parse.hpp"
 
 namespace liquid3d {
 
 namespace {
 
-// One declaration-ordered field list keeps the CSV header, CSV rows, and
-// JSON objects in sync.  `counts` are emitted as integers.
+// One declaration-ordered field list keeps the CSV header, CSV rows, JSON
+// objects, and the CSV reader in sync.  `counts` are emitted as integers.
 struct NumericField {
   const char* name;
   double (*get)(const SimulationResult&);
+  void (*set)(SimulationResult&, double);
   bool integral;
 };
 
-#define LIQUID3D_DOUBLE_FIELD(f) \
-  {#f, [](const SimulationResult& r) { return r.f; }, false}
-#define LIQUID3D_COUNT_FIELD(f) \
-  {#f, [](const SimulationResult& r) { return static_cast<double>(r.f); }, true}
+#define LIQUID3D_DOUBLE_FIELD(f)                       \
+  {#f, [](const SimulationResult& r) { return r.f; },  \
+   [](SimulationResult& r, double v) { r.f = v; }, false}
+#define LIQUID3D_COUNT_FIELD(f)                                            \
+  {#f, [](const SimulationResult& r) { return static_cast<double>(r.f); }, \
+   [](SimulationResult& r, double v) { r.f = static_cast<std::size_t>(v); }, true}
 
 const NumericField kNumericFields[] = {
     LIQUID3D_DOUBLE_FIELD(hotspot_percent),
@@ -56,26 +66,14 @@ std::string format_number(const NumericField& f, const SimulationResult& r) {
   return buf;
 }
 
-/// RFC-4180 quoting: only when the field needs it.
-void write_csv_field(std::ostream& out, const std::string& s) {
-  if (s.find_first_of(",\"\n") == std::string::npos) {
-    out << s;
-    return;
-  }
-  out << '"';
-  for (const char c : s) {
-    if (c == '"') out << '"';
-    out << c;
-  }
-  out << '"';
+void write_csv_row(std::ostream& out, const std::vector<std::string>& row) {
+  out << to_csv_line(row);  // common/csv.hpp RFC-4180 quoting
 }
 
-void write_csv_row(std::ostream& out, const std::vector<std::string>& row) {
-  for (std::size_t i = 0; i < row.size(); ++i) {
-    if (i != 0) out << ',';
-    write_csv_field(out, row[i]);
-  }
-  out << '\n';
+/// Strict double parse for one named column; %.17g output round-trips
+/// through here bit-exactly.
+double parse_number(const std::string& text, const char* column) {
+  return parse_double(text, "column '" + std::string(column) + "'");
 }
 
 void write_json_string(std::ostream& out, const std::string& s) {
@@ -131,10 +129,61 @@ std::vector<std::string> to_csv_row(const SimulationResult& r) {
   return row;
 }
 
+SimulationResult simulation_result_from_csv_row(
+    const std::vector<std::string>& row) {
+  const std::vector<std::string>& header = simulation_result_csv_header();
+  LIQUID3D_REQUIRE(row.size() == header.size(),
+                   "result row arity mismatch: got " +
+                       std::to_string(row.size()) + " columns, expected " +
+                       std::to_string(header.size()));
+  SimulationResult r;
+  r.label = row[0];
+  r.benchmark = row[1];
+  for (std::size_t i = 0; i < std::size(kNumericFields); ++i) {
+    const NumericField& f = kNumericFields[i];
+    // Counts were written as integers; parse them as such so "-1" or "3.7"
+    // fails loudly instead of wrapping/truncating into a plausible value.
+    const double v =
+        f.integral
+            ? static_cast<double>(parse_u64(
+                  row[2 + i], "column '" + std::string(f.name) + "'"))
+            : parse_number(row[2 + i], f.name);
+    f.set(r, v);
+  }
+  return r;
+}
+
+bool results_identical(const SimulationResult& a, const SimulationResult& b) {
+  if (a.label != b.label || a.benchmark != b.benchmark) return false;
+  for (const NumericField& f : kNumericFields) {
+    if (f.get(a) != f.get(b)) return false;
+  }
+  return true;
+}
+
 void write_results_csv(std::ostream& out,
                        const std::vector<SimulationResult>& results) {
   write_csv_row(out, simulation_result_csv_header());
   for (const SimulationResult& r : results) write_csv_row(out, to_csv_row(r));
+}
+
+std::vector<SimulationResult> read_results_csv(std::istream& in) {
+  std::vector<std::string> record;
+  LIQUID3D_REQUIRE(read_csv_record(in, record) &&
+                       record == simulation_result_csv_header(),
+                   "results CSV: missing or mismatched header row");
+  std::vector<SimulationResult> results;
+  std::size_t row_number = 1;  // the header was row 1
+  while (read_csv_record(in, record)) {
+    ++row_number;
+    try {
+      results.push_back(simulation_result_from_csv_row(record));
+    } catch (const ConfigError& e) {
+      throw ConfigError("results CSV row " + std::to_string(row_number) +
+                        ": " + e.what());
+    }
+  }
+  return results;
 }
 
 void write_results_json(std::ostream& out,

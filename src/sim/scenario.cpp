@@ -72,24 +72,36 @@ ScenarioSpec scenario_from_csv_row(const std::vector<std::string>& row) {
   // The solver column was appended in a later schema revision; rows written
   // before it (6 columns) still parse, defaulting to kAuto — sharded sweep
   // checkpoints stay readable.
-  LIQUID3D_REQUIRE(row.size() == scenario_csv_header().size() ||
-                       row.size() == scenario_csv_header().size() - 1,
-                   "scenario row arity mismatch");
+  const std::vector<std::string>& header = scenario_csv_header();
+  LIQUID3D_REQUIRE(
+      row.size() == header.size() || row.size() == header.size() - 1,
+      "scenario row arity mismatch: got " + std::to_string(row.size()) +
+          " columns, expected " + std::to_string(header.size()) +
+          " (or legacy " + std::to_string(header.size() - 1) + ")");
+  // Annotate parse failures with the offending column's header name, so a
+  // shard/plan reader can report "row 12, column 'policy'" instead of a
+  // bare failure.
+  auto in_column = [&](std::size_t col, auto&& parse) -> decltype(parse()) {
+    try {
+      return parse();
+    } catch (const ConfigError& e) {
+      throw ConfigError("column '" + header[col] + "': " + e.what());
+    }
+  };
   ScenarioSpec s;
   s.name = row[0];
-  s.policy = policy_from_name(row[1]);
-  s.cooling = cooling_from_name(row[2]);
-  if (row[3] == "1") {
-    s.valve_network = true;
-  } else if (row[3] == "0") {
-    s.valve_network = false;
-  } else {
-    throw ConfigError("scenario 'valves' column must be 0 or 1, got '" + row[3] +
-                      "'");
-  }
+  s.policy = in_column(1, [&] { return policy_from_name(row[1]); });
+  s.cooling = in_column(2, [&] { return cooling_from_name(row[2]); });
+  s.valve_network = in_column(3, [&]() -> bool {
+    if (row[3] == "1") return true;
+    if (row[3] == "0") return false;
+    throw ConfigError("must be 0 or 1, got '" + row[3] + "'");
+  });
   s.skew = row[4];
   s.label = row[5];
-  if (row.size() > 6) s.solver = solver_backend_from_name(row[6]);
+  if (row.size() > 6) {
+    s.solver = in_column(6, [&] { return solver_backend_from_name(row[6]); });
+  }
   return s;
 }
 

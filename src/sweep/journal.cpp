@@ -1,0 +1,189 @@
+#include "sweep/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/parse.hpp"
+#include "sim/report.hpp"
+
+namespace liquid3d {
+
+namespace {
+
+const std::vector<std::string>& journal_csv_header() {
+  static const std::vector<std::string> header = [] {
+    std::vector<std::string> h = {"cell"};
+    const std::vector<std::string>& result = simulation_result_csv_header();
+    h.insert(h.end(), result.begin(), result.end());
+    return h;
+  }();
+  return header;
+}
+
+void write_all(int fd, const std::string& data, const std::string& path) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw ConfigError("journal '" + path + "': write failed: " +
+                        std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Byte length of the longest prefix ending on a record boundary: a '\n'
+/// outside quotes.  Mirrors read_csv_record's quote rules (a quote opens a
+/// quoted field only at field start; doubled quotes are literals).
+std::size_t terminated_prefix_size(const std::string& data) {
+  bool in_quotes = false;
+  bool at_field_start = true;
+  std::size_t valid = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const char ch = data[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < data.size() && data[i + 1] == '"') {
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      }
+    } else if (ch == '"' && at_field_start) {
+      in_quotes = true;
+      at_field_start = false;
+    } else if (ch == ',') {
+      at_field_start = true;
+    } else if (ch == '\n') {
+      valid = i + 1;
+      at_field_start = true;
+    } else {
+      at_field_start = false;
+    }
+  }
+  return valid;
+}
+
+}  // namespace
+
+SweepJournal::SweepJournal(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  LIQUID3D_REQUIRE(fd_ >= 0, "cannot open journal '" + path_ +
+                                 "': " + std::strerror(errno));
+  // Repair a torn tail before appending: a crash mid-write leaves a partial
+  // record with no terminating newline, and O_APPEND would otherwise weld
+  // the next entry onto it.  Truncating to the last record boundary keeps
+  // every surviving byte parseable.
+  // (The scan reads from byte 0 — quoted labels may contain newlines, so
+  // the last record boundary cannot be found by a backward search.)
+  std::string data;
+  {
+    std::ifstream scan(path_, std::ios::binary | std::ios::ate);
+    const std::streamoff size = scan.good() ? std::streamoff(scan.tellg()) : 0;
+    if (size > 0) {
+      data.resize(static_cast<std::size_t>(size));
+      scan.seekg(0);
+      scan.read(data.data(), size);
+    }
+  }
+  const std::size_t valid = terminated_prefix_size(data);
+  // The preamble is usable only if a complete non-comment line (the header
+  // row) survived: a crash inside the initial write can persist the schema
+  // comment but tear the header, and appending entries after a bare comment
+  // would make the journal permanently unloadable.  Comments appear only
+  // before the header, so the first non-'#' line in the valid prefix is it.
+  bool has_header = false;
+  for (std::size_t pos = 0; pos < valid;
+       pos = data.find('\n', pos) + 1) {
+    if (data[pos] != '#') {
+      has_header = true;
+      break;
+    }
+  }
+  if (!has_header) {
+    // Fresh, fully torn, or comment-only journal: restart it with the
+    // schema comment + header row, synced before any entry so a loader
+    // never sees entries without a header.
+    LIQUID3D_REQUIRE(::ftruncate(fd_, 0) == 0,
+                     "journal '" + path_ + "': cannot truncate torn header");
+    write_all(fd_, "#liquid3d-sweep-journal v1\n" +
+                       to_csv_line(journal_csv_header()),
+              path_);
+    ::fsync(fd_);
+  } else if (valid < data.size()) {
+    LIQUID3D_REQUIRE(::ftruncate(fd_, static_cast<off_t>(valid)) == 0,
+                     "journal '" + path_ + "': cannot truncate torn tail");
+  }
+}
+
+SweepJournal::~SweepJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SweepJournal::append(const JournalEntry& entry) {
+  std::vector<std::string> row = {std::to_string(entry.cell)};
+  const std::vector<std::string> result = to_csv_row(entry.result);
+  row.insert(row.end(), result.begin(), result.end());
+  // One contiguous write per record: a crash tears at most the tail record,
+  // which load() drops.
+  write_all(fd_, to_csv_line(row), path_);
+  if (::fsync(fd_) != 0) {
+    throw ConfigError("journal '" + path_ + "': fsync failed: " +
+                      std::strerror(errno));
+  }
+}
+
+std::vector<JournalEntry> SweepJournal::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return {};  // not started yet
+
+  std::vector<JournalEntry> entries;
+  std::size_t row_number = 0;
+  auto fail = [&](const std::string& msg) -> void {
+    throw ConfigError("journal '" + path + "' row " +
+                      std::to_string(row_number) + ": " + msg);
+  };
+
+  while (in.peek() == '#') {
+    std::string comment;
+    std::getline(in, comment);
+    ++row_number;
+  }
+
+  std::vector<std::string> record;
+  bool terminated = false;
+  ++row_number;
+  if (!read_csv_record(in, record, &terminated)) return {};  // header-only crash
+  if (!terminated) return {};  // torn header: no entries yet
+  if (record != journal_csv_header()) fail("mismatched journal header row");
+
+  while (read_csv_record(in, record, &terminated)) {
+    ++row_number;
+    if (!terminated) break;  // torn tail from a killed worker: drop it
+    const std::size_t arity = journal_csv_header().size();
+    if (record.size() != arity) {
+      fail("entry arity mismatch: got " + std::to_string(record.size()) +
+           " columns, expected " + std::to_string(arity));
+    }
+    JournalEntry entry;
+    try {
+      entry.cell = static_cast<std::size_t>(parse_u64(record[0], "column 'cell'"));
+      entry.result = simulation_result_from_csv_row(
+          std::vector<std::string>(record.begin() + 1, record.end()));
+    } catch (const std::exception& e) {
+      fail(e.what());
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace liquid3d

@@ -1,0 +1,57 @@
+// journal.hpp — per-shard append-only checkpoint journal.
+//
+// A sweep worker appends one record per completed cell — the cell's grid
+// index plus its full SimulationResult CSV row — and fsyncs after every
+// append, so a worker killed mid-shard loses at most the cells whose solves
+// were in flight.  On restart the worker loads the journal and skips every
+// journaled cell; the merge reads the same files.
+//
+// Durability model: each record is written with a single write(2) on an
+// O_APPEND descriptor followed by fsync(2).  A crash can therefore leave at
+// most one torn record at the tail; the loader detects it (missing
+// terminating newline, or EOF inside a quoted field) and drops it.  Any
+// malformed record before the tail means real corruption and throws.
+// Duplicate cell indices are legal — a worker re-run after an unsynced
+// journal write recomputes the cell deterministically, so duplicates carry
+// identical payloads (the merge verifies exactly that).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/session.hpp"
+
+namespace liquid3d {
+
+struct JournalEntry {
+  std::size_t cell = 0;  ///< grid index from the shard plan
+  SimulationResult result;
+};
+
+class SweepJournal {
+ public:
+  /// Open (create if absent) the journal for appending; a fresh/empty file
+  /// gets the schema header first.  Throws ConfigError when unopenable.
+  explicit SweepJournal(std::string path);
+  ~SweepJournal();
+
+  SweepJournal(const SweepJournal&) = delete;
+  SweepJournal& operator=(const SweepJournal&) = delete;
+
+  /// Append one completed cell: single write, then fsync.
+  void append(const JournalEntry& entry);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Parse a journal file.  A missing file is an empty journal (the worker
+  /// has simply not started yet); a torn tail record is dropped; malformed
+  /// interior records throw ConfigError with the row number.
+  [[nodiscard]] static std::vector<JournalEntry> load(const std::string& path);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace liquid3d

@@ -1,0 +1,95 @@
+#include "sweep/merge.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+
+#include "common/error.hpp"
+#include "sim/report.hpp"
+
+namespace liquid3d {
+
+std::vector<PolicySummary> merge_sweep_entries(
+    const SweepCellFile& plan, const std::vector<JournalEntry>& entries,
+    SweepMergeStats* stats) {
+  SweepMergeStats local;
+  local.entries = entries.size();
+
+  const std::size_t workload_count = plan.grid.workloads.size();
+  const std::size_t cell_count = plan.grid.cell_count();
+  LIQUID3D_REQUIRE(plan.cells.size() == cell_count,
+                   "plan file does not cover its full grid (" +
+                       std::to_string(plan.cells.size()) + " cells, grid is " +
+                       std::to_string(cell_count) + ") — merge needs the "
+                       "planner's plan.csv, not a shard file");
+
+  // Key by grid index.  std::map (not order-of-arrival) makes the fold
+  // independent of journal order; conflicting duplicates are an error, not
+  // a race to resolve.
+  std::map<std::size_t, const SimulationResult*> by_cell;
+  for (const JournalEntry& e : entries) {
+    LIQUID3D_REQUIRE(e.cell < cell_count,
+                     "journal entry for cell " + std::to_string(e.cell) +
+                         " is outside the plan's " +
+                         std::to_string(cell_count) + "-cell grid");
+    const auto [it, inserted] = by_cell.emplace(e.cell, &e.result);
+    if (!inserted) {
+      LIQUID3D_REQUIRE(
+          results_identical(*it->second, e.result),
+          "conflicting duplicate journal entries for cell " +
+              std::to_string(e.cell) +
+              " — shards disagree, the determinism contract is broken");
+      ++local.duplicates;
+    }
+  }
+
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < cell_count; ++i) {
+    if (by_cell.find(i) == by_cell.end()) missing.push_back(i);
+  }
+  if (!missing.empty()) {
+    std::string msg = "sweep incomplete: ";
+    msg += std::to_string(missing.size());
+    msg += " of ";
+    msg += std::to_string(cell_count);
+    msg += " cells missing from the journals (first missing:";
+    for (std::size_t i = 0; i < std::min<std::size_t>(missing.size(), 8); ++i) {
+      msg += ' ';
+      msg += std::to_string(missing[i]);
+    }
+    throw ConfigError(msg + ")");
+  }
+
+  // Regroup exactly like ExperimentSuite::run: one summary per scenario in
+  // plan order, per_workload in workload order.
+  std::vector<PolicySummary> summaries;
+  summaries.reserve(plan.grid.scenarios.size());
+  for (std::size_t s = 0; s < plan.grid.scenarios.size(); ++s) {
+    PolicySummary summary;
+    summary.label = plan.grid.scenarios[s].display_label();
+    summary.per_workload.reserve(workload_count);
+    for (std::size_t w = 0; w < workload_count; ++w) {
+      summary.per_workload.push_back(*by_cell.at(s * workload_count + w));
+    }
+    summaries.push_back(std::move(summary));
+  }
+
+  local.cells = cell_count;
+  if (stats != nullptr) *stats = local;
+  return summaries;
+}
+
+std::vector<PolicySummary> merge_sweep_journals(
+    const std::string& plan_path,
+    const std::vector<std::string>& journal_paths, SweepMergeStats* stats) {
+  const SweepCellFile plan = read_sweep_file(plan_path);
+  std::vector<JournalEntry> entries;
+  for (const std::string& path : journal_paths) {
+    std::vector<JournalEntry> loaded = SweepJournal::load(path);
+    entries.insert(entries.end(), std::make_move_iterator(loaded.begin()),
+                   std::make_move_iterator(loaded.end()));
+  }
+  return merge_sweep_entries(plan, entries, stats);
+}
+
+}  // namespace liquid3d

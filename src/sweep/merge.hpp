@@ -1,0 +1,48 @@
+// merge.hpp — fold N shard journals back into one report set.
+//
+// The merge is deterministic by construction: results key on the cell's
+// grid index from the plan, never on which shard ran it, in which order the
+// journals are listed, or how many times a resumed worker re-journaled a
+// cell.  Because cell seeds are position-independent and every result
+// round-trips through %.17g CSV bit-exactly, the merged summaries compare
+// == field-by-field against a single-process ExperimentSuite::run of the
+// same grid — the contract tests/test_sweep.cpp and the CI smoke job lock
+// in byte-for-byte on the exported reports.
+//
+// Integrity checks (all throw ConfigError):
+//   * a cell journaled under an index the plan does not contain;
+//   * duplicate entries whose payloads differ (two workers that disagreed —
+//     a broken determinism assumption, never silently resolved);
+//   * cells missing from every journal (the sweep is incomplete).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sweep/journal.hpp"
+#include "sweep/plan.hpp"
+
+namespace liquid3d {
+
+struct SweepMergeStats {
+  std::size_t cells = 0;       ///< grid cells merged
+  std::size_t entries = 0;     ///< journal entries consumed
+  std::size_t duplicates = 0;  ///< identical re-journaled entries dropped
+};
+
+/// Merge journal entries (already loaded, any order) against `plan` — the
+/// full-grid cell file written by the planner.  Returns per-scenario
+/// summaries in plan-grid order, exactly as ExperimentSuite::run would.
+[[nodiscard]] std::vector<PolicySummary> merge_sweep_entries(
+    const SweepCellFile& plan, const std::vector<JournalEntry>& entries,
+    SweepMergeStats* stats = nullptr);
+
+/// Convenience: load `journal_paths` (order-insensitive) and merge against
+/// the plan file at `plan_path`.
+[[nodiscard]] std::vector<PolicySummary> merge_sweep_journals(
+    const std::string& plan_path,
+    const std::vector<std::string>& journal_paths,
+    SweepMergeStats* stats = nullptr);
+
+}  // namespace liquid3d

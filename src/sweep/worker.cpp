@@ -1,0 +1,93 @@
+#include "sweep/worker.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/simulator.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace liquid3d {
+
+SweepWorkerStats run_sweep_shard(const SweepCellFile& shard,
+                                 const std::string& journal_path,
+                                 const SweepWorkerOptions& options) {
+  LIQUID3D_REQUIRE(options.batch_limit >= 1, "batch_limit must be >= 1");
+
+  SweepWorkerStats stats;
+  stats.total_cells = shard.cells.size();
+
+  // Resume: everything already journaled is done — results are
+  // deterministic, so recomputing would only reproduce the same bytes.
+  std::unordered_set<std::size_t> done;
+  for (const JournalEntry& e : SweepJournal::load(journal_path)) {
+    done.insert(e.cell);
+  }
+
+  std::vector<const SweepCell*> pending;
+  for (const SweepCell& cell : shard.cells) {
+    if (done.count(cell.index) != 0) {
+      ++stats.already_done;
+    } else {
+      pending.push_back(&cell);
+    }
+  }
+  const std::size_t budget = std::min(options.max_new_cells, pending.size());
+  stats.remaining = pending.size() - budget;
+  pending.resize(budget);
+
+  ExperimentSuite suite(to_suite_config(shard.grid));
+  SweepJournal journal(journal_path);
+
+  for (std::size_t begin = 0; begin < pending.size();
+       begin += options.batch_limit) {
+    const std::size_t end =
+        std::min(begin + options.batch_limit, pending.size());
+
+    // Build the chunk's configs up front on this thread (make_config fills
+    // the shared characterization cache), exactly like ExperimentSuite::run.
+    std::vector<SimulationConfig> configs;
+    configs.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      const SweepCell& cell = *pending[i];
+      const std::optional<BenchmarkSpec> workload =
+          find_benchmark(cell.workload);
+      LIQUID3D_REQUIRE(workload.has_value(),
+                       "cell " + std::to_string(cell.index) +
+                           ": unknown workload '" + cell.workload + "'");
+      try {
+        configs.push_back(suite.make_config(cell.scenario, *workload));
+      } catch (const ConfigError& e) {
+        throw ConfigError("cell " + std::to_string(cell.index) + " ('" +
+                          cell.scenario.name + "'): " + e.what());
+      }
+    }
+
+    std::vector<SimulationResult> results(configs.size());
+    if (options.execution == SuiteExecution::kBatched) {
+      BatchRunner batch;
+      for (SimulationConfig& cfg : configs) batch.add(std::move(cfg));
+      results = batch.run();
+    } else {
+      ThreadPool pool(options.worker_threads == 0
+                          ? ThreadPool::default_concurrency()
+                          : options.worker_threads);
+      pool.parallel_for(0, configs.size(), [&](std::size_t i) {
+        Simulator sim(configs[i]);
+        results[i] = sim.run();
+      });
+    }
+
+    // Checkpoint the chunk in shard order, fsync per cell.
+    for (std::size_t i = begin; i < end; ++i) {
+      journal.append({pending[i]->index, results[i - begin]});
+      ++stats.completed;
+    }
+  }
+  return stats;
+}
+
+}  // namespace liquid3d

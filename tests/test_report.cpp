@@ -5,6 +5,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/error.hpp"
 #include "sim/report.hpp"
 
 namespace liquid3d {
@@ -89,6 +90,80 @@ TEST(Report, JsonEscapesStrings) {
   std::ostringstream out;
   write_results_json(out, {sample_result("quote\"back\\slash")});
   EXPECT_NE(out.str().find("quote\\\"back\\\\slash"), std::string::npos);
+}
+
+TEST(Report, ResultRowRoundTripsExactly) {
+  // The reader is the merge path's foundation: every field — including
+  // doubles written with %.17g — must come back comparing == against the
+  // in-process original.
+  SimulationResult r = sample_result("TALB (Var)");
+  r.avg_tmax = 79.0 + 1.0 / 3.0;
+  r.forecast_rmse = 0.1 + 0.2;  // classic non-representable sum
+  const SimulationResult back = simulation_result_from_csv_row(to_csv_row(r));
+  EXPECT_TRUE(results_identical(r, back));
+  EXPECT_EQ(back.avg_tmax, r.avg_tmax);
+  EXPECT_EQ(back.migrations, r.migrations);
+}
+
+TEST(Report, ResultRowParseErrorsNameTheColumn) {
+  std::vector<std::string> row = to_csv_row(sample_result("x"));
+  row[7] = "not-a-number";  // avg_tmax
+  try {
+    (void)simulation_result_from_csv_row(row);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("avg_tmax"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW((void)simulation_result_from_csv_row({"too", "short"}),
+               ConfigError);
+
+  // Count columns are strict integers: negative or fractional input is a
+  // corrupt row, not a value to wrap or truncate.
+  std::vector<std::string> counts = to_csv_row(sample_result("x"));
+  const std::size_t migrations_col = 13;  // label, benchmark, 11 doubles, then
+  ASSERT_EQ(counts[migrations_col], "3");  // migrations (sample_result sets 3)
+  counts[migrations_col] = "-1";
+  EXPECT_THROW((void)simulation_result_from_csv_row(counts), ConfigError);
+  counts[migrations_col] = "3.7";
+  EXPECT_THROW((void)simulation_result_from_csv_row(counts), ConfigError);
+}
+
+TEST(Report, ResultsCsvReadsBackWhatItWrote) {
+  // Quoted labels (commas, quotes) included: the writer escapes, the
+  // reader unescapes, and the round trip is exact.
+  std::vector<SimulationResult> results = {sample_result("weird, \"label\""),
+                                           sample_result("TALB (Var)")};
+  results[0].avg_tmax = 79.0 + 1.0 / 3.0;
+  std::ostringstream out;
+  write_results_csv(out, results);
+  std::istringstream in(out.str());
+  const std::vector<SimulationResult> back = read_results_csv(in);
+  ASSERT_EQ(back.size(), results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results_identical(results[i], back[i])) << i;
+  }
+}
+
+TEST(Report, ResultsCsvReaderReportsRowNumbers) {
+  std::ostringstream out;
+  write_results_csv(out, {sample_result("a"), sample_result("b")});
+  std::string csv = out.str();
+  // Corrupt the second data row (row 3 counting the header).
+  const std::size_t pos = csv.rfind("\nb,");
+  ASSERT_NE(pos, std::string::npos);
+  csv.replace(pos + 1, 1, "b,oops");
+  std::istringstream in(csv);
+  try {
+    (void)read_results_csv(in);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("row 3"), std::string::npos)
+        << e.what();
+  }
+
+  std::istringstream no_header("not,the,header\n");
+  EXPECT_THROW((void)read_results_csv(no_header), ConfigError);
 }
 
 TEST(Report, SummariesFlattenPerWorkloadRows) {

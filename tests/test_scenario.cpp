@@ -69,6 +69,46 @@ TEST(Scenario, CsvRowRoundTrips) {
   EXPECT_THROW((void)scenario_from_csv_row(bad_solver), ConfigError);
 }
 
+TEST(Scenario, MalformedRowsNameTheOffendingColumn) {
+  // Shard/plan readers prepend the row number; the scenario parser itself
+  // must pinpoint the column, so the combined diagnostic reads
+  // "<file> row N: column 'policy': unknown policy name 'bogus'".
+  auto error_of = [](std::vector<std::string> row) -> std::string {
+    try {
+      (void)scenario_from_csv_row(row);
+      return "";
+    } catch (const ConfigError& e) {
+      return e.what();
+    }
+  };
+  const std::vector<std::string> good = {"cell", "talb", "var", "0",
+                                         "",     "",     "auto"};
+  ASSERT_EQ(error_of(good), "");
+
+  std::vector<std::string> bad = good;
+  bad[1] = "bogus";
+  EXPECT_NE(error_of(bad).find("column 'policy'"), std::string::npos)
+      << error_of(bad);
+  EXPECT_NE(error_of(bad).find("bogus"), std::string::npos);
+
+  bad = good;
+  bad[2] = "steam";
+  EXPECT_NE(error_of(bad).find("column 'cooling'"), std::string::npos);
+
+  bad = good;
+  bad[3] = "maybe";
+  EXPECT_NE(error_of(bad).find("column 'valves'"), std::string::npos);
+
+  bad = good;
+  bad[6] = "cholesky?";
+  EXPECT_NE(error_of(bad).find("column 'solver'"), std::string::npos);
+
+  // Arity failures spell out expected vs. actual counts.
+  const std::string arity = error_of({"too", "short"});
+  EXPECT_NE(arity.find("got 2"), std::string::npos) << arity;
+  EXPECT_NE(arity.find("expected 7"), std::string::npos) << arity;
+}
+
 TEST(Scenario, LegacyRowsWithoutSolverColumnStillParse) {
   // Rows checkpointed before the solver axis existed (6 columns) must keep
   // loading; the backend defaults to auto.

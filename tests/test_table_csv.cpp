@@ -78,5 +78,49 @@ TEST(CsvWriter, ArityEnforced) {
   std::remove(path.c_str());
 }
 
+TEST(CsvReader, RoundTripsEscapedFields) {
+  // Fields with commas, quotes, and embedded newlines survive
+  // write -> read: the reader is the exact inverse of csv_escape.
+  const std::vector<std::string> row = {"plain", "comma, field",
+                                        "quote \"inside\"", "line\nbreak",
+                                        "trailing cr\r", ""};
+  std::istringstream in(to_csv_line(row) + to_csv_line({"second", "row"}));
+  std::vector<std::string> fields;
+  bool terminated = false;
+  ASSERT_TRUE(read_csv_record(in, fields, &terminated));
+  EXPECT_TRUE(terminated);
+  EXPECT_EQ(fields, row);
+  ASSERT_TRUE(read_csv_record(in, fields, &terminated));
+  EXPECT_EQ(fields, (std::vector<std::string>{"second", "row"}));
+  EXPECT_FALSE(read_csv_record(in, fields));
+}
+
+TEST(CsvReader, ReportsTornTailRecords) {
+  // No trailing newline: the record is returned but flagged unterminated.
+  std::istringstream truncated("a,b,c");
+  std::vector<std::string> fields;
+  bool terminated = true;
+  ASSERT_TRUE(read_csv_record(truncated, fields, &terminated));
+  EXPECT_FALSE(terminated);
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "b", "c"}));
+
+  // EOF inside a quoted field: also a torn record.
+  std::istringstream open_quote("x,\"unclosed field\nwith newline");
+  ASSERT_TRUE(read_csv_record(open_quote, fields, &terminated));
+  EXPECT_FALSE(terminated);
+  ASSERT_EQ(fields.size(), 2u);
+}
+
+TEST(CsvReader, HandlesCrLfLineEndings) {
+  std::istringstream in("a,b\r\nc,d\r\n");
+  std::vector<std::string> fields;
+  bool terminated = false;
+  ASSERT_TRUE(read_csv_record(in, fields, &terminated));
+  EXPECT_TRUE(terminated);
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "b"}));
+  ASSERT_TRUE(read_csv_record(in, fields, &terminated));
+  EXPECT_EQ(fields, (std::vector<std::string>{"c", "d"}));
+}
+
 }  // namespace
 }  // namespace liquid3d

@@ -1,0 +1,307 @@
+// sweep_worker — the distributed-sweep command-line driver.
+//
+// One binary, four subcommands, so an orchestration script (or a cluster
+// job array) needs a single artifact:
+//
+//   sweep_worker plan   --shards K --out-dir DIR [grid flags]
+//       Expand the grid, partition it, write DIR/<prefix>-plan.csv plus one
+//       shard file per worker.
+//   sweep_worker run    --shard FILE --journal FILE [--batch N]
+//       Run (or resume) one shard; every completed cell is fsync'd into the
+//       journal, so `kill -9` mid-run loses at most one chunk.
+//   sweep_worker merge  --plan FILE --out FILE JOURNAL...
+//       Fold the journals into the merged summaries CSV (and optional
+//       JSON), bit-identical to a single-process run of the grid.
+//   sweep_worker single --plan FILE --out FILE
+//       The single-process reference: ExperimentSuite::run on the plan's
+//       grid, exported through the same writers — `diff` against the merged
+//       output is the end-to-end determinism check CI performs.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parse.hpp"
+#include "sim/report.hpp"
+#include "sweep/merge.hpp"
+#include "sweep/plan.hpp"
+#include "sweep/worker.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace {
+
+using namespace liquid3d;
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " COMMAND [options]\n"
+      << "\n"
+      << "  plan   --shards K --out-dir DIR [--prefix sweep]\n"
+      << "         [--strategy round-robin|cost] [--scenarios a,b,...]\n"
+      << "         [--workloads x,y,...] [--layer-pairs N] [--duration-s S]\n"
+      << "         [--seed N] [--dpm 0|1] [--grid-rows N] [--grid-cols N]\n"
+      << "  run    --shard FILE --journal FILE [--batch N] [--max-cells N]\n"
+      << "         [--execution batched|threadpool] [--threads N]\n"
+      << "  merge  --plan FILE --out FILE [--json FILE] JOURNAL...\n"
+      << "  single --plan FILE --out FILE [--json FILE]\n";
+  return 2;
+}
+
+/// Minimal flag cursor: every option takes exactly one value.
+class Args {
+ public:
+  Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  [[nodiscard]] bool next_is_flag() const {
+    return i_ < argc_ && argv_[i_][0] == '-';
+  }
+  [[nodiscard]] bool done() const { return i_ >= argc_; }
+  [[nodiscard]] std::string take() { return argv_[i_++]; }
+  [[nodiscard]] std::string value(const std::string& flag) {
+    LIQUID3D_REQUIRE(i_ < argc_, "missing value for " + flag);
+    return argv_[i_++];
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+  int i_ = 0;
+};
+
+std::vector<std::string> split_csv_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+void write_report_files(const std::vector<PolicySummary>& summaries,
+                        const std::string& csv_path,
+                        const std::string& json_path) {
+  std::ofstream csv(csv_path);
+  LIQUID3D_REQUIRE(csv.good(), "cannot open '" + csv_path + "' for writing");
+  write_summaries_csv(csv, summaries);
+  LIQUID3D_REQUIRE(csv.good(), "write to '" + csv_path + "' failed");
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    LIQUID3D_REQUIRE(json.good(), "cannot open '" + json_path + "' for writing");
+    write_summaries_json(json, summaries);
+  }
+}
+
+int cmd_plan(Args& args) {
+  SweepGridSpec grid;
+  grid.duration = SimTime::from_s(60);
+  std::vector<std::string> scenario_names;
+  std::size_t shards = 0;
+  ShardStrategy strategy = ShardStrategy::kRoundRobin;
+  std::string out_dir;
+  std::string prefix = "sweep";
+
+  while (!args.done()) {
+    const std::string flag = args.take();
+    if (flag == "--shards") {
+      shards = static_cast<std::size_t>(parse_u64(args.value(flag), flag));
+    } else if (flag == "--out-dir") {
+      out_dir = args.value(flag);
+    } else if (flag == "--prefix") {
+      prefix = args.value(flag);
+    } else if (flag == "--strategy") {
+      strategy = shard_strategy_from_name(args.value(flag));
+    } else if (flag == "--scenarios") {
+      scenario_names = split_csv_list(args.value(flag));
+    } else if (flag == "--workloads") {
+      grid.workloads = split_csv_list(args.value(flag));
+    } else if (flag == "--layer-pairs") {
+      grid.layer_pairs = static_cast<std::size_t>(parse_u64(args.value(flag), flag));
+    } else if (flag == "--duration-s") {
+      grid.duration = SimTime::from_s(parse_double(args.value(flag), flag));
+    } else if (flag == "--seed") {
+      grid.seed = parse_u64(args.value(flag), flag);
+    } else if (flag == "--dpm") {
+      grid.dpm_enabled = parse_u64(args.value(flag), flag) != 0;
+    } else if (flag == "--grid-rows") {
+      grid.grid_rows = static_cast<std::size_t>(parse_u64(args.value(flag), flag));
+    } else if (flag == "--grid-cols") {
+      grid.grid_cols = static_cast<std::size_t>(parse_u64(args.value(flag), flag));
+    } else {
+      throw ConfigError("unknown plan option '" + flag + "'");
+    }
+  }
+  LIQUID3D_REQUIRE(shards >= 1, "plan requires --shards >= 1");
+  LIQUID3D_REQUIRE(!out_dir.empty(), "plan requires --out-dir");
+
+  if (scenario_names.empty()) {
+    grid.scenarios = paper_scenario_grid();
+  } else {
+    for (const std::string& name : scenario_names) {
+      grid.scenarios.push_back(ScenarioRegistry::global().at(name));
+    }
+  }
+  if (grid.workloads.empty()) {
+    for (const BenchmarkSpec& b : table2_benchmarks()) {
+      grid.workloads.push_back(b.name);
+    }
+  } else {
+    for (const std::string& name : grid.workloads) {
+      LIQUID3D_REQUIRE(find_benchmark(name).has_value(),
+                       "unknown workload '" + name + "'");
+    }
+  }
+
+  const std::vector<std::string> shard_paths =
+      write_sweep_plan(grid, shards, strategy, out_dir, prefix);
+  std::cout << "planned " << grid.cell_count() << " cells ("
+            << grid.scenarios.size() << " scenarios x "
+            << grid.workloads.size() << " workloads) into "
+            << shard_paths.size() << " shards [" << to_string(strategy)
+            << "]\n";
+  std::cout << "plan: " << out_dir << "/" << prefix << "-plan.csv\n";
+  for (const std::string& p : shard_paths) std::cout << "shard: " << p << "\n";
+  return 0;
+}
+
+int cmd_run(Args& args) {
+  std::string shard_path;
+  std::string journal_path;
+  SweepWorkerOptions options;
+
+  while (!args.done()) {
+    const std::string flag = args.take();
+    if (flag == "--shard") {
+      shard_path = args.value(flag);
+    } else if (flag == "--journal") {
+      journal_path = args.value(flag);
+    } else if (flag == "--batch") {
+      options.batch_limit =
+          static_cast<std::size_t>(parse_u64(args.value(flag), flag));
+    } else if (flag == "--max-cells") {
+      options.max_new_cells =
+          static_cast<std::size_t>(parse_u64(args.value(flag), flag));
+    } else if (flag == "--threads") {
+      options.worker_threads =
+          static_cast<std::size_t>(parse_u64(args.value(flag), flag));
+    } else if (flag == "--execution") {
+      const std::string mode = args.value(flag);
+      if (mode == "batched") {
+        options.execution = SuiteExecution::kBatched;
+      } else if (mode == "threadpool") {
+        options.execution = SuiteExecution::kThreadPool;
+      } else {
+        throw ConfigError("unknown execution mode '" + mode + "'");
+      }
+    } else {
+      throw ConfigError("unknown run option '" + flag + "'");
+    }
+  }
+  LIQUID3D_REQUIRE(!shard_path.empty() && !journal_path.empty(),
+                   "run requires --shard and --journal");
+
+  const SweepCellFile shard = read_sweep_file(shard_path);
+  const SweepWorkerStats stats =
+      run_sweep_shard(shard, journal_path, options);
+  std::cout << "shard " << shard_path << ": " << stats.completed
+            << " cells run, " << stats.already_done << " resumed, "
+            << stats.remaining << " remaining (of " << stats.total_cells
+            << ")\n";
+  return stats.remaining == 0 ? 0 : 3;  // 3 = incomplete (max-cells cutoff)
+}
+
+int cmd_merge(Args& args) {
+  std::string plan_path;
+  std::string out_path;
+  std::string json_path;
+  std::vector<std::string> journals;
+
+  while (!args.done()) {
+    if (!args.next_is_flag()) {
+      journals.push_back(args.take());
+      continue;
+    }
+    const std::string flag = args.take();
+    if (flag == "--plan") {
+      plan_path = args.value(flag);
+    } else if (flag == "--out") {
+      out_path = args.value(flag);
+    } else if (flag == "--json") {
+      json_path = args.value(flag);
+    } else {
+      throw ConfigError("unknown merge option '" + flag + "'");
+    }
+  }
+  LIQUID3D_REQUIRE(!plan_path.empty() && !out_path.empty(),
+                   "merge requires --plan and --out");
+  LIQUID3D_REQUIRE(!journals.empty(), "merge requires at least one journal");
+
+  SweepMergeStats stats;
+  const std::vector<PolicySummary> summaries =
+      merge_sweep_journals(plan_path, journals, &stats);
+  write_report_files(summaries, out_path, json_path);
+  std::cout << "merged " << stats.cells << " cells from " << journals.size()
+            << " journals (" << stats.duplicates
+            << " duplicate entries dropped) -> " << out_path << "\n";
+  return 0;
+}
+
+int cmd_single(Args& args) {
+  std::string plan_path;
+  std::string out_path;
+  std::string json_path;
+
+  while (!args.done()) {
+    const std::string flag = args.take();
+    if (flag == "--plan") {
+      plan_path = args.value(flag);
+    } else if (flag == "--out") {
+      out_path = args.value(flag);
+    } else if (flag == "--json") {
+      json_path = args.value(flag);
+    } else {
+      throw ConfigError("unknown single option '" + flag + "'");
+    }
+  }
+  LIQUID3D_REQUIRE(!plan_path.empty() && !out_path.empty(),
+                   "single requires --plan and --out");
+
+  const SweepCellFile plan = read_sweep_file(plan_path);
+  std::vector<BenchmarkSpec> workloads;
+  for (const std::string& name : plan.grid.workloads) {
+    const std::optional<BenchmarkSpec> b = find_benchmark(name);
+    LIQUID3D_REQUIRE(b.has_value(), "unknown workload '" + name + "'");
+    workloads.push_back(*b);
+  }
+  ExperimentSuite suite(to_suite_config(plan.grid));
+  const std::vector<PolicySummary> summaries =
+      suite.run(plan.grid.scenarios, workloads);
+  write_report_files(summaries, out_path, json_path);
+  std::cout << "ran " << plan.grid.cell_count()
+            << " cells single-process -> " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string command = argv[1];
+  Args args(argc - 2, argv + 2);
+  try {
+    if (command == "plan") return cmd_plan(args);
+    if (command == "run") return cmd_run(args);
+    if (command == "merge") return cmd_merge(args);
+    if (command == "single") return cmd_single(args);
+    std::cerr << "unknown command '" << command << "'\n";
+    return usage(argv[0]);
+  } catch (const std::exception& e) {
+    std::cerr << "sweep_worker " << command << ": " << e.what() << "\n";
+    return 1;
+  }
+}
