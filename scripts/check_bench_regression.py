@@ -31,21 +31,60 @@ import statistics
 import sys
 
 
+class InputError(Exception):
+    """A problem with an input file, reported as one line — not a traceback.
+
+    A missing or truncated JSON file usually means the benchmark binary
+    crashed or never ran; the useful signal is *which file* and *why*, not
+    forty frames of json internals.
+    """
+
+
 def per_iteration_times(path, name_filter):
     """name -> per-iteration real_time in ns for aggregate-free entries."""
-    with open(path) as f:
-        data = json.load(f)
+    try:
+        with open(path) as f:
+            raw = f.read()
+    except OSError as e:
+        raise InputError(f"cannot read '{path}': {e.strerror or e}") from e
+    if not raw.strip():
+        raise InputError(
+            f"'{path}' is empty — did the benchmark run crash before "
+            "writing results?"
+        )
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as e:
+        raise InputError(f"'{path}' is not valid JSON ({e})") from e
+    if not isinstance(data, dict) or not isinstance(data.get("benchmarks"), list):
+        raise InputError(
+            f"'{path}' is valid JSON but not google-benchmark output "
+            "(expected a top-level 'benchmarks' array)"
+        )
     times = {}
-    for bench in data.get("benchmarks", []):
+    for bench in data["benchmarks"]:
+        if not isinstance(bench, dict):
+            continue
         if bench.get("run_type") == "aggregate":
             continue
-        name = bench["name"]
+        name = bench.get("name")
+        real_time = bench.get("real_time")
+        if not isinstance(name, str) or not isinstance(real_time, (int, float)):
+            raise InputError(
+                f"'{path}': benchmark entry missing 'name' or 'real_time' "
+                "(truncated or hand-edited file?)"
+            )
         if name_filter and not name_filter.search(name):
             continue
-        unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[
+        unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(
             bench.get("time_unit", "ns")
-        ]
-        times[name] = bench["real_time"] * unit_ns
+        )
+        if unit_ns is None:
+            raise InputError(
+                f"'{path}': unknown time_unit "
+                f"'{bench.get('time_unit')}' for benchmark '{name}'"
+            )
+        times[name] = real_time * unit_ns
     return times
 
 
@@ -70,8 +109,12 @@ def main():
     args = parser.parse_args()
 
     name_filter = re.compile(args.filter) if args.filter else None
-    baseline = per_iteration_times(args.baseline, name_filter)
-    current = per_iteration_times(args.current, name_filter)
+    try:
+        baseline = per_iteration_times(args.baseline, name_filter)
+        current = per_iteration_times(args.current, name_filter)
+    except InputError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
 
     shared = sorted(set(baseline) & set(current))
     if not shared:

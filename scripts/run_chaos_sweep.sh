@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# run_chaos_sweep.sh — fault-tolerance end-to-end smoke: plan a grid into K
+# shards, run the fleet under `sweep_worker supervise` with deterministic
+# per-cell solver faults injected (LIQUID3D_FAULTS) and one worker SIGKILLed
+# from outside mid-run, then merge with --allow-partial and check that
+#
+#   1. the supervisor restarted the killed worker and the fleet finished,
+#   2. the failure manifest names exactly the injected cells, each with the
+#      full escalation-ladder attempt count,
+#   3. every OTHER cell of the merged report is byte-identical to a
+#      fault-free single-process run of the same grid.
+#
+# Usage:
+#   scripts/run_chaos_sweep.sh [SWEEP_WORKER_BIN] [SHARDS] [WORKDIR]
+#
+#   SWEEP_WORKER_BIN  path to the sweep_worker binary (default: build/sweep_worker)
+#   SHARDS            worker count (default: 3)
+#   WORKDIR           scratch dir (default: mktemp -d, removed on success,
+#                     kept on failure; a caller-supplied dir is never removed)
+#
+# Grid knobs (env): SWEEP_DURATION_S (default 2), SWEEP_GRID_ROWS (8),
+# SWEEP_GRID_COLS (9), SWEEP_SCENARIOS / SWEEP_WORKLOADS (comma lists,
+# default: full paper grid x 2 workloads), SWEEP_STRATEGY (cost).
+# CHAOS_FAULT_CELLS (default "1 2") picks the cells whose solves fail.
+# CHAOS_KILL_SPEC (default "journal.append:nth=3:kill") SIGKILLs every
+# worker at its third journal append — deterministic, unlike racing an
+# external kill against sub-second workers — so the supervisor's restart
+# and the journal resume path run on every machine, however fast.
+set -euo pipefail
+
+BIN="${1:-build/sweep_worker}"
+SHARDS="${2:-3}"
+if [[ $# -ge 3 ]]; then
+    WORKDIR="$3"
+    CLEANUP_WORKDIR=0  # caller-owned: never auto-delete
+else
+    WORKDIR=$(mktemp -d /tmp/liquid3d-chaos.XXXXXX)
+    CLEANUP_WORKDIR=1
+fi
+
+DURATION_S="${SWEEP_DURATION_S:-2}"
+GRID_ROWS="${SWEEP_GRID_ROWS:-8}"
+GRID_COLS="${SWEEP_GRID_COLS:-9}"
+SCENARIOS="${SWEEP_SCENARIOS:-}"
+WORKLOADS="${SWEEP_WORKLOADS:-gzip,Web-med}"
+STRATEGY="${SWEEP_STRATEGY:-cost}"
+FAULT_CELLS="${CHAOS_FAULT_CELLS:-1 2}"
+KILL_SPEC="${CHAOS_KILL_SPEC:-journal.append:nth=3:kill}"
+
+if [[ ! -x "$BIN" ]]; then
+    echo "error: sweep_worker binary not found at '$BIN'" >&2
+    echo "build it first: cmake --build build --target sweep_worker" >&2
+    exit 2
+fi
+
+# The FAILED manifest records the default escalation ladder's attempt count
+# (as-configured, direct backend, direct + relaxed tolerances).
+ATTEMPTS=3
+
+FAULT_SPEC=""
+for cell in $FAULT_CELLS; do
+    FAULT_SPEC="${FAULT_SPEC:+$FAULT_SPEC;}worker.cell:key=$cell"
+done
+if [[ -n "$KILL_SPEC" ]]; then
+    FAULT_SPEC="$FAULT_SPEC;$KILL_SPEC"
+fi
+
+echo "== workdir: $WORKDIR (shards: $SHARDS, faults: $FAULT_SPEC)"
+
+plan_args=(plan --shards "$SHARDS" --out-dir "$WORKDIR" --strategy "$STRATEGY"
+           --duration-s "$DURATION_S" --grid-rows "$GRID_ROWS" --grid-cols "$GRID_COLS"
+           --workloads "$WORKLOADS")
+if [[ -n "$SCENARIOS" ]]; then
+    plan_args+=(--scenarios "$SCENARIOS")
+fi
+"$BIN" "${plan_args[@]}"
+
+# -- Fault-free single-process reference --------------------------------------
+env -u LIQUID3D_FAULTS "$BIN" single --plan "$WORKDIR/sweep-plan.csv" \
+    --out "$WORKDIR/single.csv"
+
+# -- Supervised fleet with injected faults ------------------------------------
+# Every worker inherits LIQUID3D_FAULTS, so whichever shard holds a faulted
+# cell fails it deterministically: the worker quarantines the cell, walks the
+# escalation ladder, and journals a FAILED record — the worker itself still
+# exits 0 (failures are data).  The kill spec SIGKILLs each worker at its
+# third append; --batch 1 journals after every cell, so the kill always
+# lands between fsync'd records and the restarted worker resumes cleanly.
+LIQUID3D_FAULTS="$FAULT_SPEC" "$BIN" supervise --dir "$WORKDIR" \
+    --batch 1 --stall-timeout-ms 60000 \
+    > "$WORKDIR/supervise.out" 2>&1 &
+SUP_PID=$!
+
+# Extra, opportunistic chaos: also SIGKILL one `run` child from outside if
+# any is still alive.  The deterministic kill above already guarantees the
+# restart path runs, so a miss here (fast machine) is harmless.
+sleep 0.2
+VICTIM=$(pgrep -f -- "$BIN run --shard" | head -n 1 || true)
+if [[ -n "$VICTIM" ]] && kill -KILL "$VICTIM" 2>/dev/null; then
+    echo "== externally SIGKILLed worker pid $VICTIM as well"
+fi
+
+if ! wait "$SUP_PID"; then
+    echo "== FAIL: supervise exited non-zero" >&2
+    cat "$WORKDIR/supervise.out" >&2
+    exit 1
+fi
+cat "$WORKDIR/supervise.out"
+# Every worker whose shard needs >= 3 journal appends was SIGKILLed once by
+# the injected kill spec; the supervisor must therefore report at least one
+# restart (spawns >= 2) — on any machine, at any speed.
+if [[ -n "$KILL_SPEC" ]] \
+    && ! grep -Eq '\(([2-9]|[0-9]{2,}) spawns' "$WORKDIR/supervise.out"; then
+    echo "== FAIL: workers were SIGKILLed but none reports a restart" >&2
+    exit 1
+fi
+
+# -- Degraded merge + failure manifest ----------------------------------------
+journals=()
+for shard in "$WORKDIR"/sweep-shard-*.csv; do
+    suffix="${shard##*-shard}"  # "-NNN.csv", kept verbatim by supervise
+    journals+=("$WORKDIR/sweep-journal${suffix}")
+done
+env -u LIQUID3D_FAULTS "$BIN" merge --plan "$WORKDIR/sweep-plan.csv" \
+    --out "$WORKDIR/merged.csv" --allow-partial \
+    --manifest "$WORKDIR/manifest.csv" "${journals[@]}"
+
+# -- Check 1: the manifest names exactly the injected cells -------------------
+# Field 1 is the cell index, the last field the attempt count (the error
+# text sits in between and is RFC-4180 quoted, so it never sheds fields).
+got=$(awk -F, 'NR > 1 { print $1 ":" $NF }' "$WORKDIR/manifest.csv" | sort -n)
+want=$(for cell in $FAULT_CELLS; do echo "$cell:$ATTEMPTS"; done | sort -n)
+if [[ "$got" != "$want" ]]; then
+    echo "== FAIL: manifest mismatch (kept: $WORKDIR)" >&2
+    echo "   want: $(echo "$want" | tr '\n' ' ')" >&2
+    echo "   got:  $(echo "$got" | tr '\n' ' ')" >&2
+    exit 1
+fi
+echo "== manifest: exactly cells [$FAULT_CELLS] failed, $ATTEMPTS attempts each"
+
+# -- Check 2: surviving cells byte-identical to the fault-free reference ------
+# Report layout: the header, then one data row per cell in cell order —
+# cell i is line i+2.  Drop the faulted cells' rows from both reports (the
+# merged one holds placeholders there) and the rest must not differ by a
+# single byte.
+filter=$(for cell in $FAULT_CELLS; do printf 'NR != %d && ' "$((cell + 2))"; done)
+awk "${filter}1" "$WORKDIR/single.csv" > "$WORKDIR/single-survivors.csv"
+awk "${filter}1" "$WORKDIR/merged.csv" > "$WORKDIR/merged-survivors.csv"
+if ! diff -u "$WORKDIR/single-survivors.csv" "$WORKDIR/merged-survivors.csv"; then
+    echo "== FAIL: surviving cells differ from fault-free run (kept: $WORKDIR)" >&2
+    exit 1
+fi
+echo "== OK: all surviving cells byte-identical to the fault-free single run"
+
+if [[ "$CLEANUP_WORKDIR" == 1 ]]; then
+    rm -rf "$WORKDIR"
+fi

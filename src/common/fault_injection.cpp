@@ -1,0 +1,187 @@
+#include "common/fault_injection.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parse.hpp"
+
+namespace liquid3d::fault_injection {
+
+namespace detail {
+std::atomic<std::uint64_t> armed_spec_count{0};
+}  // namespace detail
+
+namespace {
+
+constexpr std::uint64_t kUnlimited = ~std::uint64_t{0};
+
+struct Spec {
+  std::string site;
+  bool has_key = false;
+  std::uint64_t key = 0;
+  std::uint64_t nth = 1;            ///< first matching hit that fails
+  std::uint64_t count = kUnlimited; ///< matching hits that fail from nth on
+  double probability = 1.0;
+  std::uint64_t seed = 0;
+  bool kill = false;
+  std::uint64_t matching_hits = 0;  ///< counter, advanced per matching hit
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<Spec> specs;
+  std::unordered_map<std::string, std::uint64_t> site_hits;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// splitmix64 — the same mixer the scenario cell seeds use; good avalanche,
+/// no state.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Deterministic per-hit coin flip: uniform in [0, 1) from (seed, site,
+/// hit index).
+double hit_uniform(const Spec& spec, std::uint64_t hit_index) {
+  const std::uint64_t h =
+      mix64(spec.seed ^ mix64(fnv1a(spec.site)) ^ hit_index);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+Spec parse_spec(const std::string& text) {
+  Spec spec;
+  std::size_t pos = 0;
+  std::size_t colon = text.find(':');
+  spec.site = text.substr(0, colon == std::string::npos ? text.size() : colon);
+  LIQUID3D_REQUIRE(!spec.site.empty(),
+                   "fault spec '" + text + "': empty site name");
+  pos = colon;
+  while (pos != std::string::npos) {
+    ++pos;  // past ':'
+    colon = text.find(':', pos);
+    const std::string field =
+        text.substr(pos, colon == std::string::npos ? std::string::npos
+                                                    : colon - pos);
+    const std::size_t eq = field.find('=');
+    const std::string name = field.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string() : field.substr(eq + 1);
+    if (name == "key") {
+      spec.has_key = true;
+      spec.key = parse_u64(value, "fault spec '" + text + "' key");
+    } else if (name == "nth") {
+      spec.nth = parse_u64(value, "fault spec '" + text + "' nth");
+      LIQUID3D_REQUIRE(spec.nth >= 1,
+                       "fault spec '" + text + "': nth must be >= 1");
+    } else if (name == "count") {
+      spec.count = parse_u64(value, "fault spec '" + text + "' count");
+      if (spec.count == 0) spec.count = kUnlimited;
+    } else if (name == "p") {
+      spec.probability = parse_double(value, "fault spec '" + text + "' p");
+      LIQUID3D_REQUIRE(spec.probability >= 0.0 && spec.probability <= 1.0,
+                       "fault spec '" + text + "': p must be in [0, 1]");
+    } else if (name == "seed") {
+      spec.seed = parse_u64(value, "fault spec '" + text + "' seed");
+    } else if (name == "kill") {
+      LIQUID3D_REQUIRE(eq == std::string::npos,
+                       "fault spec '" + text + "': kill takes no value");
+      spec.kill = true;
+    } else {
+      throw ConfigError("fault spec '" + text + "': unknown field '" + name +
+                        "'");
+    }
+    pos = colon;
+  }
+  return spec;
+}
+
+}  // namespace
+
+namespace detail {
+
+bool should_fail_slow(std::string_view site, std::uint64_t key) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  ++r.site_hits[std::string(site)];
+  bool fail = false;
+  bool kill = false;
+  for (Spec& spec : r.specs) {
+    if (spec.site != site) continue;
+    if (spec.has_key && spec.key != key) continue;
+    const std::uint64_t hit = ++spec.matching_hits;  // 1-based
+    if (hit < spec.nth) continue;
+    if (spec.count != kUnlimited && hit >= spec.nth + spec.count) continue;
+    if (spec.probability < 1.0 && hit_uniform(spec, hit) >= spec.probability) {
+      continue;
+    }
+    fail = true;
+    kill = kill || spec.kill;
+  }
+  if (kill) {
+    ::raise(SIGKILL);  // crash injection: no cleanup, exactly like kill -9
+  }
+  return fail;
+}
+
+}  // namespace detail
+
+void arm(const std::string& specs) {
+  std::vector<Spec> parsed;
+  std::size_t pos = 0;
+  while (pos <= specs.size()) {
+    const std::size_t semi = specs.find(';', pos);
+    const std::string one =
+        specs.substr(pos, semi == std::string::npos ? std::string::npos
+                                                    : semi - pos);
+    if (!one.empty()) parsed.push_back(parse_spec(one));
+    if (semi == std::string::npos) break;
+    pos = semi + 1;
+  }
+  if (parsed.empty()) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (Spec& spec : parsed) r.specs.push_back(std::move(spec));
+  detail::armed_spec_count.store(r.specs.size(), std::memory_order_relaxed);
+}
+
+void arm_from_env() {
+  const char* env = std::getenv("LIQUID3D_FAULTS");
+  if (env != nullptr && env[0] != '\0') arm(env);
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.specs.clear();
+  r.site_hits.clear();
+  detail::armed_spec_count.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t hits(std::string_view site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.site_hits.find(std::string(site));
+  return it == r.site_hits.end() ? 0 : it->second;
+}
+
+}  // namespace liquid3d::fault_injection

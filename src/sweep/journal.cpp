@@ -10,6 +10,7 @@
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 #include "common/parse.hpp"
 #include "sim/report.hpp"
 
@@ -129,12 +130,29 @@ SweepJournal::~SweepJournal() {
 }
 
 void SweepJournal::append(const JournalEntry& entry) {
-  std::vector<std::string> row = {std::to_string(entry.cell)};
-  const std::vector<std::string> result = to_csv_row(entry.result);
-  row.insert(row.end(), result.begin(), result.end());
+  std::vector<std::string> row;
+  if (entry.failed) {
+    row = {"FAILED",        std::to_string(entry.cell),
+           entry.scenario,  entry.workload,
+           entry.error,     std::to_string(entry.attempts)};
+  } else {
+    row = {std::to_string(entry.cell)};
+    const std::vector<std::string> result = to_csv_row(entry.result);
+    row.insert(row.end(), result.begin(), result.end());
+  }
+  const std::string line = to_csv_line(row);
+  // Chaos site: persist a torn prefix (no terminating newline) and then
+  // fail, the exact on-disk state a crash between write(2) and fsync(2)
+  // leaves behind.  load() must drop it, and the next open must truncate it
+  // rather than weld the following record onto it.
+  if (fault_injection::should_fail("journal.append")) {
+    write_all(fd_, line.substr(0, line.size() / 2), path_);
+    ::fsync(fd_);
+    throw ConfigError("journal '" + path_ + "': injected write failure");
+  }
   // One contiguous write per record: a crash tears at most the tail record,
   // which load() drops.
-  write_all(fd_, to_csv_line(row), path_);
+  write_all(fd_, line, path_);
   if (::fsync(fd_) != 0) {
     throw ConfigError("journal '" + path_ + "': fsync failed: " +
                       std::strerror(errno));
@@ -168,12 +186,32 @@ std::vector<JournalEntry> SweepJournal::load(const std::string& path) {
   while (read_csv_record(in, record, &terminated)) {
     ++row_number;
     if (!terminated) break;  // torn tail from a killed worker: drop it
+    JournalEntry entry;
+    if (!record.empty() && record[0] == "FAILED") {
+      if (record.size() != 6) {
+        fail("FAILED entry arity mismatch: got " +
+             std::to_string(record.size()) + " columns, expected 6");
+      }
+      entry.failed = true;
+      try {
+        entry.cell =
+            static_cast<std::size_t>(parse_u64(record[1], "column 'cell'"));
+        entry.scenario = record[2];
+        entry.workload = record[3];
+        entry.error = record[4];
+        entry.attempts = static_cast<std::size_t>(
+            parse_u64(record[5], "column 'attempts'"));
+      } catch (const std::exception& e) {
+        fail(e.what());
+      }
+      entries.push_back(std::move(entry));
+      continue;
+    }
     const std::size_t arity = journal_csv_header().size();
     if (record.size() != arity) {
       fail("entry arity mismatch: got " + std::to_string(record.size()) +
            " columns, expected " + std::to_string(arity));
     }
-    JournalEntry entry;
     try {
       entry.cell = static_cast<std::size_t>(parse_u64(record[0], "column 'cell'"));
       entry.result = simulation_result_from_csv_row(

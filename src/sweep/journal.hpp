@@ -14,6 +14,13 @@
 // Duplicate cell indices are legal — a worker re-run after an unsynced
 // journal write recomputes the cell deterministically, so duplicates carry
 // identical payloads (the merge verifies exactly that).
+//
+// Besides completed cells, a journal may hold FAILED records — cells whose
+// solves kept failing through the worker's quarantine ladder.  They are
+// rows whose first column is the literal `FAILED` (never confusable with a
+// numeric cell index) followed by cell, scenario, workload, error, and the
+// attempt count, so old journals (no FAILED rows) still load byte-for-byte
+// and old ok-rows are written unchanged.
 #pragma once
 
 #include <cstddef>
@@ -27,6 +34,13 @@ namespace liquid3d {
 struct JournalEntry {
   std::size_t cell = 0;  ///< grid index from the shard plan
   SimulationResult result;
+
+  // FAILED records: `result` is empty; the fields below say what died.
+  bool failed = false;
+  std::string scenario;
+  std::string workload;
+  std::string error;
+  std::size_t attempts = 0;
 };
 
 class SweepJournal {

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <iterator>
 #include <map>
+#include <ostream>
 
+#include "common/csv.hpp"
 #include "common/error.hpp"
 #include "sim/report.hpp"
 
@@ -11,7 +13,8 @@ namespace liquid3d {
 
 std::vector<PolicySummary> merge_sweep_entries(
     const SweepCellFile& plan, const std::vector<JournalEntry>& entries,
-    SweepMergeStats* stats) {
+    SweepMergeStats* stats, const SweepMergeOptions& options,
+    std::vector<SweepFailure>* manifest) {
   SweepMergeStats local;
   local.entries = entries.size();
 
@@ -25,13 +28,24 @@ std::vector<PolicySummary> merge_sweep_entries(
 
   // Key by grid index.  std::map (not order-of-arrival) makes the fold
   // independent of journal order; conflicting duplicates are an error, not
-  // a race to resolve.
+  // a race to resolve.  Completed and FAILED records fold separately: a
+  // cell can legitimately carry both (one shard gave up, a rerun
+  // succeeded), and the completed result always wins.
   std::map<std::size_t, const SimulationResult*> by_cell;
+  std::map<std::size_t, const JournalEntry*> failed_by_cell;
   for (const JournalEntry& e : entries) {
     LIQUID3D_REQUIRE(e.cell < cell_count,
                      "journal entry for cell " + std::to_string(e.cell) +
                          " is outside the plan's " +
                          std::to_string(cell_count) + "-cell grid");
+    if (e.failed) {
+      // Keep-first: FAILED payloads may differ between attempts (different
+      // error text from different rungs), and no choice affects the merged
+      // report — only the manifest.
+      const auto [it, inserted] = failed_by_cell.emplace(e.cell, &e);
+      if (!inserted) ++local.duplicates;
+      continue;
+    }
     const auto [it, inserted] = by_cell.emplace(e.cell, &e.result);
     if (!inserted) {
       LIQUID3D_REQUIRE(
@@ -43,21 +57,59 @@ std::vector<PolicySummary> merge_sweep_entries(
     }
   }
 
-  std::vector<std::size_t> missing;
+  // Every cell with no completed result is either FAILED (a worker
+  // exhausted its ladder and said so) or missing (no worker got there).
+  std::vector<SweepFailure> failures;
   for (std::size_t i = 0; i < cell_count; ++i) {
-    if (by_cell.find(i) == by_cell.end()) missing.push_back(i);
+    if (by_cell.find(i) != by_cell.end()) continue;
+    SweepFailure f;
+    f.cell = i;
+    const auto failed = failed_by_cell.find(i);
+    if (failed != failed_by_cell.end()) {
+      f.scenario = failed->second->scenario;
+      f.workload = failed->second->workload;
+      f.error = failed->second->error;
+      f.attempts = failed->second->attempts;
+      ++local.failed;
+    } else {
+      f.scenario = plan.cells[i].scenario.name;
+      f.workload = plan.cells[i].workload;
+      f.error = "missing from every journal";
+      ++local.missing;
+    }
+    failures.push_back(std::move(f));
   }
-  if (!missing.empty()) {
+
+  if (!failures.empty() && !options.allow_partial) {
     std::string msg = "sweep incomplete: ";
-    msg += std::to_string(missing.size());
+    msg += std::to_string(failures.size());
     msg += " of ";
     msg += std::to_string(cell_count);
-    msg += " cells missing from the journals (first missing:";
-    for (std::size_t i = 0; i < std::min<std::size_t>(missing.size(), 8); ++i) {
+    msg += " cells unusable (";
+    msg += std::to_string(local.failed);
+    msg += " FAILED, ";
+    msg += std::to_string(local.missing);
+    msg += " missing; first:";
+    for (std::size_t i = 0; i < std::min<std::size_t>(failures.size(), 8);
+         ++i) {
       msg += ' ';
-      msg += std::to_string(missing[i]);
+      msg += std::to_string(failures[i].cell);
     }
-    throw ConfigError(msg + ")");
+    throw ConfigError(msg + ") — rerun the shards or merge --allow-partial");
+  }
+
+  // Placeholder rows for degraded cells: labeled so a reader of the merged
+  // CSV can see which operating point the row stands for, deterministic so
+  // two degraded merges of the same journals stay byte-identical.
+  std::map<std::size_t, SimulationResult> placeholders;
+  for (const SweepFailure& f : failures) {
+    SimulationResult placeholder;
+    placeholder.label = plan.grid.scenarios[f.cell / workload_count]
+                            .display_label();
+    placeholder.benchmark = plan.cells[f.cell].workload;
+    by_cell.emplace(f.cell,
+                    &placeholders.emplace(f.cell, std::move(placeholder))
+                         .first->second);
   }
 
   // Regroup exactly like ExperimentSuite::run: one summary per scenario in
@@ -76,12 +128,14 @@ std::vector<PolicySummary> merge_sweep_entries(
 
   local.cells = cell_count;
   if (stats != nullptr) *stats = local;
+  if (manifest != nullptr) *manifest = std::move(failures);
   return summaries;
 }
 
 std::vector<PolicySummary> merge_sweep_journals(
     const std::string& plan_path,
-    const std::vector<std::string>& journal_paths, SweepMergeStats* stats) {
+    const std::vector<std::string>& journal_paths, SweepMergeStats* stats,
+    const SweepMergeOptions& options, std::vector<SweepFailure>* manifest) {
   const SweepCellFile plan = read_sweep_file(plan_path);
   std::vector<JournalEntry> entries;
   for (const std::string& path : journal_paths) {
@@ -89,7 +143,16 @@ std::vector<PolicySummary> merge_sweep_journals(
     entries.insert(entries.end(), std::make_move_iterator(loaded.begin()),
                    std::make_move_iterator(loaded.end()));
   }
-  return merge_sweep_entries(plan, entries, stats);
+  return merge_sweep_entries(plan, entries, stats, options, manifest);
+}
+
+void write_failure_manifest_csv(std::ostream& out,
+                                const std::vector<SweepFailure>& manifest) {
+  out << to_csv_line({"cell", "scenario", "workload", "error", "attempts"});
+  for (const SweepFailure& f : manifest) {
+    out << to_csv_line({std::to_string(f.cell), f.scenario, f.workload,
+                        f.error, std::to_string(f.attempts)});
+  }
 }
 
 }  // namespace liquid3d

@@ -1,0 +1,81 @@
+// supervisor.hpp — process-level supervision for sweep workers.
+//
+// One supervisor drives K worker processes over the shards of a sweep plan,
+// restarting crashed workers (exponential backoff, capped attempts) and
+// watchdogging stalled ones.  The liveness signal is the worker's own
+// checkpoint journal: a worker that has not grown its journal file within
+// `stall_timeout` is presumed wedged (a hung solve, a deadlocked pool) and
+// is SIGKILLed, which the restart path then treats like any other crash.
+// Killing is safe at any instant by the journal's durability model — a
+// restarted worker resumes from the last fsynced record and recomputes at
+// most one in-flight chunk, bit-identically.
+//
+// The supervisor is deliberately policy-free about *why* a worker died:
+// exit(0) is success, anything else (nonzero exit, any signal) is a crash.
+// Cell-scoped solver failures never surface here — the worker contains
+// them as FAILED journal records and still exits 0.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace liquid3d {
+
+struct SupervisorOptions {
+  /// One worker per shard: shard_paths[i] is run against journal_paths[i].
+  std::vector<std::string> shard_paths;
+  std::vector<std::string> journal_paths;
+
+  /// argv[0] for spawned workers, typically the sweep_worker binary; the
+  /// worker command is
+  /// `<binary> run --shard <shard> --journal <journal> [extra_args...]`.
+  std::string worker_binary;
+  std::vector<std::string> extra_args;
+
+  /// Per-worker argv override for tests (empty inner vector = use the
+  /// normal worker command).  Lets supervision logic be exercised with
+  /// /bin/true, /bin/false, or a sleeping shell instead of real workers.
+  std::vector<std::vector<std::string>> command_override;
+
+  /// Restarts allowed per worker after its first spawn.
+  std::size_t max_restarts = 5;
+  /// Backoff before restart r (0-based): initial * multiplier^r, capped.
+  std::chrono::milliseconds initial_backoff{200};
+  double backoff_multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{10'000};
+
+  /// SIGKILL a running worker whose journal has not grown for this long
+  /// (0 = watchdog off).  Restart accounting treats the kill as a crash.
+  std::chrono::milliseconds stall_timeout{0};
+  /// Main loop sleep between liveness checks.
+  std::chrono::milliseconds poll_interval{50};
+};
+
+struct WorkerReport {
+  std::string shard_path;
+  std::string journal_path;
+  bool succeeded = false;     ///< final state was exit(0)
+  std::size_t spawns = 0;     ///< processes started (1 + restarts used)
+  std::size_t stall_kills = 0;///< watchdog SIGKILLs delivered
+  int last_exit_code = 0;     ///< valid when the last death was an exit
+  int last_signal = 0;        ///< nonzero when the last death was a signal
+};
+
+struct SupervisorResult {
+  std::vector<WorkerReport> workers;
+  bool all_succeeded = false;
+};
+
+/// Backoff before 0-based restart `restart_index` under `options`
+/// (pure — exposed for tests).
+[[nodiscard]] std::chrono::milliseconds restart_backoff(
+    const SupervisorOptions& options, std::size_t restart_index);
+
+/// Spawn, watch, restart, and reap one worker per shard; returns when every
+/// worker has either succeeded or exhausted its restarts.  Throws
+/// ConfigError on malformed options (arity mismatch, no shards).
+SupervisorResult supervise_sweep(const SupervisorOptions& options);
+
+}  // namespace liquid3d

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/batch_runner.hpp"
 #include "sim/simulator.hpp"
@@ -12,16 +13,81 @@
 
 namespace liquid3d {
 
+namespace {
+
+/// What the worker knows about one pending cell while its chunk runs.
+struct CellSlot {
+  const SweepCell* cell = nullptr;
+  BenchmarkSpec workload;
+  bool ok = false;              ///< result is valid
+  bool quarantined = false;     ///< needs the escalation ladder
+  SimulationResult result;
+  std::string error;            ///< last failure (quarantined / FAILED)
+  std::size_t attempts = 0;     ///< ladder attempts consumed
+};
+
+/// Loosen every budget/tolerance a stall can hit.  Only the most-relaxed
+/// rung of the ladder uses this: it trades accuracy for an answer, which is
+/// still better than no record at all for a pathological operating point.
+void relax_thermal_params(ThermalModelParams& p) {
+  p.pcg.tolerance *= 1e4;
+  p.pcg.max_iterations *= 4;
+  p.max_steady_iterations *= 4;
+  p.steady_tolerance *= 10.0;
+  p.max_fluid_iterations *= 2;
+}
+
+/// One rung of the escalation ladder (attempt is 1-based).  Rebuilds the
+/// config from the suite each time: the backend lives on the seed-neutral
+/// ScenarioSpec::solver axis, so characterization artifacts rebuild
+/// correctly for the escalated backend instead of being patched in place.
+SimulationResult run_cell_attempt(ExperimentSuite& suite, const SweepCell& cell,
+                                  const BenchmarkSpec& workload,
+                                  std::size_t attempt) {
+  if (fault_injection::should_fail("worker.cell", cell.index)) {
+    throw SolverError("injected worker.cell fault");
+  }
+  ScenarioSpec scenario = cell.scenario;
+  if (attempt >= 2) scenario.solver = SolverBackend::kDirect;
+  SimulationConfig cfg = suite.make_config(scenario, workload);
+  if (attempt >= 3) relax_thermal_params(cfg.thermal);
+  Simulator sim(cfg);
+  return sim.run();
+}
+
+/// Drive one quarantined cell up the ladder.  Returns with slot.ok set on
+/// success; otherwise slot.error / slot.attempts describe the FAILED record
+/// to journal.  Only SolverError is retried — anything else propagates.
+void run_cell_quarantined(ExperimentSuite& suite, CellSlot& slot,
+                          std::size_t max_attempts) {
+  while (slot.attempts < max_attempts) {
+    ++slot.attempts;
+    try {
+      slot.result =
+          run_cell_attempt(suite, *slot.cell, slot.workload, slot.attempts);
+      slot.ok = true;
+      return;
+    } catch (const SolverError& e) {
+      slot.error = e.what();
+    }
+  }
+}
+
+}  // namespace
+
 SweepWorkerStats run_sweep_shard(const SweepCellFile& shard,
                                  const std::string& journal_path,
                                  const SweepWorkerOptions& options) {
   LIQUID3D_REQUIRE(options.batch_limit >= 1, "batch_limit must be >= 1");
+  LIQUID3D_REQUIRE(options.max_cell_attempts >= 1,
+                   "max_cell_attempts must be >= 1");
 
   SweepWorkerStats stats;
   stats.total_cells = shard.cells.size();
 
-  // Resume: everything already journaled is done — results are
-  // deterministic, so recomputing would only reproduce the same bytes.
+  // Resume: everything already journaled is done — completed results are
+  // deterministic (recomputing reproduces the same bytes) and FAILED cells
+  // already exhausted their ladder, so neither is retried.
   std::unordered_set<std::size_t> done;
   for (const JournalEntry& e : SweepJournal::load(journal_path)) {
     done.insert(e.cell);
@@ -47,44 +113,129 @@ SweepWorkerStats run_sweep_shard(const SweepCellFile& shard,
     const std::size_t end =
         std::min(begin + options.batch_limit, pending.size());
 
-    // Build the chunk's configs up front on this thread (make_config fills
-    // the shared characterization cache), exactly like ExperimentSuite::run.
+    std::vector<CellSlot> slots(end - begin);
+
+    // Phase 1: bind workloads and build the chunk's configs up front on
+    // this thread (make_config fills the shared characterization cache),
+    // exactly like ExperimentSuite::run.  A SolverError here (the
+    // characterization itself solves steady states) quarantines the cell;
+    // ConfigError still names the cell and escapes — retrying cannot fix a
+    // malformed configuration.
     std::vector<SimulationConfig> configs;
-    configs.reserve(end - begin);
-    for (std::size_t i = begin; i < end; ++i) {
-      const SweepCell& cell = *pending[i];
+    std::vector<std::size_t> config_slot;  // slots index per config
+    configs.reserve(slots.size());
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      CellSlot& slot = slots[i];
+      slot.cell = pending[begin + i];
       const std::optional<BenchmarkSpec> workload =
-          find_benchmark(cell.workload);
+          find_benchmark(slot.cell->workload);
       LIQUID3D_REQUIRE(workload.has_value(),
-                       "cell " + std::to_string(cell.index) +
-                           ": unknown workload '" + cell.workload + "'");
+                       "cell " + std::to_string(slot.cell->index) +
+                           ": unknown workload '" + slot.cell->workload + "'");
+      slot.workload = *workload;
+      if (fault_injection::should_fail("worker.cell", slot.cell->index)) {
+        slot.quarantined = true;
+        slot.error = "injected worker.cell fault";
+        continue;
+      }
       try {
-        configs.push_back(suite.make_config(cell.scenario, *workload));
+        configs.push_back(suite.make_config(slot.cell->scenario, *workload));
+        config_slot.push_back(i);
+      } catch (const SolverError& e) {
+        slot.quarantined = true;
+        slot.error = e.what();
+        slot.attempts = 1;  // the as-configured rung already ran and failed
       } catch (const ConfigError& e) {
-        throw ConfigError("cell " + std::to_string(cell.index) + " ('" +
-                          cell.scenario.name + "'): " + e.what());
+        throw ConfigError("cell " + std::to_string(slot.cell->index) + " ('" +
+                          slot.cell->scenario.name + "'): " + e.what());
       }
     }
 
-    std::vector<SimulationResult> results(configs.size());
-    if (options.execution == SuiteExecution::kBatched) {
-      BatchRunner batch;
-      for (SimulationConfig& cfg : configs) batch.add(std::move(cfg));
-      results = batch.run();
+    // Phase 2: run the buildable cells of the chunk.  When quarantine
+    // already swallowed every cell (small chunks, aggressive faults) there
+    // is nothing to run — BatchRunner rejects an empty session list.
+    if (configs.empty()) {
+      // fall through to the escalation ladder
+    } else if (options.execution == SuiteExecution::kBatched) {
+      // A SolverError inside a lockstep batch aborts the whole group with
+      // no per-cell attribution, so on failure (or an injected
+      // worker.chunk fault) the chunk falls back to solo re-runs — which
+      // are bit-identical to the batch by the locked batch==solo contract,
+      // so surviving cells' bytes cannot change.
+      bool batch_ok = false;
+      if (!fault_injection::should_fail("worker.chunk")) {
+        try {
+          BatchRunner batch;
+          for (SimulationConfig& cfg : configs) batch.add(std::move(cfg));
+          std::vector<SimulationResult> results = batch.run();
+          for (std::size_t c = 0; c < results.size(); ++c) {
+            slots[config_slot[c]].result = std::move(results[c]);
+            slots[config_slot[c]].ok = true;
+          }
+          batch_ok = true;
+        } catch (const SolverError&) {
+          // fall through to the solo re-run below
+        }
+      }
+      if (!batch_ok) {
+        for (const std::size_t i : config_slot) {
+          CellSlot& slot = slots[i];
+          ++slot.attempts;  // this solo run is the cell's as-configured rung
+          try {
+            slot.result = run_cell_attempt(suite, *slot.cell, slot.workload,
+                                           slot.attempts);
+            slot.ok = true;
+          } catch (const SolverError& e) {
+            slot.quarantined = true;
+            slot.error = e.what();
+          }
+        }
+      }
     } else {
       ThreadPool pool(options.worker_threads == 0
                           ? ThreadPool::default_concurrency()
                           : options.worker_threads);
-      pool.parallel_for(0, configs.size(), [&](std::size_t i) {
-        Simulator sim(configs[i]);
-        results[i] = sim.run();
+      pool.parallel_for(0, configs.size(), [&](std::size_t c) {
+        CellSlot& slot = slots[config_slot[c]];
+        try {
+          Simulator sim(configs[c]);
+          slot.result = sim.run();
+          slot.ok = true;
+        } catch (const SolverError& e) {
+          // Per-cell containment; non-solver exceptions propagate through
+          // the pool's first-exception rethrow.
+          slot.quarantined = true;
+          slot.error = e.what();
+          slot.attempts = 1;  // this pool run was the as-configured rung
+        }
       });
     }
 
-    // Checkpoint the chunk in shard order, fsync per cell.
-    for (std::size_t i = begin; i < end; ++i) {
-      journal.append({pending[i]->index, results[i - begin]});
-      ++stats.completed;
+    // Phase 3: escalation ladder for everything quarantined above, serial
+    // (a quarantined cell is pathological — keep it away from siblings).
+    for (CellSlot& slot : slots) {
+      if (slot.ok || !slot.quarantined) continue;
+      run_cell_quarantined(suite, slot, options.max_cell_attempts);
+    }
+
+    // Phase 4: checkpoint the chunk in shard order, fsync per cell.
+    // Completed cells write the same bytes as a fault-free run; exhausted
+    // cells write FAILED records.
+    for (CellSlot& slot : slots) {
+      JournalEntry entry;
+      entry.cell = slot.cell->index;
+      if (slot.ok) {
+        entry.result = std::move(slot.result);
+        ++stats.completed;
+      } else {
+        entry.failed = true;
+        entry.scenario = slot.cell->scenario.name;
+        entry.workload = slot.cell->workload;
+        entry.error = slot.error;
+        entry.attempts = slot.attempts;
+        ++stats.failed;
+      }
+      journal.append(entry);
     }
   }
   return stats;

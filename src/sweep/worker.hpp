@@ -16,6 +16,18 @@
 // cell's result is appended to the journal (fsync per cell), so the
 // checkpoint granularity is `batch_limit` cells: a SIGKILL costs at most
 // one chunk of recomputation and never corrupts the journal.
+//
+// Failure containment: a SolverError anywhere in a cell's solve is a
+// per-cell outcome, never a shard-killing exception.  The failing cell is
+// evicted from its lockstep group (siblings keep their shared
+// factorization semantics — on a batched SolverError the chunk re-runs
+// solo, which is bit-identical by the locked batch==solo contract) and
+// retried through an escalation ladder: attempt 1 as configured, attempt 2
+// on the direct backend, attempt 3 direct with relaxed tolerances/budgets.
+// A cell that exhausts `max_cell_attempts` becomes a FAILED journal record
+// carrying the error text and the attempt count; ConfigError/LogicError
+// still propagate (they are not numerical outcomes and retrying cannot
+// help).
 #pragma once
 
 #include <cstddef>
@@ -39,19 +51,26 @@ struct SweepWorkerOptions {
   /// Worker threads for the kThreadPool execution (0 = hardware
   /// concurrency).
   std::size_t worker_threads = 0;
+  /// Solve attempts per cell before it is journaled as FAILED: 1 = as
+  /// configured, 2 = direct backend, 3 = direct backend with relaxed
+  /// tolerances.  Values above 3 repeat the most-relaxed rung.
+  std::size_t max_cell_attempts = 3;
 };
 
 struct SweepWorkerStats {
   std::size_t total_cells = 0;    ///< cells in the shard
   std::size_t already_done = 0;   ///< journaled before this run (resume)
   std::size_t completed = 0;      ///< newly run and journaled by this run
+  std::size_t failed = 0;         ///< newly journaled as FAILED by this run
   std::size_t remaining = 0;      ///< left undone (max_new_cells cutoff)
 };
 
 /// Run (or resume) `shard` against the journal at `journal_path`.
 /// Unknown workload names or scenarios that fail to bind throw ConfigError
 /// naming the cell.  Safe to call again after a crash or cutoff: journaled
-/// cells are never recomputed.
+/// cells (completed or FAILED) are never recomputed.  SolverError never
+/// escapes — cell-scoped numerical failures become FAILED journal records
+/// after the escalation ladder runs dry.
 SweepWorkerStats run_sweep_shard(const SweepCellFile& shard,
                                  const std::string& journal_path,
                                  const SweepWorkerOptions& options = {});

@@ -31,6 +31,14 @@ void fnv_mix(std::uint64_t& h, std::uint64_t word) {
   }
 }
 
+/// Sum-then-test: one pass, and NaN/Inf anywhere poisons the sum, so a
+/// single isfinite() check covers the whole vector.
+void require_finite(const double* v, std::size_t n, const char* what) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += v[i];
+  if (!std::isfinite(sum)) throw SolverError(what);
+}
+
 void fnv_mix(std::uint64_t& h, double v) {
   std::uint64_t bits;
   static_assert(sizeof(bits) == sizeof(v));
@@ -259,6 +267,12 @@ void ThermalModel3D::set_block_power(std::size_t layer, const std::vector<double
     cell_power_[node(layer, cell)] = 0.0;
   }
   for (std::size_t b = 0; b < watts.size(); ++b) {
+    // Non-finite power is a numerical blowup upstream (a diverged power
+    // model), not a malformed configuration — keep it out of ConfigError's
+    // `>= 0` check (NaN >= 0.0 is false) so it classifies as retriable.
+    if (!std::isfinite(watts[b])) {
+      throw SolverError("block power input is non-finite");
+    }
     LIQUID3D_REQUIRE(watts[b] >= 0.0, "block power must be non-negative");
     for (const BlockCellMap::CellShare& share : map.cells_of(b)) {
       cell_power_[node(layer, share.cell)] += watts[b] * share.weight;
@@ -436,6 +450,12 @@ double ThermalModel3D::advance(double dt_s, std::size_t fluid_iters,
 
   for (std::size_t iter = 0; iter < max_iters; ++iter) {
     assemble_transient_rhs(inv_dt, rhs_.data());
+    // A single NaN/Inf in the RHS (a power-model blowup, a diverged fluid
+    // state) would silently poison the entire field through the solve;
+    // catch it at the boundary where the cause is still nameable.
+    require_finite(rhs_.data(), node_count_,
+                   "assembled backward-Euler RHS contains non-finite values "
+                   "(check power inputs and fluid state)");
     if (direct) {
       direct->solve(rhs_);
       temps_.swap(rhs_);
@@ -447,14 +467,22 @@ double ThermalModel3D::advance(double dt_s, std::size_t fluid_iters,
       last_pcg_ = pcg->solve(rhs_.data(), pcg_x_.data());
       // An iterate that stalled at the iteration cap is not a solution;
       // accepting it silently would corrupt every sample and policy
-      // decision built on the field.  ConfigError, not LogicError: the cap
-      // and tolerance are user-tunable knobs, and the fix is theirs.
-      LIQUID3D_REQUIRE(last_pcg_.converged,
-                       "PCG did not converge within max_iterations; raise "
-                       "ThermalModelParams::pcg.max_iterations or loosen the "
-                       "tolerance");
+      // decision built on the field.  SolverError, not ConfigError or
+      // LogicError: the configuration is well-formed and the code is not
+      // buggy — the system is ill-conditioned for the configured budget,
+      // and callers (the sweep worker's quarantine ladder) may retry with
+      // another backend or a relaxed tolerance.
+      if (!last_pcg_.converged) {
+        throw SolverError(
+            "PCG transient step did not converge within max_iterations; "
+            "raise ThermalModelParams::pcg.max_iterations or loosen the "
+            "tolerance",
+            "pcg", last_pcg_.iterations, last_pcg_.relative_residual);
+      }
       temps_.swap(pcg_x_);
     }
+    require_finite(temps_.data(), node_count_,
+                   "linear solve produced non-finite temperatures");
     if (!liquid) break;
     const double delta = march_all_fluid();
     if (delta < fluid_tol) break;
@@ -642,6 +670,8 @@ void ThermalModel3D::solve_steady_state_direct(const std::function<bool()>& pre_
       delta = std::max(delta, std::abs(rhs_[i] - temps_[i]));
     }
     temps_.swap(rhs_);
+    require_finite(temps_.data(), node_count_,
+                   "direct steady solve produced non-finite temperatures");
     (void)march_all_fluid();  // refresh fluid state for readbacks
     if (!pre_step || delta < kPowerTolerance) return;
   }
@@ -700,10 +730,11 @@ void ThermalModel3D::solve_steady_state(const std::function<bool()>& pre_step) {
   // (floored at the configured tolerance, so the endgame — and the final
   // answer — is exactly as tight as before).
   double fluid_tol = params_.fluid_tolerance;
+  double delta = 0.0;
   for (std::size_t iter = 0; iter < params_.max_steady_iterations; ++iter) {
     if (pre_step && !pre_step()) return;
-    double delta = advance(params_.steady_pseudo_dt,
-                           params_.steady_fluid_iterations, fluid_tol);
+    delta = advance(params_.steady_pseudo_dt,
+                    params_.steady_fluid_iterations, fluid_tol);
     if (!stack_.has_cavities()) {
       const double spr_before = spreader_temp_;
       update_package_steady();
@@ -713,8 +744,14 @@ void ThermalModel3D::solve_steady_state(const std::function<bool()>& pre_step) {
     fluid_tol = std::max(params_.fluid_tolerance, 0.1 * delta);
   }
   // Not converged within the iteration cap — surface it; silent divergence
-  // would corrupt every characterization built on top.
-  LIQUID3D_ASSERT(false, "steady-state iteration did not converge");
+  // would corrupt every characterization built on top.  SolverError (a
+  // numerical outcome of this operating point), not LogicError: nothing is
+  // wrong with the code, and a retry with more iterations or the direct
+  // backend may well succeed.
+  throw SolverError(
+      "steady-state pseudo-transient iteration did not converge within "
+      "max_steady_iterations",
+      to_string(backend_), params_.max_steady_iterations, delta);
 }
 
 double ThermalModel3D::cell_temperature(std::size_t layer, std::size_t cell) const {

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 
 namespace liquid3d {
 
@@ -176,6 +177,12 @@ void PcgSolver::apply_preconditioner(const double* r, double* z) const {
 PcgSummary PcgSolver::solve(const double* b, double* x) {
   const std::size_t n = a_.size();
   ++solves_;
+  // Chaos site: report a full-budget non-converged solve without touching
+  // the iterate, exactly the shape a genuine stall presents to callers.
+  if (fault_injection::should_fail("pcg.solve")) {
+    last_ = {params_.max_iterations, 1.0, false};
+    return last_;
+  }
 
   double b_norm2 = 0.0;
   for (std::size_t i = 0; i < n; ++i) b_norm2 += b[i] * b[i];
@@ -205,7 +212,13 @@ PcgSummary PcgSolver::solve(const double* b, double* x) {
     ++it;
     a_.multiply(p_.data(), q_.data());
     const double pq = dot(p_, q_);
-    LIQUID3D_ASSERT(pq > 0.0, "PCG: operator is not positive definite");
+    // Curvature breakdown means the operator handed to us is not SPD for
+    // this right-hand side — a numerical outcome (SolverError), since the
+    // same assembly succeeds at other operating points.
+    if (!(pq > 0.0)) {
+      throw SolverError("PCG breakdown: operator is not positive definite",
+                        "pcg", it, std::sqrt(r_norm2 / b_norm2));
+    }
     const double alpha = rz / pq;
     for (std::size_t i = 0; i < n; ++i) {
       x[i] += alpha * p_[i];

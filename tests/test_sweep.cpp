@@ -61,6 +61,13 @@ std::string temp_path(const std::string& name) {
   return ::testing::TempDir() + "/liquid3d_sweep_" + name;
 }
 
+JournalEntry ok_entry(std::size_t cell, const SimulationResult& r) {
+  JournalEntry e;
+  e.cell = cell;
+  e.result = r;
+  return e;
+}
+
 TEST(SweepPlan, ExpandsGridInScenarioMajorOrder) {
   const SweepGridSpec grid = tiny_grid();
   const std::vector<SweepCell> cells = expand_grid(grid);
@@ -216,8 +223,8 @@ TEST(SweepJournal, AppendLoadRoundTripsBitExactly) {
   r.migrations = 42;
   {
     SweepJournal journal(path);
-    journal.append({3, r});
-    journal.append({5, r});
+    journal.append(ok_entry(3, r));
+    journal.append(ok_entry(5, r));
   }
   const std::vector<JournalEntry> entries = SweepJournal::load(path);
   ASSERT_EQ(entries.size(), 2u);
@@ -239,7 +246,7 @@ TEST(SweepJournal, TornTailIsDroppedOnLoadAndRepairedOnAppend) {
   r.benchmark = "gzip";
   {
     SweepJournal journal(path);
-    journal.append({0, r});
+    journal.append(ok_entry(0, r));
   }
   // Simulate a crash mid-write: append half a record, no newline.
   {
@@ -254,7 +261,7 @@ TEST(SweepJournal, TornTailIsDroppedOnLoadAndRepairedOnAppend) {
   // weld onto the torn bytes.
   {
     SweepJournal journal(path);
-    journal.append({2, r});
+    journal.append(ok_entry(2, r));
   }
   entries = SweepJournal::load(path);
   ASSERT_EQ(entries.size(), 2u);
@@ -278,7 +285,7 @@ TEST(SweepJournal, TornHeaderIsRestartedOnReopen) {
   r.benchmark = "gzip";
   {
     SweepJournal journal(path);
-    journal.append({4, r});
+    journal.append(ok_entry(4, r));
   }
   const std::vector<JournalEntry> entries = SweepJournal::load(path);
   ASSERT_EQ(entries.size(), 1u);
@@ -294,7 +301,7 @@ TEST(SweepJournal, CorruptInteriorRecordThrows) {
   r.benchmark = "gzip";
   {
     SweepJournal journal(path);
-    journal.append({0, r});
+    journal.append(ok_entry(0, r));
   }
   {
     std::ofstream out(path, std::ios::app);

@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 #include "coolant/flow.hpp"
 #include "geom/sites.hpp"
 #include "geom/stack.hpp"
@@ -285,6 +289,74 @@ TEST(ThermalModel, BlockReadbackConsistent) {
     core_min = std::min(core_min, m.block_temperature(c.layer, c.block));
   }
   EXPECT_GT(core_min, m.min_temperature());
+}
+
+// --- Failure taxonomy: numerical outcomes raise SolverError, not
+// ConfigError (nothing wrong with the inputs) or LogicError (nothing wrong
+// with the code). ---------------------------------------------------------
+
+TEST(ThermalModelFailures, NonFinitePowerThrowsSolverError) {
+  ThermalModel3D m(make_2layer_system(), fast_params());
+  const Floorplan& fp = m.stack().layer(0).floorplan;
+
+  std::vector<double> w(fp.block_count(), 1.0);
+  w[0] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(m.set_block_power(0, w), SolverError);
+  w[0] = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(m.set_block_power(0, w), SolverError);
+
+  // Merely invalid (finite, negative) power is still the caller's mistake.
+  w[0] = -1.0;
+  EXPECT_THROW(m.set_block_power(0, w), ConfigError);
+}
+
+TEST(ThermalModelFailures, PcgIterationCapThrowsSolverErrorWithDiagnostics) {
+  ThermalModelParams p = fast_params();
+  p.solver_backend = SolverBackend::kPcg;
+  p.pcg.max_iterations = 1;  // no chance against a cold transient step
+  ThermalModel3D m(make_2layer_system(), p);
+  m.set_cavity_flow(setting_flow(2));
+  set_core_power(m, 2.0);
+  try {
+    m.step(0.1);
+    FAIL() << "expected SolverError";
+  } catch (const SolverError& e) {
+    EXPECT_EQ(e.backend(), "pcg");
+    EXPECT_EQ(e.iterations(), 1u);
+    EXPECT_GT(e.residual(), 0.0);
+    EXPECT_NE(std::string(e.what()).find("backend=pcg"), std::string::npos);
+  }
+}
+
+TEST(ThermalModelFailures, SteadyStallThrowsSolverErrorWithDiagnostics) {
+  ThermalModelParams p = fast_params();
+  // The PCG backend always takes the pseudo-transient continuation (the
+  // direct fluid-eliminated solve would bypass the iteration cap entirely).
+  p.solver_backend = SolverBackend::kPcg;
+  p.max_steady_iterations = 2;  // force the pseudo-transient loop to stall
+  p.steady_tolerance = 1e-12;
+  ThermalModel3D m(make_2layer_system(), p);
+  m.set_cavity_flow(setting_flow(2));
+  set_core_power(m, 2.0);
+  try {
+    m.solve_steady_state();
+    FAIL() << "expected SolverError";
+  } catch (const SolverError& e) {
+    EXPECT_EQ(e.iterations(), 2u);
+    EXPECT_GT(e.residual(), 0.0);  // the last pseudo-transient delta in K
+  }
+}
+
+TEST(ThermalModelFailures, InjectedPcgFaultSurfacesAsSolverError) {
+  ThermalModelParams p = fast_params();
+  p.solver_backend = SolverBackend::kPcg;
+  ThermalModel3D m(make_2layer_system(), p);
+  m.set_cavity_flow(setting_flow(2));
+  set_core_power(m, 2.0);
+  m.step(0.1);  // sanity: healthy solves succeed before the fault arms
+
+  fault_injection::ScopedFaults faults("pcg.solve");
+  EXPECT_THROW(m.step(0.1), SolverError);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -41,6 +42,37 @@ TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
   for (std::size_t i = 0; i < kN; ++i) {
     EXPECT_EQ(hits[i].load(), 1) << "index " << i;
   }
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstExceptionAmongConcurrentFailures) {
+  // Several indices fail at once; parallel_for must still run EVERY index
+  // (fn is borrowed by reference — early return would leave workers calling
+  // a destroyed callable), then rethrow the lowest-index failure: futures
+  // drain in submission order, so "first" is deterministic, not a race.
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 64;
+  std::vector<std::atomic<int>> hits(kN);
+  try {
+    pool.parallel_for(0, kN, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+      if (i % 5 == 2) {  // indices 2, 7, 12, … all throw
+        throw std::runtime_error("task " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 2");
+  }
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+
+  // The pool outlives the failure: same pool, fresh parallel_for, clean run.
+  std::atomic<int> after{0};
+  pool.parallel_for(0, kN, [&](std::size_t) {
+    after.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(after.load(), static_cast<int>(kN));
 }
 
 TEST(ThreadPool, ManyTasksDrainAcrossWorkers) {

@@ -11,13 +11,25 @@
 //       journal, so `kill -9` mid-run loses at most one chunk.
 //   sweep_worker merge  --plan FILE --out FILE JOURNAL...
 //       Fold the journals into the merged summaries CSV (and optional
-//       JSON), bit-identical to a single-process run of the grid.
+//       JSON), bit-identical to a single-process run of the grid.  With
+//       --allow-partial, FAILED/missing cells degrade into a failure
+//       manifest (--manifest FILE) instead of aborting the merge.
 //   sweep_worker single --plan FILE --out FILE
 //       The single-process reference: ExperimentSuite::run on the plan's
 //       grid, exported through the same writers — `diff` against the merged
 //       output is the end-to-end determinism check CI performs.
+//   sweep_worker supervise --dir DIR [--prefix sweep]
+//       Spawn one `run` child per DIR/<prefix>-shard-*.csv, restart
+//       crashed children with exponential backoff, SIGKILL+restart children
+//       whose journal stops growing.  The chaos harness for fleet runs.
+//
+// Fault injection: every subcommand arms LIQUID3D_FAULTS from the
+// environment at startup (see common/fault_injection.hpp for the spec
+// grammar); supervised children inherit the variable through fork/exec.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -26,10 +38,12 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 #include "common/parse.hpp"
 #include "sim/report.hpp"
 #include "sweep/merge.hpp"
 #include "sweep/plan.hpp"
+#include "sweep/supervisor.hpp"
 #include "sweep/worker.hpp"
 #include "workload/benchmarks.hpp"
 
@@ -47,8 +61,14 @@ int usage(const char* argv0) {
       << "         [--seed N] [--dpm 0|1] [--grid-rows N] [--grid-cols N]\n"
       << "  run    --shard FILE --journal FILE [--batch N] [--max-cells N]\n"
       << "         [--execution batched|threadpool] [--threads N]\n"
-      << "  merge  --plan FILE --out FILE [--json FILE] JOURNAL...\n"
-      << "  single --plan FILE --out FILE [--json FILE]\n";
+      << "         [--attempts N]\n"
+      << "  merge  --plan FILE --out FILE [--json FILE] [--allow-partial]\n"
+      << "         [--manifest FILE] JOURNAL...\n"
+      << "  single --plan FILE --out FILE [--json FILE]\n"
+      << "  supervise --dir DIR [--prefix sweep] [--max-restarts N]\n"
+      << "         [--stall-timeout-ms N] [--backoff-ms N] [--poll-ms N]\n"
+      << "         [--batch N] [--execution batched|threadpool]\n"
+      << "         [--threads N] [--attempts N]\n";
   return 2;
 }
 
@@ -189,6 +209,9 @@ int cmd_run(Args& args) {
     } else if (flag == "--threads") {
       options.worker_threads =
           static_cast<std::size_t>(parse_u64(args.value(flag), flag));
+    } else if (flag == "--attempts") {
+      options.max_cell_attempts =
+          static_cast<std::size_t>(parse_u64(args.value(flag), flag));
     } else if (flag == "--execution") {
       const std::string mode = args.value(flag);
       if (mode == "batched") {
@@ -209,9 +232,11 @@ int cmd_run(Args& args) {
   const SweepWorkerStats stats =
       run_sweep_shard(shard, journal_path, options);
   std::cout << "shard " << shard_path << ": " << stats.completed
-            << " cells run, " << stats.already_done << " resumed, "
-            << stats.remaining << " remaining (of " << stats.total_cells
-            << ")\n";
+            << " cells run, " << stats.failed << " failed, "
+            << stats.already_done << " resumed, " << stats.remaining
+            << " remaining (of " << stats.total_cells << ")\n";
+  // FAILED cells are journaled data, not a worker error: the shard was
+  // fully processed, so the exit is 0 and the failures surface at merge.
   return stats.remaining == 0 ? 0 : 3;  // 3 = incomplete (max-cells cutoff)
 }
 
@@ -219,6 +244,8 @@ int cmd_merge(Args& args) {
   std::string plan_path;
   std::string out_path;
   std::string json_path;
+  std::string manifest_path;
+  SweepMergeOptions options;
   std::vector<std::string> journals;
 
   while (!args.done()) {
@@ -233,6 +260,10 @@ int cmd_merge(Args& args) {
       out_path = args.value(flag);
     } else if (flag == "--json") {
       json_path = args.value(flag);
+    } else if (flag == "--allow-partial") {
+      options.allow_partial = true;
+    } else if (flag == "--manifest") {
+      manifest_path = args.value(flag);
     } else {
       throw ConfigError("unknown merge option '" + flag + "'");
     }
@@ -240,15 +271,105 @@ int cmd_merge(Args& args) {
   LIQUID3D_REQUIRE(!plan_path.empty() && !out_path.empty(),
                    "merge requires --plan and --out");
   LIQUID3D_REQUIRE(!journals.empty(), "merge requires at least one journal");
+  LIQUID3D_REQUIRE(manifest_path.empty() || options.allow_partial,
+                   "--manifest only applies with --allow-partial");
 
   SweepMergeStats stats;
-  const std::vector<PolicySummary> summaries =
-      merge_sweep_journals(plan_path, journals, &stats);
+  std::vector<SweepFailure> manifest;
+  const std::vector<PolicySummary> summaries = merge_sweep_journals(
+      plan_path, journals, &stats, options, &manifest);
   write_report_files(summaries, out_path, json_path);
+  if (!manifest_path.empty()) {
+    std::ofstream out(manifest_path);
+    LIQUID3D_REQUIRE(out.good(),
+                     "cannot open '" + manifest_path + "' for writing");
+    write_failure_manifest_csv(out, manifest);
+    LIQUID3D_REQUIRE(out.good(), "write to '" + manifest_path + "' failed");
+  }
   std::cout << "merged " << stats.cells << " cells from " << journals.size()
             << " journals (" << stats.duplicates
-            << " duplicate entries dropped) -> " << out_path << "\n";
+            << " duplicate entries dropped";
+  if (options.allow_partial) {
+    std::cout << ", " << stats.failed << " FAILED, " << stats.missing
+              << " missing";
+  }
+  std::cout << ") -> " << out_path << "\n";
   return 0;
+}
+
+int cmd_supervise(Args& args) {
+  std::string dir;
+  std::string prefix = "sweep";
+  SupervisorOptions options;
+  std::vector<std::string> worker_flags;
+
+  while (!args.done()) {
+    const std::string flag = args.take();
+    if (flag == "--dir") {
+      dir = args.value(flag);
+    } else if (flag == "--prefix") {
+      prefix = args.value(flag);
+    } else if (flag == "--max-restarts") {
+      options.max_restarts =
+          static_cast<std::size_t>(parse_u64(args.value(flag), flag));
+    } else if (flag == "--stall-timeout-ms") {
+      options.stall_timeout =
+          std::chrono::milliseconds(parse_u64(args.value(flag), flag));
+    } else if (flag == "--backoff-ms") {
+      options.initial_backoff =
+          std::chrono::milliseconds(parse_u64(args.value(flag), flag));
+    } else if (flag == "--poll-ms") {
+      options.poll_interval =
+          std::chrono::milliseconds(parse_u64(args.value(flag), flag));
+    } else if (flag == "--batch" || flag == "--execution" ||
+               flag == "--threads" || flag == "--attempts") {
+      // Forwarded verbatim to every spawned `run` child.
+      worker_flags.push_back(flag);
+      worker_flags.push_back(args.value(flag));
+    } else {
+      throw ConfigError("unknown supervise option '" + flag + "'");
+    }
+  }
+  LIQUID3D_REQUIRE(!dir.empty(), "supervise requires --dir");
+
+  // One worker per shard file the planner wrote; journals sit beside the
+  // shards with the shard's own numeric suffix.
+  const std::string shard_mark = prefix + "-shard-";
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(shard_mark, 0) != 0) continue;
+    if (entry.path().extension() != ".csv") continue;
+    options.shard_paths.push_back(entry.path().string());
+  }
+  std::sort(options.shard_paths.begin(), options.shard_paths.end());
+  LIQUID3D_REQUIRE(!options.shard_paths.empty(),
+                   "supervise: no '" + shard_mark + "*.csv' shards in '" +
+                       dir + "'");
+  for (const std::string& shard : options.shard_paths) {
+    const std::string stem = std::filesystem::path(shard).stem().string();
+    const std::string suffix = stem.substr(shard_mark.size() - 1);  // -NNN
+    options.journal_paths.push_back(
+        (std::filesystem::path(dir) / (prefix + "-journal" + suffix + ".csv"))
+            .string());
+  }
+
+  // Children are this very binary: no PATH lookup, no skew between the
+  // supervisor's code and the workers'.
+  std::error_code ec;
+  const std::filesystem::path self =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  LIQUID3D_REQUIRE(!ec, "supervise: cannot resolve /proc/self/exe");
+  options.worker_binary = self.string();
+  options.extra_args = worker_flags;
+
+  const SupervisorResult result = supervise_sweep(options);
+  for (const WorkerReport& w : result.workers) {
+    std::cout << "worker " << w.shard_path << ": "
+              << (w.succeeded ? "ok" : "FAILED") << " (" << w.spawns
+              << " spawns, " << w.stall_kills << " stall kills)\n";
+  }
+  return result.all_succeeded ? 0 : 1;
 }
 
 int cmd_single(Args& args) {
@@ -294,10 +415,12 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   Args args(argc - 2, argv + 2);
   try {
+    liquid3d::fault_injection::arm_from_env();
     if (command == "plan") return cmd_plan(args);
     if (command == "run") return cmd_run(args);
     if (command == "merge") return cmd_merge(args);
     if (command == "single") return cmd_single(args);
+    if (command == "supervise") return cmd_supervise(args);
     std::cerr << "unknown command '" << command << "'\n";
     return usage(argv[0]);
   } catch (const std::exception& e) {
