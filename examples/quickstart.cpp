@@ -6,12 +6,19 @@
 // plus the summary metrics.
 //
 //   $ ./quickstart
+//
+// With --stack FILE the run uses a declarative stack file (docs/stacks.md)
+// instead of the built-in 2-layer system:
+//
+//   $ ./quickstart --stack examples/stacks/asym-3die.stack
 #include <cstdio>
+#include <cstring>
 
+#include "geom/stack_spec.hpp"
 #include "sim/simulator.hpp"
 #include "workload/benchmarks.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace liquid3d;
 
   SimulationConfig cfg;
@@ -21,6 +28,19 @@ int main() {
   cfg.benchmark = *find_benchmark("Web-med");
   cfg.duration = SimTime::from_s(60);
   cfg.seed = 42;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stack") == 0 && i + 1 < argc) {
+      const StackSpec spec = load_stack_file(argv[++i]);
+      // The file fixes the cooling type; keep variable flow on liquid stacks.
+      cfg.cooling = spec.cooling == CoolingType::kAir ? CoolingMode::kAir
+                                                      : CoolingMode::kLiquidVar;
+      cfg.stack = spec;
+    } else {
+      std::fprintf(stderr, "usage: %s [--stack FILE]\n", argv[0]);
+      return 2;
+    }
+  }
 
   Simulator sim(cfg);
 

@@ -15,7 +15,10 @@
 #
 # Grid knobs (env): SWEEP_DURATION_S (default 2), SWEEP_GRID_ROWS (8),
 # SWEEP_GRID_COLS (9), SWEEP_SCENARIOS / SWEEP_WORKLOADS (comma lists,
-# default: full paper grid x 2 workloads), SWEEP_STRATEGY (cost).
+# default: full paper grid x 2 workloads), SWEEP_STRATEGY (cost),
+# SWEEP_STACK (stack preset name or stack file, e.g.
+# examples/stacks/asym-3die.stack; a file's spec is embedded in the plan's
+# #suite metadata, so the workers never read the file themselves).
 set -euo pipefail
 
 BIN="${1:-build/sweep_worker}"
@@ -34,6 +37,7 @@ GRID_COLS="${SWEEP_GRID_COLS:-9}"
 SCENARIOS="${SWEEP_SCENARIOS:-}"
 WORKLOADS="${SWEEP_WORKLOADS:-gzip,Web-med}"
 STRATEGY="${SWEEP_STRATEGY:-cost}"
+STACK="${SWEEP_STACK:-}"
 
 if [[ ! -x "$BIN" ]]; then
     echo "error: sweep_worker binary not found at '$BIN'" >&2
@@ -48,6 +52,9 @@ plan_args=(plan --shards "$SHARDS" --out-dir "$WORKDIR" --strategy "$STRATEGY"
            --workloads "$WORKLOADS")
 if [[ -n "$SCENARIOS" ]]; then
     plan_args+=(--scenarios "$SCENARIOS")
+fi
+if [[ -n "$STACK" ]]; then
+    plan_args+=(--stack "$STACK")
 fi
 "$BIN" "${plan_args[@]}"
 

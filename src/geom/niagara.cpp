@@ -4,21 +4,6 @@
 
 namespace liquid3d {
 
-namespace {
-
-constexpr double kCoreArea = 10.0e-6;   // m^2 (Table III)
-constexpr double kCacheArea = 19.0e-6;  // m^2 (Table III)
-
-// Crossbar rect, centered horizontally; vertical placement differs slightly
-// between dies but the intersection is what matters for TSVs, so we keep it
-// identical: centered on the die.
-Rect crossbar_rect() {
-  return Rect{(kDieWidth - kCrossbarWidth) / 2.0, (kDieHeight - kCrossbarHeight) / 2.0,
-              kCrossbarWidth, kCrossbarHeight};
-}
-
-}  // namespace
-
 Floorplan make_niagara_core_die() {
   Floorplan fp("niagara_core_die", kDieWidth, kDieHeight);
 
@@ -36,7 +21,7 @@ Floorplan make_niagara_core_die() {
                   Rect{static_cast<double>(i) * core_w, top_row_y, core_w, core_h}, i + 4});
   }
 
-  const Rect xbar = crossbar_rect();
+  const Rect xbar = niagara_crossbar_rect();
   fp.add_block({"xbar", BlockType::kCrossbar, xbar, 0});
 
   // Middle band sides: memory controllers, DRAM interface, buffers.
@@ -61,7 +46,7 @@ Floorplan make_niagara_cache_die() {
   fp.add_block({"l2_2", BlockType::kL2Cache, Rect{0.0, top_row_y, cache_w, cache_h}, 2});
   fp.add_block({"l2_3", BlockType::kL2Cache, Rect{cache_w, top_row_y, cache_w, cache_h}, 3});
 
-  const Rect xbar = crossbar_rect();
+  const Rect xbar = niagara_crossbar_rect();
   fp.add_block({"xbar", BlockType::kCrossbar, xbar, 0});
 
   // Fill the rest of the middle band with misc blocks: left, right, and the

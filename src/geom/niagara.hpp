@@ -20,6 +20,18 @@ inline constexpr double kDieHeight = 10.0e-3;
 inline constexpr double kCrossbarWidth = 4.6e-3;
 inline constexpr double kCrossbarHeight = 3.0434782608695653e-3;
 
+/// Block areas per Table III.
+inline constexpr double kCoreArea = 10.0e-6;   ///< m², per core
+inline constexpr double kCacheArea = 19.0e-6;  ///< m², per L2 bank
+
+/// Crossbar rect, centered on the die — the same rect on every layer so the
+/// TSV bundle it hosts lines up vertically.
+[[nodiscard]] constexpr Rect niagara_crossbar_rect() {
+  return Rect{(kDieWidth - kCrossbarWidth) / 2.0,
+              (kDieHeight - kCrossbarHeight) / 2.0, kCrossbarWidth,
+              kCrossbarHeight};
+}
+
 /// Core die: 8 cores of 10 mm² in two rows of four, central crossbar band
 /// flanked by misc (memory control / buffering) blocks.
 [[nodiscard]] Floorplan make_niagara_core_die();

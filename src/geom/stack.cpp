@@ -1,11 +1,30 @@
 #include "geom/stack.hpp"
 
+#include <bit>
 #include <cmath>
 
 #include "common/error.hpp"
-#include "geom/niagara.hpp"
+#include "geom/stack_spec.hpp"
 
 namespace liquid3d {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_mix(std::uint64_t& h, double v) {
+  fnv_mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace
 
 const char* to_string(CoolingType t) {
   switch (t) {
@@ -60,21 +79,47 @@ std::size_t Stack3D::total_count(BlockType t) const {
   return n;
 }
 
+std::uint64_t stack_fingerprint(const Stack3D& stack) {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, static_cast<std::uint64_t>(stack.cooling()));
+  fnv_mix(h, static_cast<std::uint64_t>(stack.layer_count()));
+  fnv_mix(h, stack.width());
+  fnv_mix(h, stack.height());
+  for (const LayerSpec& layer : stack.layers()) {
+    fnv_mix(h, layer.die_thickness);
+    fnv_mix(h, layer.beol_thickness);
+    fnv_mix(h, static_cast<std::uint64_t>(layer.floorplan.blocks().size()));
+    // Block names are identity-neutral: they label outputs, never geometry.
+    for (const Block& b : layer.floorplan.blocks()) {
+      fnv_mix(h, static_cast<std::uint64_t>(b.type));
+      fnv_mix(h, static_cast<std::uint64_t>(b.type_index));
+      fnv_mix(h, b.rect.x);
+      fnv_mix(h, b.rect.y);
+      fnv_mix(h, b.rect.w);
+      fnv_mix(h, b.rect.h);
+    }
+  }
+  if (stack.has_cavities()) {
+    const CavitySpec& c = stack.cavity();
+    fnv_mix(h, static_cast<std::uint64_t>(c.channel_count));
+    fnv_mix(h, c.channel_width);
+    fnv_mix(h, c.channel_height);
+    fnv_mix(h, c.wall_thickness);
+    fnv_mix(h, c.pitch);
+    fnv_mix(h, c.cavity_thickness);
+  }
+  fnv_mix(h, static_cast<std::uint64_t>(stack.tsvs().count));
+  fnv_mix(h, stack.tsvs().side);
+  fnv_mix(h, stack.tsvs().cu_conductivity);
+  fnv_mix(h, stack.bond_thickness());
+  fnv_mix(h, stack.interlayer_resistivity());
+  return h;
+}
+
 Stack3D make_niagara_stack(std::size_t layer_pairs, CoolingType cooling) {
-  LIQUID3D_REQUIRE(layer_pairs >= 1 && layer_pairs <= 4,
-                   "supported systems have 1..4 core/cache layer pairs");
-  const std::string name = std::to_string(2 * layer_pairs) + "layer_" +
-                           std::string(to_string(cooling));
-  Stack3D stack(name, cooling);
-  for (std::size_t p = 0; p < layer_pairs; ++p) {
-    stack.add_layer(LayerSpec{make_niagara_core_die()});
-    stack.add_layer(LayerSpec{make_niagara_cache_die()});
-  }
-  if (cooling == CoolingType::kLiquid) {
-    stack.set_cavities(CavitySpec{});
-    stack.set_tsvs(TsvSpec{});
-  }
-  return stack;
+  // The preset spec is the single source of truth now; the golden parity
+  // tests lock this delegation to the historical hand-built stacks.
+  return make_stack(niagara_stack_spec(layer_pairs, cooling));
 }
 
 }  // namespace liquid3d

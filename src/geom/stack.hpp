@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -104,6 +105,15 @@ class Stack3D {
   CavitySpec cavity_;
   TsvSpec tsvs_;
 };
+
+/// Canonical FNV-1a fingerprint of a stack's built geometry: cooling type,
+/// outline, per-layer thicknesses and block rects (types and type_index, not
+/// names), cavity and TSV geometry, bond material.  Two stacks with equal
+/// fingerprints produce identical thermal topologies regardless of whether
+/// they came from the legacy builder, a preset spec, or a stack file — the
+/// characterization cache and ThermalModel3D::topology_fingerprint both mix
+/// this value in.
+[[nodiscard]] std::uint64_t stack_fingerprint(const Stack3D& stack);
 
 /// The paper's two target systems (Fig. 1), plus air-cooled twins.
 /// 2-layer: core die + cache die (8 cores).  4-layer: core, cache, core,

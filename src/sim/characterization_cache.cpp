@@ -101,13 +101,19 @@ void append_power(std::string& key, const PowerModelParams& p) {
 }
 
 void append_system(std::string& key, const SimulationConfig& cfg, bool liquid) {
-  append(key, cfg.layer_pairs);
+  // The geometry enters the key as the canonical stack fingerprint, so any
+  // two configurations that build the same stack — via layer_pairs, a preset
+  // spec, or a stack file — share characterization artifacts, and custom
+  // stacks can never collide with the Niagara presets.
+  const Stack3D stack = make_simulation_stack(cfg);
+  char fp[24];
+  std::snprintf(fp, sizeof fp, "%016llx,",
+                static_cast<unsigned long long>(stack_fingerprint(stack)));
+  key += fp;
   key += liquid ? "liquid," : "air,";
   key += to_string(cfg.delivery_mode);
   key += ",";
-  // Derive the layer count from the stack the model will actually be built
-  // on, not from assumptions about make_niagara_stack's internal structure.
-  append_thermal(key, cfg.thermal, make_simulation_stack(cfg).layer_count());
+  append_thermal(key, cfg.thermal, stack.layer_count());
   append_power(key, cfg.power);
 }
 

@@ -80,7 +80,7 @@ SimulationConfig ExperimentSuite::make_config(const ScenarioSpec& scenario,
                                               const BenchmarkSpec& workload) {
   SimulationConfig cfg = cfg_.base;
   cfg.layer_pairs = cfg_.layer_pairs;
-  apply_scenario(scenario, cfg);
+  apply_scenario(scenario, cfg, cfg_.stacks);
   cfg.benchmark = workload;
   cfg.duration = cfg_.duration;
   cfg.seed = cell_seed(cfg_.seed, scenario, workload);

@@ -51,6 +51,10 @@ struct SuiteConfig {
   SuiteExecution execution = SuiteExecution::kThreadPool;
   /// Base template applied to every run (thermal/power/etc. parameters).
   SimulationConfig base{};
+  /// Stack specs resolvable by name from a scenario's `stack` axis (e.g.
+  /// specs a sweep plan embedded in its `#suite` metadata); consulted before
+  /// presets and file paths.
+  std::vector<StackSpec> stacks{};
 };
 
 /// Results of one scenario over all workloads.

@@ -6,15 +6,22 @@ namespace liquid3d {
 
 std::vector<SkewScenario> skewed_workload_scenarios(std::size_t layer_pairs) {
   LIQUID3D_REQUIRE(layer_pairs >= 1, "need at least one layer pair");
-  const std::size_t cores = 8 * layer_pairs;
+  return skewed_workload_scenarios_for_cores(8 * layer_pairs);
+}
+
+std::vector<SkewScenario> skewed_workload_scenarios_for_cores(
+    std::size_t core_count) {
+  LIQUID3D_REQUIRE(core_count >= 2, "skew scenarios need at least two cores");
   constexpr double kHotBias = 6.0;
 
   // Core sites enumerate layer-major: the second half of the core list is
   // the upper core die (4-layer) or the top core row (2-layer).
-  SkewScenario upper{"hot-upper-die", std::vector<double>(cores, 1.0)};
-  for (std::size_t c = cores / 2; c < cores; ++c) upper.core_bias[c] = kHotBias;
+  SkewScenario upper{"hot-upper-die", std::vector<double>(core_count, 1.0)};
+  for (std::size_t c = core_count / 2; c < core_count; ++c) {
+    upper.core_bias[c] = kHotBias;
+  }
 
-  SkewScenario corner{"hot-corner", std::vector<double>(cores, 1.0)};
+  SkewScenario corner{"hot-corner", std::vector<double>(core_count, 1.0)};
   corner.core_bias[0] = kHotBias;
   corner.core_bias[1] = kHotBias;
   return {std::move(upper), std::move(corner)};
@@ -58,26 +65,29 @@ CoolingMode cooling_from_name(std::string_view s) {
 
 const std::vector<std::string>& scenario_csv_header() {
   static const std::vector<std::string> header = {
-      "name", "policy", "cooling", "valves", "skew", "label", "solver"};
+      "name", "policy", "cooling", "valves", "skew", "label", "solver",
+      "stack"};
   return header;
 }
 
 std::vector<std::string> to_csv_row(const ScenarioSpec& s) {
   return {s.name,  policy_name(s.policy),       cooling_name(s.cooling),
           s.valve_network ? "1" : "0", s.skew,  s.label,
-          to_string(s.solver)};
+          to_string(s.solver),         s.stack};
 }
 
 ScenarioSpec scenario_from_csv_row(const std::vector<std::string>& row) {
-  // The solver column was appended in a later schema revision; rows written
-  // before it (6 columns) still parse, defaulting to kAuto — sharded sweep
-  // checkpoints stay readable.
+  // The solver and stack columns were appended in later schema revisions;
+  // rows written before them (6 or 7 columns) still parse with default
+  // values — sharded sweep checkpoints stay readable.
   const std::vector<std::string>& header = scenario_csv_header();
   LIQUID3D_REQUIRE(
-      row.size() == header.size() || row.size() == header.size() - 1,
+      row.size() == header.size() || row.size() == header.size() - 1 ||
+          row.size() == header.size() - 2,
       "scenario row arity mismatch: got " + std::to_string(row.size()) +
           " columns, expected " + std::to_string(header.size()) +
-          " (or legacy " + std::to_string(header.size() - 1) + ")");
+          " (or legacy " + std::to_string(header.size() - 2) + "/" +
+          std::to_string(header.size() - 1) + ")");
   // Annotate parse failures with the offending column's header name, so a
   // shard/plan reader can report "row 12, column 'policy'" instead of a
   // bare failure.
@@ -102,10 +112,12 @@ ScenarioSpec scenario_from_csv_row(const std::vector<std::string>& row) {
   if (row.size() > 6) {
     s.solver = in_column(6, [&] { return solver_backend_from_name(row[6]); });
   }
+  if (row.size() > 7) s.stack = row[7];
   return s;
 }
 
-void apply_scenario(const ScenarioSpec& s, SimulationConfig& cfg) {
+void apply_scenario(const ScenarioSpec& s, SimulationConfig& cfg,
+                    const std::vector<StackSpec>& stacks) {
   LIQUID3D_REQUIRE(!s.valve_network || s.cooling != CoolingMode::kAir,
                    "valve-network delivery requires liquid cooling");
   cfg.policy = s.policy;
@@ -113,9 +125,19 @@ void apply_scenario(const ScenarioSpec& s, SimulationConfig& cfg) {
   cfg.manager.valve_network = s.valve_network;
   cfg.thermal.solver_backend = s.solver;
   cfg.label = s.display_label();
+  if (!s.stack.empty()) {
+    const CoolingType type = s.cooling == CoolingMode::kAir
+                                 ? CoolingType::kAir
+                                 : CoolingType::kLiquid;
+    cfg.stack = resolve_stack_axis(s.stack, type, stacks);
+  }
   if (!s.skew.empty()) {
+    // Resolve against the configured system's actual core count so skews
+    // work on custom stacks, not just the 8-cores-per-pair presets.
+    const std::size_t cores =
+        make_stack(resolved_stack_spec(cfg)).total_count(BlockType::kCore);
     bool found = false;
-    for (SkewScenario& skew : skewed_workload_scenarios(cfg.layer_pairs)) {
+    for (SkewScenario& skew : skewed_workload_scenarios_for_cores(cores)) {
       if (skew.name == s.skew) {
         cfg.core_bias = std::move(skew.core_bias);
         found = true;

@@ -37,6 +37,10 @@ struct SkewScenario {
 ///  * "hot-corner"    — load concentrates on two adjacent corner cores.
 [[nodiscard]] std::vector<SkewScenario> skewed_workload_scenarios(
     std::size_t layer_pairs);
+/// Same skews for an arbitrary core count (custom stacks); equals
+/// skewed_workload_scenarios(p) when cores == 8*p.  Requires cores >= 2.
+[[nodiscard]] std::vector<SkewScenario> skewed_workload_scenarios_for_cores(
+    std::size_t core_count);
 
 /// One named cell configuration of the evaluation.
 struct ScenarioSpec {
@@ -57,6 +61,12 @@ struct ScenarioSpec {
   /// axes this is deliberately seed-neutral: a backend comparison runs both
   /// arms on the identical workload trace.
   SolverBackend solver = SolverBackend::kAuto;
+  /// Stack geometry axis: a stack preset name, a stack-file path, or the
+  /// name of a spec embedded in sweep metadata ("" = the config's default
+  /// system, i.e. the layer_pairs preset).  Resolved by resolve_stack_axis
+  /// at bind time.  Seed-neutral like the other non-workload axes: a
+  /// geometry comparison runs all arms on the identical workload trace.
+  std::string stack;
 
   [[nodiscard]] std::string display_label() const;
 };
@@ -74,9 +84,12 @@ struct ScenarioSpec {
     const std::vector<std::string>& row);
 
 /// Bind a scenario onto a configuration: policy, cooling, valve delivery,
-/// display label, and (when `skew` is named) the per-core dispatch bias for
-/// the config's system size.  Throws ConfigError for an unknown skew name.
-void apply_scenario(const ScenarioSpec& s, SimulationConfig& cfg);
+/// display label, stack geometry (when the `stack` axis is set, resolved
+/// against `stacks` / presets / files and stored in cfg.stack), and (when
+/// `skew` is named) the per-core dispatch bias for the resolved system's
+/// core count.  Throws ConfigError for an unknown skew or stack name.
+void apply_scenario(const ScenarioSpec& s, SimulationConfig& cfg,
+                    const std::vector<StackSpec>& stacks = {});
 
 /// The seven bars of Figs. 6-8 in plot order, as registry-named scenarios
 /// ("lb-air" ... "talb-var").

@@ -5,7 +5,6 @@
 #include <limits>
 
 #include "common/error.hpp"
-#include "geom/niagara.hpp"
 #include "sim/characterization_cache.hpp"
 
 namespace liquid3d {
@@ -32,10 +31,28 @@ std::string policy_label(Policy p, CoolingMode m) {
   return std::string(to_string(p)) + " (" + to_string(m) + ")";
 }
 
-Stack3D make_simulation_stack(const SimulationConfig& cfg) {
+StackSpec resolved_stack_spec(const SimulationConfig& cfg) {
   const CoolingType type =
       cfg.cooling == CoolingMode::kAir ? CoolingType::kAir : CoolingType::kLiquid;
-  return make_niagara_stack(cfg.layer_pairs, type);
+  if (cfg.stack.has_value()) {
+    validate_stack_spec(*cfg.stack);
+    LIQUID3D_REQUIRE(cfg.stack->cooling == type,
+                     "stack: spec '" + cfg.stack->name + "' is " +
+                         std::string(to_string(cfg.stack->cooling)) +
+                         "-cooled but cooling mode '" +
+                         std::string(to_string(cfg.cooling)) + "' implies " +
+                         std::string(to_string(type)) + " cooling");
+    return *cfg.stack;
+  }
+  LIQUID3D_REQUIRE(cfg.layer_pairs == 1 || cfg.layer_pairs == 2,
+                   "layer_pairs: must be 1 (2-layer system) or 2 (4-layer "
+                   "system) without an explicit stack spec; got " +
+                       std::to_string(cfg.layer_pairs));
+  return niagara_stack_spec(cfg.layer_pairs, type);
+}
+
+Stack3D make_simulation_stack(const SimulationConfig& cfg) {
+  return make_stack(resolved_stack_spec(cfg));
 }
 
 namespace {

@@ -31,6 +31,7 @@
 #include "coolant/flow.hpp"
 #include "geom/sites.hpp"
 #include "geom/stack.hpp"
+#include "geom/stack_spec.hpp"
 #include "power/dpm.hpp"
 #include "power/energy.hpp"
 #include "power/power_model.hpp"
@@ -53,8 +54,13 @@ enum class CoolingMode { kAir, kLiquidMax, kLiquidVar };
 [[nodiscard]] std::string policy_label(Policy p, CoolingMode m);
 
 struct SimulationConfig {
-  /// 1 -> 2-layer system (8 cores), 2 -> 4-layer system (16 cores).
+  /// Legacy alias for the Niagara presets: 1 -> 2-layer system (8 cores),
+  /// 2 -> 4-layer system (16 cores).  Ignored when `stack` is set.
   std::size_t layer_pairs = 1;
+  /// Declarative stack geometry — the single source of truth when set
+  /// (resolved_stack_spec validates it against `cooling`).  Unset = the
+  /// Niagara preset selected by `layer_pairs`.
+  std::optional<StackSpec> stack;
   CoolingMode cooling = CoolingMode::kLiquidVar;
   Policy policy = Policy::kTalb;
   /// Display label reported in SimulationResult; empty = the paper-style
@@ -138,8 +144,13 @@ struct SampleTrace {
   std::size_t queued_threads = 0;
 };
 
+/// The StackSpec a configuration resolves to: cfg.stack when set (validated,
+/// cooling must agree with cfg.cooling), else the Niagara preset named by
+/// cfg.layer_pairs.  Throws ConfigError naming the offending field.
+[[nodiscard]] StackSpec resolved_stack_spec(const SimulationConfig& cfg);
+
 /// Stack geometry for a configuration (shared by sessions and the
-/// characterization cache).
+/// characterization cache): make_stack(resolved_stack_spec(cfg)).
 [[nodiscard]] Stack3D make_simulation_stack(const SimulationConfig& cfg);
 
 class SimulationSession {

@@ -11,6 +11,7 @@
 #include "common/csv.hpp"
 #include "common/error.hpp"
 #include "common/parse.hpp"
+#include "geom/stack_spec.hpp"
 
 namespace liquid3d {
 
@@ -36,6 +37,7 @@ SuiteConfig to_suite_config(const SweepGridSpec& grid) {
   sc.dpm_enabled = grid.dpm_enabled;
   if (grid.grid_rows != 0) sc.base.thermal.grid_rows = grid.grid_rows;
   if (grid.grid_cols != 0) sc.base.thermal.grid_cols = grid.grid_cols;
+  sc.stacks = grid.stacks;
   return sc;
 }
 
@@ -57,10 +59,12 @@ std::vector<SweepCell> expand_grid(const SweepGridSpec& grid) {
 double estimate_cell_cost(const SweepGridSpec& grid,
                           const ScenarioSpec& scenario) {
   // Geometry only — no thermal model is built.  Mirrors the constants of
-  // resolve_solver_backend (thermal/solver/backend.cpp).
+  // resolve_solver_backend (thermal/solver/backend.cpp).  Binding through
+  // apply_scenario picks up the scenario's stack axis, so custom geometries
+  // cost-balance by their real size.
   SimulationConfig cfg = to_suite_config(grid).base;
   cfg.layer_pairs = grid.layer_pairs;
-  cfg.cooling = scenario.cooling;
+  apply_scenario(scenario, cfg, grid.stacks);
   const Stack3D stack = make_simulation_stack(cfg);
   const std::size_t layers = stack.layer_count();
   const double rows = static_cast<double>(cfg.thermal.grid_rows);
@@ -177,6 +181,10 @@ void parse_suite_comment(const std::string& line, SweepGridSpec& grid) {
       grid.grid_rows = static_cast<std::size_t>(parse_u64(value, key));
     } else if (key == "grid_cols") {
       grid.grid_cols = static_cast<std::size_t>(parse_u64(value, key));
+    } else if (key == "stack") {
+      // One token per embedded spec; the whole stack file rides inside the
+      // percent-encoded value.
+      grid.stacks.push_back(decode_stack_spec(value, "#suite stack"));
     }
     // Unknown keys are ignored: newer planners stay readable.
   }
@@ -190,8 +198,11 @@ void write_sweep_cells(std::ostream& out, const SweepGridSpec& grid,
   out << "#suite layer_pairs=" << grid.layer_pairs
       << " duration_ms=" << grid.duration.as_ms() << " seed=" << grid.seed
       << " dpm=" << (grid.dpm_enabled ? 1 : 0)
-      << " grid_rows=" << grid.grid_rows << " grid_cols=" << grid.grid_cols
-      << "\n";
+      << " grid_rows=" << grid.grid_rows << " grid_cols=" << grid.grid_cols;
+  for (const StackSpec& spec : grid.stacks) {
+    out << " stack=" << encode_stack_spec(spec);
+  }
+  out << "\n";
   out << to_csv_line(sweep_cell_csv_header());
   for (const SweepCell& cell : cells) {
     std::vector<std::string> row = {std::to_string(cell.index)};
@@ -225,15 +236,24 @@ SweepCellFile read_sweep_cells(std::istream& in, const std::string& source) {
     }
   }
 
+  // Accept the current header and the pre-stack legacy one (no "stack"
+  // scenario column) — old plan/shard files and journals stay readable.
+  const std::vector<std::string>& header = sweep_cell_csv_header();
+  const std::vector<std::string> legacy_header = [&] {
+    std::vector<std::string> h = header;
+    h.erase(std::find(h.begin(), h.end(), "stack"));
+    return h;
+  }();
   std::vector<std::string> record;
   ++row_number;
-  if (!read_csv_record(in, record) || record != sweep_cell_csv_header()) {
+  if (!read_csv_record(in, record) ||
+      (record != header && record != legacy_header)) {
     fail(row_number, "missing or mismatched sweep header row");
   }
+  const std::size_t arity = record.size();
 
   while (read_csv_record(in, record)) {
     ++row_number;
-    const std::size_t arity = sweep_cell_csv_header().size();
     if (record.size() != arity) {
       fail(row_number, "cell row arity mismatch: got " +
                            std::to_string(record.size()) +
@@ -282,13 +302,37 @@ SweepCellFile read_sweep_cells(std::istream& in, const std::string& source) {
   return file;
 }
 
-std::vector<std::string> write_sweep_plan(const SweepGridSpec& grid,
+void resolve_grid_stacks(SweepGridSpec& grid) {
+  for (const ScenarioSpec& s : grid.scenarios) {
+    if (s.stack.empty() || is_stack_preset(s.stack)) continue;
+    const CoolingType type = s.cooling == CoolingMode::kAir
+                                 ? CoolingType::kAir
+                                 : CoolingType::kLiquid;
+    const bool embedded = [&] {
+      for (const StackSpec& spec : grid.stacks) {
+        if (spec.name == s.stack) return true;
+      }
+      return false;
+    }();
+    // resolve_stack_axis validates cooling compatibility either way; for a
+    // file-path axis it also loads the file and renames the spec to the
+    // axis string, so workers resolve it by name with no filesystem access.
+    StackSpec spec = resolve_stack_axis(s.stack, type, grid.stacks);
+    if (!embedded) grid.stacks.push_back(std::move(spec));
+  }
+}
+
+std::vector<std::string> write_sweep_plan(const SweepGridSpec& grid_in,
                                           std::size_t shard_count,
                                           ShardStrategy strategy,
                                           const std::string& dir,
                                           const std::string& prefix) {
   namespace fs = std::filesystem;
   fs::create_directories(dir);
+  // Embed every file-referenced stack spec before anything is written: the
+  // plan and every shard must be self-contained.
+  SweepGridSpec grid = grid_in;
+  resolve_grid_stacks(grid);
   const std::vector<SweepCell> cells = expand_grid(grid);
   const std::vector<std::vector<SweepCell>> shards =
       partition_cells(grid, cells, shard_count, strategy);

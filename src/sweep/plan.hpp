@@ -49,6 +49,11 @@ struct SweepGridSpec {
   /// coarse-grid smoke sweeps reproduce bit-exactly across processes.
   std::size_t grid_rows = 0;
   std::size_t grid_cols = 0;
+  /// Stack specs referenced by scenarios' `stack` axes, embedded so workers
+  /// rebuild identical geometry with no access to the original stack files.
+  /// Serialized as `#suite stack=` tokens (encode_stack_spec); populated
+  /// from file-path axes by resolve_grid_stacks (presets need no embedding).
+  std::vector<StackSpec> stacks;
 
   [[nodiscard]] std::size_t cell_count() const {
     return scenarios.size() * workloads.size();
@@ -79,6 +84,13 @@ enum class ShardStrategy {
 
 /// Expand the grid into cells in canonical scenario-major order.
 [[nodiscard]] std::vector<SweepCell> expand_grid(const SweepGridSpec& grid);
+
+/// Resolve every scenario's `stack` axis and embed the specs the grid needs
+/// to be self-contained: file-path axes are loaded (the axis string becomes
+/// the spec's name) and appended to grid.stacks; presets and already
+/// embedded names are left alone.  Throws ConfigError for an unresolvable
+/// axis or a cooling mismatch — planning fails fast, not on a worker.
+void resolve_grid_stacks(SweepGridSpec& grid);
 
 /// Relative wall-clock cost of one cell under the PR 4 solver cost model:
 /// ticks x substeps x per-substep solve cost, where the solve cost follows

@@ -242,6 +242,9 @@ void ThermalModel3D::build_topology() {
   // within one backend.
   std::uint64_t h = kFnvOffset;
   fnv_mix(h, static_cast<std::uint64_t>(backend_));
+  // The canonical geometry fingerprint guards against distinct stacks whose
+  // discretized networks happen to coincide at this grid resolution.
+  fnv_mix(h, stack_fingerprint(stack_));
   fnv_mix(h, static_cast<std::uint64_t>(layer_count_));
   fnv_mix(h, static_cast<std::uint64_t>(grid_.rows()));
   fnv_mix(h, static_cast<std::uint64_t>(grid_.cols()));

@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "geom/stack_spec.hpp"
 #include "sim/scenario.hpp"
+#include "sim/session.hpp"
 
 namespace liquid3d {
 namespace {
@@ -48,6 +50,7 @@ TEST(Scenario, CsvRowRoundTrips) {
   s.skew = "hot-corner";
   s.label = "LB (Max) [valved]";
   s.solver = SolverBackend::kPcg;
+  s.stack = "niagara-4layer";
 
   const std::vector<std::string> row = to_csv_row(s);
   ASSERT_EQ(row.size(), scenario_csv_header().size());
@@ -59,6 +62,7 @@ TEST(Scenario, CsvRowRoundTrips) {
   EXPECT_EQ(back.skew, s.skew);
   EXPECT_EQ(back.label, s.label);
   EXPECT_EQ(back.solver, s.solver);
+  EXPECT_EQ(back.stack, s.stack);
 
   EXPECT_THROW((void)scenario_from_csv_row({"too", "short"}), ConfigError);
   std::vector<std::string> bad = row;
@@ -106,7 +110,7 @@ TEST(Scenario, MalformedRowsNameTheOffendingColumn) {
   // Arity failures spell out expected vs. actual counts.
   const std::string arity = error_of({"too", "short"});
   EXPECT_NE(arity.find("got 2"), std::string::npos) << arity;
-  EXPECT_NE(arity.find("expected 7"), std::string::npos) << arity;
+  EXPECT_NE(arity.find("expected 8"), std::string::npos) << arity;
 }
 
 TEST(Scenario, LegacyRowsWithoutSolverColumnStillParse) {
@@ -117,6 +121,17 @@ TEST(Scenario, LegacyRowsWithoutSolverColumnStillParse) {
   const ScenarioSpec s = scenario_from_csv_row(legacy);
   EXPECT_EQ(s.name, "talb-var");
   EXPECT_EQ(s.solver, SolverBackend::kAuto);
+}
+
+TEST(Scenario, LegacyRowsWithoutStackColumnStillParse) {
+  // Rows checkpointed before the stack axis existed (7 columns) must keep
+  // loading; the stack axis defaults to empty (built-in Niagara geometry).
+  const std::vector<std::string> legacy = {
+      "talb-var", "talb", "var", "0", "", "TALB (Var)", "pcg"};
+  const ScenarioSpec s = scenario_from_csv_row(legacy);
+  EXPECT_EQ(s.name, "talb-var");
+  EXPECT_EQ(s.solver, SolverBackend::kPcg);
+  EXPECT_TRUE(s.stack.empty());
 }
 
 TEST(Scenario, GlobalRegistryServesPaperGridAndRejectsDuplicates) {
@@ -202,6 +217,54 @@ TEST(Scenario, ApplyBindsSolverBackend) {
   dflt.name = "talb-var";
   apply_scenario(dflt, cfg);
   EXPECT_EQ(cfg.thermal.solver_backend, SolverBackend::kAuto);
+}
+
+TEST(Scenario, ApplyBindsStackAxis) {
+  SimulationConfig cfg;
+  ScenarioSpec s;
+  s.name = "talb-var@4layer";
+  s.policy = Policy::kTalb;
+  s.cooling = CoolingMode::kLiquidVar;
+  s.stack = "niagara-4layer";
+  apply_scenario(s, cfg);
+  ASSERT_TRUE(cfg.stack.has_value());
+  EXPECT_EQ(make_simulation_stack(cfg).layer_count(), 4u);
+
+  // Skew bias vectors scale to the resolved stack's core count: hot-corner
+  // on the 4-layer system biases all 16 cores, not the default 8.
+  s.skew = "hot-corner";
+  apply_scenario(s, cfg);
+  EXPECT_EQ(cfg.core_bias.size(), 16u);
+
+  // Embedded specs (the suite's decoded #suite metadata) win over presets
+  // and file lookups when the axis string matches an embedded name.
+  StackSpec embedded = niagara_stack_spec(1, CoolingType::kLiquid);
+  embedded.name = "my-stack";
+  ScenarioSpec via_embedded;
+  via_embedded.name = "talb-var@mine";
+  via_embedded.policy = Policy::kTalb;
+  via_embedded.cooling = CoolingMode::kLiquidVar;
+  via_embedded.stack = "my-stack";
+  apply_scenario(via_embedded, cfg, {embedded});
+  ASSERT_TRUE(cfg.stack.has_value());
+  EXPECT_EQ(cfg.stack->name, "my-stack");
+
+  // An unresolvable axis is a configuration error.
+  ScenarioSpec bad = via_embedded;
+  bad.stack = "no-such-stack";
+  EXPECT_THROW(apply_scenario(bad, cfg), ConfigError);
+}
+
+TEST(Scenario, CellSeedIgnoresStackAxis) {
+  // The stack axis is seed-neutral: comparing geometries replays the
+  // identical workload trace on every arm, like the valve/skew/solver axes.
+  const BenchmarkSpec gzip = *find_benchmark("gzip");
+  ScenarioSpec uniform;
+  uniform.policy = Policy::kTalb;
+  uniform.cooling = CoolingMode::kLiquidVar;
+  ScenarioSpec stacked = uniform;
+  stacked.stack = "niagara-4layer";
+  EXPECT_EQ(cell_seed(7, uniform, gzip), cell_seed(7, stacked, gzip));
 }
 
 TEST(Scenario, CellSeedDependsOnIdentityOnly) {

@@ -1,0 +1,420 @@
+// Declarative stack compositions (geom/stack_spec.hpp): golden parity with
+// the legacy Niagara builders, stack-file parse/round-trip and diagnostics,
+// #suite token encoding, axis resolution, and config-level validation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "geom/niagara.hpp"
+#include "geom/stack_spec.hpp"
+#include "sim/session.hpp"
+
+namespace liquid3d {
+namespace {
+
+// -- Golden parity ------------------------------------------------------------
+
+/// The legacy make_niagara_stack construction, replicated verbatim from
+/// before the StackSpec refactor.  The production function now delegates to
+/// make_stack(niagara_stack_spec(...)); these tests lock that delegation to
+/// the historical field values.
+Stack3D legacy_niagara_stack(std::size_t layer_pairs, CoolingType cooling) {
+  const std::string name = std::to_string(2 * layer_pairs) + "layer_" +
+                           std::string(to_string(cooling));
+  Stack3D stack(name, cooling);
+  for (std::size_t p = 0; p < layer_pairs; ++p) {
+    stack.add_layer(LayerSpec{make_niagara_core_die()});
+    stack.add_layer(LayerSpec{make_niagara_cache_die()});
+  }
+  if (cooling == CoolingType::kLiquid) {
+    stack.set_cavities(CavitySpec{});
+    stack.set_tsvs(TsvSpec{});
+  }
+  return stack;
+}
+
+void expect_stacks_identical(const Stack3D& a, const Stack3D& b) {
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.cooling(), b.cooling());
+  ASSERT_EQ(a.layer_count(), b.layer_count());
+  for (std::size_t l = 0; l < a.layer_count(); ++l) {
+    const LayerSpec& la = a.layer(l);
+    const LayerSpec& lb = b.layer(l);
+    EXPECT_EQ(la.die_thickness, lb.die_thickness);
+    EXPECT_EQ(la.beol_thickness, lb.beol_thickness);
+    ASSERT_EQ(la.floorplan.block_count(), lb.floorplan.block_count());
+    EXPECT_EQ(la.floorplan.width(), lb.floorplan.width());
+    EXPECT_EQ(la.floorplan.height(), lb.floorplan.height());
+    for (std::size_t i = 0; i < la.floorplan.block_count(); ++i) {
+      const Block& ba = la.floorplan.block(i);
+      const Block& bb = lb.floorplan.block(i);
+      EXPECT_EQ(ba.name, bb.name);
+      EXPECT_EQ(ba.type, bb.type);
+      EXPECT_EQ(ba.type_index, bb.type_index);
+      EXPECT_EQ(ba.rect.x, bb.rect.x);
+      EXPECT_EQ(ba.rect.y, bb.rect.y);
+      EXPECT_EQ(ba.rect.w, bb.rect.w);
+      EXPECT_EQ(ba.rect.h, bb.rect.h);
+    }
+  }
+  EXPECT_EQ(a.cavity_count(), b.cavity_count());
+  EXPECT_EQ(a.cavity().channel_count, b.cavity().channel_count);
+  EXPECT_EQ(a.cavity().channel_width, b.cavity().channel_width);
+  EXPECT_EQ(a.cavity().channel_height, b.cavity().channel_height);
+  EXPECT_EQ(a.cavity().wall_thickness, b.cavity().wall_thickness);
+  EXPECT_EQ(a.cavity().pitch, b.cavity().pitch);
+  EXPECT_EQ(a.cavity().cavity_thickness, b.cavity().cavity_thickness);
+  EXPECT_EQ(a.tsvs().count, b.tsvs().count);
+  EXPECT_EQ(a.tsvs().side, b.tsvs().side);
+  EXPECT_EQ(a.tsvs().cu_conductivity, b.tsvs().cu_conductivity);
+  EXPECT_EQ(stack_fingerprint(a), stack_fingerprint(b));
+}
+
+TEST(StackSpecParity, PresetSpecsReproduceLegacyStacks) {
+  for (const std::size_t pairs : {std::size_t{1}, std::size_t{2}}) {
+    for (const CoolingType cooling : {CoolingType::kAir, CoolingType::kLiquid}) {
+      SCOPED_TRACE(std::to_string(pairs) + " pairs, " + to_string(cooling));
+      const Stack3D legacy = legacy_niagara_stack(pairs, cooling);
+      expect_stacks_identical(make_stack(niagara_stack_spec(pairs, cooling)),
+                              legacy);
+      expect_stacks_identical(make_niagara_stack(pairs, cooling), legacy);
+    }
+  }
+}
+
+TEST(StackSpecParity, StackPresetNamesResolve) {
+  EXPECT_TRUE(is_stack_preset("niagara-2layer"));
+  EXPECT_TRUE(is_stack_preset("niagara-4layer"));
+  EXPECT_FALSE(is_stack_preset("niagara-6layer"));
+  const StackSpec two = stack_preset("niagara-2layer", CoolingType::kLiquid);
+  EXPECT_EQ(make_stack(two).layer_count(), 2u);
+  const StackSpec four = stack_preset("niagara-4layer", CoolingType::kAir);
+  const Stack3D s = make_stack(four);
+  EXPECT_EQ(s.layer_count(), 4u);
+  EXPECT_EQ(s.cooling(), CoolingType::kAir);
+  EXPECT_THROW((void)stack_preset("nope", CoolingType::kAir), ConfigError);
+  EXPECT_THROW((void)make_floorplan_preset("nope"), ConfigError);
+}
+
+// -- Fingerprint --------------------------------------------------------------
+
+TEST(StackFingerprint, NamesAreIdentityNeutral) {
+  StackSpec a = niagara_stack_spec(1, CoolingType::kLiquid);
+  StackSpec b = a;
+  b.name = "renamed";
+  EXPECT_EQ(stack_fingerprint(make_stack(a)), stack_fingerprint(make_stack(b)));
+}
+
+TEST(StackFingerprint, GeometryChangesFingerprint) {
+  const StackSpec base = niagara_stack_spec(1, CoolingType::kLiquid);
+  const std::uint64_t fp = stack_fingerprint(make_stack(base));
+
+  StackSpec thick = base;
+  thick.layers[0].die_thickness *= 2.0;
+  EXPECT_NE(stack_fingerprint(make_stack(thick)), fp);
+
+  StackSpec channels = base;
+  channels.cavities.front().channel_count = 64;
+  EXPECT_NE(stack_fingerprint(make_stack(channels)), fp);
+
+  EXPECT_NE(stack_fingerprint(make_stack(niagara_stack_spec(1, CoolingType::kAir))),
+            fp);
+  EXPECT_NE(stack_fingerprint(make_stack(niagara_stack_spec(2, CoolingType::kLiquid))),
+            fp);
+}
+
+// -- Validation ---------------------------------------------------------------
+
+StackSpec tiny_inline_spec() {
+  StackSpec spec;
+  spec.name = "tiny";
+  spec.cooling = CoolingType::kLiquid;
+  spec.die_width = 4e-3;
+  spec.die_height = 4e-3;
+  StackLayerEntry layer;
+  layer.blocks.push_back({"core0", BlockType::kCore, Rect{0, 0, 4e-3, 4e-3}});
+  spec.layers.push_back(layer);
+  CavitySpec cavity;
+  cavity.channel_count = 20;
+  cavity.pitch = 150e-6;
+  cavity.channel_width = 70e-6;
+  spec.cavities = {cavity};
+  return spec;
+}
+
+void expect_validation_error(StackSpec spec, const std::string& field) {
+  try {
+    validate_stack_spec(spec);
+    FAIL() << "expected ConfigError naming '" << field << "'";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+        << "diagnostic: " << e.what();
+  }
+}
+
+TEST(StackSpecValidation, NamesTheOffendingField) {
+  EXPECT_NO_THROW(validate_stack_spec(tiny_inline_spec()));
+
+  StackSpec spec = tiny_inline_spec();
+  spec.name.clear();
+  expect_validation_error(spec, "name");
+
+  spec = tiny_inline_spec();
+  spec.die_width = 0.0;
+  expect_validation_error(spec, "die_width");
+
+  spec = tiny_inline_spec();
+  spec.layers.clear();
+  expect_validation_error(spec, "layers");
+
+  spec = tiny_inline_spec();
+  spec.layers[0].die_thickness = -1.0;
+  expect_validation_error(spec, "layers[0].die_thickness");
+
+  spec = tiny_inline_spec();
+  spec.layers[0].floorplan = "no-such-preset";
+  spec.layers[0].blocks.clear();
+  expect_validation_error(spec, "layers[0].floorplan");
+
+  // Preset outline must match the declared die dimensions.
+  spec = tiny_inline_spec();
+  spec.layers[0].floorplan = "niagara-core";
+  spec.layers[0].blocks.clear();
+  expect_validation_error(spec, "layers[0].floorplan");
+
+  spec = tiny_inline_spec();
+  spec.layers[0].blocks.clear();
+  expect_validation_error(spec, "layers[0].blocks");
+
+  // Overlapping inline blocks surface with the layer named.
+  spec = tiny_inline_spec();
+  spec.layers[0].blocks.push_back(
+      {"core1", BlockType::kCore, Rect{0, 0, 4e-3, 4e-3}});
+  expect_validation_error(spec, "layers[0].blocks");
+
+  // Cavity/layer mismatches: air with cavities, liquid without, wrong count.
+  spec = tiny_inline_spec();
+  spec.cooling = CoolingType::kAir;
+  expect_validation_error(spec, "cavities");
+
+  spec = tiny_inline_spec();
+  spec.cavities.clear();
+  expect_validation_error(spec, "cavities");
+
+  spec = tiny_inline_spec();
+  spec.cavities.resize(3, spec.cavities.front());  // 1 layer wants 1 or 2
+  expect_validation_error(spec, "cavities");
+
+  spec = tiny_inline_spec();
+  spec.cavities.resize(2, spec.cavities.front());
+  spec.cavities[1].channel_count += 1;  // non-uniform
+  expect_validation_error(spec, "cavities[1]");
+
+  spec = tiny_inline_spec();
+  spec.cavities.front().pitch = spec.cavities.front().channel_width / 2.0;
+  expect_validation_error(spec, "pitch");
+
+  spec = tiny_inline_spec();
+  spec.cavities.front().channel_count = 1000;  // band wider than the die
+  expect_validation_error(spec, "channel_count");
+
+  spec = tiny_inline_spec();
+  spec.tsvs.side = 0.0;
+  expect_validation_error(spec, "tsvs.side");
+
+  // A stack with no cores cannot host the workload model.
+  spec = tiny_inline_spec();
+  spec.layers[0].blocks[0].type = BlockType::kMisc;
+  expect_validation_error(spec, "layers");
+}
+
+// -- Stack files --------------------------------------------------------------
+
+TEST(StackFile, WriteParseRoundTripsBitExactly) {
+  for (const StackSpec& spec :
+       {niagara_stack_spec(2, CoolingType::kLiquid), tiny_inline_spec()}) {
+    std::ostringstream first;
+    write_stack_file(first, spec);
+    std::istringstream in(first.str());
+    const StackSpec reparsed = parse_stack_file(in, "roundtrip");
+    std::ostringstream second;
+    write_stack_file(second, reparsed);
+    EXPECT_EQ(first.str(), second.str());
+    EXPECT_EQ(stack_fingerprint(make_stack(spec)),
+              stack_fingerprint(make_stack(reparsed)));
+  }
+}
+
+void expect_parse_error(const std::string& text, const std::string& needle) {
+  std::istringstream in(text);
+  try {
+    (void)parse_stack_file(in, "bad.stack");
+    FAIL() << "expected ConfigError containing '" << needle << "'";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad.stack:"), std::string::npos)
+        << "diagnostic lacks source:line prefix: " << what;
+    EXPECT_NE(what.find(needle), std::string::npos) << "diagnostic: " << what;
+  }
+}
+
+TEST(StackFile, MalformedInputNamesSourceLineAndKey) {
+  expect_parse_error("cooling = air\n", "outside any section");
+  expect_parse_error("[stack]\nbogus_key = 1\n", "bogus_key");
+  expect_parse_error("[stack]\ncooling = steam\n", "cooling");
+  expect_parse_error("[stack]\ndie_width = wide\n", "die_width");
+  expect_parse_error("[rocket]\n", "[rocket]");
+  expect_parse_error("[stack]\nname =\n", "empty value");
+  expect_parse_error("[stack]\nname no equals sign\n", "key = value");
+  expect_parse_error("[stack]\n[layer]\nblock a core 0 0\n", "7 tokens");
+  expect_parse_error("[stack]\n[layer]\nblock a rocket 0 0 1e-3 1e-3\n",
+                     "block type");
+  expect_parse_error("[layer]\nfloorplan = niagara-core\n",
+                     "missing [stack] section");
+  expect_parse_error("[stack]\nname = a\n[stack]\n", "duplicate [stack]");
+
+  // The line number points at the offending line.
+  expect_parse_error("[stack]\nname = ok\nbogus_key = 1\n", "bad.stack:3");
+}
+
+TEST(StackFile, CheckedInExamplesParseAndBuild) {
+  // CMake runs tests from the build directory; the examples live one up.
+  const std::string root = std::filesystem::exists("examples/stacks")
+                               ? "examples/stacks"
+                               : "../examples/stacks";
+  const StackSpec paper = load_stack_file(root + "/niagara-4layer.stack");
+  const Stack3D paper_stack = make_stack(paper);
+  // The file spells the paper's 4-layer system digit-for-digit: it must
+  // build the same geometry (same fingerprint) as the preset, name aside.
+  EXPECT_EQ(stack_fingerprint(paper_stack),
+            stack_fingerprint(make_niagara_stack(2, CoolingType::kLiquid)));
+
+  const StackSpec asym = load_stack_file(root + "/asym-3die.stack");
+  const Stack3D asym_stack = make_stack(asym);
+  EXPECT_EQ(asym_stack.layer_count(), 3u);
+  EXPECT_EQ(asym_stack.total_count(BlockType::kCore), 6u);
+  EXPECT_EQ(asym_stack.cavity_count(), 4u);
+}
+
+// -- #suite token encoding ----------------------------------------------------
+
+TEST(StackSpecEncoding, TokenIsWhitespaceFreeAndRoundTrips) {
+  for (const StackSpec& spec :
+       {niagara_stack_spec(1, CoolingType::kLiquid), tiny_inline_spec()}) {
+    const std::string token = encode_stack_spec(spec);
+    for (const char c : token) {
+      EXPECT_FALSE(std::isspace(static_cast<unsigned char>(c)))
+          << "token contains whitespace";
+      EXPECT_GT(static_cast<unsigned char>(c), 0x20);
+    }
+    const StackSpec decoded = decode_stack_spec(token, "token");
+    EXPECT_EQ(decoded.name, spec.name);
+    EXPECT_EQ(stack_fingerprint(make_stack(decoded)),
+              stack_fingerprint(make_stack(spec)));
+  }
+}
+
+TEST(StackSpecEncoding, MalformedTokensThrow) {
+  EXPECT_THROW((void)decode_stack_spec("abc%2", "t"), ConfigError);
+  EXPECT_THROW((void)decode_stack_spec("abc%zz1", "t"), ConfigError);
+}
+
+// -- Axis resolution ----------------------------------------------------------
+
+TEST(StackAxis, ResolvesEmbeddedThenPresetThenFile) {
+  // Embedded specs win over everything.
+  StackSpec embedded = tiny_inline_spec();
+  embedded.name = "niagara-2layer";  // shadows the preset deliberately
+  const StackSpec via_embedded =
+      resolve_stack_axis("niagara-2layer", CoolingType::kLiquid, {embedded});
+  EXPECT_EQ(make_stack(via_embedded).layer_count(), 1u);
+
+  // Preset, adapted to the requested cooling.
+  const StackSpec via_preset =
+      resolve_stack_axis("niagara-2layer", CoolingType::kAir, {});
+  EXPECT_EQ(via_preset.cooling, CoolingType::kAir);
+
+  // File path: the axis string becomes the spec's name.
+  const std::string dir = std::filesystem::temp_directory_path().string();
+  const std::string path = dir + "/liquid3d_axis_test.stack";
+  {
+    std::ofstream out(path);
+    write_stack_file(out, tiny_inline_spec());
+  }
+  const StackSpec via_file =
+      resolve_stack_axis(path, CoolingType::kLiquid, {});
+  EXPECT_EQ(via_file.name, path);
+  EXPECT_EQ(stack_fingerprint(make_stack(via_file)),
+            stack_fingerprint(make_stack(tiny_inline_spec())));
+  // Cooling mismatch against the file is an error.
+  EXPECT_THROW((void)resolve_stack_axis(path, CoolingType::kAir, {}),
+               ConfigError);
+  std::filesystem::remove(path);
+
+  EXPECT_THROW((void)resolve_stack_axis("no-such-stack", CoolingType::kAir, {}),
+               ConfigError);
+}
+
+// -- SimulationConfig resolution ----------------------------------------------
+
+TEST(ConfigStackResolution, LegacyLayerPairsStillResolve) {
+  SimulationConfig cfg;
+  cfg.layer_pairs = 2;
+  cfg.cooling = CoolingMode::kLiquidMax;
+  const StackSpec spec = resolved_stack_spec(cfg);
+  EXPECT_EQ(spec.name, "4layer_liquid");
+  expect_stacks_identical(make_simulation_stack(cfg),
+                          legacy_niagara_stack(2, CoolingType::kLiquid));
+}
+
+TEST(ConfigStackResolution, BadLayerPairsNamesTheField) {
+  SimulationConfig cfg;
+  cfg.layer_pairs = 3;
+  try {
+    (void)resolved_stack_spec(cfg);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("layer_pairs"), std::string::npos)
+        << "diagnostic: " << e.what();
+  }
+}
+
+TEST(ConfigStackResolution, ExplicitSpecOverridesLayerPairs) {
+  SimulationConfig cfg;
+  cfg.layer_pairs = 99;  // would be rejected on its own; spec wins
+  cfg.cooling = CoolingMode::kLiquidVar;
+  cfg.stack = tiny_inline_spec();
+  const Stack3D stack = make_simulation_stack(cfg);
+  EXPECT_EQ(stack.name(), "tiny");
+  EXPECT_EQ(stack.layer_count(), 1u);
+}
+
+TEST(ConfigStackResolution, CoolingMismatchNamesTheField) {
+  SimulationConfig cfg;
+  cfg.cooling = CoolingMode::kAir;
+  cfg.stack = tiny_inline_spec();  // liquid spec
+  try {
+    (void)resolved_stack_spec(cfg);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stack"), std::string::npos) << what;
+    EXPECT_NE(what.find("liquid"), std::string::npos) << what;
+  }
+}
+
+TEST(ConfigStackResolution, InvalidSpecIsRejectedUpFront) {
+  SimulationConfig cfg;
+  cfg.cooling = CoolingMode::kLiquidVar;
+  StackSpec bad = tiny_inline_spec();
+  bad.cavities.clear();  // liquid spec without cavities
+  cfg.stack = bad;
+  EXPECT_THROW((void)resolved_stack_spec(cfg), ConfigError);
+}
+
+}  // namespace
+}  // namespace liquid3d

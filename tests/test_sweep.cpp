@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "geom/stack.hpp"
+#include "geom/stack_spec.hpp"
 #include "sim/report.hpp"
 #include "sweep/journal.hpp"
 #include "sweep/merge.hpp"
@@ -529,6 +531,136 @@ TEST_F(SweepEndToEnd, FilePlanRoundTripMatchesInMemoryPlan) {
   cleanup(journals);
   for (const std::string& p : shard_paths) std::remove(p.c_str());
   std::remove((dir + "/t-plan.csv").c_str());
+}
+
+/// A non-Niagara custom stack for the stack-axis sweep test: one 6 mm x 6 mm
+/// quad-core die under liquid cooling.
+StackSpec custom_test_stack() {
+  StackSpec spec;
+  spec.name = "quad-die";
+  spec.cooling = CoolingType::kLiquid;
+  spec.die_width = 6e-3;
+  spec.die_height = 6e-3;
+  StackLayerEntry layer;
+  layer.blocks.push_back({"core0", BlockType::kCore, Rect{0, 0, 3e-3, 3e-3}});
+  layer.blocks.push_back({"core1", BlockType::kCore, Rect{3e-3, 0, 3e-3, 3e-3}});
+  layer.blocks.push_back({"core2", BlockType::kCore, Rect{0, 3e-3, 3e-3, 3e-3}});
+  layer.blocks.push_back(
+      {"core3", BlockType::kCore, Rect{3e-3, 3e-3, 3e-3, 3e-3}});
+  spec.layers.push_back(layer);
+  CavitySpec cavity;
+  cavity.channel_count = 40;
+  cavity.pitch = 150e-6;
+  cavity.channel_width = 70e-6;
+  spec.cavities = {cavity};
+  return spec;
+}
+
+TEST_F(SweepEndToEnd, CustomStackSweepShardsResumeAndMergeBitExactly) {
+  // The ISSUE acceptance bar: a file-defined custom stack rides the stack
+  // axis through plan -> shard -> resume -> merge, with the spec carried
+  // entirely in #suite metadata (the file is DELETED before workers run),
+  // and the merged output is bit-identical to a single-process run.
+  const std::string stack_path = temp_path("custom_stack.stack");
+  {
+    std::ofstream out(stack_path);
+    write_stack_file(out, custom_test_stack());
+  }
+
+  SweepGridSpec grid = tiny_grid();
+  // The stack file fixes liquid cooling, so the grid is liquid-only.
+  grid.scenarios = {ScenarioRegistry::global().at("lb-max"),
+                    ScenarioRegistry::global().at("talb-var")};
+  for (ScenarioSpec& s : grid.scenarios) s.stack = stack_path;
+
+  // Reference: resolve the file into an embedded spec, run in-process.
+  SweepGridSpec resolved = grid;
+  resolve_grid_stacks(resolved);
+  ASSERT_EQ(resolved.stacks.size(), 1u);
+  EXPECT_EQ(resolved.stacks[0].name, stack_path);
+  const std::vector<PolicySummary> reference = single_process(resolved);
+
+  // Plan to disk; write_sweep_plan embeds the resolved spec itself.
+  const std::string dir = temp_path("stack_plan_dir");
+  const std::vector<std::string> shard_paths =
+      write_sweep_plan(grid, 2, ShardStrategy::kRoundRobin, dir, "s");
+  const std::string plan_path = dir + "/s-plan.csv";
+  {
+    std::ifstream in(plan_path);
+    std::stringstream text;
+    text << in.rdbuf();
+    EXPECT_NE(text.str().find("stack="), std::string::npos)
+        << "plan #suite line lacks the embedded stack spec";
+  }
+
+  // Remote shards have no access to the original file: delete it.  Every
+  // worker below must rebuild the geometry from #suite metadata alone.
+  std::remove(stack_path.c_str());
+
+  std::vector<std::string> journals;
+  for (std::size_t k = 0; k < shard_paths.size(); ++k) {
+    const SweepCellFile shard = read_sweep_file(shard_paths[k]);
+    const std::string journal =
+        temp_path("stack_journal_" + std::to_string(k) + ".csv");
+    std::remove(journal.c_str());
+    if (k == 0) {
+      // Kill shard 0 after one cell, then resume it to completion.
+      SweepWorkerOptions partial;
+      partial.batch_limit = 1;
+      partial.max_new_cells = 1;
+      SweepWorkerStats stats = run_sweep_shard(shard, journal, partial);
+      EXPECT_EQ(stats.completed, 1u);
+      stats = run_sweep_shard(shard, journal);
+      EXPECT_EQ(stats.already_done, 1u);
+    } else {
+      run_sweep_shard(shard, journal);
+    }
+    journals.push_back(journal);
+  }
+
+  SweepMergeStats stats;
+  const std::vector<PolicySummary> merged =
+      merge_sweep_journals(plan_path, journals, &stats);
+  EXPECT_EQ(stats.cells, 4u);
+  expect_identical_summaries(reference, merged);
+
+  cleanup(journals);
+  for (const std::string& p : shard_paths) std::remove(p.c_str());
+  std::remove(plan_path.c_str());
+}
+
+TEST(SweepPlan, StackAxisRoundTripsThroughSuiteMetadata) {
+  // write_sweep_cells / read_sweep_cells carry embedded specs losslessly,
+  // and pre-stack-axis shard files (9-column header) still load.
+  SweepGridSpec grid = tiny_grid();
+  grid.scenarios = {ScenarioRegistry::global().at("talb-var")};
+  grid.scenarios[0].stack = "quad-die";
+  grid.stacks = {custom_test_stack()};
+
+  std::ostringstream out;
+  write_sweep_cells(out, grid, expand_grid(grid));
+  EXPECT_NE(out.str().find("stack="), std::string::npos);
+
+  std::istringstream in(out.str());
+  const SweepCellFile back = read_sweep_cells(in, "mem");
+  ASSERT_EQ(back.grid.stacks.size(), 1u);
+  EXPECT_EQ(back.grid.stacks[0].name, "quad-die");
+  EXPECT_EQ(stack_fingerprint(make_stack(back.grid.stacks[0])),
+            stack_fingerprint(make_stack(custom_test_stack())));
+  ASSERT_EQ(back.grid.scenarios.size(), 1u);
+  EXPECT_EQ(back.grid.scenarios[0].stack, "quad-die");
+
+  // Legacy 9-column file (no stack column, no stack= token) still loads,
+  // with the stack axis defaulting to empty.
+  std::istringstream legacy_in(
+      "#liquid3d-sweep v1\n"
+      "#suite layer_pairs=1 duration_ms=2000 seed=7 dpm=1\n"
+      "cell,name,policy,cooling,valves,skew,label,solver,workload\n"
+      "0,talb-var,talb,var,0,,,auto,gzip\n");
+  const SweepCellFile legacy_back = read_sweep_cells(legacy_in, "legacy");
+  ASSERT_EQ(legacy_back.cells.size(), 1u);
+  EXPECT_TRUE(legacy_back.grid.stacks.empty());
+  EXPECT_TRUE(legacy_back.grid.scenarios[0].stack.empty());
 }
 
 }  // namespace

@@ -40,6 +40,7 @@
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
 #include "common/parse.hpp"
+#include "geom/stack_spec.hpp"
 #include "sim/report.hpp"
 #include "sweep/merge.hpp"
 #include "sweep/plan.hpp"
@@ -59,6 +60,7 @@ int usage(const char* argv0) {
       << "         [--strategy round-robin|cost] [--scenarios a,b,...]\n"
       << "         [--workloads x,y,...] [--layer-pairs N] [--duration-s S]\n"
       << "         [--seed N] [--dpm 0|1] [--grid-rows N] [--grid-cols N]\n"
+      << "         [--stack PRESET|FILE]\n"
       << "  run    --shard FILE --journal FILE [--batch N] [--max-cells N]\n"
       << "         [--execution batched|threadpool] [--threads N]\n"
       << "         [--attempts N]\n"
@@ -68,7 +70,10 @@ int usage(const char* argv0) {
       << "  supervise --dir DIR [--prefix sweep] [--max-restarts N]\n"
       << "         [--stall-timeout-ms N] [--backoff-ms N] [--poll-ms N]\n"
       << "         [--batch N] [--execution batched|threadpool]\n"
-      << "         [--threads N] [--attempts N]\n";
+      << "         [--threads N] [--attempts N]\n"
+      << "  validate --stack FILE\n"
+      << "         Parse and sanity-check a stack file; exit 2 with the\n"
+      << "         diagnostic on failure.\n";
   return 2;
 }
 
@@ -125,6 +130,7 @@ int cmd_plan(Args& args) {
   ShardStrategy strategy = ShardStrategy::kRoundRobin;
   std::string out_dir;
   std::string prefix = "sweep";
+  std::string stack_axis;
 
   while (!args.done()) {
     const std::string flag = args.take();
@@ -152,6 +158,8 @@ int cmd_plan(Args& args) {
       grid.grid_rows = static_cast<std::size_t>(parse_u64(args.value(flag), flag));
     } else if (flag == "--grid-cols") {
       grid.grid_cols = static_cast<std::size_t>(parse_u64(args.value(flag), flag));
+    } else if (flag == "--stack") {
+      stack_axis = args.value(flag);
     } else {
       throw ConfigError("unknown plan option '" + flag + "'");
     }
@@ -174,6 +182,19 @@ int cmd_plan(Args& args) {
     for (const std::string& name : grid.workloads) {
       LIQUID3D_REQUIRE(find_benchmark(name).has_value(),
                        "unknown workload '" + name + "'");
+    }
+  }
+  if (!stack_axis.empty()) {
+    // Every scenario of the sweep runs on the requested geometry; the axis
+    // must be resolvable (and cooling-compatible) for each of them, so fail
+    // at plan time rather than on a remote worker.
+    for (ScenarioSpec& s : grid.scenarios) s.stack = stack_axis;
+    resolve_grid_stacks(grid);
+    for (const ScenarioSpec& s : grid.scenarios) {
+      const CoolingType type = s.cooling == CoolingMode::kAir
+                                   ? CoolingType::kAir
+                                   : CoolingType::kLiquid;
+      (void)resolve_stack_axis(s.stack, type, grid.stacks);
     }
   }
 
@@ -408,6 +429,44 @@ int cmd_single(Args& args) {
   return 0;
 }
 
+int cmd_validate(Args& args) {
+  std::string stack_path;
+  while (!args.done()) {
+    const std::string flag = args.take();
+    if (flag == "--stack") {
+      stack_path = args.value(flag);
+    } else {
+      std::cerr << "unknown validate option '" << flag << "'\n";
+      return 2;
+    }
+  }
+  if (stack_path.empty()) {
+    std::cerr << "validate requires --stack FILE\n";
+    return 2;
+  }
+  // Own try/catch: a malformed stack file is a diagnostic for the user
+  // (exit 2), not an internal worker error (exit 1).
+  try {
+    const StackSpec spec = load_stack_file(stack_path);
+    const Stack3D stack = make_stack(spec);
+    char fp[20];
+    std::snprintf(fp, sizeof fp, "%016llx",
+                  static_cast<unsigned long long>(stack_fingerprint(stack)));
+    std::cout << stack_path << ": ok\n"
+              << "  name: " << spec.name << "\n"
+              << "  cooling: " << to_string(spec.cooling) << "\n"
+              << "  layers: " << stack.layer_count() << " ("
+              << stack.total_count(BlockType::kCore) << " cores, "
+              << stack.total_count(BlockType::kL2Cache) << " l2 banks)\n"
+              << "  cavities: " << stack.cavity_count() << "\n"
+              << "  fingerprint: " << fp << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << stack_path << ": " << e.what() << "\n";
+    return 2;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -421,6 +480,7 @@ int main(int argc, char** argv) {
     if (command == "merge") return cmd_merge(args);
     if (command == "single") return cmd_single(args);
     if (command == "supervise") return cmd_supervise(args);
+    if (command == "validate") return cmd_validate(args);
     std::cerr << "unknown command '" << command << "'\n";
     return usage(argv[0]);
   } catch (const std::exception& e) {
