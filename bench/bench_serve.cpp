@@ -1,0 +1,165 @@
+// bench_serve — latency/throughput benchmarks for the always-on thermal
+// service (serve/service.hpp), run under concurrent load:
+//
+//   BM_ServeSteadyQuery            warm-ROM steady T_max latency (p50/p99)
+//                                  on the 2-layer Niagara liquid stack
+//   BM_ServeSteadyQueryConcurrent  the same query from 4 threads against
+//                                  one shared service
+//   BM_ServeBatchedWhatIf          16 concurrent what-if queries answered
+//                                  through queue batching + lockstep
+//   BM_ServeSerialWhatIf           the same 16 cells run one by one through
+//                                  solo sessions (the baseline the batched
+//                                  path must beat by >= 2x per CI)
+//
+// The p50_us / p99_us counters on BM_ServeSteadyQuery and the
+// sessions_per_s counters on the what-if pair are recorded into
+// BENCH_solver.json and guarded by scripts/check_bench_regression.py.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "sim/session.hpp"
+
+namespace {
+
+using namespace liquid3d;
+
+/// The acceptance configuration: 2-layer Niagara liquid stack, default grid.
+SteadyQuery niagara_steady_query() {
+  SteadyQuery q;
+  q.config.cooling = CoolingMode::kLiquidMax;
+  q.config.layer_pairs = 1;
+  q.core_watts = 3.0;
+  return q;
+}
+
+/// One service shared by every steady benchmark (and every thread): the
+/// point is warm-cache latency, not build time.
+ThermalService& shared_service() {
+  static ThermalService service;
+  return service;
+}
+
+void BM_ServeSteadyQuery(benchmark::State& state) {
+  ThermalService& service = shared_service();
+  const SteadyQuery query = niagara_steady_query();
+  service.warm(query);  // ROM build paid outside timing
+
+  std::vector<double> lat_us;
+  lat_us.reserve(1 << 14);
+  for (auto _ : state) {
+    const SteadyAnswer answer = service.steady(query);
+    benchmark::DoNotOptimize(answer.t_max_c);
+    if (!answer.used_rom) state.SkipWithError("expected ROM path");
+    lat_us.push_back(answer.elapsed_us);
+  }
+  std::sort(lat_us.begin(), lat_us.end());
+  if (!lat_us.empty()) {
+    state.counters["p50_us"] = lat_us[lat_us.size() / 2];
+    state.counters["p99_us"] = lat_us[(lat_us.size() * 99) / 100];
+  }
+}
+BENCHMARK(BM_ServeSteadyQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_ServeSteadyQueryConcurrent(benchmark::State& state) {
+  ThermalService& service = shared_service();
+  const SteadyQuery query = niagara_steady_query();
+  if (state.thread_index() == 0) service.warm(query);
+
+  for (auto _ : state) {
+    const SteadyAnswer answer = service.steady(query);
+    benchmark::DoNotOptimize(answer.t_max_c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeSteadyQueryConcurrent)
+    ->Threads(4)
+    ->Unit(benchmark::kMicrosecond);
+
+constexpr std::size_t kWhatIfFleet = 16;
+
+WhatIfQuery bench_whatif(std::uint64_t seed) {
+  WhatIfQuery q;
+  q.scenario = "talb-var";
+  q.benchmark = "Web-med";
+  q.duration_s = 2.0;
+  q.seed = seed;
+  q.grid_rows = 8;
+  q.grid_cols = 9;
+  return q;
+}
+
+/// Characterization artifacts (flow LUT, TALB weights) are process-global;
+/// pay their build once so both what-if benchmarks time simulation, not
+/// characterization.
+void warm_characterization() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    SimulationSession session(ThermalService::session_config(bench_whatif(1)));
+    session.init();
+  });
+}
+
+void BM_ServeBatchedWhatIf(benchmark::State& state) {
+  warm_characterization();
+  // Rate computed from wall clock by hand: the sessions run on the queue's
+  // worker thread while this thread sleeps on futures, so a CPU-time-based
+  // Counter::kIsRate would divide by (nearly) zero and overstate the
+  // throughput by orders of magnitude.
+  double elapsed_s = 0.0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    ServeParams params;
+    params.queue.max_batch = kWhatIfFleet;
+    params.queue.batch_window_ms = 20.0;
+    ThermalService service(params);
+    std::vector<std::future<SessionOutcome>> futures;
+    futures.reserve(kWhatIfFleet);
+    for (std::uint64_t seed = 1; seed <= kWhatIfFleet; ++seed) {
+      futures.push_back(service.what_if(bench_whatif(seed)));
+    }
+    double tmax = 0.0;
+    for (auto& f : futures) tmax += f.get().result.avg_tmax;
+    benchmark::DoNotOptimize(tmax);
+    elapsed_s += std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  }
+  state.SetItemsProcessed(state.iterations() * kWhatIfFleet);
+  state.counters["sessions_per_s"] =
+      static_cast<double>(state.iterations() * kWhatIfFleet) / elapsed_s;
+}
+BENCHMARK(BM_ServeBatchedWhatIf)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_ServeSerialWhatIf(benchmark::State& state) {
+  warm_characterization();
+  double elapsed_s = 0.0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    double tmax = 0.0;
+    for (std::uint64_t seed = 1; seed <= kWhatIfFleet; ++seed) {
+      SimulationSession session(
+          ThermalService::session_config(bench_whatif(seed)));
+      session.init();
+      while (session.step()) {
+      }
+      tmax += session.result().avg_tmax;
+    }
+    benchmark::DoNotOptimize(tmax);
+    elapsed_s += std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  }
+  state.SetItemsProcessed(state.iterations() * kWhatIfFleet);
+  state.counters["sessions_per_s"] =
+      static_cast<double>(state.iterations() * kWhatIfFleet) / elapsed_s;
+}
+BENCHMARK(BM_ServeSerialWhatIf)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,46 +1,66 @@
 // server_day_night.cpp — the paper's SPRT motivation scenario: a server
-// whose load pattern changes abruptly (day-time vs night-time traffic).
+// whose load pattern changes abruptly (day-time vs night-time traffic),
+// asked through the always-on thermal service (serve/service.hpp).
 //
-// We run the 2-layer liquid-cooled system under Web-med, drop the offered
-// load to 25 % at t = 60 s ("night") and restore it at t = 120 s ("day").
-// Watch the ARMA forecaster mis-predict at each break, the SPRT alarm, the
-// predictor rebuild, and the flow controller ride the pump settings down
-// and back up.
+// The day/night run is a transient-replay query: the TALB + variable-flow
+// scenario bound to Web-med, with the offered load dropped to 25 % at
+// t = 60 s ("night") and restored at t = 120 s ("day").  The service queues
+// it, runs it at full fidelity, and returns the result plus a 10 s sample
+// trace — watch the ARMA forecaster mis-predict at each break, the SPRT
+// alarm, the predictor rebuild, and the flow controller ride the pump
+// settings down and back up.  Before and after, two steady queries hit the
+// reduced-order model: the day-load and night-load steady envelopes, each
+// answered in microseconds from one cached basis.
 //
 //   $ ./server_day_night
 #include <cstdio>
 
-#include "sim/simulator.hpp"
-#include "workload/benchmarks.hpp"
+#include "serve/service.hpp"
 
 int main() {
   using namespace liquid3d;
 
-  SimulationConfig cfg;
-  cfg.cooling = CoolingMode::kLiquidVar;
-  cfg.policy = Policy::kTalb;
-  cfg.benchmark = *find_benchmark("Web-med");
-  cfg.duration = SimTime::from_s(180);
-  cfg.seed = 2024;
-  cfg.phases = {
+  ThermalService service;
+
+  // Steady envelopes first: what T_max would the day and night loads pin at
+  // if held forever?  ROM path — microseconds per answer once warm.
+  SteadyQuery steady;
+  steady.config.cooling = CoolingMode::kLiquidMax;
+  steady.config.layer_pairs = 1;
+  steady.core_watts = 3.0;  // active core power, day load
+  const SteadyAnswer day = service.steady(steady);
+  steady.core_watts = 0.75;  // night: load collapses to 25 %
+  const SteadyAnswer night = service.steady(steady);
+  std::printf("steady envelopes (reduced model, dim %zu):\n", day.rom_dimension);
+  std::printf("  day  load: Tmax %6.2f C  (%s, %.0f us, est err %.2g K)\n",
+              day.t_max_c, day.used_rom ? "rom" : "full", day.elapsed_us,
+              day.estimated_error_c);
+  std::printf("  night load: Tmax %6.2f C  (%s, %.0f us, est err %.2g K)\n\n",
+              night.t_max_c, night.used_rom ? "rom" : "full", night.elapsed_us,
+              night.estimated_error_c);
+
+  // The transient story: one replay query over the phase schedule.
+  ReplayQuery replay;
+  replay.base.scenario = "talb-var";
+  replay.base.benchmark = "Web-med";
+  replay.base.duration_s = 180.0;
+  replay.base.seed = 2024;
+  replay.phases = {
       {SimTime::from_s(60), 0.25},  // night: load collapses
       {SimTime::from_s(120), 1.0},  // day: back to normal
   };
+  replay.trace_period_s = 10.0;
 
-  Simulator sim(cfg);
-  std::printf("day/night trace on %s (load x0.25 at 60 s, x1.0 at 120 s)\n",
-              sim.stack().name().c_str());
-  std::printf("%7s %9s %9s %9s %11s %9s\n", "t[s]", "Tmax[C]", "pred[C]", "setting",
-              "flow[ml/m]", "pump[W]");
-
-  sim.set_trace_callback([](const SampleTrace& t) {
-    if (t.now.as_ms() % 10000 != 0) return;
+  std::printf("day/night replay (load x0.25 at 60 s, x1.0 at 120 s)\n");
+  std::printf("%7s %9s %9s %9s %11s %9s\n", "t[s]", "Tmax[C]", "pred[C]",
+              "setting", "flow[ml/m]", "pump[W]");
+  const SessionOutcome outcome = service.replay(replay).get();
+  for (const SampleTrace& t : outcome.trace) {
     std::printf("%7.0f %9.2f %9.2f %9zu %11.2f %9.2f\n", t.now.as_s(), t.tmax,
                 t.forecast, t.pump_setting, t.flow_ml_per_min, t.pump_watts);
-  });
+  }
 
-  const SimulationResult r = sim.run();
-
+  const SimulationResult& r = outcome.result;
   std::printf("\npredictor rebuilds (SPRT-triggered): %zu\n", r.predictor_rebuilds);
   std::printf("pump transitions                    : %zu\n", r.pump_transitions);
   std::printf("time above 80 C target              : %.2f %%\n",

@@ -13,7 +13,10 @@ out_json="${2:-${repo_root}/BENCH_solver.json}"
 
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Release -DLIQUID3D_BUILD_BENCH=ON >/dev/null
-cmake --build "${build_dir}" --target bench_micro_solver -j "$(nproc)"
+cmake --build "${build_dir}" --target bench_micro_solver bench_serve -j "$(nproc)"
+
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "${tmp_dir}"' EXIT
 
 # BM_SteadyState also matches BM_SteadyStatePerCavity (the vector-flow
 # assembly benchmark) by prefix; keep both in the JSON.  BM_Cg* is the
@@ -23,8 +26,20 @@ cmake --build "${build_dir}" --target bench_micro_solver -j "$(nproc)"
 # a full refresh takes a few minutes.
 "${build_dir}/bench_micro_solver" \
   --benchmark_format=json \
-  --benchmark_out="${out_json}" \
+  --benchmark_out="${tmp_dir}/micro.json" \
   --benchmark_out_format=json \
   --benchmark_filter='BM_Banded|BM_TransientStep|BM_BatchedTransient|BM_SteadyState|BM_FlowLut|BM_Cg|BM_FineGrid'
+
+# Service latency/throughput: steady-query p50/p99 (acceptance: warm-ROM
+# p50 <= 100 us on the 2-layer Niagara liquid stack) and batched vs serial
+# what-if throughput (acceptance: batched >= 2x serial sessions/s).
+"${build_dir}/bench_serve" \
+  --benchmark_format=json \
+  --benchmark_out="${tmp_dir}/serve.json" \
+  --benchmark_out_format=json \
+  --benchmark_filter='BM_Serve'
+
+python3 "${repo_root}/scripts/merge_bench_json.py" \
+  "${out_json}" "${tmp_dir}/micro.json" "${tmp_dir}/serve.json"
 
 echo "wrote ${out_json}"

@@ -1,0 +1,128 @@
+// query.hpp — the typed request/response surface of the always-on thermal
+// service (serve/service.hpp).
+//
+// Three query families:
+//
+//   SteadyQuery  — "what is T_max of this configuration at these powers and
+//                  this flow?"  Answered synchronously, through the reduced
+//                  order model when its residual estimate stays within the
+//                  bound (microseconds), else through a full steady solve on
+//                  a pooled thermal model.
+//   WhatIfQuery  — "run this scenario/benchmark cell for a few simulated
+//                  seconds" (e.g. a valve/flow policy trial).  Asynchronous:
+//                  queued, grouped by topology, and batched through
+//                  BatchRunner lockstep.
+//   ReplayQuery  — a WhatIfQuery plus a workload phase schedule and an
+//                  optional sample trace (the transient-replay path the
+//                  day/night example uses).
+//
+// Answers are plain structs; failures surface as exceptions through the
+// returned std::future (ConfigError for malformed queries, SolverError for
+// numerical outcomes), matching the rest of the codebase.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/session.hpp"
+
+namespace liquid3d {
+
+/// Steady-state "what if" at fixed powers and flow.  The `config` member
+/// carries the system identity (stack, cooling mode, thermal parameters) —
+/// policy/workload/seed fields are ignored, a steady query has no workload.
+struct SteadyQuery {
+  SimulationConfig config;
+
+  /// Injected powers [W] per [layer][block] (floorplan order; missing layers
+  /// or blocks mean 0 W).  Empty = `core_watts` into every core block.
+  std::vector<std::vector<double>> block_watts;
+  double core_watts = 3.0;
+
+  // -- Flow (liquid configurations; precedence top to bottom) ----------------
+  /// Explicit per-cavity flows [ml/min]; arity = cavity count.
+  std::vector<double> flows_ml_per_min;
+  /// Valve openings steered through the valve network at `pump_setting`.
+  std::vector<double> valve_openings;
+  /// Uniform delivery at this pump setting; kTopSetting = highest.
+  std::size_t pump_setting = kTopSetting;
+
+  /// Boundary reference override [°C]: coolant inlet (liquid) or ambient
+  /// (air).  Unset = the config's value.  The ROM answers any reference
+  /// from one basis (the steady map is affine in it).
+  std::optional<double> reference_c;
+
+  /// Per-query ROM error bound [K]; <= 0 uses the service default.
+  double max_error_c = 0.0;
+  /// Bypass the ROM and run the full steady solver.
+  bool force_full = false;
+
+  static constexpr std::size_t kTopSetting = static_cast<std::size_t>(-1);
+};
+
+struct SteadyAnswer {
+  double t_max_c = 0.0;
+  std::vector<double> layer_max_c;  ///< per-layer silicon maxima [°C]
+  bool used_rom = false;
+  /// ROM residual-based error estimate [K] (0 when the full solver ran).
+  double estimated_error_c = 0.0;
+  /// ROM build-time certification error [K] (0 when the full solver ran).
+  double certified_error_c = 0.0;
+  std::size_t rom_dimension = 0;
+  double elapsed_us = 0.0;
+};
+
+/// One full-fidelity simulation cell: a registry scenario bound to a
+/// benchmark on a stack, run for `duration_s` of simulated time.
+struct WhatIfQuery {
+  /// ScenarioRegistry name, e.g. "talb-var" or "lb-max-valved/hot-corner".
+  std::string scenario;
+  /// Table 2 benchmark name, e.g. "Web-med".
+  std::string benchmark;
+  double duration_s = 3.0;
+  std::uint64_t seed = 1;
+
+  /// Stack axis: explicit spec wins, else the Niagara preset.
+  std::size_t layer_pairs = 1;
+  std::optional<StackSpec> stack;
+
+  /// Grid overrides (0 = the config default); tests use coarse grids.
+  std::size_t grid_rows = 0;
+  std::size_t grid_cols = 0;
+};
+
+/// Transient replay: a WhatIfQuery advanced through a workload phase
+/// schedule, optionally tracing samples.
+struct ReplayQuery {
+  WhatIfQuery base;
+  std::vector<PhaseChange> phases;
+  /// Trace sampling period [s]; 0 disables the trace.
+  double trace_period_s = 0.0;
+};
+
+/// What an asynchronous session query resolves to.
+struct SessionOutcome {
+  SimulationResult result;
+  std::vector<SampleTrace> trace;  ///< empty unless a trace was requested
+};
+
+/// Monotonic service counters (snapshot).
+struct ServeStats {
+  std::size_t steady_queries = 0;
+  std::size_t rom_hits = 0;       ///< steady answers served by a cached ROM
+  std::size_t rom_builds = 0;
+  std::size_t rom_fallbacks = 0;  ///< ROM estimate exceeded the bound
+  std::size_t rom_evictions = 0;
+  std::size_t full_solves = 0;    ///< full steady solves (fallback + forced)
+  std::size_t model_evictions = 0;
+  std::size_t session_queries = 0;  ///< what-if + replay submissions
+  std::size_t batches = 0;          ///< lockstep batches run
+  std::size_t batched_sessions = 0;
+  std::size_t max_batch = 0;        ///< largest batch observed
+  std::size_t solo_fallbacks = 0;   ///< jobs re-run solo after a batch error
+};
+
+}  // namespace liquid3d

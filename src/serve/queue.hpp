@@ -1,0 +1,107 @@
+// queue.hpp — the asynchronous session-query queue behind ThermalService.
+//
+// Full-fidelity queries (what-if, replay) are submitted as SessionJobs and
+// answered through futures.  A worker drains the queue in arrival order,
+// but before running it holds the head job open for a short batch window so
+// queries against the same topology can pile up and go through one
+// BatchRunner lockstep run — the shared-factorization path that gives the
+// batched-throughput win.  Grouping is by a caller-supplied key
+// (ThermalService keys on the stack/grid topology, mirroring what
+// BatchRunner's own compatibility grouping checks).
+//
+// BatchRunner results are bit-identical to serial runs (a locked contract
+// covered by its tests), so batched answers need no accuracy caveat.  If a
+// batch throws, every job in it is retried solo so one poisoned
+// configuration cannot take down its groupmates' answers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/query.hpp"
+
+namespace liquid3d {
+
+/// One queued full-fidelity run.
+struct SessionJob {
+  SimulationConfig cfg;
+  /// Jobs with equal keys are eligible for the same lockstep batch.
+  std::uint64_t group_key = 0;
+  /// Trace sampling period [s]; 0 = no trace.
+  double trace_period_s = 0.0;
+  std::promise<SessionOutcome> promise;
+};
+
+struct QueueParams {
+  std::size_t workers = 1;
+  /// How long the head job waits for same-key arrivals [ms].
+  double batch_window_ms = 2.0;
+  std::size_t max_batch = 16;
+};
+
+class QueryQueue {
+ public:
+  using Params = QueueParams;
+
+  explicit QueryQueue(Params params = {});
+  ~QueryQueue();
+
+  QueryQueue(const QueryQueue&) = delete;
+  QueryQueue& operator=(const QueryQueue&) = delete;
+
+  /// Enqueue a job; the returned future resolves when its batch completes
+  /// (or with the exception its run produced).
+  [[nodiscard]] std::future<SessionOutcome> submit(SessionJob job);
+
+  /// Block until every submitted job has been answered.
+  void wait_idle();
+
+  /// Drain remaining jobs, then join the workers.  Idempotent; the
+  /// destructor calls it.
+  void stop();
+
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::size_t batches() const { return counter(batches_); }
+  [[nodiscard]] std::size_t batched_sessions() const {
+    return counter(batched_sessions_);
+  }
+  [[nodiscard]] std::size_t max_batch_seen() const {
+    return counter(max_batch_seen_);
+  }
+  [[nodiscard]] std::size_t solo_fallbacks() const {
+    return counter(solo_fallbacks_);
+  }
+
+ private:
+  void worker_loop();
+  void run_batch(std::vector<SessionJob>& jobs);
+  static void run_solo(SessionJob& job);
+
+  [[nodiscard]] std::size_t counter(const std::size_t& c) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return c;
+  }
+
+  Params params_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       ///< queue state changed
+  std::condition_variable idle_cv_;  ///< a batch finished
+  std::deque<SessionJob> pending_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  // Counters (written by workers under mu_).
+  std::size_t batches_ = 0;
+  std::size_t batched_sessions_ = 0;
+  std::size_t max_batch_seen_ = 0;
+  std::size_t solo_fallbacks_ = 0;
+};
+
+}  // namespace liquid3d

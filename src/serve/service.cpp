@@ -1,0 +1,432 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "common/error.hpp"
+#include "coolant/flow.hpp"
+#include "coolant/pump.hpp"
+#include "coolant/valve_network.hpp"
+#include "geom/sites.hpp"
+#include "geom/stack_spec.hpp"
+#include "sim/scenario.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace liquid3d {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_us(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+void append(std::string& key, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g,", v);
+  key += buf;
+}
+
+void append(std::string& key, std::size_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%zu,", v);
+  key += buf;
+}
+
+/// Everything that shapes the constructed thermal model (and therefore the
+/// steady operator): geometry, cooling regime, and the thermal parameters.
+/// The stack enters as its canonical spec encoding, so layer_pairs presets,
+/// explicit specs, and stack files that build the same stack share entries.
+std::string model_key(const SimulationConfig& cfg) {
+  std::string key = encode_stack_spec(resolved_stack_spec(cfg));
+  key += '|';
+  key += cfg.cooling == CoolingMode::kAir ? "air," : "liquid,";
+  key += to_string(cfg.delivery_mode);
+  key += ',';
+  const ThermalModelParams& t = cfg.thermal;
+  append(key, t.grid_rows);
+  append(key, t.grid_cols);
+  append(key, t.silicon_conductivity);
+  append(key, t.silicon_volumetric_heat_capacity);
+  append(key, t.bond_conductivity);
+  append(key, t.cavity_wall_conductivity);
+  append(key, t.inlet_temperature);
+  append(key, t.ambient_temperature);
+  append(key, t.channel_params.beol_thickness);
+  append(key, t.channel_params.beol_conductivity);
+  append(key, t.channel_params.heat_transfer_coeff);
+  append(key, t.coolant.heat_capacity);
+  append(key, t.coolant.density);
+  append(key, t.coolant.conductivity);
+  append(key, t.coolant.dynamic_viscosity);
+  append(key, t.tim_thickness);
+  append(key, t.tim_conductivity);
+  append(key, t.spreader_capacitance);
+  append(key, t.sink_capacitance);
+  append(key, t.spreader_to_sink_resistance);
+  append(key, t.sink_to_ambient_resistance);
+  key += t.alternate_flow_direction ? "alt," : "noalt,";
+  append(key, t.fluid_tolerance);
+  append(key, t.max_fluid_iterations);
+  append(key, t.steady_fluid_iterations);
+  append(key, t.steady_pseudo_dt);
+  append(key, t.steady_tolerance);
+  append(key, t.max_steady_iterations);
+  key += t.direct_steady_solver ? "direct," : "pseudo,";
+  return key;
+}
+
+/// ROM identity: the model key with the boundary references normalized out
+/// (the reduced model answers any inlet/ambient exactly — the steady map is
+/// affine in the reference, and the constant vector is in the basis), plus
+/// the per-cavity flow vector the operator was exported under.
+std::string rom_key(const SimulationConfig& cfg,
+                    const std::vector<VolumetricFlow>& flows) {
+  SimulationConfig normalized = cfg;
+  normalized.thermal.inlet_temperature = 0.0;
+  normalized.thermal.ambient_temperature = 0.0;
+  std::string key = model_key(normalized);
+  key += "|f:";
+  for (VolumetricFlow f : flows) append(key, f.ml_per_min());
+  return key;
+}
+
+/// Expand a query's power specification to full [layer][block] shape.
+std::vector<std::vector<double>> resolve_watts(const SteadyQuery& q,
+                                               const Stack3D& stack) {
+  std::vector<std::vector<double>> watts(stack.layer_count());
+  for (std::size_t l = 0; l < stack.layer_count(); ++l) {
+    watts[l].assign(stack.layer(l).floorplan.block_count(), 0.0);
+  }
+  if (q.block_watts.empty()) {
+    LIQUID3D_REQUIRE(std::isfinite(q.core_watts) && q.core_watts >= 0.0,
+                     "steady query core_watts must be finite and >= 0");
+    for (const BlockSite& site : enumerate_sites(stack, BlockType::kCore)) {
+      watts[site.layer][site.block] = q.core_watts;
+    }
+    return watts;
+  }
+  LIQUID3D_REQUIRE(q.block_watts.size() <= stack.layer_count(),
+                   "steady query has more power layers than the stack");
+  for (std::size_t l = 0; l < q.block_watts.size(); ++l) {
+    LIQUID3D_REQUIRE(q.block_watts[l].size() <= watts[l].size(),
+                     "steady query has more blocks than the layer's floorplan");
+    for (std::size_t b = 0; b < q.block_watts[l].size(); ++b) {
+      const double w = q.block_watts[l][b];
+      LIQUID3D_REQUIRE(std::isfinite(w) && w >= 0.0,
+                       "steady query block power must be finite and >= 0");
+      watts[l][b] = w;
+    }
+  }
+  return watts;
+}
+
+/// Resolve the query's flow specification to a per-cavity vector (empty for
+/// air).  Precedence: explicit flows > valve openings > uniform delivery.
+std::vector<VolumetricFlow> resolve_flows(const SimulationConfig& cfg,
+                                          const SteadyQuery& q,
+                                          const Stack3D& stack) {
+  if (cfg.cooling == CoolingMode::kAir) {
+    LIQUID3D_REQUIRE(q.flows_ml_per_min.empty() && q.valve_openings.empty(),
+                     "air configurations take no flow specification");
+    return {};
+  }
+  const std::size_t cavities = stack.cavity_count();
+  if (!q.flows_ml_per_min.empty()) {
+    LIQUID3D_REQUIRE(q.flows_ml_per_min.size() == cavities,
+                     "explicit flow arity must equal the cavity count");
+    std::vector<VolumetricFlow> flows;
+    flows.reserve(cavities);
+    for (double ml : q.flows_ml_per_min) {
+      LIQUID3D_REQUIRE(std::isfinite(ml) && ml > 0.0,
+                       "per-cavity flows must be finite and > 0 ml/min");
+      flows.push_back(VolumetricFlow::from_ml_per_min(ml));
+    }
+    return flows;
+  }
+  const MicrochannelModel channels(stack.cavity(), cfg.thermal.coolant,
+                                   cfg.thermal.channel_params);
+  const FlowDelivery delivery(PumpModel::laing_ddc(), cfg.delivery_mode,
+                              channels, stack.width(), cavities);
+  const std::size_t setting = q.pump_setting == SteadyQuery::kTopSetting
+                                  ? delivery.setting_count() - 1
+                                  : q.pump_setting;
+  LIQUID3D_REQUIRE(setting < delivery.setting_count(),
+                   "pump setting out of range");
+  if (!q.valve_openings.empty()) {
+    LIQUID3D_REQUIRE(q.valve_openings.size() == cavities,
+                     "valve opening arity must equal the cavity count");
+    const ValveNetwork network(delivery);
+    return network.flows(setting, q.valve_openings);
+  }
+  return std::vector<VolumetricFlow>(cavities, delivery.per_cavity(setting));
+}
+
+}  // namespace
+
+ThermalService::ThermalService(ServeParams params)
+    : params_(params), queue_(params.queue) {
+  LIQUID3D_REQUIRE(params_.model_pool_capacity >= 1,
+                   "model pool capacity must be >= 1");
+  LIQUID3D_REQUIRE(params_.rom_cache_capacity >= 1,
+                   "ROM cache capacity must be >= 1");
+}
+
+ThermalService::~ThermalService() { queue_.stop(); }
+
+std::shared_ptr<ThermalService::ModelEntry> ThermalService::model_for(
+    const SimulationConfig& cfg, const std::string& key) {
+  std::shared_ptr<ModelEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PoolSlot& slot = models_[key];
+    if (!slot.entry) slot.entry = std::make_shared<ModelEntry>();
+    slot.last_used = ++lru_clock_;
+    entry = slot.entry;
+    while (models_.size() > params_.model_pool_capacity) {
+      auto victim = models_.end();
+      for (auto it = models_.begin(); it != models_.end(); ++it) {
+        if (it->first == key) continue;
+        if (victim == models_.end() ||
+            it->second.last_used < victim->second.last_used) {
+          victim = it;
+        }
+      }
+      if (victim == models_.end()) break;
+      models_.erase(victim);  // borrowers' shared_ptr keeps the model alive
+      model_evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  std::lock_guard<std::mutex> entry_lock(entry->mu);
+  if (!entry->model) {
+    entry->model =
+        std::make_unique<ThermalModel3D>(make_simulation_stack(cfg), cfg.thermal);
+  }
+  return entry;
+}
+
+std::shared_ptr<const ReducedSteadyModel> ThermalService::rom_for(
+    const SimulationConfig& cfg, const std::string& mkey,
+    const std::vector<VolumetricFlow>& flows) {
+  const std::string key = rom_key(cfg, flows);
+  std::promise<std::shared_ptr<const ReducedSteadyModel>> promise;
+  std::shared_future<std::shared_ptr<const ReducedSteadyModel>> future;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = roms_.find(key);
+    if (it == roms_.end()) {
+      future = promise.get_future().share();
+      roms_.emplace(key, RomSlot{future, ++lru_clock_});
+      builder = true;
+    } else {
+      it->second.last_used = ++lru_clock_;
+      future = it->second.future;
+    }
+    while (roms_.size() > params_.rom_cache_capacity) {
+      // Evict the least-recently-used *settled* entry; in-flight builds are
+      // left alone (their waiters hold the future).
+      auto victim = roms_.end();
+      for (auto it2 = roms_.begin(); it2 != roms_.end(); ++it2) {
+        if (it2->first == key) continue;
+        if (it2->second.future.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+          continue;
+        }
+        if (victim == roms_.end() ||
+            it2->second.last_used < victim->second.last_used) {
+          victim = it2;
+        }
+      }
+      if (victim == roms_.end()) break;
+      roms_.erase(victim);
+      rom_evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (builder) {
+    try {
+      std::shared_ptr<ModelEntry> entry = model_for(cfg, mkey);
+      std::shared_ptr<const ReducedSteadyModel> rom;
+      {
+        std::lock_guard<std::mutex> entry_lock(entry->mu);
+        if (cfg.cooling != CoolingMode::kAir) {
+          entry->model->set_cavity_flow(flows);
+        }
+        rom = std::make_shared<const ReducedSteadyModel>(
+            ReducedSteadyModel::build(*entry->model, params_.rom));
+      }
+      rom_builds_.fetch_add(1, std::memory_order_relaxed);
+      promise.set_value(std::move(rom));
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        roms_.erase(key);
+      }
+      promise.set_exception(std::current_exception());
+      throw;
+    }
+  }
+  return future.get();
+}
+
+SteadyAnswer ThermalService::full_steady(
+    const SteadyQuery& query, const std::vector<std::vector<double>>& block_watts,
+    const std::vector<VolumetricFlow>& flows) {
+  SimulationConfig cfg = query.config;
+  const bool liquid = cfg.cooling != CoolingMode::kAir;
+  if (query.reference_c) {
+    // The full model bakes the boundary reference into its parameters, so a
+    // reference override is a distinct pool entry (the ROM does not care).
+    (liquid ? cfg.thermal.inlet_temperature : cfg.thermal.ambient_temperature) =
+        *query.reference_c;
+  }
+  const std::shared_ptr<ModelEntry> entry = model_for(cfg, model_key(cfg));
+  SteadyAnswer answer;
+  std::lock_guard<std::mutex> lock(entry->mu);
+  ThermalModel3D& model = *entry->model;
+  if (liquid) model.set_cavity_flow(flows);
+  for (std::size_t l = 0; l < block_watts.size(); ++l) {
+    model.set_block_power(l, block_watts[l]);
+  }
+  model.solve_steady_state();
+  full_solves_.fetch_add(1, std::memory_order_relaxed);
+  answer.t_max_c = model.max_temperature();
+  const std::size_t layers = model.stack().layer_count();
+  ThermalState state;
+  model.save_state(state);
+  answer.layer_max_c.assign(layers, -1e300);
+  for (std::size_t i = 0; i < state.temps.size(); ++i) {
+    const std::size_t layer = i % layers;
+    answer.layer_max_c[layer] = std::max(answer.layer_max_c[layer], state.temps[i]);
+  }
+  return answer;
+}
+
+SteadyAnswer ThermalService::steady(const SteadyQuery& query) {
+  const auto start = Clock::now();
+  steady_queries_.fetch_add(1, std::memory_order_relaxed);
+  const SimulationConfig& cfg = query.config;
+  const Stack3D stack = make_simulation_stack(cfg);
+  const std::vector<std::vector<double>> watts = resolve_watts(query, stack);
+  const std::vector<VolumetricFlow> flows = resolve_flows(cfg, query, stack);
+  const bool liquid = cfg.cooling != CoolingMode::kAir;
+  const double t_ref = query.reference_c
+                           ? *query.reference_c
+                           : (liquid ? cfg.thermal.inlet_temperature
+                                     : cfg.thermal.ambient_temperature);
+
+  if (!query.force_full) {
+    const std::shared_ptr<const ReducedSteadyModel> rom =
+        rom_for(cfg, model_key(cfg), flows);
+    thread_local ReducedSteadyModel::Scratch scratch;
+    RomEvaluation eval;
+    rom->evaluate(watts, t_ref, query.max_error_c, scratch, eval);
+    if (eval.within_bound) {
+      rom_hits_.fetch_add(1, std::memory_order_relaxed);
+      SteadyAnswer answer;
+      answer.t_max_c = eval.t_max_c;
+      answer.layer_max_c = std::move(eval.layer_max_c);
+      answer.used_rom = true;
+      answer.estimated_error_c = eval.estimated_error_c;
+      answer.certified_error_c = rom->certified_error_c();
+      answer.rom_dimension = rom->dimension();
+      answer.elapsed_us = elapsed_us(start);
+      return answer;
+    }
+    rom_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  SteadyAnswer answer = full_steady(query, watts, flows);
+  answer.elapsed_us = elapsed_us(start);
+  return answer;
+}
+
+void ThermalService::warm(const SteadyQuery& query) {
+  const Stack3D stack = make_simulation_stack(query.config);
+  const std::vector<VolumetricFlow> flows =
+      resolve_flows(query.config, query, stack);
+  (void)rom_for(query.config, model_key(query.config), flows);
+}
+
+SimulationConfig ThermalService::session_config(const WhatIfQuery& query) {
+  SimulationConfig cfg;
+  cfg.layer_pairs = query.layer_pairs;
+  if (query.stack) cfg.stack = *query.stack;
+  const ScenarioSpec& spec = ScenarioRegistry::global().at(query.scenario);
+  apply_scenario(spec, cfg);
+  const std::optional<BenchmarkSpec> bench = find_benchmark(query.benchmark);
+  LIQUID3D_REQUIRE(bench.has_value(), "unknown benchmark: " + query.benchmark);
+  cfg.benchmark = *bench;
+  LIQUID3D_REQUIRE(query.duration_s > 0.0, "what-if duration must be > 0");
+  cfg.duration = SimTime::from_s(query.duration_s);
+  cfg.seed = query.seed;
+  if (query.grid_rows > 0) cfg.thermal.grid_rows = query.grid_rows;
+  if (query.grid_cols > 0) cfg.thermal.grid_cols = query.grid_cols;
+  return cfg;
+}
+
+std::uint64_t ThermalService::topology_key(const SimulationConfig& cfg) {
+  std::uint64_t h = stack_fingerprint(make_simulation_stack(cfg));
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(cfg.thermal.grid_rows);
+  mix(cfg.thermal.grid_cols);
+  mix(cfg.thermal_substeps);
+  mix(static_cast<std::uint64_t>(cfg.sampling_interval.as_ms()));
+  mix(static_cast<std::uint64_t>(cfg.cooling));
+  return h;
+}
+
+std::future<SessionOutcome> ThermalService::submit_session(
+    const WhatIfQuery& query, const std::vector<PhaseChange>& phases,
+    double trace_period_s) {
+  SessionJob job;
+  try {
+    job.cfg = session_config(query);
+  } catch (...) {
+    // Fail fast: malformed names surface through the future immediately,
+    // without occupying the queue.
+    std::promise<SessionOutcome> failed;
+    failed.set_exception(std::current_exception());
+    return failed.get_future();
+  }
+  job.cfg.phases = phases;
+  job.group_key = topology_key(job.cfg);
+  job.trace_period_s = trace_period_s;
+  session_queries_.fetch_add(1, std::memory_order_relaxed);
+  return queue_.submit(std::move(job));
+}
+
+std::future<SessionOutcome> ThermalService::what_if(const WhatIfQuery& query) {
+  return submit_session(query, {}, 0.0);
+}
+
+std::future<SessionOutcome> ThermalService::replay(const ReplayQuery& query) {
+  return submit_session(query.base, query.phases, query.trace_period_s);
+}
+
+void ThermalService::wait_idle() { queue_.wait_idle(); }
+
+ServeStats ThermalService::stats() const {
+  ServeStats s;
+  s.steady_queries = steady_queries_.load(std::memory_order_relaxed);
+  s.rom_hits = rom_hits_.load(std::memory_order_relaxed);
+  s.rom_builds = rom_builds_.load(std::memory_order_relaxed);
+  s.rom_fallbacks = rom_fallbacks_.load(std::memory_order_relaxed);
+  s.rom_evictions = rom_evictions_.load(std::memory_order_relaxed);
+  s.full_solves = full_solves_.load(std::memory_order_relaxed);
+  s.model_evictions = model_evictions_.load(std::memory_order_relaxed);
+  s.session_queries = session_queries_.load(std::memory_order_relaxed);
+  s.batches = queue_.batches();
+  s.batched_sessions = queue_.batched_sessions();
+  s.max_batch = queue_.max_batch_seen();
+  s.solo_fallbacks = queue_.solo_fallbacks();
+  return s;
+}
+
+}  // namespace liquid3d

@@ -1,0 +1,137 @@
+// service.hpp — ThermalService: the long-lived thermal oracle.
+//
+// A sweep answers "run the whole grid"; a service answers "what would this
+// configuration do, right now?" over and over, for schedulers, DSE loops,
+// and operators.  The win over spawning a SimulationSession per question is
+// warm state shared across queries:
+//
+//   * a pool of constructed thermal models per system topology (model
+//     construction + characterization dominate one-shot latency);
+//   * the process-wide CharacterizationCache (sharded; see
+//     sim/characterization_cache.hpp) feeding every session it spawns;
+//   * a cache of reduced-order steady models (serve/rom.hpp) keyed on
+//     (system, flow vector), so repeat steady queries skip the solver
+//     entirely — a projected dense solve plus one residual SpMV,
+//     microseconds instead of a factorization;
+//   * an asynchronous queue (serve/queue.hpp) that groups full-fidelity
+//     what-if/replay queries by topology and runs them through BatchRunner
+//     lockstep, sharing factorizations across concurrent questions.
+//
+// Steady answers carry an explicit error contract: the ROM result is used
+// only when its residual-based estimate stays within the query's bound;
+// otherwise the service transparently falls back to the full steady solver
+// and the answer is exact (to solver tolerance).  Both caches are bounded
+// LRU; eviction is by least-recent use, and an evicted ROM simply rebuilds
+// on the next miss.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/query.hpp"
+#include "serve/queue.hpp"
+#include "serve/rom.hpp"
+
+namespace liquid3d {
+
+struct ServeParams {
+  RomParams rom;
+  /// Warm full-fidelity thermal models kept per system key (LRU).
+  std::size_t model_pool_capacity = 4;
+  /// Reduced models kept per (system, flow) key (LRU).
+  std::size_t rom_cache_capacity = 8;
+  QueryQueue::Params queue;
+};
+
+class ThermalService {
+ public:
+  explicit ThermalService(ServeParams params = {});
+  ~ThermalService();
+
+  ThermalService(const ThermalService&) = delete;
+  ThermalService& operator=(const ThermalService&) = delete;
+
+  /// Steady T_max for a configuration at fixed powers and flow.
+  /// Synchronous; thread-safe.  ROM path when the error estimate admits it,
+  /// full solve otherwise (or when the query forces it).
+  [[nodiscard]] SteadyAnswer steady(const SteadyQuery& query);
+
+  /// Pre-build the ROM (and pooled model) a steady query would use, so the
+  /// first real query is already warm.  Blocks until built.
+  void warm(const SteadyQuery& query);
+
+  /// Queue a full-fidelity scenario run; batched with compatible queries.
+  [[nodiscard]] std::future<SessionOutcome> what_if(const WhatIfQuery& query);
+
+  /// Queue a transient replay over a workload phase schedule.
+  [[nodiscard]] std::future<SessionOutcome> replay(const ReplayQuery& query);
+
+  /// Block until every queued session query has been answered.
+  void wait_idle();
+
+  [[nodiscard]] ServeStats stats() const;
+  [[nodiscard]] const ServeParams& params() const { return params_; }
+
+  /// The SimulationConfig a what-if query denotes (exposed so callers — the
+  /// CLI's --verify mode, tests — can replay the identical cell through a
+  /// solo SimulationSession and compare).  Throws ConfigError on unknown
+  /// scenario or benchmark names.
+  [[nodiscard]] static SimulationConfig session_config(const WhatIfQuery& query);
+
+  /// Batch-grouping key: stacks/grids that can share a lockstep group map to
+  /// equal keys (conservative mirror of BatchRunner's compatibility check).
+  [[nodiscard]] static std::uint64_t topology_key(const SimulationConfig& cfg);
+
+ private:
+  /// One pooled full-fidelity model; `mu` serializes solves on it.
+  struct ModelEntry {
+    std::mutex mu;
+    std::unique_ptr<ThermalModel3D> model;
+  };
+  struct PoolSlot {
+    std::shared_ptr<ModelEntry> entry;
+    std::uint64_t last_used = 0;
+  };
+  struct RomSlot {
+    std::shared_future<std::shared_ptr<const ReducedSteadyModel>> future;
+    std::uint64_t last_used = 0;
+  };
+
+  [[nodiscard]] std::shared_ptr<ModelEntry> model_for(
+      const SimulationConfig& cfg, const std::string& key);
+  [[nodiscard]] std::shared_ptr<const ReducedSteadyModel> rom_for(
+      const SimulationConfig& cfg, const std::string& model_key,
+      const std::vector<VolumetricFlow>& flows);
+  [[nodiscard]] SteadyAnswer full_steady(
+      const SteadyQuery& query,
+      const std::vector<std::vector<double>>& block_watts,
+      const std::vector<VolumetricFlow>& flows);
+  [[nodiscard]] std::future<SessionOutcome> submit_session(
+      const WhatIfQuery& query, const std::vector<PhaseChange>& phases,
+      double trace_period_s);
+
+  ServeParams params_;
+  mutable std::mutex mu_;  ///< guards the two cache maps + LRU clock
+  std::map<std::string, PoolSlot> models_;
+  std::map<std::string, RomSlot> roms_;
+  std::uint64_t lru_clock_ = 0;
+
+  std::atomic<std::size_t> steady_queries_{0};
+  std::atomic<std::size_t> rom_hits_{0};
+  std::atomic<std::size_t> rom_builds_{0};
+  std::atomic<std::size_t> rom_fallbacks_{0};
+  std::atomic<std::size_t> rom_evictions_{0};
+  std::atomic<std::size_t> full_solves_{0};
+  std::atomic<std::size_t> model_evictions_{0};
+  std::atomic<std::size_t> session_queries_{0};
+
+  QueryQueue queue_;
+};
+
+}  // namespace liquid3d

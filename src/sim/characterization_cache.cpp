@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <limits>
 #include <optional>
 #include <vector>
@@ -181,6 +182,64 @@ std::string CharacterizationCache::talb_key(const SimulationConfig& cfg) {
   return key;
 }
 
+template <typename T, typename Build>
+std::shared_ptr<const T> CharacterizationCache::get_or_build(
+    std::array<Shard<T>, kShardCount>& shards, const std::string& key,
+    Build&& build) {
+  Shard<T>& shard = shards[std::hash<std::string>{}(key) % kShardCount];
+  std::promise<std::shared_ptr<const T>> promise;
+  std::shared_future<std::shared_ptr<const T>> future;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) {
+      future = promise.get_future().share();
+      shard.entries.emplace(key, future);
+      builder = true;
+    } else {
+      future = it->second;
+    }
+  }
+  if (builder) {
+    // The expensive part runs outside the lock; same-key requesters block
+    // on the shared future, everyone else proceeds.
+    try {
+      promise.set_value(build());
+    } catch (...) {
+      // Un-publish before propagating so the next requester retries the
+      // build; waiters already holding the future see the exception.
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.entries.erase(key);
+      }
+      promise.set_exception(std::current_exception());
+      throw;
+    }
+  }
+  return future.get();
+}
+
+template <typename T>
+std::size_t CharacterizationCache::shard_size(
+    const std::array<Shard<T>, kShardCount>& shards) {
+  std::size_t total = 0;
+  for (const Shard<T>& shard : shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+template <typename T>
+void CharacterizationCache::shard_clear(
+    std::array<Shard<T>, kShardCount>& shards) {
+  for (Shard<T>& shard : shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+  }
+}
+
 std::shared_ptr<const FlowLut> CharacterizationCache::flow_lut(
     const SimulationConfig& cfg) {
   // Validate before the lookup: the key tags every flow LUT as liquid, so an
@@ -188,26 +247,14 @@ std::shared_ptr<const FlowLut> CharacterizationCache::flow_lut(
   // liquid entry built from the same thermal/power parameters.
   LIQUID3D_REQUIRE(cfg.cooling != CoolingMode::kAir,
                    "flow LUT only applies to liquid cooling");
-  const std::string key = flow_lut_key(cfg);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = luts_.find(key);
-  if (it == luts_.end()) {
-    // Built under the lock: concurrent requesters for the same system wait
-    // for one build instead of duplicating minutes of steady solves.
-    it = luts_.emplace(key, build_flow_lut(cfg)).first;
-  }
-  return it->second;
+  return get_or_build(luts_, flow_lut_key(cfg),
+                      [&cfg] { return build_flow_lut(cfg); });
 }
 
 std::shared_ptr<const TalbWeightTable> CharacterizationCache::talb_weights(
     const SimulationConfig& cfg) {
-  const std::string key = talb_key(cfg);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = weights_.find(key);
-  if (it == weights_.end()) {
-    it = weights_.emplace(key, build_talb_weights(cfg)).first;
-  }
-  return it->second;
+  return get_or_build(weights_, talb_key(cfg),
+                      [&cfg] { return build_talb_weights(cfg); });
 }
 
 CharacterizationCache& CharacterizationCache::global() {
@@ -216,14 +263,12 @@ CharacterizationCache& CharacterizationCache::global() {
 }
 
 std::size_t CharacterizationCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return luts_.size() + weights_.size();
+  return shard_size(luts_) + shard_size(weights_);
 }
 
 void CharacterizationCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  luts_.clear();
-  weights_.clear();
+  shard_clear(luts_);
+  shard_clear(weights_);
 }
 
 }  // namespace liquid3d

@@ -13,8 +13,20 @@
 // trajectories at the millikelvin level, so it is part of the identity) —
 // never on the policy, workload, seed, or duration of the run that happens
 // to trigger the build.
+//
+// Concurrency: the table is sharded by key hash, and a miss installs a
+// shared_future under the shard lock but runs the build *outside* it.  A
+// characterization build is minutes of steady solves; under the old single
+// mutex (with builds under the lock) every session in the process — even
+// ones whose artifact was already cached — stalled behind an unrelated
+// build.  Now same-key requesters share one build (they block on its
+// future and receive the same pointer), different-key requesters in other
+// shards never touch the same lock, and a failed build erases its entry so
+// the next requester retries instead of inheriting a poisoned future.
 #pragma once
 
+#include <array>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -43,6 +55,7 @@ class CharacterizationCache {
   /// to a freshly built one for the same key.
   [[nodiscard]] static CharacterizationCache& global();
 
+  /// Entries across both tables, including builds still in flight.
   [[nodiscard]] std::size_t size() const;
   void clear();
 
@@ -51,9 +64,30 @@ class CharacterizationCache {
   [[nodiscard]] static std::string talb_key(const SimulationConfig& cfg);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<const FlowLut>> luts_;
-  std::map<std::string, std::shared_ptr<const TalbWeightTable>> weights_;
+  static constexpr std::size_t kShardCount = 16;
+
+  /// One lock stripe: entries hold futures (not values) so a key's first
+  /// requester can publish "build in progress" and release the lock before
+  /// doing the expensive work.
+  template <typename T>
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, std::shared_future<std::shared_ptr<const T>>> entries;
+  };
+
+  template <typename T, typename Build>
+  static std::shared_ptr<const T> get_or_build(
+      std::array<Shard<T>, kShardCount>& shards, const std::string& key,
+      Build&& build);
+
+  template <typename T>
+  static std::size_t shard_size(const std::array<Shard<T>, kShardCount>& shards);
+
+  template <typename T>
+  static void shard_clear(std::array<Shard<T>, kShardCount>& shards);
+
+  std::array<Shard<FlowLut>, kShardCount> luts_;
+  std::array<Shard<TalbWeightTable>, kShardCount> weights_;
 };
 
 }  // namespace liquid3d

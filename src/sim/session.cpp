@@ -252,6 +252,30 @@ double SimulationSession::substep_dt() const {
   return cfg_.sampling_interval.as_s() / static_cast<double>(cfg_.thermal_substeps);
 }
 
+double SimulationSession::current_tmax() const {
+  return thermal_.max_temperature();
+}
+
+const std::vector<double>& SimulationSession::valve_openings() const {
+  static const std::vector<double> kNone;
+  return (manager_ && manager_->has_valve_network())
+             ? manager_->valves()->effective_openings()
+             : kNone;
+}
+
+std::size_t SimulationSession::pump_setting() const {
+  return manager_ ? manager_->actuator().effective_setting() : 0;
+}
+
+std::size_t SimulationSession::phase_index() const {
+  const SimTime t = now();
+  std::size_t index = 0;
+  for (const PhaseChange& phase : cfg_.phases) {
+    if (phase.at.as_ms() <= t.as_ms()) ++index;
+  }
+  return index;
+}
+
 void SimulationSession::begin_tick() {
   LIQUID3D_REQUIRE(initialized_, "call init() before stepping a session");
   LIQUID3D_REQUIRE(!mid_tick_, "begin_tick() called twice without finish_tick()");

@@ -195,6 +195,19 @@ class SimulationSession {
   /// Runtime thermal manager (null on air systems).
   [[nodiscard]] const ThermalManager* manager() const { return manager_.get(); }
 
+  // -- Service-facing read-only state ----------------------------------------
+  // What a long-lived server needs to answer "where is this session now?"
+  // without reaching into the thermal model or the manager's internals.
+  /// Peak junction temperature of the current field [°C].
+  [[nodiscard]] double current_tmax() const;
+  /// Effective valve openings (empty when the system has no valve network).
+  [[nodiscard]] const std::vector<double>& valve_openings() const;
+  /// Effective pump setting index (0 on air systems).
+  [[nodiscard]] std::size_t pump_setting() const;
+  /// Workload phases (cfg.phases) whose start time has been reached: 0 before
+  /// the first change, cfg.phases.size() once all have fired.
+  [[nodiscard]] std::size_t phase_index() const;
+
   /// Optional per-sample observer.
   void set_trace_callback(std::function<void(const SampleTrace&)> cb) {
     trace_ = std::move(cb);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <map>
 #include <memory>
 
 #include "common/error.hpp"
@@ -622,6 +623,102 @@ void ThermalModel3D::build_steady_direct_system(BandedLuMatrix& m,
       for (const std::size_t cu : upstream) {
         coef_dn[cu] = 0.0;
         coef_up[cu] = 0.0;
+      }
+    }
+  }
+}
+
+void ThermalModel3D::export_steady_operator(SteadyOperator& out) const {
+  const bool liquid = stack_.has_cavities();
+  out.nodes = liquid ? node_count_ : node_count_ + 2;
+  out.silicon_nodes = node_count_;
+  out.layer_count = layer_count_;
+  out.liquid = liquid;
+  out.t_ref = liquid ? inlet_temperature_ : params_.ambient_temperature;
+  out.row_ptr.clear();
+  out.col.clear();
+  out.val.clear();
+  out.row_ptr.reserve(out.nodes + 1);
+
+  if (liquid) {
+    for (const VolumetricFlow& f : cavity_flows_) {
+      LIQUID3D_REQUIRE(f.m3_per_s() > 0.0,
+                       "steady operator export requires nonzero flow in "
+                       "every cavity");
+    }
+    // The fluid-eliminated assembly is exact algebra for any flow (only the
+    // unpivoted *factorization* needs diagonal dominance, and the export
+    // never factorizes), so the operator is valid in the advection-limited
+    // regime too — where solve_steady_state reaches the same solution by
+    // pseudo-transient continuation.
+    const std::size_t bw = grid_.cols() * layer_count_;
+    BandedLuMatrix m(node_count_, bw, bw);
+    build_steady_direct_system(m, out.ref_coef);
+    out.row_ptr.push_back(0);
+    for (std::size_t i = 0; i < node_count_; ++i) {
+      const std::size_t j0 = i >= bw ? i - bw : 0;
+      const std::size_t j1 = std::min(node_count_ - 1, i + bw);
+      for (std::size_t j = j0; j <= j1; ++j) {
+        const double v = m.at(i, j);
+        if (v != 0.0) {
+          out.col.push_back(j);
+          out.val.push_back(v);
+        }
+      }
+      out.row_ptr.push_back(out.col.size());
+    }
+  } else {
+    // Silicon conduction network plus the two-node package (spreader, sink)
+    // appended as unknowns — the coupled system update_package_steady and
+    // the pseudo-transient continuation jointly converge to.
+    const std::size_t spr = node_count_;
+    const std::size_t snk = node_count_ + 1;
+    std::vector<std::map<std::size_t, double>> rows(out.nodes);
+    const auto add = [&rows](std::size_t i, std::size_t j, double v) {
+      rows[i][j] += v;
+    };
+    for (const Coupling& c : couplings_) {
+      add(c.a, c.a, c.g);
+      add(c.b, c.b, c.g);
+      add(c.a, c.b, -c.g);
+      add(c.b, c.a, -c.g);
+    }
+    for (std::size_t cell = 0; cell < cell_count_; ++cell) {
+      const std::size_t i = node(layer_count_ - 1, cell);
+      add(i, i, g_package_);
+      add(i, spr, -g_package_);
+      add(spr, i, -g_package_);
+      add(spr, spr, g_package_);
+    }
+    const double g_ss = 1.0 / params_.spreader_to_sink_resistance;
+    const double g_sa = 1.0 / params_.sink_to_ambient_resistance;
+    add(spr, spr, g_ss);
+    add(spr, snk, -g_ss);
+    add(snk, spr, -g_ss);
+    add(snk, snk, g_ss + g_sa);
+    out.ref_coef.assign(out.nodes, 0.0);
+    out.ref_coef[snk] = g_sa;
+    out.row_ptr.push_back(0);
+    for (std::size_t i = 0; i < out.nodes; ++i) {
+      for (const auto& [j, v] : rows[i]) {
+        if (v != 0.0) {
+          out.col.push_back(j);
+          out.val.push_back(v);
+        }
+      }
+      out.row_ptr.push_back(out.col.size());
+    }
+  }
+
+  out.block_inputs.assign(layer_count_, {});
+  for (std::size_t l = 0; l < layer_count_; ++l) {
+    const BlockCellMap& map = maps_[l];
+    out.block_inputs[l].resize(map.block_count());
+    for (std::size_t b = 0; b < map.block_count(); ++b) {
+      auto& shares = out.block_inputs[l][b];
+      shares.clear();
+      for (const BlockCellMap::CellShare& share : map.cells_of(b)) {
+        shares.push_back({node(l, share.cell), share.weight});
       }
     }
   }

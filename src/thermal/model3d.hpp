@@ -49,6 +49,7 @@
 #include "thermal/solver/banded_spd.hpp"
 #include "thermal/solver/factorization_cache.hpp"
 #include "thermal/solver/pcg.hpp"
+#include "thermal/steady_operator.hpp"
 
 namespace liquid3d {
 
@@ -259,6 +260,15 @@ class ThermalModel3D {
   [[nodiscard]] std::uint64_t topology_fingerprint() const {
     return topo_fingerprint_;
   }
+
+  /// Export the steady-state linear system A T = p + ref_coef * T_ref for
+  /// the *current* flow vector (see thermal/steady_operator.hpp): the
+  /// fluid-eliminated operator for liquid stacks (requires nonzero flow in
+  /// every cavity), the conduction network plus the two package unknowns
+  /// for air stacks.  Offline-path cost (dense band scan); reuses `out`'s
+  /// storage.  The exported algebra is exact — the pseudo-transient and
+  /// direct steady paths both converge to solutions of this system.
+  void export_steady_operator(SteadyOperator& out) const;
 
  private:
   friend class BatchThermalStepper;

@@ -1,0 +1,370 @@
+// serve_ctl — command-line front end for the always-on thermal service.
+//
+// One binary, four subcommands:
+//
+//   serve_ctl steady [system flags] [--core-watts W] [--pump-setting N]
+//            [--flows a,b,..] [--valves a,b,..] [--reference C]
+//            [--max-error K] [--force-full] [--repeat N]
+//       One steady T_max query.  --repeat re-issues it against the warm
+//       service and reports p50/p99 latency; the first call pays the ROM
+//       build, the rest answer from the cache.
+//   serve_ctl whatif --scenario NAME --benchmark NAME [--duration-s S]
+//            [--seed N] [system flags]
+//       One full-fidelity scenario run through the async queue.
+//   serve_ctl replay [whatif flags] [--phase T:SCALE]... [--trace-period-s S]
+//       Transient replay over a workload phase schedule; prints the trace.
+//   serve_ctl burst --count N [whatif flags] [--steady N] [--verify]
+//       Fire a mixed burst (N what-if + steady queries + one replay)
+//       concurrently, wait, and print service statistics.  --verify re-runs
+//       every what-if answer through a solo SimulationSession and requires
+//       bit-identical results — the CI smoke check that batched service
+//       answers match single-shot runs exactly.
+//
+// Exit codes: 0 success, 1 verification mismatch, 2 usage/config error.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parse.hpp"
+#include "geom/stack_spec.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace liquid3d;
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " COMMAND [options]\n"
+      << "\n"
+      << "  steady [--cooling liquid|air] [--layer-pairs N] [--stack AXIS]\n"
+      << "         [--grid-rows N] [--grid-cols N] [--core-watts W]\n"
+      << "         [--pump-setting N] [--flows a,b,..] [--valves a,b,..]\n"
+      << "         [--reference C] [--max-error K] [--force-full]\n"
+      << "         [--repeat N]\n"
+      << "  whatif --scenario NAME --benchmark NAME [--duration-s S]\n"
+      << "         [--seed N] [--layer-pairs N] [--stack AXIS]\n"
+      << "         [--grid-rows N] [--grid-cols N]\n"
+      << "  replay [whatif options] [--phase T:SCALE]... [--trace-period-s S]\n"
+      << "  burst  --count N [whatif options] [--steady N] [--verify]\n";
+  return 2;
+}
+
+/// Minimal flag cursor: options take one value unless noted.
+class Args {
+ public:
+  Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
+  [[nodiscard]] bool done() const { return i_ >= argc_; }
+  [[nodiscard]] std::string take() { return argv_[i_++]; }
+  [[nodiscard]] std::string value(const std::string& flag) {
+    LIQUID3D_REQUIRE(i_ < argc_, "missing value for " + flag);
+    return argv_[i_++];
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+  int i_ = 0;
+};
+
+std::vector<double> split_doubles(const std::string& s, const std::string& flag) {
+  std::vector<double> out;
+  std::string item;
+  for (std::size_t pos = 0; pos <= s.size();) {
+    const std::size_t comma = std::min(s.find(',', pos), s.size());
+    item = s.substr(pos, comma - pos);
+    if (!item.empty()) out.push_back(parse_double(item, flag));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// Shared system-identity flags.  Returns true when `flag` was consumed.
+bool parse_system_flag(const std::string& flag, Args& args, WhatIfQuery& q,
+                       CoolingMode cooling) {
+  if (flag == "--layer-pairs") {
+    q.layer_pairs = static_cast<std::size_t>(parse_u64(args.value(flag), flag));
+  } else if (flag == "--stack") {
+    const CoolingType type = cooling == CoolingMode::kAir ? CoolingType::kAir
+                                                          : CoolingType::kLiquid;
+    q.stack = resolve_stack_axis(args.value(flag), type, {});
+  } else if (flag == "--grid-rows") {
+    q.grid_rows = static_cast<std::size_t>(parse_u64(args.value(flag), flag));
+  } else if (flag == "--grid-cols") {
+    q.grid_cols = static_cast<std::size_t>(parse_u64(args.value(flag), flag));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void print_result(const SimulationResult& r) {
+  std::printf("label=%s benchmark=%s\n", r.label.c_str(), r.benchmark.c_str());
+  std::printf("peak_tmax_c=%.3f avg_tmax_c=%.3f hotspot_pct=%.2f\n",
+              r.hotspot_max_sample, r.avg_tmax, r.hotspot_percent);
+  std::printf("energy_j=%.2f throughput_per_s=%.2f migrations=%zu\n",
+              r.total_energy_j, r.throughput_per_s, r.migrations);
+}
+
+[[nodiscard]] bool results_equal(const SimulationResult& a,
+                                 const SimulationResult& b) {
+  return a.label == b.label && a.benchmark == b.benchmark &&
+         a.hotspot_percent == b.hotspot_percent &&
+         a.hotspot_max_sample == b.hotspot_max_sample &&
+         a.above_target_percent == b.above_target_percent &&
+         a.spatial_gradient_percent == b.spatial_gradient_percent &&
+         a.thermal_cycles_per_1000 == b.thermal_cycles_per_1000 &&
+         a.avg_tmax == b.avg_tmax && a.chip_energy_j == b.chip_energy_j &&
+         a.pump_energy_j == b.pump_energy_j &&
+         a.total_energy_j == b.total_energy_j &&
+         a.throughput_per_s == b.throughput_per_s &&
+         a.avg_utilization == b.avg_utilization &&
+         a.migrations == b.migrations &&
+         a.pump_transitions == b.pump_transitions &&
+         a.valve_transitions == b.valve_transitions &&
+         a.avg_flow_skew == b.avg_flow_skew &&
+         a.predictor_rebuilds == b.predictor_rebuilds &&
+         a.forecast_rmse == b.forecast_rmse &&
+         a.avg_pump_setting == b.avg_pump_setting;
+}
+
+int cmd_steady(Args& args) {
+  SteadyQuery q;
+  WhatIfQuery system;  // reused only as a flag container for the system axes
+  std::size_t repeat = 1;
+  CoolingMode cooling = CoolingMode::kLiquidMax;
+  std::vector<std::string> deferred;
+  while (!args.done()) {
+    const std::string flag = args.take();
+    if (flag == "--cooling") {
+      const std::string v = args.value(flag);
+      if (v == "air") {
+        cooling = CoolingMode::kAir;
+      } else if (v == "liquid") {
+        cooling = CoolingMode::kLiquidMax;
+      } else {
+        throw ConfigError("--cooling must be liquid or air, got '" + v + "'");
+      }
+    } else if (flag == "--core-watts") {
+      q.core_watts = parse_double(args.value(flag), flag);
+    } else if (flag == "--pump-setting") {
+      q.pump_setting = static_cast<std::size_t>(parse_u64(args.value(flag), flag));
+    } else if (flag == "--flows") {
+      q.flows_ml_per_min = split_doubles(args.value(flag), flag);
+    } else if (flag == "--valves") {
+      q.valve_openings = split_doubles(args.value(flag), flag);
+    } else if (flag == "--reference") {
+      q.reference_c = parse_double(args.value(flag), flag);
+    } else if (flag == "--max-error") {
+      q.max_error_c = parse_double(args.value(flag), flag);
+    } else if (flag == "--force-full") {
+      q.force_full = true;
+    } else if (flag == "--repeat") {
+      repeat = static_cast<std::size_t>(parse_u64(args.value(flag), flag));
+    } else if (parse_system_flag(flag, args, system, cooling)) {
+    } else {
+      throw ConfigError("unknown steady flag: " + flag);
+    }
+  }
+  q.config.cooling = cooling;
+  q.config.layer_pairs = system.layer_pairs;
+  if (system.stack) q.config.stack = *system.stack;
+  if (system.grid_rows > 0) q.config.thermal.grid_rows = system.grid_rows;
+  if (system.grid_cols > 0) q.config.thermal.grid_cols = system.grid_cols;
+
+  ThermalService service;
+  SteadyAnswer answer = service.steady(q);
+  if (repeat > 1) {
+    std::vector<double> lat;
+    lat.reserve(repeat);
+    for (std::size_t i = 0; i < repeat; ++i) {
+      answer = service.steady(q);
+      lat.push_back(answer.elapsed_us);
+    }
+    std::sort(lat.begin(), lat.end());
+    std::printf("repeat=%zu p50_us=%.1f p99_us=%.1f\n", repeat,
+                lat[lat.size() / 2], lat[(lat.size() * 99) / 100]);
+  }
+  std::printf("t_max_c=%.4f path=%s elapsed_us=%.1f\n", answer.t_max_c,
+              answer.used_rom ? "rom" : "full", answer.elapsed_us);
+  if (answer.used_rom) {
+    std::printf("rom_dimension=%zu estimated_error_c=%.3g certified_error_c=%.3g\n",
+                answer.rom_dimension, answer.estimated_error_c,
+                answer.certified_error_c);
+  }
+  for (std::size_t l = 0; l < answer.layer_max_c.size(); ++l) {
+    std::printf("layer%zu_max_c=%.4f\n", l, answer.layer_max_c[l]);
+  }
+  return 0;
+}
+
+WhatIfQuery parse_whatif_flags(Args& args, std::vector<PhaseChange>* phases,
+                               double* trace_period_s, std::size_t* count,
+                               std::size_t* steady_count, bool* verify) {
+  WhatIfQuery q;
+  while (!args.done()) {
+    const std::string flag = args.take();
+    if (flag == "--scenario") {
+      q.scenario = args.value(flag);
+    } else if (flag == "--benchmark") {
+      q.benchmark = args.value(flag);
+    } else if (flag == "--duration-s") {
+      q.duration_s = parse_double(args.value(flag), flag);
+    } else if (flag == "--seed") {
+      q.seed = parse_u64(args.value(flag), flag);
+    } else if (phases != nullptr && flag == "--phase") {
+      const std::string v = args.value(flag);
+      const std::size_t colon = v.find(':');
+      LIQUID3D_REQUIRE(colon != std::string::npos,
+                       "--phase expects T_SECONDS:SCALE, got '" + v + "'");
+      PhaseChange phase;
+      phase.at = SimTime::from_s(parse_double(v.substr(0, colon), flag));
+      phase.utilization_scale = parse_double(v.substr(colon + 1), flag);
+      phases->push_back(phase);
+    } else if (trace_period_s != nullptr && flag == "--trace-period-s") {
+      *trace_period_s = parse_double(args.value(flag), flag);
+    } else if (count != nullptr && flag == "--count") {
+      *count = static_cast<std::size_t>(parse_u64(args.value(flag), flag));
+    } else if (steady_count != nullptr && flag == "--steady") {
+      *steady_count = static_cast<std::size_t>(parse_u64(args.value(flag), flag));
+    } else if (verify != nullptr && flag == "--verify") {
+      *verify = true;
+    } else if (parse_system_flag(flag, args, q, CoolingMode::kLiquidVar)) {
+    } else {
+      throw ConfigError("unknown flag: " + flag);
+    }
+  }
+  LIQUID3D_REQUIRE(!q.scenario.empty(), "--scenario is required");
+  LIQUID3D_REQUIRE(!q.benchmark.empty(), "--benchmark is required");
+  return q;
+}
+
+int cmd_whatif(Args& args) {
+  const WhatIfQuery q =
+      parse_whatif_flags(args, nullptr, nullptr, nullptr, nullptr, nullptr);
+  ThermalService service;
+  SessionOutcome outcome = service.what_if(q).get();
+  print_result(outcome.result);
+  return 0;
+}
+
+int cmd_replay(Args& args) {
+  ReplayQuery q;
+  q.trace_period_s = 1.0;
+  q.base = parse_whatif_flags(args, &q.phases, &q.trace_period_s, nullptr,
+                              nullptr, nullptr);
+  ThermalService service;
+  SessionOutcome outcome = service.replay(q).get();
+  for (const SampleTrace& s : outcome.trace) {
+    std::printf("t=%7.1fs tmax=%6.2fC pump=%zu flow=%6.1fml/min chip=%5.1fW\n",
+                s.now.as_s(), s.tmax, s.pump_setting, s.flow_ml_per_min,
+                s.chip_watts);
+  }
+  print_result(outcome.result);
+  return 0;
+}
+
+int cmd_burst(Args& args) {
+  std::size_t count = 8;
+  std::size_t steady_count = 4;
+  bool verify = false;
+  WhatIfQuery base =
+      parse_whatif_flags(args, nullptr, nullptr, &count, &steady_count, &verify);
+
+  ServeParams params;
+  params.queue.max_batch = std::max<std::size_t>(count, 1);
+  ThermalService service(params);
+
+  // Mixed concurrent burst: what-if queries (distinct seeds — same topology,
+  // so the queue batches them), one replay, and steady queries in between.
+  std::vector<std::future<SessionOutcome>> futures;
+  std::vector<WhatIfQuery> queries;
+  for (std::size_t i = 0; i < count; ++i) {
+    WhatIfQuery q = base;
+    q.seed = base.seed + i;
+    queries.push_back(q);
+    futures.push_back(service.what_if(q));
+  }
+  ReplayQuery replay;
+  replay.base = base;
+  replay.base.seed = base.seed + count;
+  replay.phases.push_back({SimTime::from_s(base.duration_s / 2), 0.5});
+  replay.trace_period_s = 1.0;
+  std::future<SessionOutcome> replay_future = service.replay(replay);
+
+  SteadyQuery steady;
+  steady.config.cooling =
+      ThermalService::session_config(base).cooling == CoolingMode::kAir
+          ? CoolingMode::kAir
+          : CoolingMode::kLiquidMax;
+  steady.config.layer_pairs = base.layer_pairs;
+  if (base.stack) steady.config.stack = *base.stack;
+  if (base.grid_rows > 0) steady.config.thermal.grid_rows = base.grid_rows;
+  if (base.grid_cols > 0) steady.config.thermal.grid_cols = base.grid_cols;
+  double steady_tmax = 0.0;
+  std::size_t rom_answers = 0;
+  for (std::size_t i = 0; i < steady_count; ++i) {
+    const SteadyAnswer a = service.steady(steady);
+    steady_tmax = a.t_max_c;
+    rom_answers += a.used_rom ? 1 : 0;
+  }
+
+  std::vector<SessionOutcome> outcomes;
+  outcomes.reserve(futures.size());
+  for (std::future<SessionOutcome>& f : futures) outcomes.push_back(f.get());
+  const SessionOutcome replay_outcome = replay_future.get();
+  service.wait_idle();
+
+  int failures = 0;
+  if (verify) {
+    // Contract: a batched service answer is bit-identical to a single-shot
+    // session run of the same cell.
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      SimulationSession solo(ThermalService::session_config(queries[i]));
+      solo.init();
+      while (solo.step()) {
+      }
+      if (!results_equal(outcomes[i].result, solo.result())) {
+        std::fprintf(stderr, "VERIFY MISMATCH: what-if %zu (seed %llu)\n", i,
+                     static_cast<unsigned long long>(queries[i].seed));
+        ++failures;
+      }
+    }
+    std::printf("verify=%s checked=%zu\n", failures == 0 ? "ok" : "FAILED",
+                queries.size());
+  }
+
+  const ServeStats stats = service.stats();
+  std::printf("whatif=%zu replay_trace=%zu steady=%zu steady_tmax_c=%.3f "
+              "rom_answers=%zu\n",
+              outcomes.size(), replay_outcome.trace.size(), steady_count,
+              steady_tmax, rom_answers);
+  std::printf("batches=%zu batched_sessions=%zu max_batch=%zu "
+              "solo_fallbacks=%zu rom_builds=%zu full_solves=%zu\n",
+              stats.batches, stats.batched_sessions, stats.max_batch,
+              stats.solo_fallbacks, stats.rom_builds, stats.full_solves);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  Args args(argc - 2, argv + 2);
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "steady") return cmd_steady(args);
+    if (cmd == "whatif") return cmd_whatif(args);
+    if (cmd == "replay") return cmd_replay(args);
+    if (cmd == "burst") return cmd_burst(args);
+    return usage(argv[0]);
+  } catch (const std::exception& e) {
+    std::cerr << "serve_ctl: " << e.what() << "\n";
+    return 2;
+  }
+}
