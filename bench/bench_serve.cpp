@@ -10,10 +10,16 @@
 //   BM_ServeSerialWhatIf           the same 16 cells run one by one through
 //                                  solo sessions (the baseline the batched
 //                                  path must beat by >= 2x per CI)
+//   BM_ServeWireSteadyQuery        the warm-ROM steady query through the
+//                                  full wire stack — framed envelope over a
+//                                  loopback TCP socket into a ServeServer —
+//                                  measured as client round-trip time (the
+//                                  acceptance gate is p50 <= 500 us)
 //
-// The p50_us / p99_us counters on BM_ServeSteadyQuery and the
-// sessions_per_s counters on the what-if pair are recorded into
-// BENCH_solver.json and guarded by scripts/check_bench_regression.py.
+// The p50_us / p99_us counters on BM_ServeSteadyQuery /
+// BM_ServeWireSteadyQuery and the sessions_per_s counters on the what-if
+// pair are recorded into BENCH_solver.json and guarded by
+// scripts/check_bench_regression.py.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -21,6 +27,8 @@
 #include <mutex>
 #include <vector>
 
+#include "serve/net/client.hpp"
+#include "serve/net/server.hpp"
 #include "serve/service.hpp"
 #include "sim/session.hpp"
 
@@ -159,6 +167,37 @@ void BM_ServeSerialWhatIf(benchmark::State& state) {
       static_cast<double>(state.iterations() * kWhatIfFleet) / elapsed_s;
 }
 BENCHMARK(BM_ServeSerialWhatIf)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_ServeWireSteadyQuery(benchmark::State& state) {
+  ThermalService& service = shared_service();
+  const SteadyQuery query = niagara_steady_query();
+  service.warm(query);
+
+  ServeServer server(service);
+  server.start(parse_endpoint("127.0.0.1:0", "bench"));
+  ServeClient client(server.endpoint());
+
+  // Client-observed round trip: encode + frame + kernel loopback + decode +
+  // dispatch + the ROM solve itself, both directions.
+  std::vector<double> lat_us;
+  lat_us.reserve(1 << 14);
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    const SteadyAnswer answer = client.steady(query);
+    const auto stop = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(answer.t_max_c);
+    if (!answer.used_rom) state.SkipWithError("expected ROM path");
+    lat_us.push_back(
+        std::chrono::duration<double, std::micro>(stop - start).count());
+  }
+  std::sort(lat_us.begin(), lat_us.end());
+  if (!lat_us.empty()) {
+    state.counters["p50_us"] = lat_us[lat_us.size() / 2];
+    state.counters["p99_us"] = lat_us[(lat_us.size() * 99) / 100];
+  }
+  server.stop();
+}
+BENCHMARK(BM_ServeWireSteadyQuery)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# run_daemon_smoke.sh — the wire transport end to end across real process
+# boundaries: start serve_daemon on a unix socket, fire two concurrent
+# serve_ctl bursts at it (--verify re-runs every answered wire lane solo
+# in-process and requires bit-identical results), SIGTERM the daemon while
+# the bursts are in flight, and require a graceful drain:
+#
+#   * both clients exit 0 — admitted lanes answered, late lanes rejected
+#     with typed overloaded/shutting-down errors (a mismatch or transport
+#     failure exits non-zero);
+#   * the daemon prints its `drained accepted=... rejected=...` summary and
+#     exits 0 — no hang, no dropped in-flight query.
+#
+# Usage: scripts/run_daemon_smoke.sh [build-dir] [scratch-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+scratch="${2:-${repo_root}/daemon-smoke-scratch}"
+daemon="${build_dir}/serve_daemon"
+ctl="${build_dir}/serve_ctl"
+
+rm -rf "${scratch}"
+mkdir -p "${scratch}"
+sock="${scratch}/daemon.sock"
+
+# max-inflight 6 < the 10 lanes the two bursts submit, so the smoke also
+# exercises typed overload rejections, not just the happy path.
+"${daemon}" --listen "unix:${sock}" --workers 2 --max-inflight 6 \
+  > "${scratch}/daemon.log" 2>&1 &
+daemon_pid=$!
+trap 'kill -9 "${daemon_pid}" 2>/dev/null || true' EXIT
+
+for _ in $(seq 100); do
+  [ -S "${sock}" ] && grep -q '^listening ' "${scratch}/daemon.log" && break
+  sleep 0.1
+done
+grep -q '^listening ' "${scratch}/daemon.log" || {
+  echo "daemon never came up:" >&2
+  cat "${scratch}/daemon.log" >&2
+  exit 1
+}
+
+# 60 s simulated seconds per lane keeps each what-if in flight long enough
+# (~0.1-0.5 s of wall clock at the 8x9 grid) for the SIGTERM to land
+# mid-burst.
+burst() {
+  "${ctl}" burst --connect "unix:${sock}" \
+    --scenario talb-var --benchmark Web-med --duration-s 60 \
+    --grid-rows 8 --grid-cols 9 \
+    --count 3 --steady 2 --verify \
+    > "${scratch}/client$1.log" 2>&1
+}
+burst 1 &
+client1=$!
+burst 2 &
+client2=$!
+
+sleep 0.3  # let the lanes reach the admission queue
+kill -TERM "${daemon_pid}"
+
+fail=0
+wait "${client1}" || { echo "client 1 failed" >&2; fail=1; }
+wait "${client2}" || { echo "client 2 failed" >&2; fail=1; }
+wait "${daemon_pid}" || { echo "daemon exited non-zero" >&2; fail=1; }
+trap - EXIT
+
+echo "--- client 1 ---"; cat "${scratch}/client1.log"
+echo "--- client 2 ---"; cat "${scratch}/client2.log"
+echo "--- daemon ---"; cat "${scratch}/daemon.log"
+
+grep -q '^draining$' "${scratch}/daemon.log" || { echo "no draining line" >&2; fail=1; }
+grep -q '^drained ' "${scratch}/daemon.log" || { echo "no drained summary" >&2; fail=1; }
+grep -q '^verify=ok' "${scratch}/client1.log" || { echo "client 1 verify not ok" >&2; fail=1; }
+grep -q '^verify=ok' "${scratch}/client2.log" || { echo "client 2 verify not ok" >&2; fail=1; }
+
+if [ "${fail}" -ne 0 ]; then
+  echo "daemon smoke FAILED" >&2
+  exit 1
+fi
+echo "daemon smoke OK"

@@ -1,0 +1,89 @@
+// flags.hpp — declarative command-line flag parsing over parse.hpp.
+//
+// The CLI tools (serve_ctl, serve_daemon, sweep_worker) share one flag
+// grammar: `--flag VALUE` pairs and bare `--flag` switches, parsed
+// strictly — numeric values go through parse_u64/parse_double (full
+// consumption, no trailing junk), a missing value and an unknown flag both
+// throw ConfigError naming the flag and the subcommand.  Each subcommand
+// declares its flags against a FlagSet and calls parse(); cross-cutting
+// flags (--connect, --deadline-ms, the system axes) are registered by
+// shared helpers at the call site, so they compose with every subcommand
+// instead of being re-implemented per command.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <type_traits>
+
+#include "common/error.hpp"
+#include "common/parse.hpp"
+
+namespace liquid3d {
+
+class FlagSet {
+ public:
+  /// `command` names the subcommand in error messages.
+  explicit FlagSet(std::string command) : command_(std::move(command)) {}
+
+  /// `--name VALUE`, handled by `fn` (which throws ConfigError to reject).
+  void value(const std::string& name,
+             std::function<void(const std::string&)> fn) {
+    handlers_[name] = Handler{true, std::move(fn)};
+  }
+  /// Bare `--name` switch.
+  void toggle(const std::string& name, std::function<void()> fn) {
+    handlers_[name] = Handler{false, [fn = std::move(fn)](const std::string&) {
+                               fn();
+                             }};
+  }
+
+  // Typed field bindings (strict parses naming the flag).
+  template <class T, std::enable_if_t<std::is_unsigned_v<T>, int> = 0>
+  void number(const std::string& name, T* out) {
+    value(name, [name, out](const std::string& v) {
+      *out = static_cast<T>(parse_u64(v, name));
+    });
+  }
+  void number(const std::string& name, double* out) {
+    value(name, [name, out](const std::string& v) { *out = parse_double(v, name); });
+  }
+  void text(const std::string& name, std::string* out) {
+    value(name, [out](const std::string& v) { *out = v; });
+  }
+  void flag(const std::string& name, bool* out) {
+    toggle(name, [out] { *out = true; });
+  }
+
+  /// Consumes argv[0..argc); throws ConfigError on an unknown flag or a
+  /// flag missing its value.
+  void parse(int argc, char** argv) const {
+    for (int i = 0; i < argc; ++i) {
+      const std::string flag = argv[i];
+      const auto it = handlers_.find(flag);
+      if (it == handlers_.end()) {
+        throw ConfigError(command_ + ": unknown flag " + flag +
+                          " (see --help usage)");
+      }
+      std::string value;
+      if (it->second.takes_value) {
+        LIQUID3D_REQUIRE(i + 1 < argc,
+                         command_ + ": missing value for " + flag);
+        value = argv[++i];
+      }
+      it->second.fn(value);
+    }
+  }
+
+ private:
+  struct Handler {
+    bool takes_value = false;
+    std::function<void(const std::string&)> fn;
+  };
+  std::map<std::string, Handler> handlers_;
+  std::string command_;
+};
+
+}  // namespace liquid3d

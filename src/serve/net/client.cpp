@@ -1,0 +1,104 @@
+#include "serve/net/client.hpp"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "serve/net/frame.hpp"
+
+namespace liquid3d {
+
+ServeClient::ServeClient(const Endpoint& endpoint)
+    : fd_(connect_socket(endpoint)) {}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+WireResponse ServeClient::roundtrip(WireRequest request) {
+  request.id = next_id_++;
+  request.deadline_ms = deadline_ms_;
+  send_frame(fd_, encode_request(request));
+  const std::optional<std::string> payload = recv_frame(fd_);
+  if (!payload) {
+    throw WireError(WireErrorCode::kDisconnected,
+                    "server closed the connection before replying");
+  }
+  WireResponse response;
+  try {
+    response = decode_response(*payload);
+  } catch (const std::exception& e) {
+    throw WireError(WireErrorCode::kProtocol,
+                    std::string("malformed response: ") + e.what());
+  }
+  if (response.id != request.id) {
+    throw WireError(WireErrorCode::kProtocol,
+                    "response id " + std::to_string(response.id) +
+                        " does not match request id " +
+                        std::to_string(request.id));
+  }
+  if (const auto* error = std::get_if<ErrorReply>(&response.payload)) {
+    // Restore the in-process exception contract for service-side failures;
+    // transport-only outcomes stay WireError.
+    switch (error->code) {
+      case WireErrorCode::kBadRequest:
+        throw ConfigError(error->message);
+      case WireErrorCode::kSolver:
+        throw SolverError(error->message);
+      default:
+        throw WireError(error->code, error->message);
+    }
+  }
+  return response;
+}
+
+SteadyAnswer ServeClient::steady(const SteadyQuery& query) {
+  WireRequest request;
+  request.payload = query;
+  WireResponse response = roundtrip(std::move(request));
+  auto* answer = std::get_if<SteadyAnswer>(&response.payload);
+  if (answer == nullptr) {
+    throw WireError(WireErrorCode::kProtocol,
+                    "steady query answered with the wrong payload type");
+  }
+  return std::move(*answer);
+}
+
+SessionOutcome ServeClient::what_if(const WhatIfQuery& query) {
+  WireRequest request;
+  request.payload = query;
+  WireResponse response = roundtrip(std::move(request));
+  auto* outcome = std::get_if<SessionOutcome>(&response.payload);
+  if (outcome == nullptr) {
+    throw WireError(WireErrorCode::kProtocol,
+                    "what-if query answered with the wrong payload type");
+  }
+  return std::move(*outcome);
+}
+
+SessionOutcome ServeClient::replay(const ReplayQuery& query) {
+  WireRequest request;
+  request.payload = query;
+  WireResponse response = roundtrip(std::move(request));
+  auto* outcome = std::get_if<SessionOutcome>(&response.payload);
+  if (outcome == nullptr) {
+    throw WireError(WireErrorCode::kProtocol,
+                    "replay query answered with the wrong payload type");
+  }
+  return std::move(*outcome);
+}
+
+ServeStats ServeClient::stats() {
+  WireRequest request;
+  request.payload = StatsQuery{};
+  WireResponse response = roundtrip(std::move(request));
+  auto* stats = std::get_if<ServeStats>(&response.payload);
+  if (stats == nullptr) {
+    throw WireError(WireErrorCode::kProtocol,
+                    "stats query answered with the wrong payload type");
+  }
+  return *stats;
+}
+
+}  // namespace liquid3d

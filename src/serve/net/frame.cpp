@@ -1,0 +1,86 @@
+#include "serve/net/frame.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace liquid3d {
+
+namespace {
+
+void send_all(int fd, const char* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(WireErrorCode::kDisconnected,
+                      std::string("send failed: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads exactly `len` bytes.  Returns false on EOF before the first byte
+/// (clean close); throws on EOF or error after a partial read when
+/// `mid_frame` (a torn frame is a protocol event, not a clean close).
+bool recv_all(int fd, char* data, std::size_t len, bool mid_frame) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(WireErrorCode::kDisconnected,
+                      std::string("recv failed: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0 && !mid_frame) return false;
+      throw WireError(WireErrorCode::kDisconnected,
+                      "connection closed mid-frame (" + std::to_string(got) +
+                          " of " + std::to_string(len) + " bytes)");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void send_frame(int fd, std::string_view payload) {
+  LIQUID3D_REQUIRE(payload.size() <= kMaxFramePayload,
+                   "serve frame payload exceeds cap");
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  char prefix[4] = {static_cast<char>(len >> 24), static_cast<char>(len >> 16),
+                    static_cast<char>(len >> 8), static_cast<char>(len)};
+  // One gathered buffer so small replies leave in a single segment.
+  std::string buf;
+  buf.reserve(sizeof prefix + payload.size());
+  buf.append(prefix, sizeof prefix);
+  buf.append(payload);
+  send_all(fd, buf.data(), buf.size());
+}
+
+std::optional<std::string> recv_frame(int fd) {
+  unsigned char prefix[4];
+  if (!recv_all(fd, reinterpret_cast<char*>(prefix), sizeof prefix, false)) {
+    return std::nullopt;
+  }
+  const std::uint32_t len = (static_cast<std::uint32_t>(prefix[0]) << 24) |
+                            (static_cast<std::uint32_t>(prefix[1]) << 16) |
+                            (static_cast<std::uint32_t>(prefix[2]) << 8) |
+                            static_cast<std::uint32_t>(prefix[3]);
+  if (len > kMaxFramePayload) {
+    throw WireError(WireErrorCode::kProtocol,
+                    "frame length " + std::to_string(len) +
+                        " exceeds cap " + std::to_string(kMaxFramePayload));
+  }
+  std::string payload(len, '\0');
+  recv_all(fd, payload.data(), len, true);
+  return payload;
+}
+
+}  // namespace liquid3d

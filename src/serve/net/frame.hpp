@@ -1,0 +1,34 @@
+// frame.hpp — length-prefixed framing for the serve wire protocol.
+//
+// One frame = a 4-byte big-endian payload length followed by that many
+// bytes of serialized envelope (net/envelope.hpp).  The length prefix is
+// capped at kMaxFramePayload so neither peer can be made to allocate
+// unboundedly by a corrupt or hostile prefix; an oversized prefix also
+// means the stream is desynchronized (there is no way to resynchronize a
+// byte stream after a bad length), so the only safe reaction is to drop
+// the connection — recv_frame throws WireError{kProtocol} and the caller
+// closes.
+//
+// All calls handle EINTR and short reads/writes; writes use MSG_NOSIGNAL
+// so a peer that vanished yields WireError{kDisconnected} instead of
+// SIGPIPE.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "serve/net/envelope.hpp"
+
+namespace liquid3d {
+
+/// Write one complete frame.  Throws WireError{kDisconnected} when the
+/// peer is gone, LogicError when the payload exceeds kMaxFramePayload.
+void send_frame(int fd, std::string_view payload);
+
+/// Read one complete frame.  Returns nullopt on clean EOF at a frame
+/// boundary; throws WireError{kDisconnected} on EOF or error mid-frame
+/// and WireError{kProtocol} on an oversized length prefix.
+[[nodiscard]] std::optional<std::string> recv_frame(int fd);
+
+}  // namespace liquid3d

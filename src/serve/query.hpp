@@ -123,6 +123,14 @@ struct ServeStats {
   std::size_t batched_sessions = 0;
   std::size_t max_batch = 0;        ///< largest batch observed
   std::size_t solo_fallbacks = 0;   ///< jobs re-run solo after a batch error
+
+  // Transport counters — zero for an in-process service, filled in by
+  // ServeServer (serve/net/server.hpp) when the service fronts a socket.
+  std::size_t wire_accepted = 0;     ///< requests admitted for execution
+  std::size_t wire_rejected = 0;     ///< overloaded + shutting-down rejections
+  std::size_t wire_timed_out = 0;    ///< deadline-exceeded replies
+  std::size_t wire_connections = 0;  ///< currently open connections
+  std::size_t wire_queue_hwm = 0;    ///< in-flight high-water mark
 };
 
 }  // namespace liquid3d

@@ -1,0 +1,319 @@
+// The versioned serve wire envelope (serve/net/envelope.hpp).  Contracts
+// under test: every request/response payload round-trips bit-exactly
+// (doubles through %.17g, strings through percent-encoding, optionals and
+// repeated fields preserved); decoding is strict — a foreign magic, an
+// unsupported version, an unknown tag, an unknown key, and malformed
+// values all throw ConfigError naming the offender; and peek_request_id
+// salvages the correlation id from envelopes too broken to decode.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+#include "geom/stack_spec.hpp"
+#include "serve/net/envelope.hpp"
+
+namespace liquid3d {
+namespace {
+
+SteadyQuery sample_steady() {
+  SteadyQuery q;
+  q.config.cooling = CoolingMode::kLiquidVar;
+  q.config.layer_pairs = 2;
+  q.config.delivery_mode = FlowDeliveryMode::kPaperNominal;
+  q.config.thermal.grid_rows = 8;
+  q.config.thermal.grid_cols = 9;
+  q.config.thermal.inlet_temperature = 32.25;
+  q.config.thermal.alternate_flow_direction = true;
+  q.config.thermal.solver_backend = SolverBackend::kPcg;
+  q.config.thermal.pcg.tolerance = 1.0 / 3.0;  // not exactly representable
+  q.config.thermal.pcg.preconditioner = PcgPreconditioner::kSsor;
+  q.block_watts = {{0.5, 1.0 / 7.0}, {}, {2.25}};
+  q.core_watts = 3.125;
+  q.flows_ml_per_min = {11.0, 13.5};
+  q.valve_openings = {0.25, 0.75};
+  q.pump_setting = 3;
+  q.reference_c = 41.5;
+  q.max_error_c = 0.01;
+  q.force_full = true;
+  return q;
+}
+
+WireRequest roundtrip_request(const WireRequest& request) {
+  return decode_request(encode_request(request));
+}
+
+WireResponse roundtrip_response(const WireResponse& response) {
+  return decode_response(encode_response(response));
+}
+
+TEST(ServeEnvelope, SteadyQueryRoundTripsBitExactly) {
+  WireRequest request;
+  request.id = 42;
+  request.deadline_ms = 1.5;
+  request.payload = sample_steady();
+
+  const WireRequest out = roundtrip_request(request);
+  EXPECT_EQ(out.id, 42u);
+  EXPECT_EQ(out.deadline_ms, 1.5);
+  const auto& q = std::get<SteadyQuery>(out.payload);
+  const SteadyQuery ref = sample_steady();
+  EXPECT_EQ(q.config.cooling, ref.config.cooling);
+  EXPECT_EQ(q.config.layer_pairs, ref.config.layer_pairs);
+  EXPECT_EQ(q.config.delivery_mode, ref.config.delivery_mode);
+  EXPECT_EQ(q.config.thermal.grid_rows, ref.config.thermal.grid_rows);
+  EXPECT_EQ(q.config.thermal.inlet_temperature,
+            ref.config.thermal.inlet_temperature);
+  EXPECT_EQ(q.config.thermal.alternate_flow_direction, true);
+  EXPECT_EQ(q.config.thermal.solver_backend, SolverBackend::kPcg);
+  // The bit-identity linchpin: a double that has no short decimal form.
+  EXPECT_EQ(q.config.thermal.pcg.tolerance, 1.0 / 3.0);
+  EXPECT_EQ(q.config.thermal.pcg.preconditioner, PcgPreconditioner::kSsor);
+  EXPECT_EQ(q.block_watts, ref.block_watts);
+  EXPECT_EQ(q.core_watts, ref.core_watts);
+  EXPECT_EQ(q.flows_ml_per_min, ref.flows_ml_per_min);
+  EXPECT_EQ(q.valve_openings, ref.valve_openings);
+  EXPECT_EQ(q.pump_setting, 3u);
+  ASSERT_TRUE(q.reference_c.has_value());
+  EXPECT_EQ(*q.reference_c, 41.5);
+  EXPECT_EQ(q.max_error_c, 0.01);
+  EXPECT_TRUE(q.force_full);
+}
+
+TEST(ServeEnvelope, SteadyQueryDefaultsSurviveOmission) {
+  // A default-constructed query encodes only what it carries; decoding
+  // restores the same defaults (kTopSetting, no stack, empty power map).
+  WireRequest request;
+  request.payload = SteadyQuery{};
+  const WireRequest rt = roundtrip_request(request);
+  const auto& q = std::get<SteadyQuery>(rt.payload);
+  EXPECT_EQ(q.pump_setting, SteadyQuery::kTopSetting);
+  EXPECT_FALSE(q.config.stack.has_value());
+  EXPECT_FALSE(q.reference_c.has_value());
+  EXPECT_TRUE(q.block_watts.empty());
+  EXPECT_FALSE(q.force_full);
+}
+
+TEST(ServeEnvelope, WhatIfWithStackSpecRoundTrips) {
+  WhatIfQuery q;
+  q.scenario = "lb-max-valved/hot corner";  // space forces percent-encoding
+  q.benchmark = "Web-med";
+  q.duration_s = 2.5;
+  q.seed = 77;
+  q.layer_pairs = 2;
+  q.stack = niagara_stack_spec(2, CoolingType::kLiquid);
+  q.grid_rows = 8;
+  q.grid_cols = 9;
+
+  WireRequest request;
+  request.id = 7;
+  request.payload = q;
+  const WireRequest rt = roundtrip_request(request);
+  const auto& out = std::get<WhatIfQuery>(rt.payload);
+  EXPECT_EQ(out.scenario, q.scenario);
+  EXPECT_EQ(out.benchmark, q.benchmark);
+  EXPECT_EQ(out.duration_s, q.duration_s);
+  EXPECT_EQ(out.seed, q.seed);
+  EXPECT_EQ(out.layer_pairs, q.layer_pairs);
+  ASSERT_TRUE(out.stack.has_value());
+  EXPECT_EQ(encode_stack_spec(*out.stack), encode_stack_spec(*q.stack));
+  EXPECT_EQ(out.grid_rows, 8u);
+  EXPECT_EQ(out.grid_cols, 9u);
+}
+
+TEST(ServeEnvelope, ReplayPhasesRoundTripInOrder) {
+  ReplayQuery q;
+  q.base.scenario = "talb-var";
+  q.base.benchmark = "Web-med";
+  q.phases.push_back({SimTime::from_s(60), 0.25});
+  q.phases.push_back({SimTime::from_ms(90500), 1.0 / 3.0});
+  q.trace_period_s = 10.0;
+
+  WireRequest request;
+  request.payload = q;
+  const WireRequest rt = roundtrip_request(request);
+  const auto& out = std::get<ReplayQuery>(rt.payload);
+  ASSERT_EQ(out.phases.size(), 2u);
+  EXPECT_EQ(out.phases[0].at.as_ms(), 60000);
+  EXPECT_EQ(out.phases[0].utilization_scale, 0.25);
+  EXPECT_EQ(out.phases[1].at.as_ms(), 90500);
+  EXPECT_EQ(out.phases[1].utilization_scale, 1.0 / 3.0);
+  EXPECT_EQ(out.trace_period_s, 10.0);
+}
+
+TEST(ServeEnvelope, PhaseKeyIsIllegalForPlainWhatIf) {
+  ReplayQuery q;
+  q.base.scenario = "talb-var";
+  q.base.benchmark = "Web-med";
+  q.phases.push_back({SimTime::from_s(1), 0.5});
+  WireRequest request;
+  request.payload = q;
+  // Re-tag the replay body as a whatif: the phase line must now be rejected.
+  std::string text = encode_request(request);
+  const std::string from = "liquid3d-serve 1 replay";
+  text.replace(text.find(from), from.size(), "liquid3d-serve 1 whatif");
+  EXPECT_THROW((void)decode_request(text), ConfigError);
+}
+
+TEST(ServeEnvelope, ResponsesRoundTrip) {
+  SteadyAnswer a;
+  a.t_max_c = 57.123456789012345;
+  a.layer_max_c = {57.1, 56.0};
+  a.used_rom = true;
+  a.estimated_error_c = 7.3e-11;
+  a.certified_error_c = 4.0e-13;
+  a.rom_dimension = 21;
+  a.elapsed_us = 31.5;
+  WireResponse response;
+  response.id = 9;
+  response.payload = a;
+  const WireResponse out = roundtrip_response(response);
+  EXPECT_EQ(out.id, 9u);
+  const auto& b = std::get<SteadyAnswer>(out.payload);
+  EXPECT_EQ(b.t_max_c, a.t_max_c);
+  EXPECT_EQ(b.layer_max_c, a.layer_max_c);
+  EXPECT_TRUE(b.used_rom);
+  EXPECT_EQ(b.estimated_error_c, a.estimated_error_c);
+  EXPECT_EQ(b.certified_error_c, a.certified_error_c);
+  EXPECT_EQ(b.rom_dimension, 21u);
+  EXPECT_EQ(b.elapsed_us, 31.5);
+}
+
+TEST(ServeEnvelope, OutcomeWithTraceRoundTripsBitExactly) {
+  SessionOutcome o;
+  o.result.label = "TALB (Var)";
+  o.result.benchmark = "Web-med";
+  o.result.avg_tmax = 61.234567890123456;
+  o.result.forecast_rmse = 1.0 / 7.0;
+  o.result.migrations = 12;
+  o.result.avg_flow_skew = 1.0625;
+  SampleTrace s;
+  s.now = SimTime::from_ms(1500);
+  s.tmax = 58.5;
+  s.forecast = 59.0;
+  s.pump_setting = 4;
+  s.flow_ml_per_min = 42.5;
+  s.chip_watts = 36.0;
+  s.pump_watts = 0.75;
+  s.mean_busy = 1.0 / 3.0;
+  s.queued_threads = 2;
+  o.trace.push_back(s);
+
+  WireResponse response;
+  response.id = 3;
+  response.payload = o;
+  const WireResponse rt = roundtrip_response(response);
+  const auto& out = std::get<SessionOutcome>(rt.payload);
+  EXPECT_EQ(out.result.label, o.result.label);
+  EXPECT_EQ(out.result.benchmark, o.result.benchmark);
+  EXPECT_EQ(out.result.avg_tmax, o.result.avg_tmax);
+  EXPECT_EQ(out.result.forecast_rmse, o.result.forecast_rmse);
+  EXPECT_EQ(out.result.migrations, 12u);
+  EXPECT_EQ(out.result.avg_flow_skew, 1.0625);
+  ASSERT_EQ(out.trace.size(), 1u);
+  EXPECT_EQ(out.trace[0].now.as_ms(), 1500);
+  EXPECT_EQ(out.trace[0].tmax, 58.5);
+  EXPECT_EQ(out.trace[0].forecast, 59.0);
+  EXPECT_EQ(out.trace[0].pump_setting, 4u);
+  EXPECT_EQ(out.trace[0].flow_ml_per_min, 42.5);
+  EXPECT_EQ(out.trace[0].chip_watts, 36.0);
+  EXPECT_EQ(out.trace[0].pump_watts, 0.75);
+  EXPECT_EQ(out.trace[0].mean_busy, 1.0 / 3.0);
+  EXPECT_EQ(out.trace[0].queued_threads, 2u);
+}
+
+TEST(ServeEnvelope, StatsAndErrorRoundTrip) {
+  ServeStats stats;
+  stats.steady_queries = 5;
+  stats.rom_hits = 4;
+  stats.wire_accepted = 51;
+  stats.wire_rejected = 3;
+  stats.wire_timed_out = 1;
+  stats.wire_connections = 2;
+  stats.wire_queue_hwm = 8;
+  WireResponse response;
+  response.id = 1;
+  response.payload = stats;
+  const WireResponse rt = roundtrip_response(response);
+  const auto& s = std::get<ServeStats>(rt.payload);
+  EXPECT_EQ(s.steady_queries, 5u);
+  EXPECT_EQ(s.rom_hits, 4u);
+  EXPECT_EQ(s.wire_accepted, 51u);
+  EXPECT_EQ(s.wire_rejected, 3u);
+  EXPECT_EQ(s.wire_timed_out, 1u);
+  EXPECT_EQ(s.wire_connections, 2u);
+  EXPECT_EQ(s.wire_queue_hwm, 8u);
+
+  WireResponse err;
+  err.id = 2;
+  err.payload = ErrorReply{WireErrorCode::kOverloaded,
+                           "admission queue full\nretry later"};
+  const WireResponse err_rt = roundtrip_response(err);
+  const auto& e = std::get<ErrorReply>(err_rt.payload);
+  EXPECT_EQ(e.code, WireErrorCode::kOverloaded);
+  EXPECT_EQ(e.message, "admission queue full\nretry later");  // newline encoded
+}
+
+TEST(ServeEnvelope, StatsRequestRoundTrips) {
+  WireRequest request;
+  request.id = 99;
+  request.payload = StatsQuery{};
+  const WireRequest out = roundtrip_request(request);
+  EXPECT_EQ(out.id, 99u);
+  EXPECT_TRUE(std::holds_alternative<StatsQuery>(out.payload));
+}
+
+TEST(ServeEnvelope, RejectsForeignMagicUnknownVersionAndUnknownTag) {
+  EXPECT_THROW((void)decode_request("not-liquid3d 1 steady\nid 1\n"),
+               ConfigError);
+  EXPECT_THROW((void)decode_request("liquid3d-serve 2 steady\nid 1\n"),
+               ConfigError);
+  EXPECT_THROW((void)decode_request("liquid3d-serve 1 bogus\nid 1\n"),
+               ConfigError);
+  EXPECT_THROW((void)decode_response("liquid3d-serve 1 bogus\nid 1\n"),
+               ConfigError);
+}
+
+TEST(ServeEnvelope, RejectsUnknownKeysAndMalformedValues) {
+  EXPECT_THROW(
+      (void)decode_request("liquid3d-serve 1 steady\nid 1\nbogus_key 3\n"),
+      ConfigError);
+  EXPECT_THROW(
+      (void)decode_request("liquid3d-serve 1 steady\nid 1\ncore_watts abc\n"),
+      ConfigError);
+  EXPECT_THROW(
+      (void)decode_request("liquid3d-serve 1 steady\nid notanumber\n"),
+      ConfigError);
+  EXPECT_THROW(
+      (void)decode_request("liquid3d-serve 1 steady\nid 1\ncooling steam\n"),
+      ConfigError);
+  // A stats request carries no payload keys at all.
+  EXPECT_THROW(
+      (void)decode_request("liquid3d-serve 1 stats\nid 1\ncore_watts 3\n"),
+      ConfigError);
+}
+
+TEST(ServeEnvelope, PeekRequestIdSalvagesBrokenEnvelopes) {
+  EXPECT_EQ(peek_request_id("liquid3d-serve 1 steady\nid 42\nbogus_key 1\n"),
+            42u);
+  EXPECT_EQ(peek_request_id("garbage with no id line"), 0u);
+  EXPECT_EQ(peek_request_id("liquid3d-serve 1 steady\nid junk\n"), 0u);
+}
+
+TEST(ServeEnvelope, WireErrorCodeNamesRoundTrip) {
+  // Every server-sent code must survive the wire; client-local codes
+  // (protocol, disconnected) never appear in an ErrorReply.
+  for (const WireErrorCode code :
+       {WireErrorCode::kBadRequest, WireErrorCode::kOverloaded,
+        WireErrorCode::kDeadlineExceeded, WireErrorCode::kShuttingDown,
+        WireErrorCode::kSolver, WireErrorCode::kInternal}) {
+    WireResponse response;
+    response.payload = ErrorReply{code, "x"};
+    const WireResponse rt = roundtrip_response(response);
+    EXPECT_EQ(std::get<ErrorReply>(rt.payload).code, code) << to_string(code);
+  }
+}
+
+}  // namespace
+}  // namespace liquid3d

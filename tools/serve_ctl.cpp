@@ -1,13 +1,14 @@
 // serve_ctl — command-line front end for the always-on thermal service.
 //
-// One binary, four subcommands:
+// One binary, five subcommands, each usable against an in-process service
+// (default) or a running serve_daemon (`--connect HOST:PORT|unix:PATH`):
 //
 //   serve_ctl steady [system flags] [--core-watts W] [--pump-setting N]
 //            [--flows a,b,..] [--valves a,b,..] [--reference C]
 //            [--max-error K] [--force-full] [--repeat N]
 //       One steady T_max query.  --repeat re-issues it against the warm
-//       service and reports p50/p99 latency; the first call pays the ROM
-//       build, the rest answer from the cache.
+//       service and reports p50/p99 latency (service-side compute latency
+//       in-process, client-observed round-trip over the wire).
 //   serve_ctl whatif --scenario NAME --benchmark NAME [--duration-s S]
 //            [--seed N] [system flags]
 //       One full-fidelity scenario run through the async queue.
@@ -15,10 +16,19 @@
 //       Transient replay over a workload phase schedule; prints the trace.
 //   serve_ctl burst --count N [whatif flags] [--steady N] [--verify]
 //       Fire a mixed burst (N what-if + steady queries + one replay)
-//       concurrently, wait, and print service statistics.  --verify re-runs
-//       every what-if answer through a solo SimulationSession and requires
-//       bit-identical results — the CI smoke check that batched service
-//       answers match single-shot runs exactly.
+//       concurrently — one connection per in-flight query over the wire —
+//       wait, and print service statistics.  Typed transport rejections
+//       (overloaded / shutting-down / deadline-exceeded) are counted and
+//       reported, not fatal: a draining server answering "shutting-down"
+//       is correct behaviour, not a client failure.  --verify re-runs
+//       every answered what-if through a solo SimulationSession and
+//       requires bit-identical results — the CI smoke check that service
+//       answers (batched, and over the wire) match single-shot runs
+//       exactly.
+//   serve_ctl stats --connect ENDPOINT
+//       Print the daemon's ServeStats counters, including the wire_*
+//       transport counters.  Answered inline by the server (bypasses
+//       admission), so it works against an overloaded daemon.
 //
 // Exit codes: 0 success, 1 verification mismatch, 2 usage/config error.
 #include <algorithm>
@@ -26,12 +36,17 @@
 #include <cstdio>
 #include <future>
 #include <iostream>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
-#include "common/parse.hpp"
+#include "common/flags.hpp"
 #include "geom/stack_spec.hpp"
+#include "serve/net/client.hpp"
 #include "serve/service.hpp"
 
 namespace {
@@ -42,6 +57,10 @@ int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " COMMAND [options]\n"
       << "\n"
+      << "global options (every command):\n"
+      << "  --connect HOST:PORT|unix:PATH   query a running serve_daemon\n"
+      << "  --deadline-ms D                 per-request deadline (wire only)\n"
+      << "\n"
       << "  steady [--cooling liquid|air] [--layer-pairs N] [--stack AXIS]\n"
       << "         [--grid-rows N] [--grid-cols N] [--core-watts W]\n"
       << "         [--pump-setting N] [--flows a,b,..] [--valves a,b,..]\n"
@@ -51,56 +70,117 @@ int usage(const char* argv0) {
       << "         [--seed N] [--layer-pairs N] [--stack AXIS]\n"
       << "         [--grid-rows N] [--grid-cols N]\n"
       << "  replay [whatif options] [--phase T:SCALE]... [--trace-period-s S]\n"
-      << "  burst  --count N [whatif options] [--steady N] [--verify]\n";
+      << "  burst  --count N [whatif options] [--steady N] [--verify]\n"
+      << "  stats  --connect ENDPOINT\n";
   return 2;
 }
 
-/// Minimal flag cursor: options take one value unless noted.
-class Args {
+// -- backends -----------------------------------------------------------------
+
+/// Where queries go: an in-process ThermalService or a daemon over the
+/// wire.  Answers are bit-identical either way (locked by `burst --verify`
+/// and the ServeNet tests), so subcommands are written once against this.
+class Backend {
  public:
-  Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
-  [[nodiscard]] bool done() const { return i_ >= argc_; }
-  [[nodiscard]] std::string take() { return argv_[i_++]; }
-  [[nodiscard]] std::string value(const std::string& flag) {
-    LIQUID3D_REQUIRE(i_ < argc_, "missing value for " + flag);
-    return argv_[i_++];
+  virtual ~Backend() = default;
+  virtual SteadyAnswer steady(const SteadyQuery& q) = 0;
+  virtual SessionOutcome what_if(const WhatIfQuery& q) = 0;
+  virtual SessionOutcome replay(const ReplayQuery& q) = 0;
+  virtual ServeStats stats() = 0;
+};
+
+class LocalBackend : public Backend {
+ public:
+  explicit LocalBackend(ServeParams params) : service_(params) {}
+  ThermalService& service() { return service_; }
+  SteadyAnswer steady(const SteadyQuery& q) override { return service_.steady(q); }
+  SessionOutcome what_if(const WhatIfQuery& q) override {
+    return service_.what_if(q).get();
   }
+  SessionOutcome replay(const ReplayQuery& q) override {
+    return service_.replay(q).get();
+  }
+  ServeStats stats() override { return service_.stats(); }
 
  private:
-  int argc_;
-  char** argv_;
-  int i_ = 0;
+  ThermalService service_;
 };
+
+class WireBackend : public Backend {
+ public:
+  WireBackend(const Endpoint& ep, double deadline_ms) : client_(ep) {
+    client_.set_deadline_ms(deadline_ms);
+  }
+  SteadyAnswer steady(const SteadyQuery& q) override { return client_.steady(q); }
+  SessionOutcome what_if(const WhatIfQuery& q) override {
+    return client_.what_if(q);
+  }
+  SessionOutcome replay(const ReplayQuery& q) override {
+    return client_.replay(q);
+  }
+  ServeStats stats() override { return client_.stats(); }
+
+ private:
+  ServeClient client_;
+};
+
+/// Cross-cutting connection options, registered on every subcommand.
+struct ConnectOpts {
+  std::string connect;  ///< empty = in-process
+  double deadline_ms = 0.0;
+
+  [[nodiscard]] bool wire() const { return !connect.empty(); }
+  [[nodiscard]] Endpoint endpoint() const {
+    return parse_endpoint(connect, "--connect");
+  }
+  [[nodiscard]] std::unique_ptr<Backend> make(ServeParams local = {}) const {
+    if (wire()) return std::make_unique<WireBackend>(endpoint(), deadline_ms);
+    return std::make_unique<LocalBackend>(local);
+  }
+  void register_on(FlagSet& flags) {
+    flags.text("--connect", &connect);
+    flags.number("--deadline-ms", &deadline_ms);
+  }
+};
+
+// -- shared flag groups -------------------------------------------------------
 
 std::vector<double> split_doubles(const std::string& s, const std::string& flag) {
   std::vector<double> out;
-  std::string item;
   for (std::size_t pos = 0; pos <= s.size();) {
     const std::size_t comma = std::min(s.find(',', pos), s.size());
-    item = s.substr(pos, comma - pos);
+    const std::string item = s.substr(pos, comma - pos);
     if (!item.empty()) out.push_back(parse_double(item, flag));
     pos = comma + 1;
   }
   return out;
 }
 
-/// Shared system-identity flags.  Returns true when `flag` was consumed.
-bool parse_system_flag(const std::string& flag, Args& args, WhatIfQuery& q,
-                       CoolingMode cooling) {
-  if (flag == "--layer-pairs") {
-    q.layer_pairs = static_cast<std::size_t>(parse_u64(args.value(flag), flag));
-  } else if (flag == "--stack") {
-    const CoolingType type = cooling == CoolingMode::kAir ? CoolingType::kAir
-                                                          : CoolingType::kLiquid;
-    q.stack = resolve_stack_axis(args.value(flag), type, {});
-  } else if (flag == "--grid-rows") {
-    q.grid_rows = static_cast<std::size_t>(parse_u64(args.value(flag), flag));
-  } else if (flag == "--grid-cols") {
-    q.grid_cols = static_cast<std::size_t>(parse_u64(args.value(flag), flag));
-  } else {
-    return false;
-  }
-  return true;
+/// System-identity axes shared by every query family.  `cooling` is read
+/// lazily (at --stack resolution a steady command may have set it first).
+void register_system_flags(FlagSet& flags, WhatIfQuery* q,
+                           const CoolingMode* cooling) {
+  flags.number("--layer-pairs", &q->layer_pairs);
+  flags.value("--stack", [q, cooling](const std::string& v) {
+    const CoolingType type = *cooling == CoolingMode::kAir
+                                 ? CoolingType::kAir
+                                 : CoolingType::kLiquid;
+    q->stack = resolve_stack_axis(v, type, {});
+  });
+  flags.number("--grid-rows", &q->grid_rows);
+  flags.number("--grid-cols", &q->grid_cols);
+}
+
+void register_whatif_flags(FlagSet& flags, WhatIfQuery* q) {
+  flags.text("--scenario", &q->scenario);
+  flags.text("--benchmark", &q->benchmark);
+  flags.number("--duration-s", &q->duration_s);
+  flags.number("--seed", &q->seed);
+}
+
+void require_whatif(const WhatIfQuery& q) {
+  LIQUID3D_REQUIRE(!q.scenario.empty(), "--scenario is required");
+  LIQUID3D_REQUIRE(!q.benchmark.empty(), "--benchmark is required");
 }
 
 void print_result(const SimulationResult& r) {
@@ -133,58 +213,63 @@ void print_result(const SimulationResult& r) {
          a.avg_pump_setting == b.avg_pump_setting;
 }
 
-int cmd_steady(Args& args) {
+// -- subcommands --------------------------------------------------------------
+
+int cmd_steady(int argc, char** argv) {
   SteadyQuery q;
-  WhatIfQuery system;  // reused only as a flag container for the system axes
+  WhatIfQuery system;  // flag container for the shared system axes
   std::size_t repeat = 1;
   CoolingMode cooling = CoolingMode::kLiquidMax;
-  std::vector<std::string> deferred;
-  while (!args.done()) {
-    const std::string flag = args.take();
-    if (flag == "--cooling") {
-      const std::string v = args.value(flag);
-      if (v == "air") {
-        cooling = CoolingMode::kAir;
-      } else if (v == "liquid") {
-        cooling = CoolingMode::kLiquidMax;
-      } else {
-        throw ConfigError("--cooling must be liquid or air, got '" + v + "'");
-      }
-    } else if (flag == "--core-watts") {
-      q.core_watts = parse_double(args.value(flag), flag);
-    } else if (flag == "--pump-setting") {
-      q.pump_setting = static_cast<std::size_t>(parse_u64(args.value(flag), flag));
-    } else if (flag == "--flows") {
-      q.flows_ml_per_min = split_doubles(args.value(flag), flag);
-    } else if (flag == "--valves") {
-      q.valve_openings = split_doubles(args.value(flag), flag);
-    } else if (flag == "--reference") {
-      q.reference_c = parse_double(args.value(flag), flag);
-    } else if (flag == "--max-error") {
-      q.max_error_c = parse_double(args.value(flag), flag);
-    } else if (flag == "--force-full") {
-      q.force_full = true;
-    } else if (flag == "--repeat") {
-      repeat = static_cast<std::size_t>(parse_u64(args.value(flag), flag));
-    } else if (parse_system_flag(flag, args, system, cooling)) {
+  ConnectOpts conn;
+
+  FlagSet flags("steady");
+  conn.register_on(flags);
+  register_system_flags(flags, &system, &cooling);
+  flags.value("--cooling", [&cooling](const std::string& v) {
+    if (v == "air") {
+      cooling = CoolingMode::kAir;
+    } else if (v == "liquid") {
+      cooling = CoolingMode::kLiquidMax;
     } else {
-      throw ConfigError("unknown steady flag: " + flag);
+      throw ConfigError("--cooling must be liquid or air, got '" + v + "'");
     }
-  }
+  });
+  flags.number("--core-watts", &q.core_watts);
+  flags.number("--pump-setting", &q.pump_setting);
+  flags.value("--flows", [&q](const std::string& v) {
+    q.flows_ml_per_min = split_doubles(v, "--flows");
+  });
+  flags.value("--valves", [&q](const std::string& v) {
+    q.valve_openings = split_doubles(v, "--valves");
+  });
+  flags.value("--reference", [&q](const std::string& v) {
+    q.reference_c = parse_double(v, "--reference");
+  });
+  flags.number("--max-error", &q.max_error_c);
+  flags.flag("--force-full", &q.force_full);
+  flags.number("--repeat", &repeat);
+  flags.parse(argc, argv);
+
   q.config.cooling = cooling;
   q.config.layer_pairs = system.layer_pairs;
   if (system.stack) q.config.stack = *system.stack;
   if (system.grid_rows > 0) q.config.thermal.grid_rows = system.grid_rows;
   if (system.grid_cols > 0) q.config.thermal.grid_cols = system.grid_cols;
 
-  ThermalService service;
-  SteadyAnswer answer = service.steady(q);
+  const std::unique_ptr<Backend> backend = conn.make();
+  SteadyAnswer answer = backend->steady(q);
   if (repeat > 1) {
+    // In-process the ROM compute time is the story; over the wire the
+    // client-observed round trip is (that is what a remote caller pays).
     std::vector<double> lat;
     lat.reserve(repeat);
     for (std::size_t i = 0; i < repeat; ++i) {
-      answer = service.steady(q);
-      lat.push_back(answer.elapsed_us);
+      const auto start = std::chrono::steady_clock::now();
+      answer = backend->steady(q);
+      const double rtt_us = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+      lat.push_back(conn.wire() ? rtt_us : answer.elapsed_us);
     }
     std::sort(lat.begin(), lat.end());
     std::printf("repeat=%zu p50_us=%.1f p99_us=%.1f\n", repeat,
@@ -203,63 +288,45 @@ int cmd_steady(Args& args) {
   return 0;
 }
 
-WhatIfQuery parse_whatif_flags(Args& args, std::vector<PhaseChange>* phases,
-                               double* trace_period_s, std::size_t* count,
-                               std::size_t* steady_count, bool* verify) {
+int cmd_whatif(int argc, char** argv) {
   WhatIfQuery q;
-  while (!args.done()) {
-    const std::string flag = args.take();
-    if (flag == "--scenario") {
-      q.scenario = args.value(flag);
-    } else if (flag == "--benchmark") {
-      q.benchmark = args.value(flag);
-    } else if (flag == "--duration-s") {
-      q.duration_s = parse_double(args.value(flag), flag);
-    } else if (flag == "--seed") {
-      q.seed = parse_u64(args.value(flag), flag);
-    } else if (phases != nullptr && flag == "--phase") {
-      const std::string v = args.value(flag);
-      const std::size_t colon = v.find(':');
-      LIQUID3D_REQUIRE(colon != std::string::npos,
-                       "--phase expects T_SECONDS:SCALE, got '" + v + "'");
-      PhaseChange phase;
-      phase.at = SimTime::from_s(parse_double(v.substr(0, colon), flag));
-      phase.utilization_scale = parse_double(v.substr(colon + 1), flag);
-      phases->push_back(phase);
-    } else if (trace_period_s != nullptr && flag == "--trace-period-s") {
-      *trace_period_s = parse_double(args.value(flag), flag);
-    } else if (count != nullptr && flag == "--count") {
-      *count = static_cast<std::size_t>(parse_u64(args.value(flag), flag));
-    } else if (steady_count != nullptr && flag == "--steady") {
-      *steady_count = static_cast<std::size_t>(parse_u64(args.value(flag), flag));
-    } else if (verify != nullptr && flag == "--verify") {
-      *verify = true;
-    } else if (parse_system_flag(flag, args, q, CoolingMode::kLiquidVar)) {
-    } else {
-      throw ConfigError("unknown flag: " + flag);
-    }
-  }
-  LIQUID3D_REQUIRE(!q.scenario.empty(), "--scenario is required");
-  LIQUID3D_REQUIRE(!q.benchmark.empty(), "--benchmark is required");
-  return q;
-}
+  ConnectOpts conn;
+  const CoolingMode cooling = CoolingMode::kLiquidVar;
+  FlagSet flags("whatif");
+  conn.register_on(flags);
+  register_whatif_flags(flags, &q);
+  register_system_flags(flags, &q, &cooling);
+  flags.parse(argc, argv);
+  require_whatif(q);
 
-int cmd_whatif(Args& args) {
-  const WhatIfQuery q =
-      parse_whatif_flags(args, nullptr, nullptr, nullptr, nullptr, nullptr);
-  ThermalService service;
-  SessionOutcome outcome = service.what_if(q).get();
+  const SessionOutcome outcome = conn.make()->what_if(q);
   print_result(outcome.result);
   return 0;
 }
 
-int cmd_replay(Args& args) {
+int cmd_replay(int argc, char** argv) {
   ReplayQuery q;
   q.trace_period_s = 1.0;
-  q.base = parse_whatif_flags(args, &q.phases, &q.trace_period_s, nullptr,
-                              nullptr, nullptr);
-  ThermalService service;
-  SessionOutcome outcome = service.replay(q).get();
+  ConnectOpts conn;
+  const CoolingMode cooling = CoolingMode::kLiquidVar;
+  FlagSet flags("replay");
+  conn.register_on(flags);
+  register_whatif_flags(flags, &q.base);
+  register_system_flags(flags, &q.base, &cooling);
+  flags.value("--phase", [&q](const std::string& v) {
+    const std::size_t colon = v.find(':');
+    LIQUID3D_REQUIRE(colon != std::string::npos,
+                     "--phase expects T_SECONDS:SCALE, got '" + v + "'");
+    PhaseChange phase;
+    phase.at = SimTime::from_s(parse_double(v.substr(0, colon), "--phase"));
+    phase.utilization_scale = parse_double(v.substr(colon + 1), "--phase");
+    q.phases.push_back(phase);
+  });
+  flags.number("--trace-period-s", &q.trace_period_s);
+  flags.parse(argc, argv);
+  require_whatif(q.base);
+
+  const SessionOutcome outcome = conn.make()->replay(q);
   for (const SampleTrace& s : outcome.trace) {
     std::printf("t=%7.1fs tmax=%6.2fC pump=%zu flow=%6.1fml/min chip=%5.1fW\n",
                 s.now.as_s(), s.tmax, s.pump_setting, s.flow_ml_per_min,
@@ -269,33 +336,55 @@ int cmd_replay(Args& args) {
   return 0;
 }
 
-int cmd_burst(Args& args) {
+/// One burst lane: the outcome, or the typed transport code that rejected
+/// it (rejections are expected behaviour under overload/drain, not bugs).
+struct BurstLane {
+  std::optional<SessionOutcome> outcome;
+  std::optional<WireErrorCode> rejected;
+};
+
+BurstLane run_wire_lane(const ConnectOpts& conn,
+                        const std::function<SessionOutcome(Backend&)>& go) {
+  BurstLane lane;
+  try {
+    WireBackend backend(conn.endpoint(), conn.deadline_ms);
+    lane.outcome = go(backend);
+  } catch (const WireError& e) {
+    lane.rejected = e.code();
+  }
+  return lane;
+}
+
+int cmd_burst(int argc, char** argv) {
   std::size_t count = 8;
   std::size_t steady_count = 4;
   bool verify = false;
-  WhatIfQuery base =
-      parse_whatif_flags(args, nullptr, nullptr, &count, &steady_count, &verify);
-
-  ServeParams params;
-  params.queue.max_batch = std::max<std::size_t>(count, 1);
-  ThermalService service(params);
+  WhatIfQuery base;
+  ConnectOpts conn;
+  const CoolingMode cooling = CoolingMode::kLiquidVar;
+  FlagSet flags("burst");
+  conn.register_on(flags);
+  register_whatif_flags(flags, &base);
+  register_system_flags(flags, &base, &cooling);
+  flags.number("--count", &count);
+  flags.number("--steady", &steady_count);
+  flags.flag("--verify", &verify);
+  flags.parse(argc, argv);
+  require_whatif(base);
 
   // Mixed concurrent burst: what-if queries (distinct seeds — same topology,
   // so the queue batches them), one replay, and steady queries in between.
-  std::vector<std::future<SessionOutcome>> futures;
   std::vector<WhatIfQuery> queries;
   for (std::size_t i = 0; i < count; ++i) {
     WhatIfQuery q = base;
     q.seed = base.seed + i;
     queries.push_back(q);
-    futures.push_back(service.what_if(q));
   }
   ReplayQuery replay;
   replay.base = base;
   replay.base.seed = base.seed + count;
   replay.phases.push_back({SimTime::from_s(base.duration_s / 2), 0.5});
   replay.trace_period_s = 1.0;
-  std::future<SessionOutcome> replay_future = service.replay(replay);
 
   SteadyQuery steady;
   steady.config.cooling =
@@ -306,62 +395,158 @@ int cmd_burst(Args& args) {
   if (base.stack) steady.config.stack = *base.stack;
   if (base.grid_rows > 0) steady.config.thermal.grid_rows = base.grid_rows;
   if (base.grid_cols > 0) steady.config.thermal.grid_cols = base.grid_cols;
+
+  std::vector<BurstLane> lanes(queries.size());
+  BurstLane replay_lane;
   double steady_tmax = 0.0;
   std::size_t rom_answers = 0;
-  for (std::size_t i = 0; i < steady_count; ++i) {
-    const SteadyAnswer a = service.steady(steady);
-    steady_tmax = a.t_max_c;
-    rom_answers += a.used_rom ? 1 : 0;
+  std::size_t steady_rejected = 0;
+  ServeStats stats;
+
+  if (conn.wire()) {
+    // One connection per in-flight query — the shape the daemon's
+    // per-client fairness and admission control are built for.
+    std::vector<std::thread> threads;
+    threads.reserve(queries.size() + 1);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      threads.emplace_back([&, i] {
+        lanes[i] = run_wire_lane(
+            conn, [&](Backend& b) { return b.what_if(queries[i]); });
+      });
+    }
+    threads.emplace_back([&] {
+      replay_lane =
+          run_wire_lane(conn, [&](Backend& b) { return b.replay(replay); });
+    });
+    {
+      try {
+        WireBackend backend(conn.endpoint(), conn.deadline_ms);
+        for (std::size_t i = 0; i < steady_count; ++i) {
+          try {
+            const SteadyAnswer a = backend.steady(steady);
+            steady_tmax = a.t_max_c;
+            rom_answers += a.used_rom ? 1 : 0;
+          } catch (const WireError&) {
+            ++steady_rejected;
+          }
+        }
+        stats = backend.stats();
+      } catch (const WireError&) {
+        steady_rejected += steady_count;
+      }
+    }
+    for (std::thread& t : threads) t.join();
+  } else {
+    ServeParams params;
+    params.queue.max_batch = std::max<std::size_t>(count, 1);
+    LocalBackend local(params);
+    ThermalService& service = local.service();
+    std::vector<std::future<SessionOutcome>> futures;
+    futures.reserve(queries.size());
+    for (const WhatIfQuery& q : queries) futures.push_back(service.what_if(q));
+    std::future<SessionOutcome> replay_future = service.replay(replay);
+    for (std::size_t i = 0; i < steady_count; ++i) {
+      const SteadyAnswer a = service.steady(steady);
+      steady_tmax = a.t_max_c;
+      rom_answers += a.used_rom ? 1 : 0;
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      lanes[i].outcome = futures[i].get();
+    }
+    replay_lane.outcome = replay_future.get();
+    service.wait_idle();
+    stats = service.stats();
   }
 
-  std::vector<SessionOutcome> outcomes;
-  outcomes.reserve(futures.size());
-  for (std::future<SessionOutcome>& f : futures) outcomes.push_back(f.get());
-  const SessionOutcome replay_outcome = replay_future.get();
-  service.wait_idle();
+  std::size_t rejected = steady_rejected;
+  std::size_t answered = 0;
+  for (const BurstLane& lane : lanes) {
+    if (lane.outcome) {
+      ++answered;
+    } else {
+      ++rejected;
+    }
+  }
+  if (!replay_lane.outcome) ++rejected;
 
   int failures = 0;
   if (verify) {
-    // Contract: a batched service answer is bit-identical to a single-shot
-    // session run of the same cell.
+    // Contract: a service answer — batched in-process or through the
+    // daemon — is bit-identical to a single-shot session run of the same
+    // cell.  Rejected lanes have no answer to check.
+    std::size_t checked = 0;
     for (std::size_t i = 0; i < queries.size(); ++i) {
+      if (!lanes[i].outcome) continue;
       SimulationSession solo(ThermalService::session_config(queries[i]));
       solo.init();
       while (solo.step()) {
       }
-      if (!results_equal(outcomes[i].result, solo.result())) {
+      ++checked;
+      if (!results_equal(lanes[i].outcome->result, solo.result())) {
         std::fprintf(stderr, "VERIFY MISMATCH: what-if %zu (seed %llu)\n", i,
                      static_cast<unsigned long long>(queries[i].seed));
         ++failures;
       }
     }
     std::printf("verify=%s checked=%zu\n", failures == 0 ? "ok" : "FAILED",
-                queries.size());
+                checked);
   }
 
-  const ServeStats stats = service.stats();
-  std::printf("whatif=%zu replay_trace=%zu steady=%zu steady_tmax_c=%.3f "
-              "rom_answers=%zu\n",
-              outcomes.size(), replay_outcome.trace.size(), steady_count,
-              steady_tmax, rom_answers);
+  std::printf("whatif=%zu rejected=%zu replay_trace=%zu steady=%zu "
+              "steady_tmax_c=%.3f rom_answers=%zu\n",
+              answered, rejected,
+              replay_lane.outcome ? replay_lane.outcome->trace.size() : 0,
+              steady_count - steady_rejected, steady_tmax, rom_answers);
   std::printf("batches=%zu batched_sessions=%zu max_batch=%zu "
               "solo_fallbacks=%zu rom_builds=%zu full_solves=%zu\n",
               stats.batches, stats.batched_sessions, stats.max_batch,
               stats.solo_fallbacks, stats.rom_builds, stats.full_solves);
+  if (conn.wire()) {
+    std::printf("wire_accepted=%zu wire_rejected=%zu wire_timed_out=%zu "
+                "wire_connections=%zu wire_queue_hwm=%zu\n",
+                stats.wire_accepted, stats.wire_rejected, stats.wire_timed_out,
+                stats.wire_connections, stats.wire_queue_hwm);
+  }
   return failures == 0 ? 0 : 1;
+}
+
+int cmd_stats(int argc, char** argv) {
+  ConnectOpts conn;
+  FlagSet flags("stats");
+  conn.register_on(flags);
+  flags.parse(argc, argv);
+  LIQUID3D_REQUIRE(conn.wire(),
+                   "stats requires --connect (an in-process service would "
+                   "have nothing to report)");
+
+  const ServeStats s = conn.make()->stats();
+  std::printf("steady_queries=%zu rom_hits=%zu rom_builds=%zu "
+              "rom_fallbacks=%zu rom_evictions=%zu full_solves=%zu "
+              "model_evictions=%zu\n",
+              s.steady_queries, s.rom_hits, s.rom_builds, s.rom_fallbacks,
+              s.rom_evictions, s.full_solves, s.model_evictions);
+  std::printf("session_queries=%zu batches=%zu batched_sessions=%zu "
+              "max_batch=%zu solo_fallbacks=%zu\n",
+              s.session_queries, s.batches, s.batched_sessions, s.max_batch,
+              s.solo_fallbacks);
+  std::printf("wire_accepted=%zu wire_rejected=%zu wire_timed_out=%zu "
+              "wire_connections=%zu wire_queue_hwm=%zu\n",
+              s.wire_accepted, s.wire_rejected, s.wire_timed_out,
+              s.wire_connections, s.wire_queue_hwm);
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
-  Args args(argc - 2, argv + 2);
   const std::string cmd = argv[1];
   try {
-    if (cmd == "steady") return cmd_steady(args);
-    if (cmd == "whatif") return cmd_whatif(args);
-    if (cmd == "replay") return cmd_replay(args);
-    if (cmd == "burst") return cmd_burst(args);
+    if (cmd == "steady") return cmd_steady(argc - 2, argv + 2);
+    if (cmd == "whatif") return cmd_whatif(argc - 2, argv + 2);
+    if (cmd == "replay") return cmd_replay(argc - 2, argv + 2);
+    if (cmd == "burst") return cmd_burst(argc - 2, argv + 2);
+    if (cmd == "stats") return cmd_stats(argc - 2, argv + 2);
     return usage(argv[0]);
   } catch (const std::exception& e) {
     std::cerr << "serve_ctl: " << e.what() << "\n";
