@@ -1,0 +1,77 @@
+// bench_obs — the cost of the observability layer itself:
+//
+//   BM_MetricsHotPath          one Histogram::record with the layer enabled
+//                              (a bucket-index computation plus two relaxed
+//                              atomic RMWs) — the marginal cost every timed
+//                              solver/serve operation pays
+//   BM_MetricsHotPathDisabled  the same call with the runtime kill switch
+//                              off — must compile down to one relaxed
+//                              atomic load and a branch (the CI gate holds
+//                              it to single-digit nanoseconds)
+//   BM_CounterAdd              one sharded Counter::add (unconditional —
+//                              counters back functional stats and are never
+//                              gated)
+//   BM_ScopedTimerEnabled      full ScopedTimer lifecycle: two steady-clock
+//                              reads plus the histogram record
+//
+// These are recorded into BENCH_solver.json; check_bench_regression.py
+// gates BM_MetricsHotPathDisabled so the kill switch stays genuinely free
+// and the instrumented serve p50 so the enabled path stays in the noise.
+#include <benchmark/benchmark.h>
+
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace liquid3d;
+
+void BM_MetricsHotPath(benchmark::State& state) {
+  obs::ScopedEnabled on(true);
+  obs::Histogram h;
+  double v = 1.0e-6;
+  for (auto _ : state) {
+    h.record(v);
+    v += 1.0e-9;  // defeat value-based CSE without a memory barrier
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsHotPath);
+
+void BM_MetricsHotPathDisabled(benchmark::State& state) {
+  obs::ScopedEnabled off(false);
+  obs::Histogram h;
+  double v = 1.0e-6;
+  for (auto _ : state) {
+    h.record(v);
+    v += 1.0e-9;
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsHotPathDisabled);
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::Counter c;
+  for (auto _ : state) {
+    c.add();
+  }
+  benchmark::DoNotOptimize(c.value());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_ScopedTimerEnabled(benchmark::State& state) {
+  obs::ScopedEnabled on(true);
+  obs::Histogram h;
+  for (auto _ : state) {
+    obs::ScopedTimer t(h);
+  }
+  benchmark::DoNotOptimize(h.count());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScopedTimerEnabled);
+
+}  // namespace
+
+BENCHMARK_MAIN();

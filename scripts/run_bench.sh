@@ -4,6 +4,10 @@
 # root), starting the perf trajectory the acceptance criteria compare
 # against.
 #
+# Each benchmark binary runs fail-fast: a crash (or a bench that dies after
+# writing a partial JSON file) aborts the refresh with a pointed message
+# instead of silently merging a truncated fragment into BENCH_solver.json.
+#
 # Usage: scripts/run_bench.sh [build-dir] [output.json]
 set -euo pipefail
 
@@ -13,10 +17,37 @@ out_json="${2:-${repo_root}/BENCH_solver.json}"
 
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Release -DLIQUID3D_BUILD_BENCH=ON >/dev/null
-cmake --build "${build_dir}" --target bench_micro_solver bench_serve -j "$(nproc)"
+cmake --build "${build_dir}" \
+  --target bench_micro_solver bench_serve bench_obs -j "$(nproc)"
 
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "${tmp_dir}"' EXIT
+
+# Run one benchmark binary and refuse to proceed unless it exits 0 AND its
+# JSON fragment parses.  google-benchmark streams --benchmark_out as it
+# goes, so a mid-run SIGSEGV leaves a syntactically broken file behind —
+# without the parse check that partial fragment would merge "successfully"
+# and quietly drop every benchmark after the crash point.
+run_bench() {
+  local binary="$1" fragment="$2" filter="$3"
+  local status=0
+  "${build_dir}/${binary}" \
+    --benchmark_format=json \
+    --benchmark_out="${fragment}" \
+    --benchmark_out_format=json \
+    --benchmark_filter="${filter}" || status=$?
+  if [[ "${status}" -ne 0 ]]; then
+    echo "run_bench.sh: ${binary} exited with status ${status}; aborting" \
+      "before merging partial results" >&2
+    exit "${status}"
+  fi
+  if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+      "${fragment}"; then
+    echo "run_bench.sh: ${binary} wrote invalid JSON to ${fragment};" \
+      "aborting before merge" >&2
+    exit 1
+  fi
+}
 
 # BM_SteadyState also matches BM_SteadyStatePerCavity (the vector-flow
 # assembly benchmark) by prefix; keep both in the JSON.  BM_Cg* is the
@@ -24,22 +55,21 @@ trap 'rm -rf "${tmp_dir}"' EXIT
 # fine-grid shape — the pair documents the bandwidth crossover.  NOTE: the
 # fine-grid direct factorization runs tens of seconds and allocates ~1.6 GB;
 # a full refresh takes a few minutes.
-"${build_dir}/bench_micro_solver" \
-  --benchmark_format=json \
-  --benchmark_out="${tmp_dir}/micro.json" \
-  --benchmark_out_format=json \
-  --benchmark_filter='BM_Banded|BM_TransientStep|BM_BatchedTransient|BM_SteadyState|BM_FlowLut|BM_Cg|BM_FineGrid'
+run_bench bench_micro_solver "${tmp_dir}/micro.json" \
+  'BM_Banded|BM_TransientStep|BM_BatchedTransient|BM_SteadyState|BM_FlowLut|BM_Cg|BM_FineGrid'
 
 # Service latency/throughput: steady-query p50/p99 (acceptance: warm-ROM
 # p50 <= 100 us on the 2-layer Niagara liquid stack) and batched vs serial
 # what-if throughput (acceptance: batched >= 2x serial sessions/s).
-"${build_dir}/bench_serve" \
-  --benchmark_format=json \
-  --benchmark_out="${tmp_dir}/serve.json" \
-  --benchmark_out_format=json \
-  --benchmark_filter='BM_Serve'
+run_bench bench_serve "${tmp_dir}/serve.json" 'BM_Serve'
+
+# Observability overhead: the killed-switch histogram record must stay
+# single-digit nanoseconds and the enabled record in the tens.
+run_bench bench_obs "${tmp_dir}/obs.json" \
+  'BM_MetricsHotPath|BM_CounterAdd|BM_ScopedTimer'
 
 python3 "${repo_root}/scripts/merge_bench_json.py" \
-  "${out_json}" "${tmp_dir}/micro.json" "${tmp_dir}/serve.json"
+  "${out_json}" "${tmp_dir}/micro.json" "${tmp_dir}/serve.json" \
+  "${tmp_dir}/obs.json"
 
 echo "wrote ${out_json}"

@@ -11,6 +11,14 @@
 #   * the daemon prints its `drained accepted=... rejected=...` summary and
 #     exits 0 — no hang, no dropped in-flight query.
 #
+# Phase A first runs one quiet burst to completion against a traced daemon
+# and cross-checks the observability control plane: the `serve_ctl metrics`
+# scrape must report exactly the counters the burst drove (4 session
+# queries = 3 what-if + 1 replay, 2 steady queries, 6 accepted wire
+# requests), `serve_ctl trace` must show solve-stage spans, and
+# `stats --reset-hwm` must zero the windowed queue HWM without touching
+# the lifetime one.
+#
 # Usage: scripts/run_daemon_smoke.sh [build-dir] [scratch-dir]
 set -euo pipefail
 
@@ -23,6 +31,102 @@ ctl="${build_dir}/serve_ctl"
 rm -rf "${scratch}"
 mkdir -p "${scratch}"
 sock="${scratch}/daemon.sock"
+
+# -- phase A: metrics/trace control plane against a quiet daemon --------------
+
+obs_sock="${scratch}/obs-daemon.sock"
+LIQUID3D_TRACE=1 "${daemon}" --listen "unix:${obs_sock}" --workers 2 \
+  --max-inflight 6 > "${scratch}/obs-daemon.log" 2>&1 &
+obs_daemon_pid=$!
+trap 'kill -9 "${obs_daemon_pid}" 2>/dev/null || true' EXIT
+
+for _ in $(seq 100); do
+  [ -S "${obs_sock}" ] && grep -q '^listening ' "${scratch}/obs-daemon.log" && break
+  sleep 0.1
+done
+grep -q '^listening ' "${scratch}/obs-daemon.log" || {
+  echo "obs daemon never came up:" >&2
+  cat "${scratch}/obs-daemon.log" >&2
+  exit 1
+}
+
+# A short burst run to completion (no SIGTERM): every lane must be
+# admitted and answered, so the counter totals below are exact.
+"${ctl}" burst --connect "unix:${obs_sock}" \
+  --scenario talb-var --benchmark Web-med --duration-s 5 \
+  --grid-rows 8 --grid-cols 9 \
+  --count 3 --steady 2 --verify \
+  > "${scratch}/obs-burst.log" 2>&1 || {
+  echo "phase A burst failed:" >&2
+  cat "${scratch}/obs-burst.log" >&2
+  exit 1
+}
+grep -q '^verify=ok' "${scratch}/obs-burst.log" || {
+  echo "phase A burst verify not ok" >&2
+  cat "${scratch}/obs-burst.log" >&2
+  exit 1
+}
+
+"${ctl}" metrics --connect "unix:${obs_sock}" > "${scratch}/metrics.txt"
+"${ctl}" trace --connect "unix:${obs_sock}" > "${scratch}/trace.txt"
+echo "--- metrics scrape ---"; cat "${scratch}/metrics.txt"
+
+obs_fail=0
+expect_metric() {
+  grep -qx "$1" "${scratch}/metrics.txt" || {
+    echo "metrics scrape missing '$1'" >&2
+    obs_fail=1
+  }
+}
+# 3 what-if + 1 replay through the session queue, 2 steady, and all 6
+# admitted over the wire (stats/metrics/trace are control-plane requests
+# and must NOT count as accepted queries).
+expect_metric 'liquid3d_serve_session_queries_total 4'
+expect_metric 'liquid3d_serve_steady_queries_total 2'
+expect_metric 'liquid3d_serve_wire_accepted_total 6'
+expect_metric 'liquid3d_serve_wire_rejected_total 0'
+
+# The traced burst must have recorded per-stage spans, including a solve
+# stage for every admitted query.
+grep -q 'stage=solve' "${scratch}/trace.txt" || {
+  echo "trace dump has no solve spans:" >&2
+  cat "${scratch}/trace.txt" >&2
+  obs_fail=1
+}
+grep -q 'stage=request' "${scratch}/trace.txt" || {
+  echo "trace dump has no root request spans" >&2
+  obs_fail=1
+}
+
+# Windowed queue HWM: nonzero after the burst, zero after --reset-hwm
+# (the lifetime HWM must survive the reset).
+"${ctl}" stats --connect "unix:${obs_sock}" > "${scratch}/stats-before.txt"
+grep -q 'wire_queue_hwm_window=[1-9]' "${scratch}/stats-before.txt" || {
+  echo "windowed HWM not raised by the burst" >&2
+  obs_fail=1
+}
+"${ctl}" stats --connect "unix:${obs_sock}" --reset-hwm > /dev/null
+"${ctl}" stats --connect "unix:${obs_sock}" > "${scratch}/stats-after.txt"
+grep -q 'wire_queue_hwm_window=0' "${scratch}/stats-after.txt" || {
+  echo "windowed HWM did not reset" >&2
+  obs_fail=1
+}
+if grep -q 'wire_queue_hwm=0' "${scratch}/stats-after.txt"; then
+  echo "lifetime HWM was clobbered by --reset-hwm" >&2
+  obs_fail=1
+fi
+
+kill -TERM "${obs_daemon_pid}"
+wait "${obs_daemon_pid}" || { echo "obs daemon exited non-zero" >&2; obs_fail=1; }
+trap - EXIT
+
+if [ "${obs_fail}" -ne 0 ]; then
+  echo "daemon smoke FAILED (phase A: observability)" >&2
+  exit 1
+fi
+echo "phase A (metrics/trace/reset-hwm) OK"
+
+# -- phase B: concurrent bursts + SIGTERM mid-burst ---------------------------
 
 # max-inflight 6 < the 10 lanes the two bursts submit, so the smoke also
 # exercises typed overload rejections, not just the happy path.

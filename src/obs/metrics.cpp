@@ -1,0 +1,255 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/trace.hpp"
+
+namespace liquid3d::obs {
+
+namespace detail {
+
+std::atomic<int> obs_enabled{1};
+
+std::size_t thread_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::obs_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+namespace {
+
+bool env_truthy(const char* v) {
+  if (v == nullptr) return false;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "OFF") == 0 || std::strcmp(v, "false") == 0 ||
+           std::strcmp(v, "no") == 0 || v[0] == '\0');
+}
+
+}  // namespace
+
+void init_from_env() {
+  if (const char* v = std::getenv("LIQUID3D_OBS")) {
+    set_enabled(env_truthy(v));
+  }
+  if (const char* v = std::getenv("LIQUID3D_TRACE")) {
+    set_tracing(env_truthy(v));
+  }
+}
+
+ScopedEnabled::ScopedEnabled(bool on) : prev_(enabled()) { set_enabled(on); }
+ScopedEnabled::~ScopedEnabled() { set_enabled(prev_); }
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+std::size_t Histogram::bucket_index(double v) {
+  if (!(v > 0.0)) {
+    // Non-positive and NaN: below-range values clamp low, oddities
+    // (NaN, inf handled below) never reach here positive.
+    return 0;
+  }
+  if (!std::isfinite(v)) return kBuckets - 1;
+  int exp = 0;
+  // frexp: v = m * 2^exp with m in [0.5, 1).
+  const double m = std::frexp(v, &exp);
+  // Shift to m in [1, 2): value = m2 * 2^(exp-1).
+  const int octave = exp - 1;
+  if (octave < kMinExp) return 0;
+  if (octave > kMaxExp) return kBuckets - 1;
+  const double m2 = m * 2.0;  // [1, 2)
+  // Sub-bucket: which of the 4 slices of [1,2) (geometric, factor
+  // 2^0.25) m2 falls in.
+  static const double kEdge1 = std::pow(2.0, 0.25);
+  static const double kEdge2 = std::pow(2.0, 0.5);
+  static const double kEdge3 = std::pow(2.0, 0.75);
+  int sub = 3;
+  if (m2 < kEdge1) {
+    sub = 0;
+  } else if (m2 < kEdge2) {
+    sub = 1;
+  } else if (m2 < kEdge3) {
+    sub = 2;
+  }
+  return static_cast<std::size_t>(octave - kMinExp) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+double Histogram::bucket_lower(std::size_t idx) {
+  if (idx >= kBuckets - 1) {
+    return std::ldexp(1.0, kMaxExp + 1);  // overflow bucket starts past range
+  }
+  const int octave = static_cast<int>(idx / kSubBuckets) + kMinExp;
+  const int sub = static_cast<int>(idx % kSubBuckets);
+  return std::ldexp(1.0, octave) * std::pow(2.0, 0.25 * sub);
+}
+
+double Histogram::bucket_upper(std::size_t idx) {
+  if (idx >= kBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const int octave = static_cast<int>(idx / kSubBuckets) + kMinExp;
+  const int sub = static_cast<int>(idx % kSubBuckets);
+  return std::ldexp(1.0, octave) * std::pow(2.0, 0.25 * (sub + 1));
+}
+
+void Histogram::record_always(double v) {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  // Snapshot bucket counts so the walk is self-consistent even under
+  // concurrent recording.
+  std::array<std::uint64_t, kBuckets> snap;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap[i];
+  }
+  if (total == 0) return 0.0;
+  const std::uint64_t rank =
+      std::min<std::uint64_t>(total - 1,
+                              static_cast<std::uint64_t>(q * static_cast<double>(total)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += snap[i];
+    if (seen > rank) {
+      if (i >= kBuckets - 1) return bucket_lower(i);  // overflow: lower edge
+      return 0.5 * (bucket_lower(i) + bucket_upper(i));
+    }
+  }
+  return bucket_lower(kBuckets - 1);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // std::map keeps exposition deterministically name-sorted.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::global() {
+  // Leaked on purpose: instruments referenced from other static-duration
+  // objects must outlive any destructor ordering.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& slot = impl_->counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& slot = impl_->gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& slot = impl_->histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string Registry::prometheus() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string out;
+  out.reserve(1024);
+  for (const auto& [name, c] : impl_->counters) {
+    out += name;
+    out += ' ';
+    out += std::to_string(c->value());
+    out += '\n';
+  }
+  for (const auto& [name, g] : impl_->gauges) {
+    out += name;
+    out += ' ';
+    append_number(out, g->value());
+    out += '\n';
+  }
+  for (const auto& [name, h] : impl_->histograms) {
+    out += name;
+    out += "_count ";
+    out += std::to_string(h->count());
+    out += '\n';
+    out += name;
+    out += "_sum ";
+    append_number(out, h->sum());
+    out += '\n';
+    for (const auto& [label, q] :
+         {std::pair<const char*, double>{"0.5", 0.5},
+          {"0.9", 0.9},
+          {"0.99", 0.99}}) {
+      out += name;
+      out += "{quantile=\"";
+      out += label;
+      out += "\"} ";
+      append_number(out, h->quantile(q));
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, c] : impl_->counters) c->reset();
+  for (auto& [name, g] : impl_->gauges) g->set(0.0);
+  for (auto& [name, h] : impl_->histograms) h->reset();
+}
+
+}  // namespace liquid3d::obs

@@ -1,0 +1,89 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <mutex>
+
+namespace liquid3d::obs {
+
+namespace detail {
+std::atomic<int> trace_enabled{0};
+}
+
+std::uint64_t now_ns() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+void set_tracing(bool on) {
+  detail::trace_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::uint64_t next_trace_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint32_t next_span_id() {
+  static std::atomic<std::uint32_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+struct TraceRing::Impl {
+  mutable std::mutex mu;
+  std::vector<TraceSpan> ring;
+  std::size_t head = 0;   // next write slot
+  std::size_t count = 0;  // spans retained (<= capacity)
+};
+
+TraceRing::TraceRing(std::size_t capacity)
+    : impl_(new Impl), capacity_(capacity == 0 ? 1 : capacity) {
+  impl_->ring.resize(capacity_);
+}
+
+TraceRing::~TraceRing() { delete impl_; }
+
+TraceRing& TraceRing::global() {
+  // Leaked: span recording can race process teardown from detached
+  // worker threads.
+  static TraceRing* g = new TraceRing();
+  return *g;
+}
+
+void TraceRing::record(TraceSpan span) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->ring[impl_->head] = std::move(span);
+  impl_->head = (impl_->head + 1) % capacity_;
+  if (impl_->count < capacity_) ++impl_->count;
+}
+
+std::vector<TraceSpan> TraceRing::snapshot(std::size_t limit) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const std::size_t n =
+      (limit == 0 || limit > impl_->count) ? impl_->count : limit;
+  std::vector<TraceSpan> out;
+  out.reserve(n);
+  // Oldest retained span sits at head when full, at 0 otherwise; we
+  // want the n most recent, oldest first.
+  for (std::size_t i = impl_->count - n; i < impl_->count; ++i) {
+    const std::size_t idx =
+        (impl_->head + capacity_ - impl_->count + i) % capacity_;
+    out.push_back(impl_->ring[idx]);
+  }
+  return out;
+}
+
+void TraceRing::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->head = 0;
+  impl_->count = 0;
+}
+
+std::size_t TraceRing::size() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->count;
+}
+
+}  // namespace liquid3d::obs

@@ -1,0 +1,116 @@
+#pragma once
+// Per-query tracing: spans (monotonic-clock start/end, parent ids)
+// recorded into a fixed-size ring buffer, dumped on demand via the
+// `trace` wire tag / `serve_ctl trace`.
+//
+// Recording is gated on tracing_enabled() (env LIQUID3D_TRACE, default
+// off — the ring costs a mutex per span, which is fine per-query but
+// not free).  Timestamps are steady-clock nanoseconds since a process
+// epoch, so spans from one process compare directly but are not wall
+// clock.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace liquid3d::obs {
+
+// Nanoseconds on the monotonic clock since the first call in this
+// process.  Cheap enough for per-stage stamps; never used when tracing
+// is off.
+std::uint64_t now_ns();
+
+namespace detail {
+extern std::atomic<int> trace_enabled;
+}
+
+inline bool tracing_enabled() {
+#ifdef LIQUID3D_OBS_DISABLED
+  return false;
+#else
+  return detail::trace_enabled.load(std::memory_order_relaxed) != 0;
+#endif
+}
+
+void set_tracing(bool on);
+
+// Fresh ids.  trace_id groups the spans of one request; span ids are
+// process-unique so parent links resolve within a dump.
+std::uint64_t next_trace_id();
+std::uint32_t next_span_id();
+
+struct TraceSpan {
+  std::uint64_t trace_id = 0;
+  std::uint32_t span_id = 0;
+  std::uint32_t parent_id = 0;  // 0 = root
+  std::string stage;            // "admission", "decode", "solve/rom", ...
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+// Fixed-capacity ring of completed spans.  Mutex-protected: recording
+// happens once per stage per query (microseconds apart), not in solver
+// inner loops, so contention is negligible and the ring stays simple.
+class TraceRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit TraceRing(std::size_t capacity = kDefaultCapacity);
+  ~TraceRing();
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  static TraceRing& global();
+
+  void record(TraceSpan span);
+  // Most-recent-last; limit == 0 means all retained spans.
+  std::vector<TraceSpan> snapshot(std::size_t limit = 0) const;
+  void clear();
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::size_t capacity_;
+};
+
+// RAII span: stamps start on construction, records into the global ring
+// on destruction.  No-op (no clock reads) while tracing is disabled.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::uint64_t trace_id, std::uint32_t parent_id,
+             const char* stage)
+      : armed_(tracing_enabled()) {
+    if (!armed_) return;
+    span_.trace_id = trace_id;
+    span_.span_id = next_span_id();
+    span_.parent_id = parent_id;
+    span_.stage = stage;
+    span_.start_ns = now_ns();
+  }
+  ~ScopedSpan() { finish(); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // Rename mid-flight (e.g. "solve" -> "solve/rom" once the path is
+  // known).
+  void set_stage(const char* stage) {
+    if (armed_) span_.stage = stage;
+  }
+  std::uint32_t span_id() const { return armed_ ? span_.span_id : 0; }
+
+  void finish() {
+    if (!armed_) return;
+    armed_ = false;
+    span_.end_ns = now_ns();
+    TraceRing::global().record(std::move(span_));
+  }
+
+ private:
+  bool armed_;
+  TraceSpan span_{};
+};
+
+}  // namespace liquid3d::obs

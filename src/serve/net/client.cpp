@@ -89,9 +89,9 @@ SessionOutcome ServeClient::replay(const ReplayQuery& query) {
   return std::move(*outcome);
 }
 
-ServeStats ServeClient::stats() {
+ServeStats ServeClient::stats(bool reset_hwm) {
   WireRequest request;
-  request.payload = StatsQuery{};
+  request.payload = StatsQuery{reset_hwm};
   WireResponse response = roundtrip(std::move(request));
   auto* stats = std::get_if<ServeStats>(&response.payload);
   if (stats == nullptr) {
@@ -99,6 +99,30 @@ ServeStats ServeClient::stats() {
                     "stats query answered with the wrong payload type");
   }
   return *stats;
+}
+
+std::string ServeClient::metrics() {
+  WireRequest request;
+  request.payload = MetricsQuery{};
+  WireResponse response = roundtrip(std::move(request));
+  auto* answer = std::get_if<MetricsAnswer>(&response.payload);
+  if (answer == nullptr) {
+    throw WireError(WireErrorCode::kProtocol,
+                    "metrics query answered with the wrong payload type");
+  }
+  return std::move(answer->text);
+}
+
+std::vector<obs::TraceSpan> ServeClient::trace(std::uint64_t limit) {
+  WireRequest request;
+  request.payload = TraceQuery{limit};
+  WireResponse response = roundtrip(std::move(request));
+  auto* answer = std::get_if<TraceAnswer>(&response.payload);
+  if (answer == nullptr) {
+    throw WireError(WireErrorCode::kProtocol,
+                    "trace query answered with the wrong payload type");
+  }
+  return std::move(answer->spans);
 }
 
 }  // namespace liquid3d

@@ -45,7 +45,13 @@ class ServeClient {
   [[nodiscard]] SteadyAnswer steady(const SteadyQuery& query);
   [[nodiscard]] SessionOutcome what_if(const WhatIfQuery& query);
   [[nodiscard]] SessionOutcome replay(const ReplayQuery& query);
-  [[nodiscard]] ServeStats stats();
+  /// With reset_hwm the server reports the windowed queue high-water
+  /// mark, then resets the window (report-then-reset).
+  [[nodiscard]] ServeStats stats(bool reset_hwm = false);
+  /// Prometheus-style metrics exposition text.
+  [[nodiscard]] std::string metrics();
+  /// Recent trace spans, oldest first; limit == 0 means all retained.
+  [[nodiscard]] std::vector<obs::TraceSpan> trace(std::uint64_t limit = 0);
 
  private:
   [[nodiscard]] WireResponse roundtrip(WireRequest request);

@@ -294,6 +294,7 @@ void visit_stats(ServeStats& s, F&& f) {
   f("wire_timed_out", s.wire_timed_out);
   f("wire_connections", s.wire_connections);
   f("wire_queue_hwm", s.wire_queue_hwm);
+  f("wire_queue_hwm_window", s.wire_queue_hwm_window);
 }
 
 // -- payload encoders ---------------------------------------------------------
@@ -669,6 +670,32 @@ ServeStats decode_stats(const std::vector<Line>& lines, std::uint64_t& id,
   return s;
 }
 
+/// One trace-answer span line:
+///   <trace_id> <span_id> <parent_id> <stage> <start_ns> <end_ns>
+/// (stage percent-encoded).
+obs::TraceSpan decode_span(const std::string& value, const std::string& what) {
+  std::vector<std::string> tokens;
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    std::size_t space = value.find(' ', pos);
+    if (space == std::string::npos) space = value.size();
+    tokens.push_back(value.substr(pos, space - pos));
+    pos = space + 1;
+  }
+  LIQUID3D_REQUIRE(tokens.size() == 6,
+                   what + ": malformed span line '" + value + "'");
+  obs::TraceSpan s;
+  s.trace_id = parse_u64(tokens[0], what + ": span trace_id");
+  s.span_id =
+      static_cast<std::uint32_t>(parse_u64(tokens[1], what + ": span id"));
+  s.parent_id =
+      static_cast<std::uint32_t>(parse_u64(tokens[2], what + ": span parent"));
+  s.stage = percent_decode(tokens[3], what + ": span stage");
+  s.start_ns = parse_u64(tokens[4], what + ": span start");
+  s.end_ns = parse_u64(tokens[5], what + ": span end");
+  return s;
+}
+
 ErrorReply decode_error(const std::vector<Line>& lines, std::uint64_t& id,
                         const std::string& what) {
   ErrorReply e;
@@ -713,8 +740,17 @@ std::string encode_request(const WireRequest& request) {
   } else if (const auto* replay = std::get_if<ReplayQuery>(&request.payload)) {
     write_envelope_prefix(w, "replay", request.id, request.deadline_ms);
     write_replay(w, *replay);
+  } else if (const auto* trace = std::get_if<TraceQuery>(&request.payload)) {
+    write_envelope_prefix(w, "trace", request.id, request.deadline_ms);
+    if (trace->limit != 0) w.num("limit", trace->limit);
+  } else if (std::get_if<MetricsQuery>(&request.payload) != nullptr) {
+    write_envelope_prefix(w, "metrics", request.id, request.deadline_ms);
   } else {
+    const auto& stats = std::get<StatsQuery>(request.payload);
     write_envelope_prefix(w, "stats", request.id, request.deadline_ms);
+    // Emitted only when set, so plain stats requests stay byte-identical
+    // to what pre-reset peers produced.
+    if (stats.reset_hwm) w.flag("reset_hwm", true);
   }
   return std::move(w.out);
 }
@@ -730,6 +766,26 @@ std::string encode_response(const WireResponse& response) {
   } else if (const auto* stats = std::get_if<ServeStats>(&response.payload)) {
     write_envelope_prefix(w, "stats-answer", response.id, 0.0);
     write_stats(w, *stats);
+  } else if (const auto* metrics = std::get_if<MetricsAnswer>(&response.payload)) {
+    write_envelope_prefix(w, "metrics-answer", response.id, 0.0);
+    w.text("body", metrics->text);
+  } else if (const auto* trace = std::get_if<TraceAnswer>(&response.payload)) {
+    write_envelope_prefix(w, "trace-answer", response.id, 0.0);
+    for (const obs::TraceSpan& s : trace->spans) {
+      // One span per line: ids, percent-encoded stage, start/end ns.
+      std::string line = fmt_u64(s.trace_id);
+      line += ' ';
+      line += fmt_u64(s.span_id);
+      line += ' ';
+      line += fmt_u64(s.parent_id);
+      line += ' ';
+      line += percent_encode(s.stage);
+      line += ' ';
+      line += fmt_u64(s.start_ns);
+      line += ' ';
+      line += fmt_u64(s.end_ns);
+      w.kv("span", line);
+    }
   } else {
     const auto& error = std::get<ErrorReply>(response.payload);
     write_envelope_prefix(w, "error", response.id, 0.0);
@@ -761,8 +817,34 @@ WireRequest decode_request(const std::string& text) {
     StatsQuery q;
     double ignored = 0.0;
     for (const Line& line : lines) {
+      if (apply_envelope_field(request.id, ignored, line, what)) continue;
+      if (line.key == "reset_hwm") {
+        q.reset_hwm = line.value == "1";
+        continue;
+      }
+      throw ConfigError(what + ": unknown stats key '" + line.key + "'");
+    }
+    request.deadline_ms = ignored;
+    request.payload = q;
+  } else if (tag == "metrics") {
+    MetricsQuery q;
+    double ignored = 0.0;
+    for (const Line& line : lines) {
       LIQUID3D_REQUIRE(apply_envelope_field(request.id, ignored, line, what),
-                       what + ": unknown stats key '" + line.key + "'");
+                       what + ": unknown metrics key '" + line.key + "'");
+    }
+    request.deadline_ms = ignored;
+    request.payload = q;
+  } else if (tag == "trace") {
+    TraceQuery q;
+    double ignored = 0.0;
+    for (const Line& line : lines) {
+      if (apply_envelope_field(request.id, ignored, line, what)) continue;
+      if (line.key == "limit") {
+        q.limit = parse_u64(line.value, what + ": limit");
+        continue;
+      }
+      throw ConfigError(what + ": unknown trace key '" + line.key + "'");
     }
     request.deadline_ms = ignored;
     request.payload = q;
@@ -786,6 +868,32 @@ WireResponse decode_response(const std::string& text) {
     response.payload = decode_outcome(lines, response.id, what);
   } else if (tag == "stats-answer") {
     response.payload = decode_stats(lines, response.id, what);
+  } else if (tag == "metrics-answer") {
+    MetricsAnswer a;
+    double ignored = 0.0;
+    for (const Line& line : lines) {
+      if (apply_envelope_field(response.id, ignored, line, what)) continue;
+      if (line.key == "body") {
+        a.text = percent_decode(line.value, what + ": body");
+        continue;
+      }
+      throw ConfigError(what + ": unknown metrics-answer key '" + line.key +
+                        "'");
+    }
+    response.payload = std::move(a);
+  } else if (tag == "trace-answer") {
+    TraceAnswer a;
+    double ignored = 0.0;
+    for (const Line& line : lines) {
+      if (apply_envelope_field(response.id, ignored, line, what)) continue;
+      if (line.key == "span") {
+        a.spans.push_back(decode_span(line.value, what));
+        continue;
+      }
+      throw ConfigError(what + ": unknown trace-answer key '" + line.key +
+                        "'");
+    }
+    response.payload = std::move(a);
   } else if (tag == "error") {
     response.payload = decode_error(lines, response.id, what);
   } else {

@@ -31,22 +31,52 @@
 #include <stdexcept>
 #include <string>
 #include <variant>
+#include <vector>
 
+#include "obs/trace.hpp"
 #include "serve/query.hpp"
 
 namespace liquid3d {
 
 /// Wire-protocol version this build speaks.  Bump when a key changes
-/// meaning or a new key must not be ignored by old peers; adding a new
-/// *tag* is also a version bump (decoders reject unknown tags).
+/// meaning or a new key must not be ignored by old peers.  Purely
+/// additive control-plane tags/keys (metrics, trace, stats reset_hwm)
+/// do NOT bump the version: an old server answers them with a typed
+/// bad-request — strict decoding already guarantees they can never be
+/// silently ignored — and everything a version-1 peer could say before
+/// still means the same thing.
 inline constexpr std::uint32_t kServeWireVersion = 1;
 
 /// Payload cap for one frame (guards both peers against a hostile or
 /// corrupt length prefix; see net/frame.hpp).
 inline constexpr std::size_t kMaxFramePayload = 16u << 20;
 
-/// Request for the service's counter snapshot (no payload fields).
-struct StatsQuery {};
+/// Request for the service's counter snapshot.  With `reset_hwm` set the
+/// server reports the current windowed queue high-water mark, then resets
+/// the window (report-then-reset, so no observation is lost).
+struct StatsQuery {
+  bool reset_hwm = false;
+};
+
+/// Request for the Prometheus-style metrics exposition (`serve_ctl
+/// metrics`).  Answered inline on the reader thread, like stats.
+struct MetricsQuery {};
+
+/// Request for a dump of recent trace spans; `limit` == 0 means all
+/// retained spans.
+struct TraceQuery {
+  std::uint64_t limit = 0;
+};
+
+/// Metrics exposition text (see docs/observability.md for the format).
+struct MetricsAnswer {
+  std::string text;
+};
+
+/// Recent trace spans, oldest first.
+struct TraceAnswer {
+  std::vector<obs::TraceSpan> spans;
+};
 
 /// How a request can fail, as carried on the wire and surfaced to client
 /// code.  The first four are transport outcomes; kSolver/kBadRequest mirror
@@ -89,14 +119,18 @@ struct ErrorReply {
 struct WireRequest {
   std::uint64_t id = 0;
   double deadline_ms = 0.0;
-  std::variant<SteadyQuery, WhatIfQuery, ReplayQuery, StatsQuery> payload;
+  std::variant<SteadyQuery, WhatIfQuery, ReplayQuery, StatsQuery,
+               MetricsQuery, TraceQuery>
+      payload;
 };
 
 /// One response envelope; `id` echoes the request it answers (0 when the
 /// request was too malformed to recover an id from).
 struct WireResponse {
   std::uint64_t id = 0;
-  std::variant<SteadyAnswer, SessionOutcome, ServeStats, ErrorReply> payload;
+  std::variant<SteadyAnswer, SessionOutcome, ServeStats, ErrorReply,
+               MetricsAnswer, TraceAnswer>
+      payload;
 };
 
 [[nodiscard]] std::string encode_request(const WireRequest& request);

@@ -5,9 +5,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <string>
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/net/frame.hpp"
 
 namespace liquid3d {
@@ -94,6 +97,7 @@ void ServeServer::reader_loop(const std::shared_ptr<Connection>& conn) {
       break;
     }
     if (!payload) break;  // clean EOF
+    const std::uint64_t recv_ns = obs::tracing_enabled() ? obs::now_ns() : 0;
 
     WireRequest request;
     try {
@@ -108,16 +112,60 @@ void ServeServer::reader_loop(const std::shared_ptr<Connection>& conn) {
       continue;
     }
 
-    if (std::holds_alternative<StatsQuery>(request.payload)) {
+    // Control plane: stats/metrics/trace answer inline on this thread,
+    // bypass admission, and are never traced themselves.
+    if (const auto* sq = std::get_if<StatsQuery>(&request.payload)) {
       WireResponse resp;
       resp.id = request.id;
-      resp.payload = stats();
+      ServeStats s = service_.stats();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        s.wire_accepted = accepted_;
+        s.wire_rejected = rejected_;
+        s.wire_timed_out = timed_out_;
+        s.wire_connections = active_conns_;
+        s.wire_queue_hwm = queue_hwm_;
+        s.wire_queue_hwm_window = queue_hwm_window_;
+        // Report-then-reset under one lock hold: no observation between
+        // the snapshot and the reset can be lost.
+        if (sq->reset_hwm) queue_hwm_window_ = 0;
+      }
+      resp.payload = s;
+      send_response(conn, resp);
+      continue;
+    }
+    if (std::holds_alternative<MetricsQuery>(request.payload)) {
+      WireResponse resp;
+      resp.id = request.id;
+      resp.payload = MetricsAnswer{metrics_text()};
+      send_response(conn, resp);
+      continue;
+    }
+    if (const auto* tq = std::get_if<TraceQuery>(&request.payload)) {
+      WireResponse resp;
+      resp.id = request.id;
+      resp.payload = TraceAnswer{obs::TraceRing::global().snapshot(
+          static_cast<std::size_t>(tq->limit))};
       send_response(conn, resp);
       continue;
     }
 
+    // Query plane: open the trace (decode already happened, so its span
+    // is recorded post hoc against the frame-arrival stamp).
+    std::uint64_t trace_id = 0;
+    std::uint32_t root_span = 0;
+    if (obs::tracing_enabled()) {
+      trace_id = obs::next_trace_id();
+      root_span = obs::next_span_id();
+      obs::TraceRing::global().record(obs::TraceSpan{
+          trace_id, obs::next_span_id(), root_span, "decode", recv_ns,
+          obs::now_ns()});
+    }
+
     WireErrorCode reject = WireErrorCode::kInternal;
     bool admitted = false;
+    const std::uint64_t admit_start = trace_id != 0 ? obs::now_ns() : 0;
+    std::uint64_t admitted_ns = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (draining_) {
@@ -131,7 +179,24 @@ void ServeServer::reader_loop(const std::shared_ptr<Connection>& conn) {
         ++accepted_;
         ++inflight_;
         queue_hwm_ = std::max(queue_hwm_, inflight_);
-        conn->pending.push_back(QueuedRequest{std::move(request), Clock::now()});
+        queue_hwm_window_ = std::max(queue_hwm_window_, inflight_);
+        QueuedRequest item{std::move(request), Clock::now()};
+        item.trace_id = trace_id;
+        item.root_span = root_span;
+        item.recv_ns = recv_ns;
+        if (trace_id != 0) item.admitted_ns = obs::now_ns();
+        admitted_ns = item.admitted_ns;
+        conn->pending.push_back(std::move(item));
+      }
+    }
+    if (trace_id != 0) {
+      obs::TraceRing::global().record(obs::TraceSpan{
+          trace_id, obs::next_span_id(), root_span, "admission", admit_start,
+          admitted ? admitted_ns : obs::now_ns()});
+      if (!admitted) {
+        // Rejected requests still close their root span.
+        obs::TraceRing::global().record(obs::TraceSpan{
+            trace_id, root_span, 0, "request", recv_ns, obs::now_ns()});
       }
     }
     if (admitted) {
@@ -215,6 +280,17 @@ void ServeServer::execute(const std::shared_ptr<Connection>& conn,
   const auto budget_left = [&]() -> double {
     return deadline_ms - elapsed_ms(item.admitted);
   };
+  // Tracing context opened by the reader (zero when tracing was off at
+  // admission).  The dispatch span is the queue wait: admission decided
+  // to worker pickup.
+  const std::uint64_t trace_id = item.trace_id;
+  if (trace_id != 0) {
+    obs::TraceRing::global().record(obs::TraceSpan{
+        trace_id, obs::next_span_id(), item.root_span, "dispatch",
+        item.admitted_ns, obs::now_ns()});
+  }
+  const char* solve_stage = "solve";
+  const std::uint64_t solve_start = trace_id != 0 ? obs::now_ns() : 0;
   try {
     if (deadline_ms > 0.0 && budget_left() <= 0.0) {
       throw WireError(WireErrorCode::kDeadlineExceeded,
@@ -224,7 +300,9 @@ void ServeServer::execute(const std::shared_ptr<Connection>& conn,
     if (const auto* steady = std::get_if<SteadyQuery>(&item.request.payload)) {
       // Synchronous; the deadline gates dispatch (a steady answer is
       // microseconds-to-milliseconds, not worth a cancellation channel).
-      resp.payload = service_.steady(*steady);
+      SteadyAnswer answer = service_.steady(*steady);
+      solve_stage = answer.used_rom ? "solve/rom" : "solve/full";
+      resp.payload = std::move(answer);
     } else {
       std::future<SessionOutcome> future;
       if (const auto* whatif =
@@ -246,6 +324,7 @@ void ServeServer::execute(const std::shared_ptr<Connection>& conn,
         }
       }
       resp.payload = future.get();
+      solve_stage = "solve/session";
     }
   } catch (const WireError& e) {
     if (e.code() == WireErrorCode::kDeadlineExceeded) {
@@ -260,12 +339,35 @@ void ServeServer::execute(const std::shared_ptr<Connection>& conn,
   } catch (const std::exception& e) {
     resp.payload = ErrorReply{WireErrorCode::kInternal, e.what()};
   }
-  send_response(conn, resp);
+  if (trace_id != 0) {
+    obs::TraceRing::global().record(obs::TraceSpan{
+        trace_id, obs::next_span_id(), item.root_span, solve_stage,
+        solve_start, obs::now_ns()});
+  }
+  // Encode before recording the final spans, and record them before the
+  // frame leaves: the moment the client sees the answer, a follow-up
+  // `trace` request must find the complete span tree (the daemon-smoke
+  // scrape depends on this).  The socket write itself is untraced.
+  const std::uint64_t encode_start = trace_id != 0 ? obs::now_ns() : 0;
+  const std::string payload = encode_response(resp);
+  if (trace_id != 0) {
+    const std::uint64_t end = obs::now_ns();
+    obs::TraceRing::global().record(obs::TraceSpan{
+        trace_id, obs::next_span_id(), item.root_span, "encode", encode_start,
+        end});
+    obs::TraceRing::global().record(obs::TraceSpan{
+        trace_id, item.root_span, 0, "request", item.recv_ns, end});
+  }
+  send_payload(conn, payload);
 }
 
 void ServeServer::send_response(const std::shared_ptr<Connection>& conn,
                                 const WireResponse& response) {
-  const std::string payload = encode_response(response);
+  send_payload(conn, encode_response(response));
+}
+
+void ServeServer::send_payload(const std::shared_ptr<Connection>& conn,
+                               const std::string& payload) {
   std::lock_guard<std::mutex> lock(conn->write_mu);
   try {
     send_frame(conn->fd, payload);
@@ -349,7 +451,46 @@ ServeStats ServeServer::stats() const {
   s.wire_timed_out = timed_out_;
   s.wire_connections = active_conns_;
   s.wire_queue_hwm = queue_hwm_;
+  s.wire_queue_hwm_window = queue_hwm_window_;
   return s;
+}
+
+std::string ServeServer::metrics_text() const {
+  const ServeStats s = stats();
+  std::string out = obs::Registry::global().prometheus();
+  const auto counter = [&out](const char* name, std::size_t v) {
+    out += "liquid3d_serve_";
+    out += name;
+    out += "_total ";
+    out += std::to_string(v);
+    out += '\n';
+  };
+  const auto gauge = [&out](const char* name, std::size_t v) {
+    out += "liquid3d_serve_";
+    out += name;
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+  };
+  counter("steady_queries", s.steady_queries);
+  counter("rom_hits", s.rom_hits);
+  counter("rom_builds", s.rom_builds);
+  counter("rom_fallbacks", s.rom_fallbacks);
+  counter("rom_evictions", s.rom_evictions);
+  counter("full_solves", s.full_solves);
+  counter("model_evictions", s.model_evictions);
+  counter("session_queries", s.session_queries);
+  counter("batches", s.batches);
+  counter("batched_sessions", s.batched_sessions);
+  counter("solo_fallbacks", s.solo_fallbacks);
+  counter("wire_accepted", s.wire_accepted);
+  counter("wire_rejected", s.wire_rejected);
+  counter("wire_timed_out", s.wire_timed_out);
+  gauge("max_batch", s.max_batch);
+  gauge("wire_connections", s.wire_connections);
+  gauge("wire_queue_hwm", s.wire_queue_hwm);
+  gauge("wire_queue_hwm_window", s.wire_queue_hwm_window);
+  return out;
 }
 
 }  // namespace liquid3d

@@ -19,8 +19,10 @@
 //     new request `shutting-down`, and returns once the admitted in-flight
 //     requests have been answered (the daemon's SIGTERM path).
 //
-// Stats requests are control plane: readers answer them inline, bypassing
-// admission, so an operator can watch an overloaded server.
+// Stats, metrics, and trace requests are control plane: readers answer
+// them inline, bypassing admission, so an operator can watch an
+// overloaded server.  They are also never traced themselves — spans
+// describe query work, not the act of observing it.
 //
 // Threading: one listener (poll + wake pipe), one reader per connection
 // (decode + admission + inline error/stats replies), `workers` dispatch
@@ -78,10 +80,22 @@ class ServeServer {
   /// Service counters plus the wire_* transport counters.
   [[nodiscard]] ServeStats stats() const;
 
+  /// Prometheus-style text exposition: the global obs registry plus this
+  /// server's ServeStats rendered as `liquid3d_serve_*` lines (exact
+  /// counters, so a scrape can be asserted against a burst's totals).
+  [[nodiscard]] std::string metrics_text() const;
+
  private:
   struct QueuedRequest {
     WireRequest request;
     std::chrono::steady_clock::time_point admitted;
+    // Tracing context (zero when tracing is off): decode/admission spans
+    // are recorded on the reader thread; dispatch/solve/encode spans are
+    // recorded by the worker against the same trace_id/root.
+    std::uint64_t trace_id = 0;
+    std::uint32_t root_span = 0;
+    std::uint64_t recv_ns = 0;      ///< request start (frame received)
+    std::uint64_t admitted_ns = 0;  ///< admission decided (dispatch from here)
   };
   struct Connection {
     ~Connection();
@@ -99,6 +113,8 @@ class ServeServer {
   void execute(const std::shared_ptr<Connection>& conn, QueuedRequest item);
   void send_response(const std::shared_ptr<Connection>& conn,
                      const WireResponse& response);
+  void send_payload(const std::shared_ptr<Connection>& conn,
+                    const std::string& payload);
   void reap_locked();
 
   ThermalService& service_;
@@ -126,7 +142,8 @@ class ServeServer {
   std::size_t rejected_ = 0;
   std::size_t timed_out_ = 0;
   std::size_t active_conns_ = 0;
-  std::size_t queue_hwm_ = 0;
+  std::size_t queue_hwm_ = 0;         ///< lifetime (monotonic)
+  std::size_t queue_hwm_window_ = 0;  ///< since last stats --reset-hwm
 };
 
 }  // namespace liquid3d

@@ -130,7 +130,10 @@ struct ServeStats {
   std::size_t wire_rejected = 0;     ///< overloaded + shutting-down rejections
   std::size_t wire_timed_out = 0;    ///< deadline-exceeded replies
   std::size_t wire_connections = 0;  ///< currently open connections
-  std::size_t wire_queue_hwm = 0;    ///< in-flight high-water mark
+  std::size_t wire_queue_hwm = 0;    ///< in-flight high-water mark (lifetime)
+  /// In-flight high-water mark since the last `stats --reset-hwm`, so
+  /// successive burst measurements are independent of earlier traffic.
+  std::size_t wire_queue_hwm_window = 0;
 };
 
 }  // namespace liquid3d

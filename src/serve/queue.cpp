@@ -116,11 +116,12 @@ void QueryQueue::worker_loop() {
 
     run_batch(batch);
 
+    batches_.add();
+    batched_sessions_.add(batch.size());
+    max_batch_seen_.observe(batch.size());
+
     lock.lock();
     --active_;
-    ++batches_;
-    batched_sessions_ += batch.size();
-    max_batch_seen_ = std::max(max_batch_seen_, batch.size());
     idle_cv_.notify_all();
   }
 }
@@ -146,8 +147,7 @@ void QueryQueue::run_batch(std::vector<SessionJob>& jobs) {
     // alone, so only the genuinely failing ones surface an exception.
     for (SessionJob& job : jobs) {
       run_solo(job);
-      std::lock_guard<std::mutex> lock(mu_);
-      ++solo_fallbacks_;
+      solo_fallbacks_.add();
     }
   }
 }

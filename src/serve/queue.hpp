@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/query.hpp"
 
 namespace liquid3d {
@@ -67,26 +68,21 @@ class QueryQueue {
   void stop();
 
   [[nodiscard]] std::size_t pending() const;
-  [[nodiscard]] std::size_t batches() const { return counter(batches_); }
+  [[nodiscard]] std::size_t batches() const { return batches_.value(); }
   [[nodiscard]] std::size_t batched_sessions() const {
-    return counter(batched_sessions_);
+    return batched_sessions_.value();
   }
   [[nodiscard]] std::size_t max_batch_seen() const {
-    return counter(max_batch_seen_);
+    return max_batch_seen_.lifetime();
   }
   [[nodiscard]] std::size_t solo_fallbacks() const {
-    return counter(solo_fallbacks_);
+    return solo_fallbacks_.value();
   }
 
  private:
   void worker_loop();
   void run_batch(std::vector<SessionJob>& jobs);
   static void run_solo(SessionJob& job);
-
-  [[nodiscard]] std::size_t counter(const std::size_t& c) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return c;
-  }
 
   Params params_;
   mutable std::mutex mu_;
@@ -97,11 +93,12 @@ class QueryQueue {
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 
-  // Counters (written by workers under mu_).
-  std::size_t batches_ = 0;
-  std::size_t batched_sessions_ = 0;
-  std::size_t max_batch_seen_ = 0;
-  std::size_t solo_fallbacks_ = 0;
+  // Per-instance obs counters: lock-free reads (the accessors above used
+  // to take mu_ just to read a size_t).
+  obs::Counter batches_;
+  obs::Counter batched_sessions_;
+  obs::MaxTracker max_batch_seen_;
+  obs::Counter solo_fallbacks_;
 };
 
 }  // namespace liquid3d

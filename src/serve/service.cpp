@@ -199,7 +199,7 @@ std::shared_ptr<ThermalService::ModelEntry> ThermalService::model_for(
       }
       if (victim == models_.end()) break;
       models_.erase(victim);  // borrowers' shared_ptr keeps the model alive
-      model_evictions_.fetch_add(1, std::memory_order_relaxed);
+      model_evictions_.add();
     }
   }
   std::lock_guard<std::mutex> entry_lock(entry->mu);
@@ -245,7 +245,7 @@ std::shared_ptr<const ReducedSteadyModel> ThermalService::rom_for(
       }
       if (victim == roms_.end()) break;
       roms_.erase(victim);
-      rom_evictions_.fetch_add(1, std::memory_order_relaxed);
+      rom_evictions_.add();
     }
   }
   if (builder) {
@@ -260,7 +260,7 @@ std::shared_ptr<const ReducedSteadyModel> ThermalService::rom_for(
         rom = std::make_shared<const ReducedSteadyModel>(
             ReducedSteadyModel::build(*entry->model, params_.rom));
       }
-      rom_builds_.fetch_add(1, std::memory_order_relaxed);
+      rom_builds_.add();
       promise.set_value(std::move(rom));
     } catch (...) {
       {
@@ -294,7 +294,7 @@ SteadyAnswer ThermalService::full_steady(
     model.set_block_power(l, block_watts[l]);
   }
   model.solve_steady_state();
-  full_solves_.fetch_add(1, std::memory_order_relaxed);
+  full_solves_.add();
   answer.t_max_c = model.max_temperature();
   const std::size_t layers = model.stack().layer_count();
   ThermalState state;
@@ -308,8 +308,15 @@ SteadyAnswer ThermalService::full_steady(
 }
 
 SteadyAnswer ThermalService::steady(const SteadyQuery& query) {
+  // Latency distributions by path (shared across service instances; the
+  // references are resolved once, so the steady hot path never takes the
+  // registry lock).
+  static obs::Histogram& rom_seconds =
+      obs::Registry::global().histogram("liquid3d_serve_steady_rom_seconds");
+  static obs::Histogram& full_seconds =
+      obs::Registry::global().histogram("liquid3d_serve_steady_full_seconds");
   const auto start = Clock::now();
-  steady_queries_.fetch_add(1, std::memory_order_relaxed);
+  steady_queries_.add();
   const SimulationConfig& cfg = query.config;
   const Stack3D stack = make_simulation_stack(cfg);
   const std::vector<std::vector<double>> watts = resolve_watts(query, stack);
@@ -327,7 +334,7 @@ SteadyAnswer ThermalService::steady(const SteadyQuery& query) {
     RomEvaluation eval;
     rom->evaluate(watts, t_ref, query.max_error_c, scratch, eval);
     if (eval.within_bound) {
-      rom_hits_.fetch_add(1, std::memory_order_relaxed);
+      rom_hits_.add();
       SteadyAnswer answer;
       answer.t_max_c = eval.t_max_c;
       answer.layer_max_c = std::move(eval.layer_max_c);
@@ -336,12 +343,14 @@ SteadyAnswer ThermalService::steady(const SteadyQuery& query) {
       answer.certified_error_c = rom->certified_error_c();
       answer.rom_dimension = rom->dimension();
       answer.elapsed_us = elapsed_us(start);
+      rom_seconds.record(answer.elapsed_us * 1e-6);
       return answer;
     }
-    rom_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    rom_fallbacks_.add();
   }
   SteadyAnswer answer = full_steady(query, watts, flows);
   answer.elapsed_us = elapsed_us(start);
+  full_seconds.record(answer.elapsed_us * 1e-6);
   return answer;
 }
 
@@ -398,7 +407,7 @@ std::future<SessionOutcome> ThermalService::submit_session(
   job.cfg.phases = phases;
   job.group_key = topology_key(job.cfg);
   job.trace_period_s = trace_period_s;
-  session_queries_.fetch_add(1, std::memory_order_relaxed);
+  session_queries_.add();
   return queue_.submit(std::move(job));
 }
 
@@ -414,14 +423,14 @@ void ThermalService::wait_idle() { queue_.wait_idle(); }
 
 ServeStats ThermalService::stats() const {
   ServeStats s;
-  s.steady_queries = steady_queries_.load(std::memory_order_relaxed);
-  s.rom_hits = rom_hits_.load(std::memory_order_relaxed);
-  s.rom_builds = rom_builds_.load(std::memory_order_relaxed);
-  s.rom_fallbacks = rom_fallbacks_.load(std::memory_order_relaxed);
-  s.rom_evictions = rom_evictions_.load(std::memory_order_relaxed);
-  s.full_solves = full_solves_.load(std::memory_order_relaxed);
-  s.model_evictions = model_evictions_.load(std::memory_order_relaxed);
-  s.session_queries = session_queries_.load(std::memory_order_relaxed);
+  s.steady_queries = steady_queries_.value();
+  s.rom_hits = rom_hits_.value();
+  s.rom_builds = rom_builds_.value();
+  s.rom_fallbacks = rom_fallbacks_.value();
+  s.rom_evictions = rom_evictions_.value();
+  s.full_solves = full_solves_.value();
+  s.model_evictions = model_evictions_.value();
+  s.session_queries = session_queries_.value();
   s.batches = queue_.batches();
   s.batched_sessions = queue_.batched_sessions();
   s.max_batch = queue_.max_batch_seen();

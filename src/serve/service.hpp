@@ -25,7 +25,6 @@
 // on the next miss.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <future>
 #include <map>
@@ -34,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/query.hpp"
 #include "serve/queue.hpp"
 #include "serve/rom.hpp"
@@ -122,14 +122,18 @@ class ThermalService {
   std::map<std::string, RomSlot> roms_;
   std::uint64_t lru_clock_ = 0;
 
-  std::atomic<std::size_t> steady_queries_{0};
-  std::atomic<std::size_t> rom_hits_{0};
-  std::atomic<std::size_t> rom_builds_{0};
-  std::atomic<std::size_t> rom_fallbacks_{0};
-  std::atomic<std::size_t> rom_evictions_{0};
-  std::atomic<std::size_t> full_solves_{0};
-  std::atomic<std::size_t> model_evictions_{0};
-  std::atomic<std::size_t> session_queries_{0};
+  // Per-instance obs counters (not in the global registry: each service
+  // owns its own stats; the registry holds process-wide solver/batch
+  // instruments).  Counter::add is the same one-relaxed-add the old
+  // atomics did — these stay functional under the obs kill switch.
+  obs::Counter steady_queries_;
+  obs::Counter rom_hits_;
+  obs::Counter rom_builds_;
+  obs::Counter rom_fallbacks_;
+  obs::Counter rom_evictions_;
+  obs::Counter full_solves_;
+  obs::Counter model_evictions_;
+  obs::Counter session_queries_;
 
   QueryQueue queue_;
 };

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace liquid3d {
 
@@ -38,6 +39,22 @@ std::vector<SimulationResult> BatchRunner::run() {
   }
   group_count_ = groups.size();
 
+  // Batch observability: how often lockstep grouping fires and how wide
+  // the groups are is the whole economics of the shared-factorization
+  // path (out of band — counters/timers only).
+  static obs::Counter& groups_c =
+      obs::Registry::global().counter("liquid3d_batch_groups_total");
+  static obs::Histogram& group_size_h =
+      obs::Registry::global().histogram("liquid3d_batch_group_sessions");
+  static obs::Histogram& step_h =
+      obs::Registry::global().histogram("liquid3d_batch_step_seconds");
+  groups_c.add(groups.size());
+  if (obs::enabled()) {
+    for (const auto& [key, members] : groups) {
+      group_size_h.record_always(static_cast<double>(members.size()));
+    }
+  }
+
   for (auto& [key, members] : groups) {
     // Sessions may have different durations: finished members drop out of
     // the lockstep set and the rest keep sharing a (smaller) batch.
@@ -53,6 +70,7 @@ std::vector<SimulationResult> BatchRunner::run() {
       const double sub_dt = active_.front()->substep_dt();
       const std::size_t substeps = active_.front()->substep_count();
       for (std::size_t sub = 0; sub < substeps; ++sub) {
+        obs::ScopedTimer t(step_h);
         stepper_.step(models_, sub_dt);
       }
       for (SimulationSession* s : active_) s->finish_tick();

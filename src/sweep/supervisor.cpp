@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "sweep/worker.hpp"
 
 namespace liquid3d {
 
@@ -19,13 +20,19 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Journal size in bytes; 0 when the file does not exist yet.  The size is
-/// the progress heartbeat: the worker fsyncs an append per finished cell,
-/// so a growing file means cells are completing.
-std::uint64_t journal_size(const std::string& path) {
+/// File size in bytes; 0 when the file does not exist yet.
+std::uint64_t file_size(const std::string& path) {
   struct stat st{};
   if (::stat(path.c_str(), &st) != 0) return 0;
   return static_cast<std::uint64_t>(st.st_size);
+}
+
+/// The progress heartbeat: journal bytes (the worker fsyncs an append per
+/// finished cell) plus the worker's JSONL metrics heartbeat next to it
+/// (a chunk_start line lands before the first cell completes, so a
+/// worker grinding through a slow first chunk is not misread as stalled).
+std::uint64_t journal_size(const std::string& path) {
+  return file_size(path) + file_size(sweep_metrics_path(path));
 }
 
 pid_t spawn(const std::vector<std::string>& argv) {

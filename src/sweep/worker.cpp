@@ -1,19 +1,92 @@
 #include "sweep/worker.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <optional>
 #include <unordered_set>
 
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "sim/batch_runner.hpp"
 #include "sim/simulator.hpp"
 #include "workload/benchmarks.hpp"
 
 namespace liquid3d {
 
+std::string sweep_metrics_path(const std::string& journal_path) {
+  return journal_path + ".metrics.jsonl";
+}
+
 namespace {
+
+/// Appends one JSONL heartbeat line per chunk boundary next to the
+/// journal.  Advisory telemetry: plain buffered appends (no fsync — a
+/// torn final line costs nothing; the journal holds the durable state),
+/// and disabled entirely by the obs kill switch.
+class MetricsHeartbeat {
+ public:
+  MetricsHeartbeat(const std::string& journal_path,
+                   const SweepWorkerStats& stats)
+      : stats_(stats), enabled_(obs::enabled()) {
+    if (enabled_) {
+      out_.open(sweep_metrics_path(journal_path), std::ios::app);
+      enabled_ = out_.is_open();
+    }
+  }
+
+  void chunk_start(std::size_t chunk, std::size_t cells) {
+    chunk_began_ = std::chrono::steady_clock::now();
+    line("chunk_start", chunk, cells, /*with_rate=*/false, 0.0);
+  }
+
+  void chunk_end(std::size_t chunk, std::size_t cells) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      chunk_began_)
+            .count();
+    line("chunk_end", chunk, cells, /*with_rate=*/true, elapsed);
+  }
+
+ private:
+  void line(const char* event, std::size_t chunk, std::size_t cells,
+            bool with_rate, double elapsed_s) {
+    if (!enabled_) return;
+    const auto ts_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    char buf[256];
+    if (with_rate) {
+      const double rate =
+          elapsed_s > 0.0 ? static_cast<double>(cells) / elapsed_s : 0.0;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ts_ms\":%lld,\"event\":\"%s\",\"chunk\":%zu,"
+                    "\"cells\":%zu,\"completed\":%zu,\"failed\":%zu,"
+                    "\"total\":%zu,\"elapsed_s\":%.3f,\"cells_per_s\":%.3f}\n",
+                    static_cast<long long>(ts_ms), event, chunk, cells,
+                    stats_.completed, stats_.failed, stats_.total_cells,
+                    elapsed_s, rate);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ts_ms\":%lld,\"event\":\"%s\",\"chunk\":%zu,"
+                    "\"cells\":%zu,\"completed\":%zu,\"failed\":%zu,"
+                    "\"total\":%zu}\n",
+                    static_cast<long long>(ts_ms), event, chunk, cells,
+                    stats_.completed, stats_.failed, stats_.total_cells);
+    }
+    out_ << buf;
+    out_.flush();  // a supervisor tails this file for liveness
+  }
+
+  const SweepWorkerStats& stats_;
+  bool enabled_;
+  std::ofstream out_;
+  std::chrono::steady_clock::time_point chunk_began_{};
+};
 
 /// What the worker knows about one pending cell while its chunk runs.
 struct CellSlot {
@@ -108,10 +181,25 @@ SweepWorkerStats run_sweep_shard(const SweepCellFile& shard,
   ExperimentSuite suite(to_suite_config(shard.grid));
   SweepJournal journal(journal_path);
 
+  // Fleet observability: chunk timings in the global registry plus a
+  // JSONL heartbeat next to the journal (liveness before the first
+  // journal append, throughput after every chunk).
+  static obs::Counter& completed_c = obs::Registry::global().counter(
+      "liquid3d_sweep_cells_completed_total");
+  static obs::Counter& failed_c =
+      obs::Registry::global().counter("liquid3d_sweep_cells_failed_total");
+  static obs::Histogram& chunk_h =
+      obs::Registry::global().histogram("liquid3d_sweep_chunk_seconds");
+  MetricsHeartbeat heartbeat(journal_path, stats);
+  std::size_t chunk_index = 0;
+
   for (std::size_t begin = 0; begin < pending.size();
        begin += options.batch_limit) {
     const std::size_t end =
         std::min(begin + options.batch_limit, pending.size());
+
+    heartbeat.chunk_start(chunk_index, end - begin);
+    obs::ScopedTimer chunk_timer(chunk_h);
 
     std::vector<CellSlot> slots(end - begin);
 
@@ -227,6 +315,7 @@ SweepWorkerStats run_sweep_shard(const SweepCellFile& shard,
       if (slot.ok) {
         entry.result = std::move(slot.result);
         ++stats.completed;
+        completed_c.add();
       } else {
         entry.failed = true;
         entry.scenario = slot.cell->scenario.name;
@@ -234,9 +323,14 @@ SweepWorkerStats run_sweep_shard(const SweepCellFile& shard,
         entry.error = slot.error;
         entry.attempts = slot.attempts;
         ++stats.failed;
+        failed_c.add();
       }
       journal.append(entry);
     }
+
+    chunk_timer.stop();
+    heartbeat.chunk_end(chunk_index, end - begin);
+    ++chunk_index;
   }
   return stats;
 }

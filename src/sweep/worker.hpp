@@ -65,6 +65,12 @@ struct SweepWorkerStats {
   std::size_t remaining = 0;      ///< left undone (max_new_cells cutoff)
 };
 
+/// Where a worker writes its JSONL metrics heartbeat: one line at chunk
+/// start and one per completed chunk, next to the journal, so a
+/// supervisor (or an operator's tail -f) can see liveness + throughput
+/// without parsing the journal itself.  See docs/observability.md.
+[[nodiscard]] std::string sweep_metrics_path(const std::string& journal_path);
+
 /// Run (or resume) `shard` against the journal at `journal_path`.
 /// Unknown workload names or scenarios that fail to bind throw ConfigError
 /// naming the cell.  Safe to call again after a crash or cutoff: journaled

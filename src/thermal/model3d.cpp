@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace liquid3d {
 
@@ -332,10 +333,20 @@ void ThermalModel3D::build_matrix(BandedSpdMatrix& m, double inv_dt) const {
 
 const BandedSpdMatrix& ThermalModel3D::matrix_for_dt(double dt_s) {
   if (const BandedSpdMatrix* cached = factor_cache_.find(dt_s)) return *cached;
+  static obs::Histogram& assemble_h =
+      obs::Registry::global().histogram("liquid3d_solver_assemble_seconds");
+  static obs::Histogram& factorize_h =
+      obs::Registry::global().histogram("liquid3d_solver_factorize_seconds");
   const std::size_t bw = grid_.cols() * layer_count_;
   auto m = std::make_unique<BandedSpdMatrix>(node_count_, bw);
-  build_matrix(*m, 1.0 / dt_s);
-  m->factorize();
+  {
+    obs::ScopedTimer t(assemble_h);
+    build_matrix(*m, 1.0 / dt_s);
+  }
+  {
+    obs::ScopedTimer t(factorize_h);
+    m->factorize();
+  }
   return factor_cache_.insert(dt_s, std::move(m));
 }
 
@@ -345,9 +356,13 @@ void ThermalModel3D::build_sparse_matrix(SparseMatrix& m, double inv_dt) const {
 
 PcgSolver& ThermalModel3D::pcg_for_dt(double dt_s) {
   if (PcgSolver* cached = pcg_cache_.find(dt_s)) return *cached;
+  static obs::Histogram& assemble_h =
+      obs::Registry::global().histogram("liquid3d_solver_assemble_seconds");
+  obs::ScopedTimer assemble_t(assemble_h);
   SparseMatrix a(node_count_);
   build_sparse_matrix(a, 1.0 / dt_s);
   a.finalize();
+  assemble_t.stop();
   return pcg_cache_.insert(dt_s,
                            std::make_unique<PcgSolver>(std::move(a), params_.pcg));
 }
@@ -461,7 +476,12 @@ double ThermalModel3D::advance(double dt_s, std::size_t fluid_iters,
                    "assembled backward-Euler RHS contains non-finite values "
                    "(check power inputs and fluid state)");
     if (direct) {
-      direct->solve(rhs_);
+      static obs::Histogram& solve_h = obs::Registry::global().histogram(
+          "liquid3d_solver_direct_solve_seconds");
+      {
+        obs::ScopedTimer t(solve_h);
+        direct->solve(rhs_);
+      }
       temps_.swap(rhs_);
     } else {
       // Warm-start from the current field: across fluid iterations (and
@@ -740,12 +760,22 @@ void ThermalModel3D::solve_steady_state_direct(const std::function<bool()>& pre_
     }
   }
   if (!key_matches) {
+    static obs::Histogram& assemble_h =
+        obs::Registry::global().histogram("liquid3d_solver_assemble_seconds");
+    static obs::Histogram& factorize_h =
+        obs::Registry::global().histogram("liquid3d_solver_factorize_seconds");
     const std::size_t bw = grid_.cols() * layer_count_;
     if (!steady_direct_) {
       steady_direct_ = std::make_unique<BandedLuMatrix>(node_count_, bw, bw);
     }
-    build_steady_direct_system(*steady_direct_, steady_inlet_coef_);
-    steady_direct_->factorize();
+    {
+      obs::ScopedTimer t(assemble_h);
+      build_steady_direct_system(*steady_direct_, steady_inlet_coef_);
+    }
+    {
+      obs::ScopedTimer t(factorize_h);
+      steady_direct_->factorize();
+    }
     steady_direct_flows_.resize(cavity_flows_.size());
     for (std::size_t k = 0; k < cavity_flows_.size(); ++k) {
       steady_direct_flows_[k] = cavity_flows_[k].ml_per_min();
@@ -764,7 +794,12 @@ void ThermalModel3D::solve_steady_state_direct(const std::function<bool()>& pre_
     for (std::size_t i = 0; i < node_count_; ++i) {
       rhs_[i] = cell_power_[i] + steady_inlet_coef_[i] * inlet_temperature_;
     }
-    steady_direct_->solve(rhs_);
+    static obs::Histogram& solve_h = obs::Registry::global().histogram(
+        "liquid3d_solver_direct_solve_seconds");
+    {
+      obs::ScopedTimer t(solve_h);
+      steady_direct_->solve(rhs_);
+    }
     double delta = 0.0;
     for (std::size_t i = 0; i < node_count_; ++i) {
       delta = std::max(delta, std::abs(rhs_[i] - temps_[i]));

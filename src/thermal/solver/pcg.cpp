@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
+#include "obs/metrics.hpp"
 
 namespace liquid3d {
 
@@ -175,13 +176,30 @@ void PcgSolver::apply_preconditioner(const double* r, double* z) const {
 }
 
 PcgSummary PcgSolver::solve(const double* b, double* x) {
+  // Profiling hooks (out of band; see docs/observability.md): wall time
+  // per solve, iteration count, and final relative residual.  Iteration
+  // growth with grid resolution is the ROADMAP's preconditioner metric.
+  static obs::Histogram& solve_h =
+      obs::Registry::global().histogram("liquid3d_pcg_solve_seconds");
+  static obs::Histogram& iters_h =
+      obs::Registry::global().histogram("liquid3d_pcg_iterations");
+  static obs::Histogram& resid_h =
+      obs::Registry::global().histogram("liquid3d_pcg_residual");
+  obs::ScopedTimer timer(solve_h);
+  const auto finish = [this]() -> PcgSummary {
+    if (obs::enabled()) {
+      iters_h.record_always(static_cast<double>(last_.iterations));
+      resid_h.record_always(last_.relative_residual);
+    }
+    return last_;
+  };
   const std::size_t n = a_.size();
   ++solves_;
   // Chaos site: report a full-budget non-converged solve without touching
   // the iterate, exactly the shape a genuine stall presents to callers.
   if (fault_injection::should_fail("pcg.solve")) {
     last_ = {params_.max_iterations, 1.0, false};
-    return last_;
+    return finish();
   }
 
   double b_norm2 = 0.0;
@@ -189,7 +207,7 @@ PcgSummary PcgSolver::solve(const double* b, double* x) {
   if (b_norm2 == 0.0) {
     std::fill(x, x + n, 0.0);
     last_ = {0, 0.0, true};
-    return last_;
+    return finish();
   }
   const double target2 =
       params_.tolerance * params_.tolerance * b_norm2;
@@ -199,7 +217,7 @@ PcgSummary PcgSolver::solve(const double* b, double* x) {
   double r_norm2 = dot(r_, r_);
   if (r_norm2 <= target2) {
     last_ = {0, std::sqrt(r_norm2 / b_norm2), true};
-    return last_;
+    return finish();
   }
 
   apply_preconditioner(r_.data(), z_.data());
@@ -238,7 +256,7 @@ PcgSummary PcgSolver::solve(const double* b, double* x) {
 
   total_iterations_ += it;
   last_ = {it, std::sqrt(r_norm2 / b_norm2), converged};
-  return last_;
+  return finish();
 }
 
 }  // namespace liquid3d

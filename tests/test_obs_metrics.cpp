@@ -1,0 +1,261 @@
+// The observability metrics layer (obs/metrics.hpp): sharded counters,
+// gauges, max trackers, log-bucketed histograms, and the registry's text
+// exposition.  Contracts under test:
+//
+//   * concurrent Counter::add / Histogram::record from many threads lose
+//     nothing (these tests run under TSan in CI — the Obs suites are in
+//     the sanitizer regex);
+//   * bucket geometry: every positive finite value lands in the bucket
+//     whose [lower, upper) range contains it; out-of-range and pathological
+//     values clamp to bucket 0 / the overflow bucket, never misfile;
+//   * the kill switch turns Histogram::record and ScopedTimer into no-ops
+//     but never gates Counter::add (counters back functional stats);
+//   * MaxTracker's window resets independently of its lifetime max;
+//   * the registry exposes counters/gauges/histograms as Prometheus-style
+//     text, name-sorted.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace liquid3d::obs {
+namespace {
+
+TEST(ObsMetrics, ConcurrentCounterAddsLoseNothing) {
+  Counter c;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kAdds = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::size_t i = 0; i < kAdds; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kAdds);
+
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsMetrics, CounterAddN) {
+  Counter c;
+  c.add(5);
+  c.add(7);
+  EXPECT_EQ(c.value(), 12u);
+}
+
+TEST(ObsMetrics, ConcurrentHistogramRecordsLoseNothing) {
+  ScopedEnabled on(true);
+  Histogram h;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRecords = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      // Distinct per-thread values so the sum check would catch a lost
+      // update from any one thread.
+      const double v = 1.0e-6 * static_cast<double>(t + 1);
+      for (std::size_t i = 0; i < kRecords; ++i) h.record(v);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kRecords);
+  // Sum of 1..8 = 36.
+  EXPECT_NEAR(h.sum(), 36.0e-6 * kRecords, 1e-12 * kRecords);
+}
+
+TEST(ObsMetrics, BucketGeometryContainsValue) {
+  // Sweep several octaves: each value must land in a bucket whose
+  // [lower, upper) range contains it, and edges must be monotone.
+  for (double v : {1.0e-9, 3.7e-6, 1.0e-3, 0.999, 1.0, 1.0001, 42.0,
+                   1.0e6, 9.99e11}) {
+    const std::size_t idx = Histogram::bucket_index(v);
+    ASSERT_LT(idx, Histogram::kBuckets);
+    EXPECT_LE(Histogram::bucket_lower(idx), v) << "value " << v;
+    EXPECT_LT(v, Histogram::bucket_upper(idx)) << "value " << v;
+  }
+  for (std::size_t i = 1; i + 1 < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(Histogram::bucket_upper(i - 1), Histogram::bucket_lower(i));
+    EXPECT_LT(Histogram::bucket_lower(i), Histogram::bucket_upper(i));
+  }
+}
+
+TEST(ObsMetrics, BucketSubdivisionIsQuarterOctave) {
+  // Within one octave the four sub-bucket edges step by 2^0.25, so the
+  // worst-case relative quantile error is ~19%.
+  const std::size_t idx = Histogram::bucket_index(1.0);
+  const double ratio =
+      Histogram::bucket_upper(idx) / Histogram::bucket_lower(idx);
+  EXPECT_NEAR(ratio, std::pow(2.0, 0.25), 1e-12);
+}
+
+TEST(ObsMetrics, OverflowUnderflowAndPathologicalValues) {
+  ScopedEnabled on(true);
+  const std::size_t overflow = Histogram::kBuckets - 1;
+
+  // Above the top edge -> overflow bucket; below the bottom edge ->
+  // bucket 0 (clamped, not dropped).
+  EXPECT_EQ(Histogram::bucket_index(1.0e15), overflow);
+  EXPECT_EQ(Histogram::bucket_index(1.0e-20), 0u);
+
+  // +inf -> overflow; NaN and non-positive fail the positivity test and
+  // clamp to bucket 0 (misfiled, never dropped or out of bounds).
+  EXPECT_EQ(Histogram::bucket_index(
+                std::numeric_limits<double>::infinity()),
+            overflow);
+  EXPECT_EQ(Histogram::bucket_index(
+                std::numeric_limits<double>::quiet_NaN()),
+            0u);
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-3.5), 0u);
+
+  Histogram h;
+  h.record(1.0e15);
+  h.record(1.0e-20);
+  h.record(-1.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.bucket_count(overflow), 1u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+}
+
+TEST(ObsMetrics, QuantileFindsTheBucketMidpoint) {
+  ScopedEnabled on(true);
+  Histogram h;
+  // 90 fast samples, 10 slow ones: p50 must sit near 100us, p99 near 10ms.
+  for (int i = 0; i < 90; ++i) h.record(100e-6);
+  for (int i = 0; i < 10; ++i) h.record(10e-3);
+  EXPECT_NEAR(h.quantile(0.5), 100e-6, 100e-6 * 0.2);
+  EXPECT_NEAR(h.quantile(0.99), 10e-3, 10e-3 * 0.2);
+  // Empty histogram -> 0.
+  Histogram empty;
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+}
+
+TEST(ObsMetrics, KillSwitchGatesHistogramsNotCounters) {
+  ScopedEnabled off(false);
+  EXPECT_FALSE(enabled());
+
+  Histogram h;
+  h.record(1.0);
+  EXPECT_EQ(h.count(), 0u);  // gated
+
+  {
+    ScopedTimer t(h);  // armed_ = false: no clock reads, no record
+  }
+  EXPECT_EQ(h.count(), 0u);
+
+  Counter c;
+  c.add();  // counters are functional stats: never gated
+  EXPECT_EQ(c.value(), 1u);
+
+  // record_always bypasses the gate (used by callers that pre-check).
+  h.record_always(1.0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(ObsMetrics, ScopedTimerRecordsElapsedSeconds) {
+  ScopedEnabled on(true);
+  Histogram h;
+  {
+    ScopedTimer t(h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+  EXPECT_LT(h.sum(), 1.0);  // an empty scope does not take a second
+
+  // stop() is idempotent: a second stop (and the destructor) do nothing.
+  ScopedTimer t2(h);
+  t2.stop();
+  t2.stop();
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(ObsMetrics, GaugeSetAndAdd) {
+  Gauge g;
+  g.set(4.5);
+  EXPECT_EQ(g.value(), 4.5);
+  g.add(-1.5);
+  EXPECT_EQ(g.value(), 3.0);
+}
+
+TEST(ObsMetrics, MaxTrackerWindowResetsIndependently) {
+  MaxTracker m;
+  m.observe(5);
+  m.observe(3);
+  EXPECT_EQ(m.lifetime(), 5u);
+  EXPECT_EQ(m.window(), 5u);
+
+  m.reset_window();
+  EXPECT_EQ(m.lifetime(), 5u);  // lifetime is monotonic
+  EXPECT_EQ(m.window(), 0u);
+
+  m.observe(2);
+  EXPECT_EQ(m.lifetime(), 5u);
+  EXPECT_EQ(m.window(), 2u);
+}
+
+TEST(ObsMetrics, ConcurrentMaxTrackerKeepsTheMax) {
+  MaxTracker m;
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&m, t] {
+      for (std::uint64_t v = 0; v <= 1000; ++v) m.observe(v * (t + 1));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(m.lifetime(), 8000u);
+}
+
+TEST(ObsMetrics, RegistryExposesPrometheusText) {
+  ScopedEnabled on(true);
+  Registry& reg = Registry::global();
+  reg.counter("test_obs_requests_total").add(3);
+  reg.gauge("test_obs_depth").set(2.5);
+  Histogram& h = reg.histogram("test_obs_latency_seconds");
+  h.reset();
+  h.record(1.0e-3);
+
+  const std::string text = reg.prometheus();
+  EXPECT_NE(text.find("test_obs_requests_total 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("test_obs_depth 2.5"), std::string::npos) << text;
+  EXPECT_NE(text.find("test_obs_latency_seconds_count 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("test_obs_latency_seconds_sum"), std::string::npos);
+  EXPECT_NE(
+      text.find("test_obs_latency_seconds{quantile=\"0.5\"}"),
+      std::string::npos)
+      << text;
+
+  // find-or-create returns the same instrument.
+  EXPECT_EQ(&reg.counter("test_obs_requests_total"),
+            &reg.counter("test_obs_requests_total"));
+}
+
+TEST(ObsMetrics, RegistryNamesAreSorted) {
+  Registry& reg = Registry::global();
+  reg.counter("test_sort_b").add();
+  reg.counter("test_sort_a").add();
+  const std::string text = reg.prometheus();
+  const std::size_t a = text.find("test_sort_a");
+  const std::size_t b = text.find("test_sort_b");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_LT(a, b);
+}
+
+}  // namespace
+}  // namespace liquid3d::obs

@@ -1,0 +1,302 @@
+// Observability through the serve stack, end to end: the metrics/trace
+// control-plane wire tags, the windowed queue-HWM reset, and the contract
+// that tracing never perturbs answers (bit-identity on vs off).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/net/client.hpp"
+#include "serve/net/envelope.hpp"
+#include "serve/net/server.hpp"
+#include "serve/service.hpp"
+
+namespace liquid3d {
+namespace {
+
+Endpoint loopback() { return parse_endpoint("127.0.0.1:0", "test"); }
+
+WhatIfQuery small_whatif(std::uint64_t seed, double duration_s = 2.0) {
+  WhatIfQuery q;
+  q.scenario = "talb-var";
+  q.benchmark = "Web-med";
+  q.duration_s = duration_s;
+  q.seed = seed;
+  q.grid_rows = 8;
+  q.grid_cols = 9;
+  return q;
+}
+
+SteadyQuery small_steady() {
+  SteadyQuery q;
+  q.config.cooling = CoolingMode::kLiquidMax;
+  q.config.layer_pairs = 1;
+  q.config.thermal.grid_rows = 8;
+  q.config.thermal.grid_cols = 9;
+  q.core_watts = 3.0;
+  return q;
+}
+
+/// Service + started server on an ephemeral loopback port.
+struct Fixture {
+  explicit Fixture(ServerParams server_params = {}, ServeParams params = {})
+      : service(params), server(service, server_params) {
+    server.start(loopback());
+  }
+  ThermalService service;
+  ServeServer server;
+};
+
+/// Restore the global tracing flag on scope exit.
+class ScopedTracing {
+ public:
+  explicit ScopedTracing(bool on) : prev_(obs::tracing_enabled()) {
+    obs::set_tracing(on);
+  }
+  ~ScopedTracing() { obs::set_tracing(prev_); }
+
+ private:
+  bool prev_;
+};
+
+// -- envelope round trips for the new control-plane tags ----------------------
+
+TEST(ObsServe, MetricsQueryRoundTrips) {
+  WireRequest req;
+  req.id = 7;
+  req.payload = MetricsQuery{};
+  const WireRequest back = decode_request(encode_request(req));
+  EXPECT_EQ(back.id, 7u);
+  EXPECT_TRUE(std::holds_alternative<MetricsQuery>(back.payload));
+}
+
+TEST(ObsServe, TraceQueryRoundTripsWithAndWithoutLimit) {
+  WireRequest req;
+  req.id = 9;
+  req.payload = TraceQuery{0};
+  WireRequest back = decode_request(encode_request(req));
+  ASSERT_TRUE(std::holds_alternative<TraceQuery>(back.payload));
+  EXPECT_EQ(std::get<TraceQuery>(back.payload).limit, 0u);
+
+  req.payload = TraceQuery{32};
+  back = decode_request(encode_request(req));
+  ASSERT_TRUE(std::holds_alternative<TraceQuery>(back.payload));
+  EXPECT_EQ(std::get<TraceQuery>(back.payload).limit, 32u);
+}
+
+TEST(ObsServe, StatsQueryResetHwmRoundTripsAndStaysByteIdentical) {
+  WireRequest plain;
+  plain.id = 1;
+  plain.payload = StatsQuery{};
+  const std::string plain_text = encode_request(plain);
+  // The reset_hwm key is only emitted when set, so a plain stats request
+  // encodes exactly as it did before the key existed (old servers keep
+  // answering it).
+  EXPECT_EQ(plain_text.find("reset_hwm"), std::string::npos);
+  EXPECT_FALSE(
+      std::get<StatsQuery>(decode_request(plain_text).payload).reset_hwm);
+
+  WireRequest reset;
+  reset.id = 2;
+  reset.payload = StatsQuery{true};
+  EXPECT_TRUE(
+      std::get<StatsQuery>(decode_request(encode_request(reset)).payload)
+          .reset_hwm);
+}
+
+TEST(ObsServe, MetricsAnswerRoundTripsArbitraryText) {
+  WireResponse resp;
+  resp.id = 3;
+  resp.payload =
+      MetricsAnswer{"a_total 1\nlatency{quantile=\"0.5\"} 2.5e-05\n"};
+  const WireResponse back = decode_response(encode_response(resp));
+  ASSERT_TRUE(std::holds_alternative<MetricsAnswer>(back.payload));
+  EXPECT_EQ(std::get<MetricsAnswer>(back.payload).text,
+            "a_total 1\nlatency{quantile=\"0.5\"} 2.5e-05\n");
+}
+
+TEST(ObsServe, TraceAnswerRoundTripsSpans) {
+  obs::TraceSpan a;
+  a.trace_id = 11;
+  a.span_id = 21;
+  a.parent_id = 0;
+  a.stage = "request";
+  a.start_ns = 100;
+  a.end_ns = 900;
+  obs::TraceSpan b;
+  b.trace_id = 11;
+  b.span_id = 22;
+  b.parent_id = 21;
+  b.stage = "solve/rom";  // the '/' survives percent-encoding
+  b.start_ns = 200;
+  b.end_ns = 700;
+
+  WireResponse resp;
+  resp.id = 4;
+  resp.payload = TraceAnswer{{a, b}};
+  const WireResponse back = decode_response(encode_response(resp));
+  ASSERT_TRUE(std::holds_alternative<TraceAnswer>(back.payload));
+  const std::vector<obs::TraceSpan>& spans =
+      std::get<TraceAnswer>(back.payload).spans;
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].trace_id, 11u);
+  EXPECT_EQ(spans[0].span_id, 21u);
+  EXPECT_EQ(spans[0].stage, "request");
+  EXPECT_EQ(spans[1].parent_id, 21u);
+  EXPECT_EQ(spans[1].stage, "solve/rom");
+  EXPECT_EQ(spans[1].start_ns, 200u);
+  EXPECT_EQ(spans[1].end_ns, 700u);
+}
+
+TEST(ObsServe, UnknownKeysOnNewTagsAreRejected) {
+  EXPECT_THROW(
+      (void)decode_request("liquid3d-serve 1 metrics\nid 1\nbogus 1\n"),
+      ConfigError);
+  EXPECT_THROW(
+      (void)decode_request("liquid3d-serve 1 trace\nid 1\nbogus 1\n"),
+      ConfigError);
+  // A malformed span line (wrong field count) is a decode error, not a
+  // silently dropped span.
+  EXPECT_THROW((void)decode_response(
+                   "liquid3d-serve 1 trace-answer\nid 1\nspan 1%202%203\n"),
+               ConfigError);
+}
+
+// -- wire control plane end to end --------------------------------------------
+
+TEST(ObsServe, MetricsScrapeMatchesServedQueries) {
+  Fixture fx;
+  ServeClient client(fx.server.endpoint());
+
+  const ServeStats before = client.stats();
+  const SteadyAnswer first = client.steady(small_steady());
+  const SteadyAnswer second = client.steady(small_steady());
+  EXPECT_EQ(first.t_max_c, second.t_max_c);
+
+  const std::string text = client.metrics();
+  const auto expect_line = [&text](const std::string& line) {
+    EXPECT_NE(text.find(line + "\n"), std::string::npos)
+        << "missing '" << line << "' in:\n"
+        << text;
+  };
+  expect_line("liquid3d_serve_steady_queries_total " +
+              std::to_string(before.steady_queries + 2));
+  expect_line("liquid3d_serve_wire_accepted_total " +
+              std::to_string(before.wire_accepted + 2));
+  // The global registry's serve-latency histogram saw both queries (one
+  // full solve, one ROM hit).
+  EXPECT_NE(text.find("liquid3d_serve_steady_rom_seconds_count"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ObsServe, WindowedHwmResetsButLifetimeDoesNot) {
+  Fixture fx;
+  ServeClient client(fx.server.endpoint());
+  (void)client.steady(small_steady());
+
+  const ServeStats before = client.stats();
+  EXPECT_GE(before.wire_queue_hwm, 1u);
+  EXPECT_EQ(before.wire_queue_hwm_window, before.wire_queue_hwm);
+
+  // Report-then-reset: the resetting call still reports the pre-reset
+  // window.
+  const ServeStats resetting = client.stats(/*reset_hwm=*/true);
+  EXPECT_EQ(resetting.wire_queue_hwm_window, before.wire_queue_hwm_window);
+
+  const ServeStats after = client.stats();
+  EXPECT_EQ(after.wire_queue_hwm_window, 0u);
+  EXPECT_EQ(after.wire_queue_hwm, before.wire_queue_hwm);  // lifetime
+
+  // The next admitted query raises the window again.
+  (void)client.steady(small_steady());
+  EXPECT_GE(client.stats().wire_queue_hwm_window, 1u);
+}
+
+TEST(ObsServe, TraceDumpCoversTheQueryStages) {
+  ScopedTracing tracing(true);
+  obs::TraceRing::global().clear();
+
+  Fixture fx;
+  ServeClient client(fx.server.endpoint());
+  (void)client.steady(small_steady());
+
+  const std::vector<obs::TraceSpan> spans = client.trace();
+  ASSERT_FALSE(spans.empty());
+
+  // Exactly one root span; its children cover the pipeline stages and nest
+  // inside the root's window.
+  const obs::TraceSpan* root = nullptr;
+  for (const obs::TraceSpan& s : spans) {
+    if (s.parent_id == 0) {
+      EXPECT_EQ(root, nullptr) << "two roots in one query's trace";
+      root = &s;
+      EXPECT_EQ(s.stage, "request");
+    }
+  }
+  ASSERT_NE(root, nullptr);
+  std::vector<std::string> stages;
+  for (const obs::TraceSpan& s : spans) {
+    EXPECT_EQ(s.trace_id, root->trace_id);
+    EXPECT_LE(s.start_ns, s.end_ns);
+    if (s.parent_id != 0) {
+      EXPECT_EQ(s.parent_id, root->span_id);
+      EXPECT_GE(s.start_ns, root->start_ns);
+      EXPECT_LE(s.end_ns, root->end_ns);
+      stages.push_back(s.stage);
+    }
+  }
+  const auto has = [&stages](const char* stage) {
+    for (const std::string& s : stages) {
+      if (s == stage || s.rfind(std::string(stage) + "/", 0) == 0) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("decode"));
+  EXPECT_TRUE(has("admission"));
+  EXPECT_TRUE(has("dispatch"));
+  EXPECT_TRUE(has("solve"));
+  EXPECT_TRUE(has("encode"));
+
+  // The limit parameter caps the dump.
+  EXPECT_EQ(client.trace(1).size(), 1u);
+  obs::TraceRing::global().clear();
+}
+
+TEST(ObsServe, AnswersAreBitIdenticalWithTracingOnAndOff) {
+  SimulationResult traced_result;
+  double traced_tmax = 0.0;
+  {
+    ScopedTracing tracing(true);
+    Fixture fx;
+    ServeClient client(fx.server.endpoint());
+    traced_result = client.what_if(small_whatif(1234)).result;
+    traced_tmax = client.steady(small_steady()).t_max_c;
+  }
+  SimulationResult plain_result;
+  double plain_tmax = 0.0;
+  {
+    ScopedTracing tracing(false);
+    Fixture fx;
+    ServeClient client(fx.server.endpoint());
+    plain_result = client.what_if(small_whatif(1234)).result;
+    plain_tmax = client.steady(small_steady()).t_max_c;
+  }
+
+  EXPECT_EQ(traced_tmax, plain_tmax);
+  EXPECT_EQ(traced_result.hotspot_max_sample, plain_result.hotspot_max_sample);
+  EXPECT_EQ(traced_result.avg_tmax, plain_result.avg_tmax);
+  EXPECT_EQ(traced_result.total_energy_j, plain_result.total_energy_j);
+  EXPECT_EQ(traced_result.chip_energy_j, plain_result.chip_energy_j);
+  EXPECT_EQ(traced_result.pump_energy_j, plain_result.pump_energy_j);
+  EXPECT_EQ(traced_result.throughput_per_s, plain_result.throughput_per_s);
+  EXPECT_EQ(traced_result.migrations, plain_result.migrations);
+  EXPECT_EQ(traced_result.forecast_rmse, plain_result.forecast_rmse);
+  obs::TraceRing::global().clear();
+}
+
+}  // namespace
+}  // namespace liquid3d

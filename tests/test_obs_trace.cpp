@@ -1,0 +1,155 @@
+// Per-query tracing (obs/trace.hpp): the fixed-size span ring, snapshot
+// ordering, and the ScopedSpan gate.  The ObsTrace suite also runs under
+// TSan in CI.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace liquid3d::obs {
+namespace {
+
+/// Restore the global tracing flag when a test flips it.
+class ScopedTracing {
+ public:
+  explicit ScopedTracing(bool on) : prev_(tracing_enabled()) {
+    set_tracing(on);
+  }
+  ~ScopedTracing() { set_tracing(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TraceSpan make_span(std::uint64_t trace_id, const char* stage) {
+  TraceSpan s;
+  s.trace_id = trace_id;
+  s.span_id = next_span_id();
+  s.stage = stage;
+  s.start_ns = trace_id * 100;
+  s.end_ns = trace_id * 100 + 50;
+  return s;
+}
+
+TEST(ObsTrace, MonotonicClock) {
+  const std::uint64_t a = now_ns();
+  const std::uint64_t b = now_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST(ObsTrace, IdsAreFreshAndNonzero) {
+  const std::uint64_t t1 = next_trace_id();
+  const std::uint64_t t2 = next_trace_id();
+  EXPECT_NE(t1, 0u);
+  EXPECT_NE(t1, t2);
+  const std::uint32_t s1 = next_span_id();
+  const std::uint32_t s2 = next_span_id();
+  EXPECT_NE(s1, 0u);
+  EXPECT_NE(s1, s2);
+}
+
+TEST(ObsTrace, RingKeepsTheMostRecentSpans) {
+  TraceRing ring(4);
+  for (std::uint64_t i = 1; i <= 6; ++i) ring.record(make_span(i, "solve"));
+  EXPECT_EQ(ring.size(), 4u);
+
+  // Overwrote 1 and 2: the snapshot is {3,4,5,6}, oldest first.
+  const std::vector<TraceSpan> spans = ring.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].trace_id, i + 3);
+  }
+}
+
+TEST(ObsTrace, SnapshotLimitReturnsTheMostRecent) {
+  TraceRing ring(8);
+  for (std::uint64_t i = 1; i <= 5; ++i) ring.record(make_span(i, "solve"));
+
+  const std::vector<TraceSpan> two = ring.snapshot(2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0].trace_id, 4u);  // still oldest-first
+  EXPECT_EQ(two[1].trace_id, 5u);
+
+  // A limit past the retained count returns everything.
+  EXPECT_EQ(ring.snapshot(100).size(), 5u);
+
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(ObsTrace, ConcurrentRecordsAreTSanClean) {
+  TraceRing ring(64);
+  constexpr std::size_t kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring, t] {
+      for (std::uint64_t i = 0; i < 100; ++i) {
+        ring.record(make_span(t * 1000 + i, "solve"));
+      }
+      (void)ring.snapshot(8);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ring.size(), 64u);
+}
+
+TEST(ObsTrace, ScopedSpanDisabledRecordsNothing) {
+  ScopedTracing off(false);
+  TraceRing::global().clear();
+  {
+    ScopedSpan span(next_trace_id(), 0, "request");
+    span.set_stage("renamed");
+    EXPECT_EQ(span.span_id(), 0u);  // unarmed
+  }
+  EXPECT_EQ(TraceRing::global().size(), 0u);
+}
+
+TEST(ObsTrace, ScopedSpanRecordsIntoTheGlobalRing) {
+  ScopedTracing on(true);
+  TraceRing::global().clear();
+  const std::uint64_t trace_id = next_trace_id();
+  std::uint32_t root_id = 0;
+  {
+    ScopedSpan root(trace_id, 0, "request");
+    root_id = root.span_id();
+    EXPECT_NE(root_id, 0u);
+    {
+      ScopedSpan child(trace_id, root_id, "solve");
+      child.set_stage("solve/rom");
+    }
+  }
+  const std::vector<TraceSpan> spans = TraceRing::global().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // The child finishes (and records) first.
+  EXPECT_EQ(spans[0].stage, "solve/rom");
+  EXPECT_EQ(spans[0].parent_id, root_id);
+  EXPECT_EQ(spans[0].trace_id, trace_id);
+  EXPECT_EQ(spans[1].stage, "request");
+  EXPECT_EQ(spans[1].parent_id, 0u);
+  for (const TraceSpan& s : spans) {
+    EXPECT_LE(s.start_ns, s.end_ns);
+  }
+  // The child's window nests inside the root's.
+  EXPECT_GE(spans[0].start_ns, spans[1].start_ns);
+  EXPECT_LE(spans[0].end_ns, spans[1].end_ns);
+  TraceRing::global().clear();
+}
+
+TEST(ObsTrace, FinishIsIdempotent) {
+  ScopedTracing on(true);
+  TraceRing::global().clear();
+  {
+    ScopedSpan span(next_trace_id(), 0, "request");
+    span.finish();
+    span.finish();  // second finish is a no-op; so is the destructor
+  }
+  EXPECT_EQ(TraceRing::global().size(), 1u);
+  TraceRing::global().clear();
+}
+
+}  // namespace
+}  // namespace liquid3d::obs

@@ -25,10 +25,18 @@
 //       requires bit-identical results — the CI smoke check that service
 //       answers (batched, and over the wire) match single-shot runs
 //       exactly.
-//   serve_ctl stats --connect ENDPOINT
+//   serve_ctl stats --connect ENDPOINT [--reset-hwm]
 //       Print the daemon's ServeStats counters, including the wire_*
 //       transport counters.  Answered inline by the server (bypasses
 //       admission), so it works against an overloaded daemon.
+//       --reset-hwm zeroes the windowed queue high-water mark after
+//       reporting it (the lifetime HWM is never reset).
+//   serve_ctl metrics --connect ENDPOINT
+//       Scrape the daemon's Prometheus-style metrics exposition (the
+//       global obs registry plus the ServeStats counters).
+//   serve_ctl trace --connect ENDPOINT [--limit N]
+//       Dump the daemon's most recent query spans (requires the daemon
+//       to run with LIQUID3D_TRACE=1).
 //
 // Exit codes: 0 success, 1 verification mismatch, 2 usage/config error.
 #include <algorithm>
@@ -71,7 +79,9 @@ int usage(const char* argv0) {
       << "         [--grid-rows N] [--grid-cols N]\n"
       << "  replay [whatif options] [--phase T:SCALE]... [--trace-period-s S]\n"
       << "  burst  --count N [whatif options] [--steady N] [--verify]\n"
-      << "  stats  --connect ENDPOINT\n";
+      << "  stats  --connect ENDPOINT [--reset-hwm]\n"
+      << "  metrics --connect ENDPOINT      Prometheus-style exposition\n"
+      << "  trace  --connect ENDPOINT [--limit N]   recent query spans\n";
   return 2;
 }
 
@@ -503,23 +513,29 @@ int cmd_burst(int argc, char** argv) {
               stats.solo_fallbacks, stats.rom_builds, stats.full_solves);
   if (conn.wire()) {
     std::printf("wire_accepted=%zu wire_rejected=%zu wire_timed_out=%zu "
-                "wire_connections=%zu wire_queue_hwm=%zu\n",
+                "wire_connections=%zu wire_queue_hwm=%zu "
+                "wire_queue_hwm_window=%zu\n",
                 stats.wire_accepted, stats.wire_rejected, stats.wire_timed_out,
-                stats.wire_connections, stats.wire_queue_hwm);
+                stats.wire_connections, stats.wire_queue_hwm,
+                stats.wire_queue_hwm_window);
   }
   return failures == 0 ? 0 : 1;
 }
 
 int cmd_stats(int argc, char** argv) {
   ConnectOpts conn;
+  bool reset_hwm = false;
   FlagSet flags("stats");
   conn.register_on(flags);
+  flags.flag("--reset-hwm", &reset_hwm);
   flags.parse(argc, argv);
   LIQUID3D_REQUIRE(conn.wire(),
                    "stats requires --connect (an in-process service would "
                    "have nothing to report)");
 
-  const ServeStats s = conn.make()->stats();
+  ServeClient client(conn.endpoint());
+  client.set_deadline_ms(conn.deadline_ms);
+  const ServeStats s = client.stats(reset_hwm);
   std::printf("steady_queries=%zu rom_hits=%zu rom_builds=%zu "
               "rom_fallbacks=%zu rom_evictions=%zu full_solves=%zu "
               "model_evictions=%zu\n",
@@ -530,9 +546,51 @@ int cmd_stats(int argc, char** argv) {
               s.session_queries, s.batches, s.batched_sessions, s.max_batch,
               s.solo_fallbacks);
   std::printf("wire_accepted=%zu wire_rejected=%zu wire_timed_out=%zu "
-              "wire_connections=%zu wire_queue_hwm=%zu\n",
+              "wire_connections=%zu wire_queue_hwm=%zu "
+              "wire_queue_hwm_window=%zu\n",
               s.wire_accepted, s.wire_rejected, s.wire_timed_out,
-              s.wire_connections, s.wire_queue_hwm);
+              s.wire_connections, s.wire_queue_hwm, s.wire_queue_hwm_window);
+  return 0;
+}
+
+int cmd_metrics(int argc, char** argv) {
+  ConnectOpts conn;
+  FlagSet flags("metrics");
+  conn.register_on(flags);
+  flags.parse(argc, argv);
+  LIQUID3D_REQUIRE(conn.wire(),
+                   "metrics requires --connect (an in-process service would "
+                   "have nothing to report)");
+
+  ServeClient client(conn.endpoint());
+  client.set_deadline_ms(conn.deadline_ms);
+  std::fputs(client.metrics().c_str(), stdout);
+  return 0;
+}
+
+int cmd_trace(int argc, char** argv) {
+  ConnectOpts conn;
+  std::size_t limit = 0;
+  FlagSet flags("trace");
+  conn.register_on(flags);
+  flags.number("--limit", &limit);
+  flags.parse(argc, argv);
+  LIQUID3D_REQUIRE(conn.wire(),
+                   "trace requires --connect (an in-process service would "
+                   "have nothing to report)");
+
+  ServeClient client(conn.endpoint());
+  client.set_deadline_ms(conn.deadline_ms);
+  const std::vector<obs::TraceSpan> spans = client.trace(limit);
+  for (const obs::TraceSpan& s : spans) {
+    std::printf("trace=%llu span=%u parent=%u stage=%s start_ns=%llu "
+                "dur_us=%.1f\n",
+                static_cast<unsigned long long>(s.trace_id), s.span_id,
+                s.parent_id, s.stage.c_str(),
+                static_cast<unsigned long long>(s.start_ns),
+                static_cast<double>(s.end_ns - s.start_ns) * 1e-3);
+  }
+  std::printf("spans=%zu\n", spans.size());
   return 0;
 }
 
@@ -547,6 +605,8 @@ int main(int argc, char** argv) {
     if (cmd == "replay") return cmd_replay(argc - 2, argv + 2);
     if (cmd == "burst") return cmd_burst(argc - 2, argv + 2);
     if (cmd == "stats") return cmd_stats(argc - 2, argv + 2);
+    if (cmd == "metrics") return cmd_metrics(argc - 2, argv + 2);
+    if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
     return usage(argv[0]);
   } catch (const std::exception& e) {
     std::cerr << "serve_ctl: " << e.what() << "\n";

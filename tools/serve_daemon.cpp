@@ -23,6 +23,7 @@
 
 #include "common/error.hpp"
 #include "common/flags.hpp"
+#include "obs/metrics.hpp"
 #include "serve/net/server.hpp"
 #include "serve/service.hpp"
 
@@ -48,6 +49,7 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  liquid3d::obs::init_from_env();
   std::string listen_spec;
   ServerParams server_params;
   ServeParams serve_params;

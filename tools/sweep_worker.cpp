@@ -40,6 +40,7 @@
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
 #include "common/parse.hpp"
+#include "obs/metrics.hpp"
 #include "geom/stack_spec.hpp"
 #include "sim/report.hpp"
 #include "sweep/merge.hpp"
@@ -475,6 +476,7 @@ int main(int argc, char** argv) {
   Args args(argc - 2, argv + 2);
   try {
     liquid3d::fault_injection::arm_from_env();
+    liquid3d::obs::init_from_env();
     if (command == "plan") return cmd_plan(args);
     if (command == "run") return cmd_run(args);
     if (command == "merge") return cmd_merge(args);
